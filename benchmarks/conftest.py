@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section.  The underlying experiments are emulation + replay pipelines that
+take seconds each, so the ``pytest-benchmark`` fixture is always used in
+pedantic mode with a single round: the recorded time is the cost of
+regenerating the figure, and the printed tables are the figure data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import EvaluationSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> EvaluationSettings:
+    """Evaluation settings shared by all benchmarks (honours REPRO_FAST)."""
+    return EvaluationSettings.default()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Figure 7a: predicting scale-out of data parallelism from the base trace.
+
+From the GPT-3 15B trace collected at TP=2, PP=2, DP=4 (16 GPUs), Lumos
+predicts the iteration time and breakdown at DP=8/16/32 (32–128 GPUs) by
+re-timing the data-parallel collectives, and the predictions are validated
+against directly emulated runs of those configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.experiments.figures import FIG7A_CONFIGS, run_parallelism_prediction
+
+
+def _run(settings):
+    return [run_parallelism_prediction(label, settings=settings) for label in FIG7A_CONFIGS]
+
+
+def test_fig7a_scale_data_parallelism(benchmark, settings):
+    comparisons = run_once(benchmark, _run, settings)
+
+    print("\nFigure 7a — scaling data parallelism from 2x2x4 (upper = predicted, lower = actual)")
+    rows = []
+    for comparison in comparisons:
+        rows.append(format_breakdown_row(f"{comparison.label} predicted", comparison.predicted))
+        rows.append(format_breakdown_row(f"{comparison.label} actual", comparison.actual))
+    print(format_table(breakdown_headers(), rows))
+
+    errors = [abs(c.total_error_percent) for c in comparisons]
+    print(f"average |error|: {np.mean(errors):.1f}%")
+
+    # Predictions track the directly measured configurations closely.
+    assert np.mean(errors) < 10.0
+    assert max(errors) < 15.0
+    # Scaling DP beyond a node makes communication more expensive per byte:
+    # exposed communication grows monotonically in the measured runs, and the
+    # predictions reproduce that trend.
+    actual_comm = [c.actual.exposed_communication for c in comparisons]
+    predicted_comm = [c.predicted.exposed_communication for c in comparisons]
+    assert actual_comm == sorted(actual_comm)
+    assert predicted_comm == sorted(predicted_comm)
+    # Local compute is unchanged by DP scaling (within noise).
+    compute = [c.actual.exposed_compute for c in comparisons]
+    assert (max(compute) - min(compute)) / max(compute) < 0.15

@@ -1,0 +1,50 @@
+"""Figure 7b: predicting scale-out of pipeline parallelism from the base trace.
+
+From the GPT-3 15B trace at TP=2, PP=2, DP=4, Lumos re-partitions the layers
+into 4/8/16 stages, regenerates the 1F1B schedule, inserts the new
+point-to-point transfers and predicts each configuration, validated against
+directly emulated runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.experiments.figures import FIG7B_CONFIGS, run_parallelism_prediction
+
+
+def _run(settings):
+    return [run_parallelism_prediction(label, settings=settings) for label in FIG7B_CONFIGS]
+
+
+def test_fig7b_scale_pipeline_parallelism(benchmark, settings):
+    comparisons = run_once(benchmark, _run, settings)
+
+    print("\nFigure 7b — scaling pipeline parallelism from 2x2x4 (upper = predicted, lower = actual)")
+    rows = []
+    for comparison in comparisons:
+        rows.append(format_breakdown_row(f"{comparison.label} predicted", comparison.predicted))
+        rows.append(format_breakdown_row(f"{comparison.label} actual", comparison.actual))
+    print(format_table(breakdown_headers(), rows))
+
+    errors = [abs(c.total_error_percent) for c in comparisons]
+    print(f"average |error|: {np.mean(errors):.1f}%")
+
+    # Predictions track the measured configurations.
+    assert np.mean(errors) < 10.0
+    assert max(errors) < 15.0
+    # Deeper pipelines with a fixed number of micro-batches are less
+    # efficient: the non-compute share (bubble + exposed communication) of
+    # the iteration grows with PP in both measurement and prediction.
+    def non_compute_share(breakdown):
+        return (breakdown.other + breakdown.exposed_communication) / breakdown.total
+
+    actual_shares = [non_compute_share(c.actual) for c in comparisons]
+    predicted_shares = [non_compute_share(c.predicted) for c in comparisons]
+    assert actual_shares == sorted(actual_shares)
+    assert predicted_shares == sorted(predicted_shares)
+    # Per-GPU compute shrinks as layers spread over more stages.
+    compute = [c.actual.exposed_compute for c in comparisons]
+    assert compute == sorted(compute, reverse=True)

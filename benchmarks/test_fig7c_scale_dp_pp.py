@@ -1,0 +1,42 @@
+"""Figure 7c: predicting simultaneous scaling of data and pipeline parallelism.
+
+The paper reports an average error of 4.2% when scaling both degrees at
+once from the GPT-3 15B 2x2x4 base trace; this benchmark regenerates those
+configurations (2x4x8, 2x8x8, 2x4x16) and checks the predictions stay
+accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.experiments.figures import FIG7C_CONFIGS, run_parallelism_prediction
+
+
+def _run(settings):
+    return [run_parallelism_prediction(label, settings=settings) for label in FIG7C_CONFIGS]
+
+
+def test_fig7c_scale_dp_and_pp(benchmark, settings):
+    comparisons = run_once(benchmark, _run, settings)
+
+    print("\nFigure 7c — scaling DP and PP together from 2x2x4 (upper = predicted, lower = actual)")
+    rows = []
+    for comparison in comparisons:
+        rows.append(format_breakdown_row(f"{comparison.label} predicted", comparison.predicted))
+        rows.append(format_breakdown_row(f"{comparison.label} actual", comparison.actual))
+    print(format_table(breakdown_headers(), rows))
+
+    errors = [abs(c.total_error_percent) for c in comparisons]
+    print(f"average |error|: {np.mean(errors):.1f}% (paper reports 4.2%)")
+
+    assert np.mean(errors) < 10.0
+    assert max(errors) < 15.0
+    # Every predicted breakdown preserves the dominant component of the
+    # measured one (compute-dominated configurations stay compute-dominated).
+    for comparison in comparisons:
+        actual_top = max(comparison.actual.as_dict().items(), key=lambda kv: kv[1])
+        predicted_top = max(comparison.predicted.as_dict().items(), key=lambda kv: kv[1])
+        assert actual_top[0] == predicted_top[0]

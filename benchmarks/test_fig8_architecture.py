@@ -1,0 +1,52 @@
+"""Figure 8 / Table 2: predicting model-architecture variants from the base trace.
+
+From the GPT-3 15B trace, Lumos predicts the iteration time and breakdown of
+the V1–V4 variants (more layers, larger hidden/FFN sizes) and the
+predictions are validated against directly emulated runs of the variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.experiments.figures import FIG8_VARIANTS, run_architecture_prediction
+from repro.workload.model_config import GPT3_VARIANTS
+
+
+def _run(settings):
+    return [run_architecture_prediction(name, settings=settings) for name in FIG8_VARIANTS]
+
+
+def test_fig8_architecture_variants(benchmark, settings):
+    comparisons = run_once(benchmark, _run, settings)
+
+    print("\nTable 2 — architecture variants derived from GPT-3 15B")
+    table2 = [[m.name, f"{m.num_parameters / 1e9:.0f}B", m.n_layers, m.d_model, m.d_ff]
+              for m in GPT3_VARIANTS.values()]
+    print(format_table(["model", "n_params", "n_layers", "d_model", "d_ffn"], table2))
+
+    print("\nFigure 8 — iteration-time breakdown of model variants (upper = actual, lower = predicted)")
+    rows = []
+    for comparison in comparisons:
+        rows.append(format_breakdown_row(f"{comparison.label} actual", comparison.actual))
+        rows.append(format_breakdown_row(f"{comparison.label} predicted", comparison.predicted))
+    print(format_table(breakdown_headers(), rows))
+
+    errors = [abs(c.total_error_percent) for c in comparisons]
+    print(f"average |error|: {np.mean(errors):.1f}%")
+
+    assert np.mean(errors) < 10.0
+    assert max(errors) < 15.0
+    # Bigger variants take longer, and the predictions preserve the ranking
+    # of the variants by iteration time.
+    actual_totals = [c.actual.total for c in comparisons]
+    predicted_totals = [c.predicted.total for c in comparisons]
+    assert np.argsort(actual_totals).tolist() == np.argsort(predicted_totals).tolist()
+    # V2 (96 layers) is roughly 2x the 48-layer base's depth class (V1 is 64
+    # layers); it must be the slowest of V1/V2 in both actual and predicted.
+    by_label_actual = {c.label.split(":")[0]: c.actual.total for c in comparisons}
+    by_label_predicted = {c.label.split(":")[0]: c.predicted.total for c in comparisons}
+    assert by_label_actual["gpt3-v2"] > by_label_actual["gpt3-v1"]
+    assert by_label_predicted["gpt3-v2"] > by_label_predicted["gpt3-v1"]

@@ -1,0 +1,40 @@
+"""Table 1: model sizes and architectures used in the evaluation."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.workload.model_config import GPT3_MODELS
+
+
+def _build_table() -> list[list[object]]:
+    rows = []
+    for model in GPT3_MODELS.values():
+        rows.append([
+            model.name,
+            f"{model.num_parameters / 1e9:.0f}B",
+            model.n_layers,
+            model.d_model,
+            model.d_ff,
+            model.n_heads,
+            model.d_head,
+        ])
+    return rows
+
+
+def test_table1_model_architectures(benchmark):
+    """Regenerate Table 1 and check the headline parameter counts."""
+    rows = run_once(benchmark, _build_table)
+    print("\nTable 1 — model sizes and architectures")
+    print(format_table(["model", "n_params", "n_layers", "d_model", "d_ff", "n_heads", "d_head"],
+                       rows))
+
+    by_name = {row[0]: row for row in rows}
+    # Parameter counts must land on the paper's headline sizes.
+    assert by_name["gpt3-15b"][1] == "15B"
+    assert by_name["gpt3-44b"][1] == "44B"
+    assert by_name["gpt3-117b"][1] == "117B"
+    assert by_name["gpt3-175b"][1] == "175B"
+    # Architecture columns copied from Table 1.
+    assert by_name["gpt3-175b"][2:] == [96, 12288, 49152, 96, 128]
+    assert by_name["gpt3-15b"][2:] == [48, 6144, 12288, 48, 128]

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) are unavailable.  This
+shim lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Reproduction of Lumos (MLSys 2025).
+
+Lumos is a trace-driven performance modeling and estimation toolkit for
+large-scale LLM training.  This package re-implements the full system
+described in the paper together with the substrates it depends on:
+
+``repro.trace``
+    Kineto-style trace schema and chrome-trace JSON I/O.
+``repro.hardware``
+    GPU, network and cluster models (H100-class defaults).
+``repro.workload``
+    GPT-3 model configurations, 3D-parallelism configuration, transformer
+    operator decomposition and 1F1B pipeline schedules.
+``repro.kernels``
+    Analytical kernel and collective cost models.
+``repro.emulator``
+    A distributed-training cluster emulator that produces Kineto-style
+    traces (the substitute for the paper's production H100 cluster).
+``repro.core``
+    The Lumos contribution: execution-graph construction, the replay
+    simulator (Algorithm 1), execution breakdowns, SM utilisation,
+    kernel-performance-model calibration and graph manipulation.
+``repro.baselines``
+    The dPRO-style replayer and an analytical iteration-time model.
+``repro.analysis``
+    Comparison and reporting helpers used by the benchmark harness.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

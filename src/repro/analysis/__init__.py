@@ -1,0 +1,18 @@
+"""Comparison and reporting helpers used by the examples and benchmarks."""
+
+from repro.analysis.comparison import (
+    BreakdownComparison,
+    ReplayComparison,
+    compare_breakdowns,
+    evaluate_replay,
+)
+from repro.analysis.reporting import format_breakdown_row, format_table
+
+__all__ = [
+    "ReplayComparison",
+    "BreakdownComparison",
+    "evaluate_replay",
+    "compare_breakdowns",
+    "format_table",
+    "format_breakdown_row",
+]

@@ -1,0 +1,93 @@
+"""Predicted-vs-actual comparisons.
+
+These helpers produce the numbers the paper's figures report: per
+configuration, the actual iteration time and breakdown, the Lumos and dPRO
+replays, and the relative errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.dpro import dpro_replay
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.metrics import absolute_relative_error_percent, relative_error_percent
+from repro.core.replay import ReplayResult, replay
+from repro.trace.kineto import TraceBundle
+
+
+@dataclass(frozen=True)
+class BreakdownComparison:
+    """Actual vs predicted execution breakdown for one configuration."""
+
+    label: str
+    actual: ExecutionBreakdown
+    predicted: ExecutionBreakdown
+
+    @property
+    def total_error_percent(self) -> float:
+        return relative_error_percent(self.predicted.total, self.actual.total)
+
+    def component_errors_percent(self) -> dict[str, float]:
+        """Signed relative error of each breakdown component (percent of total)."""
+        errors: dict[str, float] = {}
+        for key, actual_value in self.actual.as_dict().items():
+            predicted_value = self.predicted.as_dict()[key]
+            errors[key] = (predicted_value - actual_value) / max(self.actual.total, 1e-9) * 100.0
+        return errors
+
+
+@dataclass(frozen=True)
+class ReplayComparison:
+    """Actual vs Lumos vs dPRO for one configuration (one Figure 5 group)."""
+
+    label: str
+    actual_time_us: float
+    lumos_time_us: float
+    dpro_time_us: float
+    actual_breakdown: ExecutionBreakdown
+    lumos_breakdown: ExecutionBreakdown
+    dpro_breakdown: ExecutionBreakdown
+
+    @property
+    def lumos_error_percent(self) -> float:
+        return relative_error_percent(self.lumos_time_us, self.actual_time_us)
+
+    @property
+    def dpro_error_percent(self) -> float:
+        return relative_error_percent(self.dpro_time_us, self.actual_time_us)
+
+    @property
+    def lumos_abs_error_percent(self) -> float:
+        return absolute_relative_error_percent(self.lumos_time_us, self.actual_time_us)
+
+    @property
+    def dpro_abs_error_percent(self) -> float:
+        return absolute_relative_error_percent(self.dpro_time_us, self.actual_time_us)
+
+
+def evaluate_replay(label: str, profiled: TraceBundle, measured: TraceBundle,
+                    lumos_result: ReplayResult | None = None,
+                    dpro_result: ReplayResult | None = None) -> ReplayComparison:
+    """Replay ``profiled`` with Lumos and dPRO and compare against ``measured``."""
+    lumos_result = lumos_result or replay(profiled)
+    dpro_result = dpro_result or dpro_replay(profiled)
+    return ReplayComparison(
+        label=label,
+        actual_time_us=measured.iteration_time(),
+        lumos_time_us=lumos_result.iteration_time_us,
+        dpro_time_us=dpro_result.iteration_time_us,
+        actual_breakdown=compute_breakdown(measured),
+        lumos_breakdown=lumos_result.breakdown(),
+        dpro_breakdown=dpro_result.breakdown(),
+    )
+
+
+def compare_breakdowns(label: str, actual: TraceBundle | ExecutionBreakdown,
+                       predicted: TraceBundle | ExecutionBreakdown) -> BreakdownComparison:
+    """Compare a predicted breakdown (from manipulation) against ground truth."""
+    actual_breakdown = actual if isinstance(actual, ExecutionBreakdown) else compute_breakdown(actual)
+    predicted_breakdown = (predicted if isinstance(predicted, ExecutionBreakdown)
+                           else compute_breakdown(predicted))
+    return BreakdownComparison(label=label, actual=actual_breakdown,
+                               predicted=predicted_breakdown)

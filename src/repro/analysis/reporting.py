@@ -1,0 +1,39 @@
+"""Plain-text rendering of evaluation tables.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.breakdown import ExecutionBreakdown
+
+_BREAKDOWN_COLUMNS = ("exposed_compute", "overlapped", "exposed_communication", "other", "total")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [[str(header)] + [str(row[index]) for row in rows]
+               for index, header in enumerate(headers)]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_breakdown_row(label: str, breakdown: ExecutionBreakdown) -> list[str]:
+    """One table row: label plus the four breakdown components and total (ms)."""
+    values = breakdown.as_milliseconds()
+    return [label] + [f"{values[column]:.1f}" for column in _BREAKDOWN_COLUMNS]
+
+
+def breakdown_headers(prefix: str = "") -> list[str]:
+    """Column headers matching :func:`format_breakdown_row`."""
+    label = f"{prefix}config" if prefix else "config"
+    return [label, "exposed_compute_ms", "overlapped_ms", "exposed_comm_ms", "other_ms", "total_ms"]

@@ -1,0 +1,20 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.dpro` — a dPRO-style trace replayer (Hu et al.,
+  MLSys 2022): a global dataflow graph without the inter-stream
+  dependencies Lumos reconstructs, which over-estimates compute/communication
+  overlap on LLM workloads.
+* :mod:`repro.baselines.analytical` — an AmPeD/Calculon-style closed-form
+  iteration-time estimate from model and parallelism parameters, used in the
+  ablation benchmarks to show what trace-driven modeling adds.
+"""
+
+from repro.baselines.dpro import DPRO_OPTIONS, dpro_replay
+from repro.baselines.analytical import AnalyticalEstimate, analytical_iteration_time
+
+__all__ = [
+    "DPRO_OPTIONS",
+    "dpro_replay",
+    "AnalyticalEstimate",
+    "analytical_iteration_time",
+]

@@ -1,0 +1,95 @@
+"""Analytical iteration-time baseline (AmPeD / Calculon style).
+
+A closed-form estimate of the per-iteration training time from model and
+parallelism parameters: compute from a FLOP count at an assumed achievable
+throughput, tensor/data-parallel communication from ring alpha–beta models,
+and the 1F1B pipeline bubble from the standard ``(PP-1)/(M+PP-1)`` formula.
+No trace is consumed.  The ablation benchmark contrasts this with Lumos to
+show what execution detail analytical models miss (overlap, launch gaps,
+per-kernel effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.kernels.collectives import collective_time_us
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+@dataclass(frozen=True)
+class AnalyticalEstimate:
+    """Closed-form per-iteration time estimate, in microseconds."""
+
+    compute_us: float
+    tensor_parallel_comm_us: float
+    data_parallel_comm_us: float
+    pipeline_comm_us: float
+    bubble_us: float
+
+    @property
+    def total_us(self) -> float:
+        return (self.compute_us + self.tensor_parallel_comm_us + self.data_parallel_comm_us
+                + self.pipeline_comm_us + self.bubble_us)
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+
+def analytical_iteration_time(model: ModelConfig, parallel: ParallelismConfig,
+                              training: TrainingConfig,
+                              cluster: ClusterSpec | None = None,
+                              achievable_flops_fraction: float = 0.45) -> AnalyticalEstimate:
+    """Estimate the per-iteration time of a 3D-parallel training job."""
+    if not 0 < achievable_flops_fraction <= 1:
+        raise ValueError("achievable_flops_fraction must be in (0, 1]")
+    if cluster is None:
+        cluster = ClusterSpec.for_world_size(parallel.world_size)
+    groups = parallel.groups()
+
+    tokens = training.tokens_per_replica()
+    total_flops = model.flops_per_token() * tokens
+    flops_per_rank = total_flops / (parallel.tp * parallel.pp)
+    compute_us = flops_per_rank / (cluster.gpu.bf16_flops_per_us * achievable_flops_fraction)
+
+    # Tensor parallelism: two all-reduces per layer in forward, two in backward.
+    tp_comm_us = 0.0
+    if parallel.tp > 1:
+        activation_bytes = (training.micro_batch_size * training.sequence_length
+                            * model.d_model * training.dtype_bytes)
+        tp_ranks = groups.tp_group(0).ranks
+        per_all_reduce = collective_time_us("all_reduce", activation_bytes, tp_ranks, cluster)
+        layers_per_stage = model.n_layers / parallel.pp
+        tp_comm_us = per_all_reduce * 4 * layers_per_stage * training.num_microbatches
+
+    # Data parallelism: one gradient all-reduce per iteration of the stage's shard.
+    dp_comm_us = 0.0
+    if parallel.dp > 1:
+        grad_bytes = (model.n_layers / parallel.pp * model.layer_parameters / parallel.tp
+                      * training.dtype_bytes)
+        dp_ranks = groups.dp_group(0).ranks
+        dp_comm_us = collective_time_us("all_reduce", grad_bytes, dp_ranks, cluster)
+
+    # Pipeline parallelism: per-boundary activation/gradient transfers plus the bubble.
+    pp_comm_us = 0.0
+    bubble_us = 0.0
+    if parallel.pp > 1:
+        activation_bytes = (training.micro_batch_size * training.sequence_length
+                            * model.d_model * training.dtype_bytes)
+        boundary_pair = groups.pp_group(0).ranks[:2]
+        per_transfer = collective_time_us("broadcast", activation_bytes, boundary_pair, cluster)
+        pp_comm_us = per_transfer * 2 * training.num_microbatches
+        per_microbatch_us = (compute_us + tp_comm_us) / training.num_microbatches
+        bubble_us = (parallel.pp - 1) / training.num_microbatches * per_microbatch_us
+
+    return AnalyticalEstimate(
+        compute_us=compute_us,
+        tensor_parallel_comm_us=tp_comm_us,
+        data_parallel_comm_us=dp_comm_us,
+        pipeline_comm_us=pp_comm_us,
+        bubble_us=bubble_us,
+    )

@@ -1,0 +1,31 @@
+"""dPRO-style replay baseline.
+
+dPRO (Hu et al., 2022) builds a global dataflow graph from profiled traces
+by tracking dependencies among operators across workers.  Its graph has
+launch (CPU→GPU), per-stream ordering and cross-worker collective
+dependencies, but — as the paper's Figure 1/Figure 5 analysis shows — it
+does not reconstruct the event-based inter-stream dependencies that govern
+how communication kernels serialise against compute on modern LLM stacks.
+The baseline is therefore expressed here as the Lumos graph builder with
+inter-stream dependency reconstruction disabled, replayed by the same
+simulator.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph_builder import GraphBuilderOptions
+from repro.core.replay import ReplayResult, replay
+from repro.trace.kineto import KinetoTrace, TraceBundle
+
+#: Graph-builder options reproducing dPRO's dependency model.
+DPRO_OPTIONS = GraphBuilderOptions(
+    include_inter_stream=False,
+    include_inter_thread=True,
+    include_sync=True,
+    include_collective_groups=True,
+)
+
+
+def dpro_replay(traces: TraceBundle | KinetoTrace) -> ReplayResult:
+    """Replay a profiled trace the way dPRO models execution."""
+    return replay(traces, options=DPRO_OPTIONS)

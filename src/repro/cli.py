@@ -1,0 +1,155 @@
+"""Command-line interface.
+
+``repro-lumos`` exposes the core workflow of the paper's Figure 2:
+
+* ``emulate``  — run the cluster emulator and save Kineto-style traces
+  (the substitute for profiling a real training job);
+* ``replay``   — build the execution graph from saved traces and replay it;
+* ``breakdown`` — print the execution-time breakdown of saved traces;
+* ``predict``  — manipulate the graph of a base trace to estimate a new
+  parallelism configuration or model architecture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.baselines.dpro import dpro_replay
+from repro.core.breakdown import compute_breakdown
+from repro.core.manipulation import (
+    change_architecture,
+    scale_data_parallelism,
+    scale_pipeline_parallelism,
+)
+from repro.core.perf_model import KernelPerfModel
+from repro.core.replay import replay, simulate_graph
+from repro.emulator.api import emulate
+from repro.hardware.cluster import ClusterSpec
+from repro.trace.kineto import TraceBundle
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="gpt3-15b", help="model name (Table 1/2)")
+    parser.add_argument("--parallelism", default="2x2x4", help="TPxPPxDP label")
+    parser.add_argument("--micro-batch-size", type=int, default=2)
+    parser.add_argument("--num-microbatches", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _training_from_args(args: argparse.Namespace) -> TrainingConfig:
+    return TrainingConfig(micro_batch_size=args.micro_batch_size,
+                          num_microbatches=args.num_microbatches)
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    model = gpt3_model(args.model)
+    parallel = ParallelismConfig.parse(args.parallelism)
+    result = emulate(model, parallel, _training_from_args(args),
+                     iterations=args.iterations, seed=args.seed)
+    result.profiled.save(args.output)
+    print(f"saved profiled trace of {model.name} {parallel.label()} to {args.output}")
+    for index in range(args.iterations):
+        print(f"iteration {index}: {result.iteration_time(index) / 1000:.1f} ms")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    bundle = TraceBundle.load(args.trace)
+    result = dpro_replay(bundle) if args.baseline == "dpro" else replay(bundle)
+    print(f"replayed iteration time: {result.iteration_time_ms:.1f} ms")
+    rows = [format_breakdown_row("replayed", result.breakdown())]
+    print(format_table(breakdown_headers(), rows))
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    bundle = TraceBundle.load(args.trace)
+    rows = [format_breakdown_row("measured", compute_breakdown(bundle))]
+    print(f"iteration time: {bundle.iteration_time() / 1000:.1f} ms")
+    print(format_table(breakdown_headers(), rows))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    bundle = TraceBundle.load(args.trace)
+    base_model = gpt3_model(args.model)
+    base_parallel = ParallelismConfig.parse(args.parallelism)
+    training = _training_from_args(args)
+    base_replay = replay(bundle)
+    cluster = ClusterSpec.for_world_size(base_parallel.world_size)
+    perf_model = KernelPerfModel.calibrate(base_replay.graph, cluster)
+
+    if args.target_model:
+        target_model = gpt3_model(args.target_model)
+        graph = change_architecture(base_replay.graph, base_model, base_parallel, training,
+                                    target_model, perf_model, cluster=cluster)
+        label = target_model.name
+    elif args.target_parallelism:
+        target_parallel = ParallelismConfig.parse(args.target_parallelism)
+        if target_parallel.pp == base_parallel.pp:
+            graph = scale_data_parallelism(base_replay.graph, base_parallel,
+                                           target_parallel.dp, perf_model)
+        else:
+            graph = scale_pipeline_parallelism(base_replay.graph, base_model, base_parallel,
+                                               training, target_parallel.pp, perf_model,
+                                               new_data_parallel=target_parallel.dp)
+        label = target_parallel.label()
+    else:
+        print("predict requires --target-parallelism or --target-model", file=sys.stderr)
+        return 2
+
+    predicted = simulate_graph(graph)
+    print(f"base replay: {base_replay.iteration_time_ms:.1f} ms")
+    print(f"predicted {label}: {predicted.iteration_time_ms:.1f} ms")
+    rows = [
+        format_breakdown_row("base", base_replay.breakdown()),
+        format_breakdown_row(label, predicted.breakdown()),
+    ]
+    print(format_table(breakdown_headers(), rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-lumos",
+                                     description="Lumos reproduction command-line interface")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    emulate_parser = subparsers.add_parser("emulate", help="emulate a training job and save traces")
+    _add_workload_arguments(emulate_parser)
+    emulate_parser.add_argument("--iterations", type=int, default=2)
+    emulate_parser.add_argument("--output", required=True, help="directory for the trace bundle")
+    emulate_parser.set_defaults(func=_cmd_emulate)
+
+    replay_parser = subparsers.add_parser("replay", help="replay a saved trace bundle")
+    replay_parser.add_argument("--trace", required=True, help="trace bundle directory")
+    replay_parser.add_argument("--baseline", choices=["lumos", "dpro"], default="lumos")
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    breakdown_parser = subparsers.add_parser("breakdown", help="print a trace's execution breakdown")
+    breakdown_parser.add_argument("--trace", required=True, help="trace bundle directory")
+    breakdown_parser.set_defaults(func=_cmd_breakdown)
+
+    predict_parser = subparsers.add_parser("predict",
+                                           help="estimate a new configuration from a base trace")
+    _add_workload_arguments(predict_parser)
+    predict_parser.add_argument("--trace", required=True, help="base trace bundle directory")
+    predict_parser.add_argument("--target-parallelism", help="target TPxPPxDP label")
+    predict_parser.add_argument("--target-model", help="target model name (Table 2 variants)")
+    predict_parser.set_defaults(func=_cmd_predict)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``repro-lumos`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""The Lumos core: execution graphs, replay simulation and graph manipulation.
+
+This package implements the paper's contribution:
+
+* :mod:`repro.core.tasks` / :mod:`repro.core.graph` — the task-level
+  execution graph (CPU tasks, GPU tasks, four dependency classes,
+  cross-rank collective groups);
+* :mod:`repro.core.graph_builder` — constructing the graph from Kineto
+  traces (§3.3);
+* :mod:`repro.core.simulator` — the replay simulator (Algorithm 1) with
+  fixed and runtime dependencies;
+* :mod:`repro.core.replay` — the high-level replay API;
+* :mod:`repro.core.breakdown` / :mod:`repro.core.sm_utilization` —
+  execution-time breakdowns and SM-utilisation timelines (§4.2);
+* :mod:`repro.core.perf_model` — the trace-calibrated kernel performance
+  model used for kernels introduced by manipulation (§4.3);
+* :mod:`repro.core.manipulation` — graph manipulation for new parallelism
+  strategies and model architectures (§3.4, §4.3).
+"""
+
+from repro.core.tasks import DependencyType, Task, TaskKind
+from repro.core.graph import ExecutionGraph
+from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions, build_execution_graph
+from repro.core.simulator import SimulationResult, Simulator
+from repro.core.replay import ReplayResult, replay
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.sm_utilization import sm_utilization_timeline
+from repro.core.perf_model import KernelPerfModel
+from repro.core.metrics import relative_error_percent, mean_absolute_percentage_error
+from repro.core.critical_path import critical_path, kernel_time_summary
+from repro.core.whatif import speed_up_communication, speed_up_kernel_class
+
+__all__ = [
+    "Task",
+    "TaskKind",
+    "DependencyType",
+    "ExecutionGraph",
+    "GraphBuilder",
+    "GraphBuilderOptions",
+    "build_execution_graph",
+    "Simulator",
+    "SimulationResult",
+    "replay",
+    "ReplayResult",
+    "ExecutionBreakdown",
+    "compute_breakdown",
+    "sm_utilization_timeline",
+    "KernelPerfModel",
+    "relative_error_percent",
+    "mean_absolute_percentage_error",
+    "critical_path",
+    "kernel_time_summary",
+    "speed_up_communication",
+    "speed_up_kernel_class",
+]

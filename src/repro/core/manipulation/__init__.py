@@ -1,0 +1,41 @@
+"""Graph manipulation: derive execution graphs for new configurations.
+
+This package implements §3.4 of the paper.  From the execution graph built
+out of a profiled trace it derives new graphs for
+
+* different data-parallel degrees (:func:`scale_data_parallelism`) — only
+  the communication tasks change cost, per the paper;
+* different pipeline-parallel degrees
+  (:func:`scale_pipeline_parallelism`) — the layers and their tasks are
+  re-partitioned into new stages, the 1F1B schedule is regenerated and
+  point-to-point communication is re-inserted at the new boundaries;
+* different model architectures (:func:`change_architecture`) — layers are
+  duplicated or removed and the affected kernels (GEMMs, attention and
+  communication) are re-timed with the kernel performance model.
+
+Tensor-parallelism changes are not supported, matching the paper's stated
+scope ("we currently do not support modifications to tensor parallelism").
+"""
+
+from repro.core.manipulation.templates import (
+    CpuOverheads,
+    IterationTemplate,
+    KernelTemplate,
+    extract_iteration_template,
+)
+from repro.core.manipulation.synthesize import GraphSynthesizer, synthesize_graph
+from repro.core.manipulation.data_parallel import scale_data_parallelism
+from repro.core.manipulation.pipeline_parallel import scale_pipeline_parallelism
+from repro.core.manipulation.architecture import change_architecture
+
+__all__ = [
+    "KernelTemplate",
+    "CpuOverheads",
+    "IterationTemplate",
+    "extract_iteration_template",
+    "GraphSynthesizer",
+    "synthesize_graph",
+    "scale_data_parallelism",
+    "scale_pipeline_parallelism",
+    "change_architecture",
+]

@@ -1,0 +1,43 @@
+"""Model-architecture manipulation.
+
+Per §3.4 / §4.3.2 of the paper:
+
+* changing the **number of layers** duplicates (or drops) layers and their
+  tasks, re-inserting them with the original dependency pattern;
+* changing the **hidden size** or **feed-forward size** updates the input
+  dimensions of the affected operators and re-estimates the execution time
+  of the shape-sensitive kernels (GEMMs, attention, collectives) with the
+  kernel performance model.
+
+Both are expressed through template extraction + graph synthesis against a
+modified :class:`~repro.workload.model_config.ModelConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import ExecutionGraph
+from repro.core.manipulation.synthesize import GraphSynthesizer
+from repro.core.manipulation.templates import extract_iteration_template
+from repro.core.perf_model import KernelPerfModel
+from repro.hardware.cluster import ClusterSpec
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+def change_architecture(graph: ExecutionGraph, base_model: ModelConfig,
+                        base_parallel: ParallelismConfig, training: TrainingConfig,
+                        target_model: ModelConfig, perf_model: KernelPerfModel,
+                        cluster: ClusterSpec | None = None) -> ExecutionGraph:
+    """Derive the execution graph for a modified model architecture.
+
+    The deployment configuration (TP×PP×DP) is kept; only the model changes,
+    matching the paper's §4.3.2 evaluation where all variants train under
+    the base parallelism configuration.
+    """
+    if cluster is None:
+        cluster = ClusterSpec.for_world_size(base_parallel.world_size)
+    template = extract_iteration_template(graph, base_model, base_parallel, training)
+    synthesizer = GraphSynthesizer(template, target_model, base_parallel, perf_model,
+                                   training=training, cluster=cluster)
+    return synthesizer.build()

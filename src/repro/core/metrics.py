@@ -1,0 +1,51 @@
+"""Error metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def relative_error_percent(predicted: float, actual: float) -> float:
+    """Signed relative error of a prediction in percent."""
+    if actual == 0:
+        raise ValueError("actual value must be non-zero")
+    return (predicted - actual) / actual * 100.0
+
+
+def absolute_relative_error_percent(predicted: float, actual: float) -> float:
+    """Unsigned relative error of a prediction in percent."""
+    return abs(relative_error_percent(predicted, actual))
+
+
+def mean_absolute_percentage_error(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Mean absolute percentage error over paired predictions."""
+    predicted_array = np.asarray(predicted, dtype=float)
+    actual_array = np.asarray(actual, dtype=float)
+    if predicted_array.shape != actual_array.shape:
+        raise ValueError("predicted and actual must have the same length")
+    if predicted_array.size == 0:
+        raise ValueError("at least one pair is required")
+    if np.any(actual_array == 0):
+        raise ValueError("actual values must be non-zero")
+    return float(np.mean(np.abs((predicted_array - actual_array) / actual_array)) * 100.0)
+
+
+def timeline_correlation(series_a: Sequence[float], series_b: Sequence[float]) -> float:
+    """Pearson correlation between two equally-sampled timelines.
+
+    Used to compare SM-utilisation curves; the shorter series is padded
+    with zeros so that curves of slightly different length remain
+    comparable.
+    """
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    length = max(a.size, b.size)
+    if length == 0:
+        raise ValueError("series must be non-empty")
+    a = np.pad(a, (0, length - a.size))
+    b = np.pad(b, (0, length - b.size))
+    if np.allclose(a.std(), 0) or np.allclose(b.std(), 0):
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(np.corrcoef(a, b)[0, 1])

@@ -1,0 +1,172 @@
+"""Kernel performance model for graph manipulation.
+
+When manipulating the execution graph — changing data parallelism, pipeline
+parallelism or the model architecture — some kernels change shape (GEMMs
+under a new hidden size), some change cost (collectives over a new group),
+and some appear that were not in the original trace (point-to-point
+transfers for new stage boundaries).  The paper uses an in-house
+fleet-trace performance model for these; this module provides the
+equivalent: an analytical model *calibrated against the kernels observed in
+the profiled trace*, used in two ways:
+
+* ``scale_*`` — rescale an observed kernel's duration by the ratio of the
+  analytical prediction for the new configuration to the prediction for the
+  old one.  Systematic model error cancels in the ratio, which is why the
+  paper only needs to update "a few key kernels, such as GEMM and
+  communication-related ones".
+* ``predict_*`` — absolute predictions (analytical model times the
+  calibration factor learned from observed kernels of the same class), for
+  kernels with no counterpart in the original trace.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.core.graph import ExecutionGraph
+from repro.core.tasks import TaskKind
+from repro.hardware.cluster import ClusterSpec
+from repro.kernels.collectives import collective_time_us, point_to_point_time_us
+from repro.kernels.gemm import gemm_time_us
+from repro.kernels.memory_bound import memory_bound_time_us
+from repro.workload.operators import CollectiveKind
+
+_GEMM_SHAPE_RE = re.compile(r"_m(\d+)_n(\d+)_k(\d+)")
+
+
+def parse_gemm_shape(kernel_name: str) -> tuple[int, int, int] | None:
+    """Extract (m, n, k) from a GEMM kernel name, if present."""
+    match = _GEMM_SHAPE_RE.search(kernel_name)
+    if match is None:
+        return None
+    return int(match.group(1)), int(match.group(2)), int(match.group(3))
+
+
+@dataclass
+class KernelPerfModel:
+    """Analytical kernel-time model calibrated from an observed trace."""
+
+    cluster: ClusterSpec
+    dtype_bytes: int = 2
+    calibration: dict[str, float] = field(default_factory=dict)
+
+    # -- calibration --------------------------------------------------------------
+
+    @classmethod
+    def calibrate(cls, graph: ExecutionGraph, cluster: ClusterSpec,
+                  dtype_bytes: int = 2) -> "KernelPerfModel":
+        """Fit per-class calibration factors from the kernels of ``graph``."""
+        model = cls(cluster=cluster, dtype_bytes=dtype_bytes)
+        ratios: dict[str, list[float]] = {}
+        for task in graph.tasks.values():
+            if task.kind != TaskKind.GPU or task.duration <= 0:
+                continue
+            if task.is_communication:
+                key, analytical = model._analyse_communication(task.args)
+            else:
+                shape = parse_gemm_shape(task.name)
+                if shape is None:
+                    continue
+                key = "gemm"
+                analytical = gemm_time_us(*shape, dtype_bytes=dtype_bytes, gpu=cluster.gpu)
+            if analytical is None or analytical <= 0:
+                continue
+            ratios.setdefault(key, []).append(task.duration / analytical)
+        model.calibration = {key: float(median(values)) for key, values in ratios.items()}
+        return model
+
+    def _analyse_communication(self, args: dict) -> tuple[str, float | None]:
+        kind = args.get("collective")
+        size_bytes = float(args.get("size_bytes", 0.0))
+        group_ranks = tuple(args.get("group_ranks", ()))
+        group = args.get("group", "unknown")
+        if kind is None or not group_ranks:
+            return "comm:unknown", None
+        key = f"comm:{group}:{kind}"
+        if kind in CollectiveKind.POINT_TO_POINT:
+            analytical = point_to_point_time_us(size_bytes, group_ranks[0], group_ranks[-1],
+                                                self.cluster)
+        else:
+            analytical = collective_time_us(kind, size_bytes, group_ranks, self.cluster)
+        return key, analytical
+
+    def calibration_factor(self, key: str, default: float = 1.0) -> float:
+        """Calibration multiplier for a kernel class (1.0 when never observed)."""
+        if key in self.calibration:
+            return self.calibration[key]
+        if key.startswith("comm:"):
+            # Fall back to any communication observation of the same collective kind.
+            kind = key.split(":")[-1]
+            candidates = [value for name, value in self.calibration.items()
+                          if name.startswith("comm:") and name.endswith(f":{kind}")]
+            if candidates:
+                return float(median(candidates))
+            candidates = [value for name, value in self.calibration.items()
+                          if name.startswith("comm:")]
+            if candidates:
+                return float(median(candidates))
+        return default
+
+    # -- absolute predictions -------------------------------------------------------
+
+    def predict_gemm_us(self, m: int, n: int, k: int) -> float:
+        """Predict the duration of an ``m×n×k`` GEMM."""
+        analytical = gemm_time_us(m, n, k, dtype_bytes=self.dtype_bytes, gpu=self.cluster.gpu)
+        return analytical * self.calibration_factor("gemm")
+
+    def predict_collective_us(self, kind: str, size_bytes: float,
+                              group_ranks: tuple[int, ...], group: str = "dp") -> float:
+        """Predict the duration of a collective over ``group_ranks``."""
+        if kind in CollectiveKind.POINT_TO_POINT:
+            analytical = point_to_point_time_us(size_bytes, group_ranks[0], group_ranks[-1],
+                                                self.cluster)
+        else:
+            analytical = collective_time_us(kind, size_bytes, group_ranks, self.cluster)
+        return analytical * self.calibration_factor(f"comm:{group}:{kind}")
+
+    def predict_memory_bound_us(self, op_class: str, bytes_accessed: float) -> float:
+        """Predict the duration of a bandwidth-bound kernel."""
+        return memory_bound_time_us(bytes_accessed, self.cluster.gpu, op_class=op_class)
+
+    # -- ratio-based rescaling ---------------------------------------------------------
+
+    def scale_gemm(self, observed_us: float, old_shape: tuple[int, int, int],
+                   new_shape: tuple[int, int, int]) -> float:
+        """Rescale an observed GEMM duration from ``old_shape`` to ``new_shape``."""
+        old = gemm_time_us(*old_shape, dtype_bytes=self.dtype_bytes, gpu=self.cluster.gpu)
+        new = gemm_time_us(*new_shape, dtype_bytes=self.dtype_bytes, gpu=self.cluster.gpu)
+        return observed_us * new / old
+
+    def scale_collective(self, observed_us: float, kind: str,
+                         old_size: float, old_ranks: tuple[int, ...],
+                         new_size: float, new_ranks: tuple[int, ...]) -> float:
+        """Rescale an observed collective duration to a new size and group."""
+        if kind in CollectiveKind.POINT_TO_POINT:
+            old = point_to_point_time_us(old_size, old_ranks[0], old_ranks[-1], self.cluster)
+            new = point_to_point_time_us(new_size, new_ranks[0], new_ranks[-1], self.cluster)
+        else:
+            old = collective_time_us(kind, old_size, old_ranks, self.cluster)
+            new = collective_time_us(kind, new_size, new_ranks, self.cluster)
+        return observed_us * new / old
+
+    def scale_memory_bound(self, observed_us: float, old_bytes: float, new_bytes: float,
+                           fixed_overhead_us: float | None = None) -> float:
+        """Rescale an observed bandwidth-bound kernel duration to new traffic."""
+        if old_bytes <= 0:
+            return observed_us
+        overhead = (self.cluster.gpu.kernel_fixed_overhead_us
+                    if fixed_overhead_us is None else fixed_overhead_us)
+        variable = max(observed_us - overhead, 0.0)
+        return overhead + variable * (new_bytes / old_bytes)
+
+    def scale_flops_bound(self, observed_us: float, old_flops: float, new_flops: float,
+                          fixed_overhead_us: float | None = None) -> float:
+        """Rescale an observed compute-bound kernel (e.g. attention) by FLOP ratio."""
+        if old_flops <= 0:
+            return observed_us
+        overhead = (self.cluster.gpu.kernel_fixed_overhead_us
+                    if fixed_overhead_us is None else fixed_overhead_us)
+        variable = max(observed_us - overhead, 0.0)
+        return overhead + variable * (new_flops / old_flops)

@@ -1,0 +1,69 @@
+"""High-level replay API.
+
+``replay(bundle)`` builds the execution graph from a profiled trace bundle,
+simulates it with Algorithm 1 and returns the replayed iteration time, the
+replayed trace (for breakdowns and SM utilisation) and the underlying graph
+and simulation objects for further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.graph import ExecutionGraph
+from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions
+from repro.core.simulator import SimulationResult, Simulator
+from repro.trace.kineto import KinetoTrace, TraceBundle
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a profiled trace."""
+
+    graph: ExecutionGraph
+    simulation: SimulationResult
+    replayed_trace: TraceBundle
+
+    @property
+    def iteration_time_us(self) -> float:
+        """Replayed per-iteration execution time in microseconds."""
+        return self.replayed_trace.iteration_time()
+
+    @property
+    def iteration_time_ms(self) -> float:
+        """Replayed per-iteration execution time in milliseconds."""
+        return self.iteration_time_us / 1000.0
+
+    def breakdown(self) -> ExecutionBreakdown:
+        """Execution breakdown of the replayed iteration."""
+        return compute_breakdown(self.replayed_trace)
+
+
+def replay(traces: TraceBundle | KinetoTrace,
+           options: GraphBuilderOptions | None = None,
+           graph: ExecutionGraph | None = None) -> ReplayResult:
+    """Replay a profiled trace (or a pre-built / manipulated graph).
+
+    Parameters
+    ----------
+    traces:
+        The profiled trace bundle (ignored when ``graph`` is given, except
+        that it is still accepted for signature uniformity).
+    options:
+        Graph-builder options; the defaults are the full Lumos dependency
+        model.
+    graph:
+        An already-constructed or manipulated execution graph to simulate
+        instead of building one from ``traces``.
+    """
+    if graph is None:
+        graph = GraphBuilder(options).build(traces)
+    simulation = Simulator(graph).run()
+    return ReplayResult(graph=graph, simulation=simulation,
+                        replayed_trace=simulation.to_trace_bundle())
+
+
+def simulate_graph(graph: ExecutionGraph) -> ReplayResult:
+    """Simulate an execution graph that was built or manipulated separately."""
+    return replay(TraceBundle(), graph=graph)

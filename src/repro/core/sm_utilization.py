@@ -1,0 +1,78 @@
+"""SM-utilisation timelines.
+
+Following §4.2.3 of the paper, utilisation is "the fraction of time, over
+1 ms intervals, during which at least one CUDA stream is actively executing
+tasks", derived from kernel activity in profiled or simulated traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import is_kernel_event
+from repro.trace.kineto import KinetoTrace, TraceBundle
+
+
+def sm_utilization_timeline(trace: KinetoTrace, bin_us: float = 1000.0,
+                            window: tuple[float, float] | None = None) -> np.ndarray:
+    """Per-bin fraction of time with at least one active kernel on one rank.
+
+    Parameters
+    ----------
+    trace:
+        Profiled or simulated per-rank trace.
+    bin_us:
+        Bin width in microseconds (1 ms in the paper).
+    window:
+        ``(start, end)`` window to analyse; defaults to the first profiler
+        step of the trace.
+    """
+    if bin_us <= 0:
+        raise ValueError("bin_us must be positive")
+    if window is None:
+        window = trace.iteration_window()
+    start, end = window
+    span = end - start
+    if span <= 0:
+        return np.zeros(0)
+
+    num_bins = int(np.ceil(span / bin_us))
+    busy = np.zeros(num_bins)
+
+    intervals = []
+    for event in trace.events:
+        if not is_kernel_event(event):
+            continue
+        s = max(event.ts, start)
+        e = min(event.end, end)
+        if e > s:
+            intervals.append((s, e))
+    intervals.sort()
+
+    # Merge intervals, then spread coverage over the bins each merged
+    # interval touches.
+    merged: list[tuple[float, float]] = []
+    for s, e in intervals:
+        if merged and s <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], e))
+        else:
+            merged.append((s, e))
+
+    for s, e in merged:
+        first_bin = int((s - start) // bin_us)
+        last_bin = int((e - start) // bin_us)
+        for index in range(first_bin, min(last_bin, num_bins - 1) + 1):
+            bin_start = start + index * bin_us
+            bin_end = bin_start + bin_us
+            busy[index] += max(0.0, min(e, bin_end) - max(s, bin_start))
+
+    return np.clip(busy / bin_us, 0.0, 1.0)
+
+
+def average_sm_utilization(traces: TraceBundle | KinetoTrace, bin_us: float = 1000.0) -> float:
+    """Mean utilisation over the iteration, averaged across ranks."""
+    if isinstance(traces, KinetoTrace):
+        timeline = sm_utilization_timeline(traces, bin_us=bin_us)
+        return float(timeline.mean()) if timeline.size else 0.0
+    values = [average_sm_utilization(trace, bin_us=bin_us) for trace in traces]
+    return float(np.mean(values)) if values else 0.0

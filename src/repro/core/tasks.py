@@ -1,0 +1,148 @@
+"""Tasks of the execution graph.
+
+The paper's execution graph contains only two kinds of tasks (§3.3.1):
+
+* **CPU tasks** — PyTorch operators and CUDA runtime events, tagged with
+  the CPU thread that executed them;
+* **GPU tasks** — GPU kernels (and memcpy/memset), tagged with the CUDA
+  stream that executed them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any
+
+
+class TaskKind(str, Enum):
+    """Whether a task executed on a CPU thread or a CUDA stream."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+class DependencyType(str, Enum):
+    """The four dependency classes of §3.3.2 (plus collective grouping)."""
+
+    CPU_INTRA_THREAD = "cpu_intra_thread"
+    CPU_INTER_THREAD = "cpu_inter_thread"
+    CPU_TO_GPU = "cpu_to_gpu"
+    GPU_TO_CPU = "gpu_to_cpu"
+    GPU_INTRA_STREAM = "gpu_intra_stream"
+    GPU_INTER_STREAM = "gpu_inter_stream"
+
+
+_COMM_NAME_MARKERS = ("nccl", "allreduce", "all_reduce", "allgather", "all_gather",
+                      "reducescatter", "reduce_scatter", "sendrecv")
+
+
+@dataclass
+class Task:
+    """One node of the execution graph.
+
+    Attributes
+    ----------
+    task_id:
+        Graph-unique integer id.
+    rank:
+        Global rank the task belongs to.
+    kind:
+        :class:`TaskKind` — CPU thread task or GPU stream task.
+    name:
+        Operator / runtime-call / kernel name from the trace.
+    duration:
+        Duration in microseconds (what the simulator replays).
+    trace_ts:
+        Original start timestamp in the profiled trace (used to order
+        processor queues and to resolve event-synchronisation pairs).
+    thread:
+        CPU thread id for CPU tasks.
+    stream:
+        CUDA stream id for GPU tasks.
+    correlation:
+        Correlation id linking a launch runtime task with its kernel.
+    category:
+        Original trace event category.
+    args:
+        Original event args (layer, microbatch, op_class, collective
+        metadata, ...), preserved so that replayed traces keep the
+        information downstream analyses need.
+    sync_streams:
+        For blocking synchronisation tasks: the stream ids the task waits
+        for (``None`` entries are not allowed; an empty tuple means the
+        task is not a synchronisation point).  Device-wide synchronisation
+        is expressed by listing every stream of the rank.
+    collective_group:
+        Key shared by the GPU tasks of one cross-rank collective instance
+        (pipeline send/recv pairs); the simulator aligns their start times.
+    """
+
+    task_id: int
+    rank: int
+    kind: TaskKind
+    name: str
+    duration: float
+    trace_ts: float = 0.0
+    thread: int | None = None
+    stream: int | None = None
+    correlation: int | None = None
+    category: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+    sync_streams: tuple[int, ...] = ()
+    collective_group: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"task '{self.name}' has negative duration {self.duration}")
+        if self.kind == TaskKind.GPU and self.stream is None:
+            raise ValueError(f"GPU task '{self.name}' requires a stream id")
+        if self.kind == TaskKind.CPU and self.thread is None:
+            raise ValueError(f"CPU task '{self.name}' requires a thread id")
+
+    # -- derived metadata ----------------------------------------------------
+
+    @property
+    def processor(self) -> tuple[int, str, int]:
+        """The processor the task occupies: ``(rank, "thread"/"stream", id)``."""
+        if self.kind == TaskKind.CPU:
+            return (self.rank, "thread", int(self.thread))  # type: ignore[arg-type]
+        return (self.rank, "stream", int(self.stream))  # type: ignore[arg-type]
+
+    @property
+    def is_communication(self) -> bool:
+        """True for communication kernels (NCCL collectives, send/recv)."""
+        if self.kind != TaskKind.GPU:
+            return False
+        if self.args.get("collective"):
+            return True
+        lowered = self.name.lower()
+        return any(marker in lowered for marker in _COMM_NAME_MARKERS)
+
+    @property
+    def is_sync(self) -> bool:
+        """True for blocking CUDA synchronisation tasks."""
+        return bool(self.sync_streams)
+
+    @property
+    def op_class(self) -> str | None:
+        return self.args.get("op_class")
+
+    @property
+    def layer(self) -> int | None:
+        return self.args.get("layer")
+
+    @property
+    def microbatch(self) -> int | None:
+        return self.args.get("microbatch")
+
+    @property
+    def phase(self) -> str | None:
+        return self.args.get("phase")
+
+    def copy(self, **overrides: Any) -> "Task":
+        """Return a copy with selected fields replaced (args are deep-ish copied)."""
+        clone = replace(self, **overrides)
+        if "args" not in overrides:
+            clone.args = dict(self.args)
+        return clone

@@ -1,0 +1,119 @@
+"""What-if scenario evaluation on execution graphs.
+
+The paper's discussion section (§5) highlights that a fine-grained execution
+graph can answer "how much would the overall runtime improve if a kernel ran
+twice as fast" style questions before any engineering work happens.  This
+module provides that capability as a first-class API: a scenario rescales a
+selected set of kernels, the modified graph is re-simulated, and the result
+reports the end-to-end effect (which is usually much smaller than the local
+speed-up because of overlap and critical-path effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.graph import ExecutionGraph
+from repro.core.replay import ReplayResult, simulate_graph
+from repro.core.tasks import Task, TaskKind
+
+TaskPredicate = Callable[[Task], bool]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Outcome of one what-if scenario."""
+
+    name: str
+    baseline_time_us: float
+    scenario_time_us: float
+    affected_tasks: int
+
+    @property
+    def saved_us(self) -> float:
+        return self.baseline_time_us - self.scenario_time_us
+
+    @property
+    def speedup(self) -> float:
+        if self.scenario_time_us <= 0:
+            return float("inf")
+        return self.baseline_time_us / self.scenario_time_us
+
+    @property
+    def improvement_percent(self) -> float:
+        if self.baseline_time_us <= 0:
+            return 0.0
+        return self.saved_us / self.baseline_time_us * 100.0
+
+
+def _clone_graph(graph: ExecutionGraph) -> ExecutionGraph:
+    clone = ExecutionGraph(metadata=dict(graph.metadata))
+    id_map: dict[int, int] = {}
+    for task in graph.task_list():
+        copy = task.copy()
+        copy.task_id = -1
+        id_map[task.task_id] = clone.add_task(copy).task_id
+    for dependency in graph.dependencies:
+        clone.add_dependency(id_map[dependency.src], id_map[dependency.dst], dependency.dep_type)
+    return clone
+
+
+def evaluate_scenario(graph: ExecutionGraph, name: str, predicate: TaskPredicate,
+                      speedup: float,
+                      baseline: ReplayResult | None = None) -> WhatIfResult:
+    """Rescale every task matching ``predicate`` by ``1/speedup`` and re-simulate.
+
+    The input graph is left untouched; a ``speedup`` of 2.0 halves the
+    matching tasks' durations, ``float("inf")`` removes them from the
+    timeline entirely.
+    """
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    baseline_result = baseline or simulate_graph(graph)
+    scenario_graph = _clone_graph(graph)
+    affected = 0
+    for task in scenario_graph.tasks.values():
+        if predicate(task):
+            task.duration = 0.0 if speedup == float("inf") else task.duration / speedup
+            affected += 1
+    scenario_result = simulate_graph(scenario_graph)
+    return WhatIfResult(
+        name=name,
+        baseline_time_us=baseline_result.iteration_time_us,
+        scenario_time_us=scenario_result.iteration_time_us,
+        affected_tasks=affected,
+    )
+
+
+def speed_up_communication(graph: ExecutionGraph, speedup: float = 2.0,
+                           group: str | None = None,
+                           baseline: ReplayResult | None = None) -> WhatIfResult:
+    """What if communication kernels (optionally one group: tp/dp/pp) were faster?"""
+    def predicate(task: Task) -> bool:
+        if task.kind != TaskKind.GPU or not task.is_communication:
+            return False
+        return group is None or task.args.get("group") == group
+
+    label = f"{group or 'all'}-communication x{speedup:g}"
+    return evaluate_scenario(graph, label, predicate, speedup, baseline=baseline)
+
+
+def speed_up_kernel_class(graph: ExecutionGraph, op_class: str, speedup: float = 2.0,
+                          baseline: ReplayResult | None = None) -> WhatIfResult:
+    """What if every kernel of one class (e.g. ``"gemm"``) were faster?"""
+    def predicate(task: Task) -> bool:
+        return task.kind == TaskKind.GPU and task.op_class == op_class
+
+    return evaluate_scenario(graph, f"{op_class} x{speedup:g}", predicate, speedup,
+                             baseline=baseline)
+
+
+def remove_launch_overhead(graph: ExecutionGraph,
+                           baseline: ReplayResult | None = None) -> WhatIfResult:
+    """What if CPU-side launch overhead were free (CUDA-graph style launches)?"""
+    def predicate(task: Task) -> bool:
+        return task.kind == TaskKind.CPU and task.name == "cudaLaunchKernel"
+
+    return evaluate_scenario(graph, "zero launch overhead", predicate, float("inf"),
+                             baseline=baseline)

@@ -1,0 +1,53 @@
+"""Distributed-training cluster emulator.
+
+This package substitutes for the paper's production H100 cluster: it models
+how a Megatron-style 3D-parallel training job executes — CPU launch threads,
+CUDA streams, 1F1B pipeline schedules, tensor/data/pipeline collectives and
+event-based inter-stream synchronisation — and emits Kineto-style traces
+that the Lumos toolkit consumes unchanged.
+
+The emulator models one representative rank per pipeline stage (tensor- and
+data-parallel peers execute mirrored work whose cost is captured through
+communicator group sizes), which keeps event counts tractable while
+preserving the pipeline structure and compute/communication overlap that
+Lumos must capture.
+"""
+
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    EventRecord,
+    Instruction,
+    KernelIntent,
+    LaunchKernel,
+    RankProgram,
+    StreamSync,
+    StreamWaitEvent,
+    Streams,
+    Threads,
+)
+from repro.emulator.program_builder import ProgramBuilder
+from repro.emulator.noise import NoiseModel
+from repro.emulator.executor import ExecutedTask, ProgramExecutor
+from repro.emulator.api import ClusterEmulator, EmulationResult, emulate
+
+__all__ = [
+    "Streams",
+    "Threads",
+    "KernelIntent",
+    "Instruction",
+    "CpuCompute",
+    "LaunchKernel",
+    "EventRecord",
+    "StreamWaitEvent",
+    "StreamSync",
+    "DeviceSync",
+    "RankProgram",
+    "ProgramBuilder",
+    "NoiseModel",
+    "ProgramExecutor",
+    "ExecutedTask",
+    "ClusterEmulator",
+    "EmulationResult",
+    "emulate",
+]

@@ -1,0 +1,119 @@
+"""High-level emulation API.
+
+:func:`emulate` plays the role of "run the training job on the cluster and
+profile it": it returns Kineto-style traces for a profiled iteration plus
+independently-perturbed traces for a measured iteration, which the
+evaluation compares Lumos's replay against (mirroring how the paper
+validates replay against real measurements rather than against the very
+iteration that was profiled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.emulator.emit import tasks_to_trace
+from repro.emulator.executor import ProgramExecutor
+from repro.emulator.noise import NoiseConfig, NoiseModel
+from repro.emulator.program import RankProgram
+from repro.emulator.program_builder import ProgramBuilder
+from repro.hardware.cluster import ClusterSpec
+from repro.trace.kineto import DistributedInfo, TraceBundle
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+_ITERATION_START_US = 1000.0
+
+
+@dataclass
+class EmulationResult:
+    """Traces produced by one emulated training run."""
+
+    model: ModelConfig
+    parallel: ParallelismConfig
+    training: TrainingConfig
+    cluster: ClusterSpec
+    iterations: list[TraceBundle] = field(default_factory=list)
+
+    @property
+    def profiled(self) -> TraceBundle:
+        """The iteration handed to Lumos (what the profiler captured)."""
+        return self.iterations[0]
+
+    @property
+    def measured(self) -> TraceBundle:
+        """The iteration used as ground truth for validation."""
+        return self.iterations[-1]
+
+    def iteration_time(self, index: int) -> float:
+        """Wall-clock time of iteration ``index`` in microseconds."""
+        return self.iterations[index].iteration_time()
+
+    def measured_iteration_time(self) -> float:
+        """Ground-truth iteration time in microseconds."""
+        return self.measured.iteration_time()
+
+
+class ClusterEmulator:
+    """Emulates a 3D-parallel training job on a modelled cluster."""
+
+    def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
+                 training: TrainingConfig | None = None,
+                 cluster: ClusterSpec | None = None,
+                 seed: int = 0, noise: NoiseConfig | None = None) -> None:
+        self.model = model
+        self.parallel = parallel
+        self.training = training or TrainingConfig()
+        self.cluster = cluster or ClusterSpec.for_world_size(parallel.world_size)
+        self.noise_model = NoiseModel(seed=seed, config=noise)
+        self._builder = ProgramBuilder(model, parallel, self.training, self.cluster)
+        self._programs: dict[int, RankProgram] | None = None
+
+    def programs(self) -> dict[int, RankProgram]:
+        """The per-rank programs of one iteration (built lazily, cached)."""
+        if self._programs is None:
+            self._programs = self._builder.build()
+        return self._programs
+
+    def run(self, iterations: int = 2) -> EmulationResult:
+        """Emulate ``iterations`` training iterations and return their traces."""
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        programs = self.programs()
+        result = EmulationResult(model=self.model, parallel=self.parallel,
+                                 training=self.training, cluster=self.cluster)
+        for iteration in range(iterations):
+            result.iterations.append(self._run_iteration(programs, iteration))
+        return result
+
+    def _run_iteration(self, programs: dict[int, RankProgram], iteration: int) -> TraceBundle:
+        noise_streams = {
+            rank: self.noise_model.rank_stream(iteration, rank) for rank in programs
+        }
+        executor = ProgramExecutor(noise_streams=noise_streams)
+        executed = executor.execute(programs, start_time=_ITERATION_START_US)
+        bundle = TraceBundle(metadata={
+            "model": self.model.name,
+            "parallelism": self.parallel.label(),
+            "iteration": iteration,
+            "num_microbatches": self.training.num_microbatches,
+        })
+        for rank, tasks in executed.items():
+            distributed = DistributedInfo(
+                rank=rank, world_size=self.parallel.world_size,
+                tensor_parallel=self.parallel.tp, pipeline_parallel=self.parallel.pp,
+                data_parallel=self.parallel.dp,
+            )
+            bundle.add(tasks_to_trace(rank, tasks, iteration, distributed))
+        return bundle
+
+
+def emulate(model: ModelConfig, parallel: ParallelismConfig,
+            training: TrainingConfig | None = None, cluster: ClusterSpec | None = None,
+            iterations: int = 2, seed: int = 0,
+            noise: NoiseConfig | None = None) -> EmulationResult:
+    """Emulate a training job and return its per-iteration traces."""
+    emulator = ClusterEmulator(model=model, parallel=parallel, training=training,
+                               cluster=cluster, seed=seed, noise=noise)
+    return emulator.run(iterations=iterations)

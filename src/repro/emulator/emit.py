@@ -1,0 +1,117 @@
+"""Converts executed tasks into Kineto-style trace events."""
+
+from __future__ import annotations
+
+from repro.emulator.executor import ExecutedTask
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    EventRecord,
+    LaunchKernel,
+    StreamSync,
+    StreamWaitEvent,
+)
+from repro.trace.events import Category, CudaRuntimeName, TraceEvent
+from repro.trace.kineto import DistributedInfo, KinetoTrace
+
+
+def _kernel_args(task: ExecutedTask) -> dict:
+    intent = task.kernel
+    assert intent is not None
+    args: dict = {
+        "stream": intent.stream,
+        "correlation": task.correlation,
+        "op_class": intent.op_class,
+    }
+    if intent.layer is not None:
+        args["layer"] = intent.layer
+    if intent.microbatch is not None:
+        args["microbatch"] = intent.microbatch
+    if intent.phase is not None:
+        args["phase"] = intent.phase
+    if intent.collective is not None:
+        args["collective"] = intent.collective
+        args["group"] = intent.group
+        args["group_size"] = len(intent.group_ranks)
+        args["group_ranks"] = list(intent.group_ranks)
+        args["size_bytes"] = intent.size_bytes
+    if intent.comm_key is not None:
+        args["comm_id"] = intent.comm_key
+    if intent.op_name is not None:
+        args["op_name"] = intent.op_name
+    return args
+
+
+def tasks_to_trace(rank: int, tasks: list[ExecutedTask], iteration: int,
+                   distributed: DistributedInfo) -> KinetoTrace:
+    """Convert one rank's executed tasks to a :class:`KinetoTrace`."""
+    events: list[TraceEvent] = []
+    for task in tasks:
+        if task.kind == "kernel":
+            intent = task.kernel
+            assert intent is not None
+            events.append(TraceEvent(
+                name=task.name, cat=Category.KERNEL, ts=task.start, dur=task.duration,
+                pid=rank, tid=intent.stream, args=_kernel_args(task),
+            ))
+            continue
+
+        instruction = task.instruction
+        if isinstance(instruction, CpuCompute):
+            events.append(TraceEvent(
+                name=task.name, cat=Category.CPU_OP, ts=task.start, dur=task.duration,
+                pid=rank, tid=task.thread,
+                args={"phase": instruction.phase} if instruction.phase else {},
+            ))
+        elif isinstance(instruction, LaunchKernel):
+            total = task.duration
+            op_fraction = instruction.op_duration_us / max(instruction.duration_us, 1e-9)
+            op_duration = total * op_fraction
+            events.append(TraceEvent(
+                name=task.name, cat=Category.CPU_OP, ts=task.start, dur=total,
+                pid=rank, tid=task.thread, args={"correlation": task.correlation},
+            ))
+            events.append(TraceEvent(
+                name=CudaRuntimeName.LAUNCH_KERNEL, cat=Category.CUDA_RUNTIME,
+                ts=task.start + op_duration, dur=max(total - op_duration, 0.5),
+                pid=rank, tid=task.thread,
+                args={"correlation": task.correlation, "stream": instruction.kernel.stream},
+            ))
+        elif isinstance(instruction, EventRecord):
+            events.append(TraceEvent(
+                name=CudaRuntimeName.EVENT_RECORD, cat=Category.CUDA_RUNTIME,
+                ts=task.start, dur=task.duration, pid=rank, tid=task.thread,
+                args={"event_id": instruction.event_id, "stream": instruction.stream},
+            ))
+        elif isinstance(instruction, StreamWaitEvent):
+            events.append(TraceEvent(
+                name=CudaRuntimeName.STREAM_WAIT_EVENT, cat=Category.CUDA_RUNTIME,
+                ts=task.start, dur=task.duration, pid=rank, tid=task.thread,
+                args={"event_id": instruction.event_id, "stream": instruction.stream},
+            ))
+        elif isinstance(instruction, StreamSync):
+            called_at = task.called_at if task.called_at is not None else task.start
+            events.append(TraceEvent(
+                name=CudaRuntimeName.STREAM_SYNCHRONIZE, cat=Category.CUDA_RUNTIME,
+                ts=called_at, dur=task.end - called_at, pid=rank, tid=task.thread,
+                args={"stream": instruction.stream},
+            ))
+        elif isinstance(instruction, DeviceSync):
+            called_at = task.called_at if task.called_at is not None else task.start
+            events.append(TraceEvent(
+                name=CudaRuntimeName.DEVICE_SYNCHRONIZE, cat=Category.CUDA_RUNTIME,
+                ts=called_at, dur=task.end - called_at, pid=rank, tid=task.thread,
+                args={},
+            ))
+        else:
+            raise TypeError(f"unknown instruction type {type(instruction)!r}")
+
+    if events:
+        start = min(e.ts for e in events)
+        end = max(e.end for e in events)
+        events.append(TraceEvent(
+            name=f"ProfilerStep#{iteration}", cat=Category.USER_ANNOTATION,
+            ts=start, dur=end - start, pid=rank, tid=0, args={"iteration": iteration},
+        ))
+    return KinetoTrace(rank=rank, events=events, distributed=distributed,
+                       metadata={"iteration": iteration})

@@ -1,0 +1,118 @@
+"""Execution-time noise models.
+
+Real kernel durations vary between iterations (clock throttling, cache
+effects, network congestion); CPU-side durations vary even more (Python
+overhead, allocator behaviour).  The emulator applies this noise so that
+the profiled iteration Lumos replays and the measured iteration it is
+compared against differ the same way a real profiled run differs from a
+later run — which is what produces a non-trivial replay error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Noise magnitudes (standard deviations of multiplicative factors).
+
+    Per-kernel noise is independent and largely averages out over an
+    iteration; the iteration-level drift terms model systematic run-to-run
+    variation (GPU clock/thermal state, network congestion) that does not
+    average out and therefore dominates the difference between the profiled
+    iteration and later measured iterations.
+    """
+
+    kernel_sigma: float = 0.015
+    comm_sigma: float = 0.04
+    cpu_sigma: float = 0.10
+    straggler_probability: float = 0.01
+    straggler_scale: float = 1.3
+    rank_start_skew_us: float = 150.0
+    iteration_compute_drift_sigma: float = 0.025
+    iteration_comm_drift_sigma: float = 0.08
+    iteration_cpu_drift_sigma: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.straggler_probability <= 1:
+            raise ValueError("straggler_probability must be in [0, 1]")
+        for name in ("kernel_sigma", "comm_sigma", "cpu_sigma",
+                     "iteration_compute_drift_sigma", "iteration_comm_drift_sigma",
+                     "iteration_cpu_drift_sigma"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class NoiseModel:
+    """Deterministic per-(iteration, rank) noise streams."""
+
+    def __init__(self, seed: int = 0, config: NoiseConfig | None = None) -> None:
+        self.seed = seed
+        self.config = config or NoiseConfig()
+
+    def iteration_drift(self, iteration: int) -> tuple[float, float, float]:
+        """(compute, communication, cpu) drift factors shared by all ranks."""
+        if iteration == 0:
+            # The profiled iteration is the reference point.
+            return 1.0, 1.0, 1.0
+        rng = np.random.default_rng([self.seed, iteration, 987_654_321])
+        compute = float(np.exp(rng.normal(0.0, self.config.iteration_compute_drift_sigma)))
+        comm = float(np.exp(rng.normal(0.0, self.config.iteration_comm_drift_sigma)))
+        cpu = float(np.exp(rng.normal(0.0, self.config.iteration_cpu_drift_sigma)))
+        return compute, comm, cpu
+
+    def rank_stream(self, iteration: int, rank: int) -> "RankNoise":
+        """Noise stream for one rank in one iteration."""
+        rng = np.random.default_rng([self.seed, iteration, rank])
+        compute_drift, comm_drift, cpu_drift = self.iteration_drift(iteration)
+        return RankNoise(rng=rng, config=self.config, compute_drift=compute_drift,
+                         comm_drift=comm_drift, cpu_drift=cpu_drift)
+
+
+class RankNoise:
+    """Sequential noise draws for one rank's program execution."""
+
+    def __init__(self, rng: np.random.Generator, config: NoiseConfig,
+                 compute_drift: float = 1.0, comm_drift: float = 1.0,
+                 cpu_drift: float = 1.0) -> None:
+        self._rng = rng
+        self._config = config
+        self._compute_drift = compute_drift
+        self._comm_drift = comm_drift
+        self._cpu_drift = cpu_drift
+
+    def start_skew_us(self) -> float:
+        """Per-rank skew of the iteration start (launch/NCCL setup jitter)."""
+        return float(self._rng.uniform(0.0, self._config.rank_start_skew_us))
+
+    def kernel_factor(self, is_communication: bool) -> float:
+        """Multiplicative duration factor for one GPU kernel."""
+        sigma = self._config.comm_sigma if is_communication else self._config.kernel_sigma
+        drift = self._comm_drift if is_communication else self._compute_drift
+        factor = drift * float(np.exp(self._rng.normal(0.0, sigma)))
+        if is_communication and self._rng.random() < self._config.straggler_probability:
+            factor *= self._config.straggler_scale
+        return factor
+
+    def cpu_factor(self) -> float:
+        """Multiplicative duration factor for one CPU-side task."""
+        return self._cpu_drift * float(np.exp(self._rng.normal(0.0, self._config.cpu_sigma)))
+
+
+class ZeroNoise(RankNoise):
+    """A noise stream that applies no perturbation (for deterministic tests)."""
+
+    def __init__(self) -> None:  # noqa: D107 - trivial
+        pass
+
+    def start_skew_us(self) -> float:
+        return 0.0
+
+    def kernel_factor(self, is_communication: bool) -> float:
+        return 1.0
+
+    def cpu_factor(self) -> float:
+        return 1.0

@@ -1,0 +1,152 @@
+"""Per-rank training programs.
+
+A :class:`RankProgram` is the emulator's intermediate representation of one
+iteration on one rank: an ordered list of CPU-side instructions.  Launch
+instructions enqueue GPU kernels (``KernelIntent``) onto CUDA streams;
+event-record / stream-wait instructions express the inter-stream
+synchronisation that the paper identifies as essential for modeling LLM
+execution; stream/device synchronisation instructions block the CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Streams:
+    """CUDA stream ids used by the emulated training job."""
+
+    COMPUTE = 7
+    TP_COMM = 20
+    DP_COMM = 24
+    PP_SEND_FWD = 28
+    PP_RECV_FWD = 30
+    PP_SEND_BWD = 32
+    PP_RECV_BWD = 34
+
+    ALL = (COMPUTE, TP_COMM, DP_COMM, PP_SEND_FWD, PP_RECV_FWD, PP_SEND_BWD, PP_RECV_BWD)
+    COMM = (TP_COMM, DP_COMM, PP_SEND_FWD, PP_RECV_FWD, PP_SEND_BWD, PP_RECV_BWD)
+
+
+class Threads:
+    """CPU thread ids used by the emulated training job."""
+
+    MAIN = 101
+    BACKWARD = 102
+
+
+@dataclass(frozen=True)
+class KernelIntent:
+    """A GPU kernel to enqueue, with enough metadata to emit a trace event.
+
+    ``duration_us`` is the jitter-free base duration from the kernel cost
+    model; the executor applies the noise model on top.  ``comm_key``
+    identifies cross-rank collective instances (point-to-point pairs) that
+    the executor must align in time.
+    """
+
+    name: str
+    stream: int
+    duration_us: float
+    op_class: str
+    collective: str | None = None
+    group: str | None = None
+    group_ranks: tuple[int, ...] = ()
+    comm_key: str | None = None
+    size_bytes: float = 0.0
+    layer: int | None = None
+    microbatch: int | None = None
+    phase: str | None = None
+    op_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_us < 0:
+            raise ValueError("kernel duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class for CPU-side instructions."""
+
+    thread: int
+
+
+@dataclass(frozen=True)
+class CpuCompute(Instruction):
+    """Host-only work (data loading, Python overhead, logging)."""
+
+    name: str = "cpu"
+    duration_us: float = 1.0
+    phase: str | None = None
+
+
+@dataclass(frozen=True)
+class LaunchKernel(Instruction):
+    """A framework operator that launches one GPU kernel.
+
+    The instruction is emitted to the trace as a ``cpu_op`` event containing
+    a ``cudaLaunchKernel`` runtime event correlated with the GPU kernel.
+    """
+
+    kernel: KernelIntent = None  # type: ignore[assignment]
+    op_duration_us: float = 3.0
+    launch_duration_us: float = 4.0
+
+    @property
+    def duration_us(self) -> float:
+        return self.op_duration_us + self.launch_duration_us
+
+
+@dataclass(frozen=True)
+class EventRecord(Instruction):
+    """``cudaEventRecord``: mark the current tail of ``stream``."""
+
+    stream: int = 0
+    event_id: int = 0
+    duration_us: float = 1.5
+
+
+@dataclass(frozen=True)
+class StreamWaitEvent(Instruction):
+    """``cudaStreamWaitEvent``: make the next kernel on ``stream`` wait for an event."""
+
+    stream: int = 0
+    event_id: int = 0
+    duration_us: float = 1.5
+
+
+@dataclass(frozen=True)
+class StreamSync(Instruction):
+    """``cudaStreamSynchronize``: block the CPU until ``stream`` drains."""
+
+    stream: int = 0
+
+
+@dataclass(frozen=True)
+class DeviceSync(Instruction):
+    """``cudaDeviceSynchronize``: block the CPU until every stream drains."""
+
+
+@dataclass
+class RankProgram:
+    """The ordered instruction stream of one rank for one iteration."""
+
+    rank: int
+    stage: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions: list[Instruction]) -> None:
+        self.instructions.extend(instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def kernels(self) -> list[KernelIntent]:
+        """All kernels the program launches, in enqueue order."""
+        return [i.kernel for i in self.instructions if isinstance(i, LaunchKernel)]
+
+    def num_kernels(self) -> int:
+        return sum(1 for i in self.instructions if isinstance(i, LaunchKernel))

@@ -1,0 +1,389 @@
+"""Builds per-rank training programs from a workload description.
+
+The builder expands a (model, parallelism, training) configuration into the
+per-rank instruction streams of one training iteration, following the
+structure of Megatron-style 3D-parallel training:
+
+* a 1F1B pipeline schedule decides the order of forward/backward
+  micro-batches on each stage;
+* compute kernels run on the default compute stream, launched from the
+  main thread (forward, optimizer) or the autograd thread (backward);
+* tensor-parallel all-reduces run on a dedicated communication stream,
+  fenced by ``cudaEventRecord`` / ``cudaStreamWaitEvent`` pairs in both
+  directions (compute produces the input, and the next compute kernel
+  consumes the output);
+* data-parallel gradient all-reduces are launched per bucket during the
+  last micro-batch's backward pass and only fence in the
+  compute→communication direction, so they overlap with the remaining
+  backward compute;
+* pipeline point-to-point transfers run on dedicated send/recv streams,
+  matched across stages through ``comm_key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.kernels.registry import KernelCostModel
+from repro.workload.model_config import ModelConfig
+from repro.workload.operators import (
+    CollectiveKind,
+    CollectiveSpec,
+    OpClass,
+    OpSpec,
+    dp_gradient_buckets,
+    embedding_backward_ops,
+    embedding_forward_ops,
+    head_backward_ops,
+    head_forward_ops,
+    layer_backward_ops,
+    layer_forward_ops,
+    optimizer_ops,
+    pp_activation_bytes,
+)
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.pipeline import one_f_one_b_schedule, stage_layers
+from repro.workload.training import TrainingConfig
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    EventRecord,
+    KernelIntent,
+    LaunchKernel,
+    RankProgram,
+    StreamSync,
+    StreamWaitEvent,
+    Streams,
+    Threads,
+)
+
+_CPU_OP_US = 3.0
+_CPU_LAUNCH_US = 4.0
+_DATA_LOADER_US = 900.0
+_MICROBATCH_PYTHON_US = 60.0
+_OPTIMIZER_PYTHON_US = 250.0
+_ITERATION_END_US = 400.0
+
+
+@dataclass
+class _RankContext:
+    """Mutable per-rank state used while emitting instructions."""
+
+    rank: int
+    stage: int
+    program: RankProgram
+    next_event_id: int = 0
+
+    def new_event(self) -> int:
+        self.next_event_id += 1
+        return self.next_event_id
+
+
+class ProgramBuilder:
+    """Expands a workload configuration into per-rank programs."""
+
+    def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
+                 training: TrainingConfig, cluster: ClusterSpec | None = None,
+                 cost_model: KernelCostModel | None = None) -> None:
+        parallel.validate_for_model(model.n_layers)
+        if cluster is None:
+            cluster = ClusterSpec.for_world_size(parallel.world_size)
+        if parallel.world_size > cluster.num_gpus:
+            raise ValueError(
+                f"configuration {parallel.label()} needs {parallel.world_size} GPUs "
+                f"but the cluster has {cluster.num_gpus}"
+            )
+        self.model = model
+        self.parallel = parallel
+        self.training = training
+        self.cluster = cluster
+        self.cost = cost_model or KernelCostModel(cluster)
+        self.groups = parallel.groups()
+
+    # -- public API -----------------------------------------------------------
+
+    def build(self) -> dict[int, RankProgram]:
+        """Build programs for one representative rank per pipeline stage."""
+        programs: dict[int, RankProgram] = {}
+        for stage in range(self.parallel.pp):
+            rank = self.groups.rank_of(0, 0, stage)
+            programs[rank] = self._build_rank(rank, stage)
+        return programs
+
+    # -- per-rank construction ------------------------------------------------
+
+    def _build_rank(self, rank: int, stage: int) -> RankProgram:
+        context = _RankContext(rank=rank, stage=stage, program=RankProgram(rank=rank, stage=stage))
+        program = context.program
+        pp = self.parallel.pp
+        layers = stage_layers(self.model.n_layers, pp, stage)
+        schedule = one_f_one_b_schedule(self.training.num_microbatches, pp, stage)
+
+        buckets = dp_gradient_buckets(self.model, self.parallel, self.training,
+                                      layers, include_embedding=(stage == 0))
+        bucket_of_layer: dict[int, int] = {}
+        bucket_remaining: list[set[int]] = []
+        bucket_bytes: list[float] = []
+        for index, (bucket_layers, size_bytes) in enumerate(buckets):
+            bucket_remaining.append(set(bucket_layers))
+            bucket_bytes.append(size_bytes)
+            for layer in bucket_layers:
+                bucket_of_layer[layer] = index
+
+        program.append(CpuCompute(thread=Threads.MAIN, name="data_loader_next",
+                                  duration_us=_DATA_LOADER_US, phase="other"))
+
+        for action in schedule:
+            if action.kind == "F":
+                self._emit_forward(context, layers, action.microbatch)
+            else:
+                self._emit_backward(context, layers, action.microbatch,
+                                    bucket_of_layer, bucket_remaining, bucket_bytes)
+
+        self._emit_optimizer(context, layers)
+        return program
+
+    # -- forward / backward ----------------------------------------------------
+
+    def _emit_forward(self, context: _RankContext, layers: list[int], microbatch: int) -> None:
+        stage, pp = context.stage, self.parallel.pp
+        program = context.program
+        program.append(CpuCompute(thread=Threads.MAIN, name="python_forward_step",
+                                  duration_us=_MICROBATCH_PYTHON_US, phase="forward"))
+
+        if stage > 0:
+            self._emit_p2p(context, direction="recv", stream=Streams.PP_RECV_FWD,
+                           peer_stage=stage - 1, comm_key=f"act:{stage}:{microbatch}",
+                           microbatch=microbatch, phase="forward", thread=Threads.MAIN)
+        else:
+            for op in embedding_forward_ops(self.model, self.parallel, self.training):
+                self._launch_compute(context, op, layer=None, microbatch=microbatch,
+                                     thread=Threads.MAIN)
+
+        for layer in layers:
+            for op in layer_forward_ops(self.model, self.parallel, self.training):
+                self._launch_op(context, op, layer=layer, microbatch=microbatch,
+                                thread=Threads.MAIN)
+
+        if stage == pp - 1:
+            for op in head_forward_ops(self.model, self.parallel, self.training):
+                self._launch_op(context, op, layer=None, microbatch=microbatch,
+                                thread=Threads.MAIN)
+        else:
+            self._emit_p2p(context, direction="send", stream=Streams.PP_SEND_FWD,
+                           peer_stage=stage + 1, comm_key=f"act:{stage + 1}:{microbatch}",
+                           microbatch=microbatch, phase="forward", thread=Threads.MAIN)
+
+    def _emit_backward(self, context: _RankContext, layers: list[int], microbatch: int,
+                       bucket_of_layer: dict[int, int], bucket_remaining: list[set[int]],
+                       bucket_bytes: list[float]) -> None:
+        stage, pp = context.stage, self.parallel.pp
+        program = context.program
+        is_last_microbatch = microbatch == self.training.num_microbatches - 1
+        program.append(CpuCompute(thread=Threads.BACKWARD, name="python_backward_step",
+                                  duration_us=_MICROBATCH_PYTHON_US, phase="backward"))
+
+        if stage < pp - 1:
+            self._emit_p2p(context, direction="recv", stream=Streams.PP_RECV_BWD,
+                           peer_stage=stage + 1, comm_key=f"grad:{stage}:{microbatch}",
+                           microbatch=microbatch, phase="backward", thread=Threads.BACKWARD)
+        else:
+            for op in head_backward_ops(self.model, self.parallel, self.training):
+                self._launch_op(context, op, layer=None, microbatch=microbatch,
+                                thread=Threads.BACKWARD)
+
+        for layer in reversed(layers):
+            for op in layer_backward_ops(self.model, self.parallel, self.training):
+                self._launch_op(context, op, layer=layer, microbatch=microbatch,
+                                thread=Threads.BACKWARD)
+            if is_last_microbatch and self.parallel.dp > 1 and layer in bucket_of_layer:
+                bucket = bucket_of_layer[layer]
+                bucket_remaining[bucket].discard(layer)
+                if not bucket_remaining[bucket]:
+                    self._emit_dp_bucket(context, bucket, bucket_bytes[bucket],
+                                         thread=Threads.BACKWARD)
+
+        if stage == 0:
+            for op in embedding_backward_ops(self.model, self.parallel, self.training):
+                self._launch_compute(context, op, layer=None, microbatch=microbatch,
+                                     thread=Threads.BACKWARD)
+            if is_last_microbatch and self.parallel.dp > 1 and bucket_bytes:
+                # The embedding bucket is the last entry when present.
+                embedding_bucket = len(bucket_bytes) - 1
+                if not any(bucket_remaining[embedding_bucket]):
+                    self._emit_dp_bucket(context, embedding_bucket,
+                                         bucket_bytes[embedding_bucket],
+                                         thread=Threads.BACKWARD)
+        else:
+            self._emit_p2p(context, direction="send", stream=Streams.PP_SEND_BWD,
+                           peer_stage=stage - 1, comm_key=f"grad:{stage - 1}:{microbatch}",
+                           microbatch=microbatch, phase="backward", thread=Threads.BACKWARD)
+
+    def _emit_optimizer(self, context: _RankContext, layers: list[int]) -> None:
+        program = context.program
+        stage = context.stage
+        program.append(CpuCompute(thread=Threads.MAIN, name="optimizer_prep",
+                                  duration_us=_OPTIMIZER_PYTHON_US, phase="optimizer"))
+        if self.parallel.dp > 1:
+            program.append(StreamSync(thread=Threads.MAIN, stream=Streams.DP_COMM))
+        for op in optimizer_ops(self.model, self.parallel, self.training,
+                                n_stage_layers=len(layers), include_embedding=(stage == 0)):
+            self._launch_compute(context, op, layer=None, microbatch=None,
+                                 thread=Threads.MAIN)
+        program.append(DeviceSync(thread=Threads.MAIN))
+        program.append(CpuCompute(thread=Threads.MAIN, name="iteration_end_logging",
+                                  duration_us=_ITERATION_END_US, phase="other"))
+
+    # -- instruction helpers ---------------------------------------------------
+
+    def _launch_op(self, context: _RankContext, op: OpSpec, layer: int | None,
+                   microbatch: int | None, thread: int) -> None:
+        """Launch a compute or tensor-parallel communication op."""
+        if op.is_communication:
+            self._launch_tp_comm(context, op, layer=layer, microbatch=microbatch, thread=thread)
+        else:
+            self._launch_compute(context, op, layer=layer, microbatch=microbatch, thread=thread)
+
+    def _launch_compute(self, context: _RankContext, op: OpSpec, layer: int | None,
+                        microbatch: int | None, thread: int) -> None:
+        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes)
+        kernel = KernelIntent(
+            name=self._kernel_name(op),
+            stream=Streams.COMPUTE,
+            duration_us=duration,
+            op_class=op.op_class,
+            layer=layer,
+            microbatch=microbatch,
+            phase=op.metadata.get("phase"),
+            op_name=op.name,
+        )
+        context.program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                            op_duration_us=_CPU_OP_US,
+                                            launch_duration_us=_CPU_LAUNCH_US))
+
+    def _launch_tp_comm(self, context: _RankContext, op: OpSpec, layer: int | None,
+                        microbatch: int | None, thread: int) -> None:
+        """Tensor-parallel collective: fenced against compute in both directions."""
+        assert op.collective is not None
+        group_ranks = self.groups.tp_group(context.rank).ranks
+        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes,
+                                         group_ranks=group_ranks)
+        kernel = KernelIntent(
+            name=self._kernel_name(op),
+            stream=Streams.TP_COMM,
+            duration_us=duration,
+            op_class=OpClass.COMM,
+            collective=op.collective.kind,
+            group="tp",
+            group_ranks=group_ranks,
+            size_bytes=op.collective.size_bytes,
+            layer=layer,
+            microbatch=microbatch,
+            phase=op.metadata.get("phase"),
+            op_name=op.name,
+        )
+        program = context.program
+        produce = context.new_event()
+        program.append(EventRecord(thread=thread, stream=Streams.COMPUTE, event_id=produce))
+        program.append(StreamWaitEvent(thread=thread, stream=Streams.TP_COMM, event_id=produce))
+        program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                    op_duration_us=_CPU_OP_US,
+                                    launch_duration_us=_CPU_LAUNCH_US))
+        consume = context.new_event()
+        program.append(EventRecord(thread=thread, stream=Streams.TP_COMM, event_id=consume))
+        program.append(StreamWaitEvent(thread=thread, stream=Streams.COMPUTE, event_id=consume))
+
+    def _emit_dp_bucket(self, context: _RankContext, bucket_index: int, size_bytes: float,
+                        thread: int) -> None:
+        """Data-parallel gradient bucket all-reduce, overlapped with backward."""
+        group_ranks = self.groups.dp_group(context.rank).ranks
+        op = OpSpec(
+            name=f"dp_grad_bucket_{bucket_index}",
+            op_class=OpClass.COMM,
+            collective=CollectiveSpec(kind=CollectiveKind.ALL_REDUCE,
+                                      size_bytes=size_bytes, group="dp"),
+            stream_role="dp_comm",
+        )
+        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes,
+                                         group_ranks=group_ranks)
+        kernel = KernelIntent(
+            name=f"ncclDevKernel_AllReduce_Sum_bf16_RING(dp_bucket_{bucket_index})",
+            stream=Streams.DP_COMM,
+            duration_us=duration,
+            op_class=OpClass.COMM,
+            collective=CollectiveKind.ALL_REDUCE,
+            group="dp",
+            group_ranks=group_ranks,
+            size_bytes=size_bytes,
+            phase="backward",
+            op_name=op.name,
+        )
+        program = context.program
+        produce = context.new_event()
+        program.append(EventRecord(thread=thread, stream=Streams.COMPUTE, event_id=produce))
+        program.append(StreamWaitEvent(thread=thread, stream=Streams.DP_COMM, event_id=produce))
+        program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                    op_duration_us=_CPU_OP_US,
+                                    launch_duration_us=_CPU_LAUNCH_US))
+
+    def _emit_p2p(self, context: _RankContext, direction: str, stream: int, peer_stage: int,
+                  comm_key: str, microbatch: int, phase: str, thread: int) -> None:
+        """Pipeline-parallel activation/gradient transfer."""
+        rank = context.rank
+        peer = self.groups.rank_of(0, 0, peer_stage)
+        size_bytes = pp_activation_bytes(self.model, self.training)
+        kind = CollectiveKind.SEND if direction == "send" else CollectiveKind.RECV
+        op = OpSpec(
+            name=f"pp_{direction}",
+            op_class=OpClass.COMM,
+            collective=CollectiveSpec(kind=kind, size_bytes=size_bytes, group="pp"),
+            stream_role="pp_comm",
+        )
+        pair = (rank, peer) if direction == "send" else (peer, rank)
+        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes,
+                                         group_ranks=pair)
+        kernel = KernelIntent(
+            name=f"ncclDevKernel_SendRecv({direction})",
+            stream=stream,
+            duration_us=duration,
+            op_class=OpClass.COMM,
+            collective=kind,
+            group="pp",
+            group_ranks=pair,
+            comm_key=comm_key,
+            size_bytes=size_bytes,
+            microbatch=microbatch,
+            phase=phase,
+            op_name=op.name,
+        )
+        program = context.program
+        if direction == "send":
+            # The transfer consumes data produced on the compute stream.
+            produce = context.new_event()
+            program.append(EventRecord(thread=thread, stream=Streams.COMPUTE, event_id=produce))
+            program.append(StreamWaitEvent(thread=thread, stream=stream, event_id=produce))
+            program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                        op_duration_us=_CPU_OP_US,
+                                        launch_duration_us=_CPU_LAUNCH_US))
+        else:
+            # Subsequent compute consumes the received tensor.
+            program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                        op_duration_us=_CPU_OP_US,
+                                        launch_duration_us=_CPU_LAUNCH_US))
+            consume = context.new_event()
+            program.append(EventRecord(thread=thread, stream=stream, event_id=consume))
+            program.append(StreamWaitEvent(thread=thread, stream=Streams.COMPUTE, event_id=consume))
+
+    # -- naming -----------------------------------------------------------------
+
+    def _kernel_name(self, op: OpSpec) -> str:
+        if op.is_communication:
+            assert op.collective is not None
+            return (f"ncclDevKernel_{op.collective.kind.title().replace('_', '')}"
+                    f"_Sum_bf16_RING({op.collective.group}:{op.name})")
+        if op.op_class == OpClass.GEMM:
+            return f"sm90_xmma_gemm_bf16_{op.name}_m{op.m}_n{op.n}_k{op.k}"
+        if op.op_class == OpClass.ATTENTION:
+            return f"flash::{op.name}"
+        return f"vectorized_{op.op_class}_kernel({op.name})"

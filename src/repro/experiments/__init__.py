@@ -1,0 +1,36 @@
+"""Experiment definitions and runners for the paper's tables and figures.
+
+Each function corresponds to a figure or table of the evaluation section and
+returns plain data structures; the benchmark harness prints them and the
+tests assert on their qualitative shape.  ``EvaluationSettings`` centralises
+the knobs (micro-batches, seeds) and honours the ``REPRO_FAST`` environment
+variable so the full suite stays runnable on a laptop.
+"""
+
+from repro.experiments.settings import EvaluationSettings
+from repro.experiments.figures import (
+    FIG5_CONFIGS,
+    FIG7A_CONFIGS,
+    FIG7B_CONFIGS,
+    FIG7C_CONFIGS,
+    FIG8_VARIANTS,
+    run_architecture_prediction,
+    run_motivation_comparison,
+    run_parallelism_prediction,
+    run_replay_comparison,
+    run_sm_utilization,
+)
+
+__all__ = [
+    "EvaluationSettings",
+    "FIG5_CONFIGS",
+    "FIG7A_CONFIGS",
+    "FIG7B_CONFIGS",
+    "FIG7C_CONFIGS",
+    "FIG8_VARIANTS",
+    "run_replay_comparison",
+    "run_motivation_comparison",
+    "run_sm_utilization",
+    "run_parallelism_prediction",
+    "run_architecture_prediction",
+]

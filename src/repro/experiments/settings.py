@@ -1,0 +1,42 @@
+"""Shared settings for the evaluation experiments."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.workload.training import TrainingConfig
+
+
+def _fast_mode() -> bool:
+    return os.environ.get("REPRO_FAST", "").lower() in ("1", "true", "yes")
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Knobs shared by every experiment runner.
+
+    ``REPRO_FAST=1`` halves the number of micro-batches, which roughly halves
+    event counts and wall-clock time of the benchmark suite without changing
+    any qualitative result.
+    """
+
+    micro_batch_size: int = 2
+    num_microbatches: int = 4
+    sequence_length: int = 2048
+    seed: int = 2025
+    measured_iterations: int = 2
+
+    @classmethod
+    def default(cls) -> "EvaluationSettings":
+        if _fast_mode():
+            return cls(num_microbatches=2)
+        return cls()
+
+    def training(self) -> TrainingConfig:
+        """Training configuration used by every emulated job."""
+        return TrainingConfig(
+            micro_batch_size=self.micro_batch_size,
+            num_microbatches=self.num_microbatches,
+            sequence_length=self.sequence_length,
+        )

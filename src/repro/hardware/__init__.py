@@ -1,0 +1,22 @@
+"""Hardware models: GPU, node-local and cross-node network, cluster layout.
+
+These models parameterise the kernel and collective cost models
+(:mod:`repro.kernels`) and the cluster emulator (:mod:`repro.emulator`).
+Defaults approximate the paper's testbed: NVIDIA H100 GPUs, 8 GPUs per
+server connected by NVLink, servers connected by 8×400 Gbps RoCE.
+"""
+
+from repro.hardware.gpu import GPUSpec, A100_SXM, H100_SXM
+from repro.hardware.network import NetworkSpec, DEFAULT_ROce_NETWORK
+from repro.hardware.cluster import ClusterSpec, CommunicatorGroups, ProcessGroup
+
+__all__ = [
+    "GPUSpec",
+    "H100_SXM",
+    "A100_SXM",
+    "NetworkSpec",
+    "DEFAULT_ROce_NETWORK",
+    "ClusterSpec",
+    "CommunicatorGroups",
+    "ProcessGroup",
+]

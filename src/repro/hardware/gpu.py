@@ -1,0 +1,78 @@
+"""GPU specifications used by the kernel cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"H100-SXM"``.
+    sm_count:
+        Number of streaming multiprocessors.
+    bf16_tflops:
+        Peak dense BF16/FP16 tensor-core throughput in TFLOP/s.
+    fp32_tflops:
+        Peak FP32 (non-tensor-core) throughput in TFLOP/s.
+    memory_gb:
+        HBM capacity in GiB.
+    memory_bandwidth_gbps:
+        HBM bandwidth in GB/s.
+    nvlink_bandwidth_gbps:
+        Unidirectional NVLink bandwidth per GPU in GB/s (intra-node).
+    kernel_launch_overhead_us:
+        Typical host-side latency of ``cudaLaunchKernel``.
+    kernel_fixed_overhead_us:
+        Device-side fixed overhead per kernel (launch latency, tail effects).
+    """
+
+    name: str
+    sm_count: int
+    bf16_tflops: float
+    fp32_tflops: float
+    memory_gb: float
+    memory_bandwidth_gbps: float
+    nvlink_bandwidth_gbps: float
+    kernel_launch_overhead_us: float = 6.0
+    kernel_fixed_overhead_us: float = 4.0
+
+    @property
+    def bf16_flops_per_us(self) -> float:
+        """Peak BF16 FLOPs per microsecond."""
+        return self.bf16_tflops * 1e12 / 1e6
+
+    @property
+    def memory_bytes_per_us(self) -> float:
+        """HBM bytes per microsecond."""
+        return self.memory_bandwidth_gbps * 1e9 / 1e6
+
+    @property
+    def nvlink_bytes_per_us(self) -> float:
+        """NVLink bytes per microsecond (unidirectional)."""
+        return self.nvlink_bandwidth_gbps * 1e9 / 1e6
+
+
+H100_SXM = GPUSpec(
+    name="H100-SXM",
+    sm_count=132,
+    bf16_tflops=989.0,
+    fp32_tflops=67.0,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=3350.0,
+    nvlink_bandwidth_gbps=450.0,
+)
+
+A100_SXM = GPUSpec(
+    name="A100-SXM",
+    sm_count=108,
+    bf16_tflops=312.0,
+    fp32_tflops=19.5,
+    memory_gb=80.0,
+    memory_bandwidth_gbps=2039.0,
+    nvlink_bandwidth_gbps=300.0,
+)

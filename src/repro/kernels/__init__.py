@@ -1,0 +1,24 @@
+"""Analytical kernel and collective cost models.
+
+These models translate the shape information of an
+:class:`~repro.workload.operators.OpSpec` into a kernel duration in
+microseconds on a given :class:`~repro.hardware.cluster.ClusterSpec`.  They
+power the cluster emulator's ground truth and, in re-parameterised and
+trace-calibrated form, Lumos's kernel performance model for kernels
+introduced by graph manipulation.
+"""
+
+from repro.kernels.gemm import gemm_time_us
+from repro.kernels.attention import attention_time_us
+from repro.kernels.memory_bound import memory_bound_time_us
+from repro.kernels.collectives import collective_time_us, point_to_point_time_us
+from repro.kernels.registry import KernelCostModel
+
+__all__ = [
+    "gemm_time_us",
+    "attention_time_us",
+    "memory_bound_time_us",
+    "collective_time_us",
+    "point_to_point_time_us",
+    "KernelCostModel",
+]

@@ -1,0 +1,21 @@
+"""Fused (flash) attention kernel cost model."""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+
+
+def attention_time_us(flops: float, bytes_accessed: float, gpu: GPUSpec,
+                      efficiency: float = 0.45) -> float:
+    """Duration of a fused attention kernel.
+
+    Flash attention reaches a lower fraction of peak than large GEMMs
+    because of softmax/rescaling work and the causal mask halving useful
+    FLOPs; ``efficiency`` captures that.  The model is a roofline over the
+    kernel's total FLOPs and HBM traffic.
+    """
+    if flops < 0 or bytes_accessed < 0:
+        raise ValueError("flops and bytes_accessed must be non-negative")
+    compute_us = flops / (gpu.bf16_flops_per_us * efficiency)
+    memory_us = bytes_accessed / gpu.memory_bytes_per_us
+    return max(compute_us, memory_us) + gpu.kernel_fixed_overhead_us

@@ -1,0 +1,44 @@
+"""GEMM kernel cost model.
+
+A roofline-style model: the kernel takes the larger of its compute time at
+an achievable fraction of peak tensor-core throughput and its memory time
+at HBM bandwidth, plus a fixed launch/tail overhead.  The achievable
+efficiency ramps with arithmetic intensity so that small or skinny GEMMs
+(small ``m`` from small micro-batches, or narrow tensor-parallel shards)
+run further from peak, which is what real traces show.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+
+_MIN_EFFICIENCY = 0.12
+
+
+def gemm_efficiency(m: int, n: int, k: int, peak_efficiency: float = 0.62) -> float:
+    """Achievable fraction of peak tensor-core FLOPs for an ``m×n×k`` GEMM.
+
+    Efficiency saturates for large, square-ish problems and degrades as the
+    smallest dimension shrinks (tile quantisation and wave quantisation
+    effects).
+    """
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    smallest = min(m, n, k)
+    ramp = smallest / (smallest + 512.0)
+    total = (m * n * k) ** (1.0 / 3.0)
+    size_ramp = total / (total + 1024.0)
+    return max(_MIN_EFFICIENCY, peak_efficiency * ramp * (0.5 + 0.5 * size_ramp))
+
+
+def gemm_time_us(m: int, n: int, k: int, dtype_bytes: int, gpu: GPUSpec,
+                 peak_efficiency: float = 0.62) -> float:
+    """Duration in microseconds of an ``m×n×k`` GEMM on ``gpu``."""
+    if min(m, n, k) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    flops = 2.0 * m * n * k
+    efficiency = gemm_efficiency(m, n, k, peak_efficiency)
+    compute_us = flops / (gpu.bf16_flops_per_us * efficiency)
+    bytes_moved = dtype_bytes * (m * k + k * n + m * n)
+    memory_us = bytes_moved / gpu.memory_bytes_per_us
+    return max(compute_us, memory_us) + gpu.kernel_fixed_overhead_us

@@ -1,0 +1,36 @@
+"""Cost model for memory-bound kernels.
+
+Layer norms, GELU, dropout, residual adds, embedding lookups, optimizer
+updates and loss kernels are all bandwidth-bound on modern GPUs: their
+runtime is their HBM traffic divided by achievable bandwidth plus a fixed
+overhead.  Different op classes achieve different fractions of peak
+bandwidth (gather/scatter patterns, small tensors), captured by per-class
+efficiency factors.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+
+#: Achievable fraction of peak HBM bandwidth per op class.
+BANDWIDTH_EFFICIENCY: dict[str, float] = {
+    "layernorm": 0.65,
+    "elementwise": 0.80,
+    "gelu": 0.80,
+    "dropout": 0.70,
+    "softmax": 0.60,
+    "embedding": 0.45,
+    "cross_entropy": 0.55,
+    "optimizer": 0.75,
+}
+
+_DEFAULT_EFFICIENCY = 0.70
+
+
+def memory_bound_time_us(bytes_accessed: float, gpu: GPUSpec,
+                         op_class: str = "elementwise") -> float:
+    """Duration of a bandwidth-bound kernel moving ``bytes_accessed`` bytes."""
+    if bytes_accessed < 0:
+        raise ValueError("bytes_accessed must be non-negative")
+    efficiency = BANDWIDTH_EFFICIENCY.get(op_class, _DEFAULT_EFFICIENCY)
+    return bytes_accessed / (gpu.memory_bytes_per_us * efficiency) + gpu.kernel_fixed_overhead_us

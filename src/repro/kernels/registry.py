@@ -1,0 +1,61 @@
+"""Facade dispatching an :class:`~repro.workload.operators.OpSpec` to a cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import ClusterSpec
+from repro.kernels.attention import attention_time_us
+from repro.kernels.collectives import collective_time_us, point_to_point_time_us
+from repro.kernels.gemm import gemm_time_us
+from repro.kernels.memory_bound import memory_bound_time_us
+from repro.workload.operators import CollectiveKind, OpClass, OpSpec
+
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Predicts kernel durations (us) for operations on a given cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware description (GPU + fabric).
+    gemm_peak_efficiency:
+        Achievable fraction of peak tensor-core throughput for large GEMMs.
+    attention_efficiency:
+        Achievable fraction of peak for fused attention kernels.
+    """
+
+    cluster: ClusterSpec
+    gemm_peak_efficiency: float = 0.62
+    attention_efficiency: float = 0.45
+
+    def duration_us(self, op: OpSpec, dtype_bytes: int = 2,
+                    group_ranks: tuple[int, ...] | None = None) -> float:
+        """Predict the duration of ``op`` in microseconds.
+
+        ``group_ranks`` must be provided for communication operations so
+        the collective model can decide whether the group crosses nodes.
+        """
+        gpu = self.cluster.gpu
+        if op.is_communication:
+            assert op.collective is not None
+            if group_ranks is None:
+                raise ValueError(f"communication op '{op.name}' requires group_ranks")
+            if op.collective.kind in CollectiveKind.POINT_TO_POINT:
+                if len(group_ranks) != 2:
+                    raise ValueError("point-to-point ops require exactly two ranks")
+                return point_to_point_time_us(op.collective.size_bytes, group_ranks[0],
+                                              group_ranks[1], self.cluster)
+            return collective_time_us(op.collective.kind, op.collective.size_bytes,
+                                      group_ranks, self.cluster)
+
+        if op.op_class == OpClass.GEMM:
+            return gemm_time_us(op.m, op.n, op.k, dtype_bytes, gpu,
+                                peak_efficiency=self.gemm_peak_efficiency)
+        if op.op_class == OpClass.ATTENTION:
+            return attention_time_us(op.flops, op.bytes_accessed, gpu,
+                                     efficiency=self.attention_efficiency)
+        if op.op_class in OpClass.COMPUTE_CLASSES:
+            return memory_bound_time_us(op.bytes_accessed, gpu, op_class=op.op_class)
+        raise ValueError(f"unknown op class '{op.op_class}' for op '{op.name}'")

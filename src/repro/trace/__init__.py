@@ -1,0 +1,39 @@
+"""Kineto-style trace schema and I/O.
+
+The emulator (:mod:`repro.emulator`) emits traces in this format and the
+Lumos graph builder (:mod:`repro.core.graph_builder`) consumes them.  The
+schema mirrors the subset of PyTorch Kineto / chrome-trace conventions the
+paper relies on: ``cpu_op``, ``cuda_runtime`` and ``kernel`` events linked by
+correlation IDs, with stream/thread IDs and ``cudaEventRecord`` /
+``cudaStreamWaitEvent`` synchronisation pairs.
+"""
+
+from repro.trace.events import (
+    Category,
+    CudaRuntimeName,
+    TraceEvent,
+    is_collective_kernel,
+    is_kernel_event,
+    is_runtime_event,
+    is_sync_runtime,
+)
+from repro.trace.kineto import DistributedInfo, KinetoTrace, TraceBundle
+from repro.trace.correlation import CorrelationIndex, link_runtime_to_kernels
+from repro.trace.validation import TraceValidationError, validate_trace
+
+__all__ = [
+    "Category",
+    "CudaRuntimeName",
+    "TraceEvent",
+    "KinetoTrace",
+    "TraceBundle",
+    "DistributedInfo",
+    "CorrelationIndex",
+    "link_runtime_to_kernels",
+    "TraceValidationError",
+    "validate_trace",
+    "is_collective_kernel",
+    "is_kernel_event",
+    "is_runtime_event",
+    "is_sync_runtime",
+]

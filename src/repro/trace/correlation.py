@@ -1,0 +1,56 @@
+"""Correlation-id utilities.
+
+Kineto tags each CUDA runtime launch call and the GPU kernel it enqueues
+with the same correlation id.  The graph builder uses this to create the
+CPU→GPU dependency class described in §3.3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.events import CudaRuntimeName, TraceEvent, is_kernel_event, is_runtime_event
+
+
+@dataclass
+class CorrelationIndex:
+    """Bidirectional index between runtime launches and GPU kernels."""
+
+    launch_by_correlation: dict[int, TraceEvent] = field(default_factory=dict)
+    kernels_by_correlation: dict[int, list[TraceEvent]] = field(default_factory=dict)
+
+    def kernel_for_launch(self, launch: TraceEvent) -> list[TraceEvent]:
+        """GPU kernels enqueued by a runtime launch event."""
+        correlation = launch.correlation
+        if correlation is None:
+            return []
+        return self.kernels_by_correlation.get(correlation, [])
+
+    def launch_for_kernel(self, kernel: TraceEvent) -> TraceEvent | None:
+        """The runtime launch event that enqueued ``kernel``, if known."""
+        correlation = kernel.correlation
+        if correlation is None:
+            return None
+        return self.launch_by_correlation.get(correlation)
+
+    def orphan_kernels(self) -> list[TraceEvent]:
+        """Kernels whose correlation id has no matching launch event."""
+        orphans: list[TraceEvent] = []
+        for correlation, kernels in self.kernels_by_correlation.items():
+            if correlation not in self.launch_by_correlation:
+                orphans.extend(kernels)
+        return orphans
+
+
+def link_runtime_to_kernels(events: list[TraceEvent]) -> CorrelationIndex:
+    """Build a :class:`CorrelationIndex` from one rank's events."""
+    index = CorrelationIndex()
+    for event in events:
+        correlation = event.correlation
+        if correlation is None:
+            continue
+        if is_runtime_event(event) and event.name in CudaRuntimeName.LAUNCHES:
+            index.launch_by_correlation[correlation] = event
+        elif is_kernel_event(event):
+            index.kernels_by_correlation.setdefault(correlation, []).append(event)
+    return index

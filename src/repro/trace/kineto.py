@@ -1,0 +1,276 @@
+"""Kineto-style trace containers and chrome-trace JSON I/O.
+
+A :class:`KinetoTrace` holds the events collected on one rank for one or
+more profiler steps (iterations).  A :class:`TraceBundle` groups the
+per-rank traces of a distributed job, which is what the Lumos graph
+builder consumes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.trace.events import Category, TraceEvent
+
+_SCHEMA_VERSION = 1
+_PROFILER_STEP_PREFIX = "ProfilerStep#"
+
+
+@dataclass(frozen=True)
+class DistributedInfo:
+    """Distributed-job metadata attached to every per-rank trace.
+
+    Mirrors the ``distributedInfo`` block Kineto writes: the global rank,
+    world size and the 3D-parallel degrees used by the job.
+    """
+
+    rank: int
+    world_size: int
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "world_size": self.world_size,
+            "tensor_parallel": self.tensor_parallel,
+            "pipeline_parallel": self.pipeline_parallel,
+            "data_parallel": self.data_parallel,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "DistributedInfo":
+        return cls(
+            rank=int(payload["rank"]),
+            world_size=int(payload["world_size"]),
+            tensor_parallel=int(payload.get("tensor_parallel", 1)),
+            pipeline_parallel=int(payload.get("pipeline_parallel", 1)),
+            data_parallel=int(payload.get("data_parallel", 1)),
+        )
+
+
+@dataclass
+class KinetoTrace:
+    """All events collected on one rank, sorted by start time."""
+
+    rank: int
+    events: list[TraceEvent] = field(default_factory=list)
+    distributed: DistributedInfo | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: (e.ts, e.dur))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    # -- selection helpers -------------------------------------------------
+
+    def by_category(self, *categories: str) -> list[TraceEvent]:
+        """Return events whose ``cat`` is one of ``categories``."""
+        wanted = set(categories)
+        return [e for e in self.events if e.cat in wanted]
+
+    def cpu_ops(self) -> list[TraceEvent]:
+        """Framework operator events."""
+        return self.by_category(Category.CPU_OP)
+
+    def runtime_events(self) -> list[TraceEvent]:
+        """CUDA runtime events."""
+        return self.by_category(Category.CUDA_RUNTIME)
+
+    def kernels(self) -> list[TraceEvent]:
+        """GPU kernel / memcpy / memset events."""
+        return self.by_category(*Category.GPU_CATEGORIES)
+
+    def annotations(self) -> list[TraceEvent]:
+        """User annotation events (profiler steps, record_function ranges)."""
+        return self.by_category(Category.USER_ANNOTATION)
+
+    def threads(self) -> list[int]:
+        """CPU thread ids present in the trace."""
+        return sorted({e.tid for e in self.events if e.is_cpu()})
+
+    def streams(self) -> list[int]:
+        """CUDA stream ids present in the trace."""
+        return sorted({int(e.stream) for e in self.events if e.is_gpu() and e.stream is not None})
+
+    # -- timing helpers ----------------------------------------------------
+
+    def start_time(self) -> float:
+        """Earliest event start, or 0.0 for an empty trace."""
+        return min((e.ts for e in self.events), default=0.0)
+
+    def end_time(self) -> float:
+        """Latest event end, or 0.0 for an empty trace."""
+        return max((e.end for e in self.events), default=0.0)
+
+    def span(self) -> float:
+        """Wall-clock span covered by the trace in microseconds."""
+        if not self.events:
+            return 0.0
+        return self.end_time() - self.start_time()
+
+    def profiler_steps(self) -> list[TraceEvent]:
+        """``ProfilerStep#N`` annotation events, sorted by step number."""
+        steps = [
+            e
+            for e in self.annotations()
+            if e.name.startswith(_PROFILER_STEP_PREFIX)
+        ]
+        steps.sort(key=lambda e: int(e.name[len(_PROFILER_STEP_PREFIX):]))
+        return steps
+
+    def iteration_window(self, step: int | None = None) -> tuple[float, float]:
+        """Return the ``(start, end)`` window of one profiler step.
+
+        If ``step`` is None the first recorded step is used.  Falls back to
+        the whole trace span when no step annotations are present.
+        """
+        steps = self.profiler_steps()
+        if not steps:
+            return self.start_time(), self.end_time()
+        if step is None:
+            chosen = steps[0]
+        else:
+            by_number = {
+                int(e.name[len(_PROFILER_STEP_PREFIX):]): e for e in steps
+            }
+            if step not in by_number:
+                raise KeyError(f"profiler step {step} not present in trace (have {sorted(by_number)})")
+            chosen = by_number[step]
+        return chosen.ts, chosen.end
+
+    def slice(self, start: float, end: float) -> "KinetoTrace":
+        """Return a new trace containing events fully inside ``[start, end]``."""
+        events = [e for e in self.events if e.ts >= start and e.end <= end]
+        return KinetoTrace(
+            rank=self.rank,
+            events=list(events),
+            distributed=self.distributed,
+            metadata=dict(self.metadata),
+        )
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """Serialise to a chrome-trace compatible dictionary."""
+        payload: dict[str, Any] = {
+            "schemaVersion": _SCHEMA_VERSION,
+            "traceEvents": [e.to_json() for e in self.events],
+            "metadata": dict(self.metadata),
+        }
+        if self.distributed is not None:
+            payload["distributedInfo"] = self.distributed.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any], rank: int | None = None) -> "KinetoTrace":
+        """Deserialise from a chrome-trace dictionary."""
+        distributed = None
+        if "distributedInfo" in payload:
+            distributed = DistributedInfo.from_json(payload["distributedInfo"])
+        if rank is None:
+            rank = distributed.rank if distributed is not None else 0
+        events = [TraceEvent.from_json(e) for e in payload.get("traceEvents", [])]
+        return cls(
+            rank=rank,
+            events=events,
+            distributed=distributed,
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` (gzip-compressed when ``.gz``)."""
+        path = Path(path)
+        text = json.dumps(self.to_json())
+        if path.suffix == ".gz":
+            with gzip.open(path, "wt", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            path.write_text(text, encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "KinetoTrace":
+        """Read a trace previously written by :meth:`save`."""
+        path = Path(path)
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        else:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        return cls.from_json(payload)
+
+
+@dataclass
+class TraceBundle:
+    """The per-rank traces of one distributed training job."""
+
+    traces: dict[int, KinetoTrace] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[KinetoTrace]:
+        for rank in self.ranks():
+            yield self.traces[rank]
+
+    def __getitem__(self, rank: int) -> KinetoTrace:
+        return self.traces[rank]
+
+    def ranks(self) -> list[int]:
+        """Ranks present in the bundle, sorted."""
+        return sorted(self.traces)
+
+    def add(self, trace: KinetoTrace) -> None:
+        """Add a per-rank trace, replacing any existing trace for that rank."""
+        self.traces[trace.rank] = trace
+
+    def events(self) -> Iterable[TraceEvent]:
+        """Iterate over every event of every rank."""
+        for trace in self:
+            yield from trace.events
+
+    def iteration_time(self, step: int | None = None) -> float:
+        """Wall-clock duration of one iteration across all ranks (us).
+
+        The iteration time of a distributed job is the span from the
+        earliest rank's step start to the latest rank's step end.
+        """
+        starts: list[float] = []
+        ends: list[float] = []
+        for trace in self:
+            start, end = trace.iteration_window(step)
+            starts.append(start)
+            ends.append(end)
+        if not starts:
+            return 0.0
+        return max(ends) - min(starts)
+
+    def save(self, directory: str | Path) -> None:
+        """Write one ``rank_<r>.json.gz`` per rank plus a manifest."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {"ranks": self.ranks(), "metadata": self.metadata}
+        (directory / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+        for rank, trace in self.traces.items():
+            trace.save(directory / f"rank_{rank}.json.gz")
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "TraceBundle":
+        """Read a bundle previously written by :meth:`save`."""
+        directory = Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text(encoding="utf-8"))
+        bundle = cls(metadata=dict(manifest.get("metadata", {})))
+        for rank in manifest["ranks"]:
+            bundle.add(KinetoTrace.load(directory / f"rank_{rank}.json.gz"))
+        return bundle

@@ -1,0 +1,96 @@
+"""Trace validation.
+
+Validation catches malformed traces before they reach the graph builder:
+negative durations, kernels without streams, launch calls whose kernels are
+missing, or overlapping events on the same CUDA stream (streams execute
+kernels sequentially, so overlap indicates a broken trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.trace.correlation import link_runtime_to_kernels
+from repro.trace.events import CudaRuntimeName, TraceEvent
+from repro.trace.kineto import KinetoTrace, TraceBundle
+
+_STREAM_OVERLAP_TOLERANCE_US = 1e-6
+
+
+class TraceValidationError(ValueError):
+    """Raised when :func:`validate_trace` finds problems and ``strict`` is set."""
+
+
+@dataclass
+class ValidationReport:
+    """Problems found in a trace, grouped by severity."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.errors.extend(other.errors)
+        self.warnings.extend(other.warnings)
+
+
+def _validate_single(trace: KinetoTrace) -> ValidationReport:
+    report = ValidationReport()
+    for event in trace.events:
+        if event.dur < 0:
+            report.errors.append(
+                f"rank {trace.rank}: event '{event.name}' at ts={event.ts} has negative duration"
+            )
+        if event.is_gpu() and event.stream is None:
+            report.errors.append(
+                f"rank {trace.rank}: GPU event '{event.name}' at ts={event.ts} has no stream id"
+            )
+
+    index = link_runtime_to_kernels(trace.events)
+    for correlation, launch in index.launch_by_correlation.items():
+        if launch.name == CudaRuntimeName.LAUNCH_KERNEL and correlation not in index.kernels_by_correlation:
+            report.warnings.append(
+                f"rank {trace.rank}: launch correlation {correlation} has no matching kernel"
+            )
+    for kernel in index.orphan_kernels():
+        report.warnings.append(
+            f"rank {trace.rank}: kernel '{kernel.name}' correlation {kernel.correlation} has no launch event"
+        )
+
+    # Kernels on the same stream must not overlap.
+    by_stream: dict[int, list[TraceEvent]] = {}
+    for event in trace.kernels():
+        by_stream.setdefault(int(event.stream), []).append(event)
+    for stream, kernels in by_stream.items():
+        kernels.sort(key=lambda e: e.ts)
+        for previous, current in zip(kernels, kernels[1:]):
+            if current.ts < previous.end - _STREAM_OVERLAP_TOLERANCE_US:
+                report.errors.append(
+                    f"rank {trace.rank}: kernels '{previous.name}' and '{current.name}' "
+                    f"overlap on stream {stream}"
+                )
+    return report
+
+
+def validate_trace(trace: KinetoTrace | TraceBundle, strict: bool = False) -> ValidationReport:
+    """Validate a trace or bundle, optionally raising on errors.
+
+    Parameters
+    ----------
+    trace:
+        A single-rank trace or a multi-rank bundle.
+    strict:
+        When True, raise :class:`TraceValidationError` if any error is found.
+    """
+    report = ValidationReport()
+    if isinstance(trace, TraceBundle):
+        for single in trace:
+            report.extend(_validate_single(single))
+    else:
+        report.extend(_validate_single(trace))
+    if strict and not report.ok:
+        raise TraceValidationError("; ".join(report.errors))
+    return report

@@ -1,0 +1,53 @@
+"""Workload models: GPT-3 configurations, 3D parallelism, operators, schedules."""
+
+from repro.workload.model_config import (
+    GPT3_MODELS,
+    GPT3_VARIANTS,
+    ModelConfig,
+    gpt3_model,
+)
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+from repro.workload.operators import (
+    CollectiveSpec,
+    OpSpec,
+    dp_gradient_buckets,
+    embedding_backward_ops,
+    embedding_forward_ops,
+    head_backward_ops,
+    head_forward_ops,
+    layer_backward_ops,
+    layer_forward_ops,
+    optimizer_ops,
+    pp_activation_bytes,
+)
+from repro.workload.pipeline import (
+    PipelineAction,
+    one_f_one_b_schedule,
+    stage_of_layer,
+    stage_layers,
+)
+
+__all__ = [
+    "ModelConfig",
+    "GPT3_MODELS",
+    "GPT3_VARIANTS",
+    "gpt3_model",
+    "ParallelismConfig",
+    "TrainingConfig",
+    "OpSpec",
+    "CollectiveSpec",
+    "layer_forward_ops",
+    "layer_backward_ops",
+    "embedding_forward_ops",
+    "embedding_backward_ops",
+    "head_forward_ops",
+    "head_backward_ops",
+    "optimizer_ops",
+    "dp_gradient_buckets",
+    "pp_activation_bytes",
+    "PipelineAction",
+    "one_f_one_b_schedule",
+    "stage_layers",
+    "stage_of_layer",
+]

@@ -1,0 +1,133 @@
+"""Transformer model configurations.
+
+``GPT3_MODELS`` reproduces Table 1 of the paper (the GPT-3 variants used in
+the replay evaluation) and ``GPT3_VARIANTS`` reproduces Table 2 (the
+architecture variants used to validate graph manipulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer configuration.
+
+    Attributes mirror the columns of Table 1: number of layers, hidden size
+    (``d_model``), feed-forward size (``d_ff``), attention heads and head
+    dimension.  ``vocab_size`` and ``seq_length`` follow the open-source
+    GPT-3 Megatron implementation defaults.
+    """
+
+    name: str
+    n_layers: int
+    d_model: int
+    d_ff: int
+    n_heads: int
+    d_head: int
+    vocab_size: int = 51200
+    seq_length: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.n_layers <= 0 or self.d_model <= 0 or self.d_ff <= 0:
+            raise ValueError("model dimensions must be positive")
+        if self.n_heads <= 0 or self.d_head <= 0:
+            raise ValueError("attention dimensions must be positive")
+
+    # -- parameter counting --------------------------------------------------
+
+    @property
+    def layer_parameters(self) -> int:
+        """Parameters of one transformer layer (attention + MLP + norms).
+
+        The attention projection width is ``n_heads * d_head``, which for
+        the GPT-3 44B variant in Table 1 is half the hidden size — this is
+        what makes that model 44B rather than 59B.
+        """
+        attention = 4 * self.d_model * self.attention_dim  # QKV (3·h·a) + output projection (a·h)
+        mlp = 2 * self.d_model * self.d_ff
+        norms_and_biases = 9 * self.d_model + 2 * self.d_ff
+        return attention + mlp + norms_and_biases
+
+    @property
+    def embedding_parameters(self) -> int:
+        """Token + position embedding parameters."""
+        return self.vocab_size * self.d_model + self.seq_length * self.d_model
+
+    @property
+    def num_parameters(self) -> int:
+        """Total parameter count (embeddings shared with the output head)."""
+        return self.n_layers * self.layer_parameters + self.embedding_parameters + self.d_model
+
+    @property
+    def attention_dim(self) -> int:
+        """Total attention projection width (``n_heads * d_head``)."""
+        return self.n_heads * self.d_head
+
+    # -- FLOP counting (used by the analytical baseline) ----------------------
+
+    def flops_per_token(self) -> float:
+        """Approximate training FLOPs per token (forward + backward)."""
+        dense = 6.0 * self.num_parameters
+        attention = 12.0 * self.n_layers * self.d_model * self.seq_length
+        return dense + attention
+
+    # -- derivation ------------------------------------------------------------
+
+    def with_changes(self, name: str | None = None, n_layers: int | None = None,
+                     d_model: int | None = None, d_ff: int | None = None,
+                     n_heads: int | None = None) -> "ModelConfig":
+        """Return a copy with the given architecture fields replaced.
+
+        This is the model-side counterpart of the graph-manipulation API:
+        the paper's §4.3.2 varies ``n_layers``, ``d_model`` and ``d_ff``.
+        """
+        changes: dict[str, object] = {}
+        if name is not None:
+            changes["name"] = name
+        if n_layers is not None:
+            changes["n_layers"] = n_layers
+        if d_model is not None:
+            changes["d_model"] = d_model
+            if n_heads is None:
+                changes["n_heads"] = max(1, d_model // self.d_head)
+        if d_ff is not None:
+            changes["d_ff"] = d_ff
+        if n_heads is not None:
+            changes["n_heads"] = n_heads
+        return replace(self, **changes)
+
+
+def _gpt3(name: str, n_layers: int, d_model: int, d_ff: int, n_heads: int, d_head: int = 128) -> ModelConfig:
+    return ModelConfig(name=name, n_layers=n_layers, d_model=d_model, d_ff=d_ff,
+                       n_heads=n_heads, d_head=d_head)
+
+
+#: Table 1 — model sizes and architectures used in the replay evaluation.
+GPT3_MODELS: dict[str, ModelConfig] = {
+    "gpt3-15b": _gpt3("gpt3-15b", n_layers=48, d_model=6144, d_ff=12288, n_heads=48),
+    "gpt3-44b": _gpt3("gpt3-44b", n_layers=48, d_model=12288, d_ff=24576, n_heads=48),
+    "gpt3-117b": _gpt3("gpt3-117b", n_layers=96, d_model=12288, d_ff=24576, n_heads=96),
+    "gpt3-175b": _gpt3("gpt3-175b", n_layers=96, d_model=12288, d_ff=49152, n_heads=96),
+}
+
+#: Table 2 — architecture variants derived from GPT-3 15B for §4.3.2.
+GPT3_VARIANTS: dict[str, ModelConfig] = {
+    "gpt3-15b": GPT3_MODELS["gpt3-15b"],
+    "gpt3-v1": _gpt3("gpt3-v1", n_layers=64, d_model=6144, d_ff=12288, n_heads=48),
+    "gpt3-v2": _gpt3("gpt3-v2", n_layers=96, d_model=6144, d_ff=12288, n_heads=48),
+    "gpt3-v3": _gpt3("gpt3-v3", n_layers=48, d_model=9216, d_ff=18432, n_heads=48),
+    "gpt3-v4": _gpt3("gpt3-v4", n_layers=48, d_model=12288, d_ff=24576, n_heads=48),
+}
+
+
+def gpt3_model(name: str) -> ModelConfig:
+    """Look up a GPT-3 configuration from Table 1 or Table 2 by name."""
+    key = name.lower()
+    if key in GPT3_MODELS:
+        return GPT3_MODELS[key]
+    if key in GPT3_VARIANTS:
+        return GPT3_VARIANTS[key]
+    known = sorted(set(GPT3_MODELS) | set(GPT3_VARIANTS))
+    raise KeyError(f"unknown model '{name}'; known models: {known}")

@@ -1,0 +1,345 @@
+"""Transformer operator decomposition.
+
+These functions expand a :class:`~repro.workload.model_config.ModelConfig`
+under a given parallelism/training configuration into the kernel-level
+operations executed per layer and per micro-batch.  The emulator turns the
+resulting :class:`OpSpec` lists into launched kernels; the Lumos kernel
+performance model uses the same shape information to predict runtimes for
+kernels introduced by graph manipulation.
+
+Shapes follow the Megatron-LM tensor-parallel layout: column-parallel
+QKV/FC1 projections, row-parallel output/FC2 projections, with one
+all-reduce after the attention block and one after the MLP block in the
+forward pass (and their mirrors in the backward pass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+class OpClass:
+    """Operation classes understood by the kernel cost models."""
+
+    GEMM = "gemm"
+    ATTENTION = "attention"
+    LAYERNORM = "layernorm"
+    ELEMENTWISE = "elementwise"
+    GELU = "gelu"
+    DROPOUT = "dropout"
+    SOFTMAX = "softmax"
+    EMBEDDING = "embedding"
+    CROSS_ENTROPY = "cross_entropy"
+    OPTIMIZER = "optimizer"
+    COMM = "comm"
+
+    COMPUTE_CLASSES = frozenset({
+        GEMM, ATTENTION, LAYERNORM, ELEMENTWISE, GELU, DROPOUT, SOFTMAX,
+        EMBEDDING, CROSS_ENTROPY, OPTIMIZER,
+    })
+
+
+class CollectiveKind:
+    """Collective communication primitives."""
+
+    ALL_REDUCE = "all_reduce"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALL_GATHER = "all_gather"
+    BROADCAST = "broadcast"
+    SEND = "send"
+    RECV = "recv"
+
+    POINT_TO_POINT = frozenset({SEND, RECV})
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """A communication operation.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`CollectiveKind`.
+    size_bytes:
+        Message size per rank.
+    group:
+        Which communicator the collective runs on: ``"tp"``, ``"dp"`` or
+        ``"pp"``.
+    """
+
+    kind: str
+    size_bytes: float
+    group: str
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("collective size must be non-negative")
+        if self.group not in ("tp", "dp", "pp"):
+            raise ValueError(f"unknown communicator group '{self.group}'")
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One kernel-level operation with enough shape detail to cost it.
+
+    Compute operations carry either GEMM dimensions (``m``, ``n``, ``k``),
+    attention dimensions, or a memory-traffic estimate (``bytes_accessed``).
+    Communication operations carry a :class:`CollectiveSpec`.
+    """
+
+    name: str
+    op_class: str
+    flops: float = 0.0
+    bytes_accessed: float = 0.0
+    m: int = 0
+    n: int = 0
+    k: int = 0
+    collective: CollectiveSpec | None = None
+    stream_role: str = "compute"
+    metadata: dict = field(default_factory=dict)
+
+    def scaled(self, **overrides) -> "OpSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def is_communication(self) -> bool:
+        return self.collective is not None
+
+
+def _gemm(name: str, m: int, n: int, k: int, dtype_bytes: int, **metadata) -> OpSpec:
+    flops = 2.0 * m * n * k
+    bytes_accessed = dtype_bytes * (m * k + k * n + m * n)
+    return OpSpec(name=name, op_class=OpClass.GEMM, flops=flops,
+                  bytes_accessed=bytes_accessed, m=m, n=n, k=k,
+                  metadata=dict(metadata))
+
+
+def _memory_bound(name: str, op_class: str, bytes_accessed: float, **metadata) -> OpSpec:
+    return OpSpec(name=name, op_class=op_class, bytes_accessed=bytes_accessed,
+                  metadata=dict(metadata))
+
+
+def _attention(name: str, batch: int, heads: int, seq: int, d_head: int,
+               dtype_bytes: int, backward: bool, **metadata) -> OpSpec:
+    # Flash-attention style fused kernel: QK^T and PV matmuls dominate.
+    matmul_flops = 4.0 * batch * heads * seq * seq * d_head
+    flops = matmul_flops * (2.5 if backward else 1.0)
+    bytes_accessed = dtype_bytes * batch * heads * seq * d_head * (8 if backward else 4)
+    return OpSpec(name=name, op_class=OpClass.ATTENTION, flops=flops,
+                  bytes_accessed=bytes_accessed,
+                  m=batch * heads * seq, n=seq, k=d_head,
+                  metadata=dict(metadata))
+
+
+def _tp_all_reduce(name: str, size_bytes: float, **metadata) -> OpSpec:
+    return OpSpec(name=name, op_class=OpClass.COMM,
+                  collective=CollectiveSpec(kind=CollectiveKind.ALL_REDUCE,
+                                            size_bytes=size_bytes, group="tp"),
+                  stream_role="tp_comm", metadata=dict(metadata))
+
+
+def _activation_bytes(model: ModelConfig, training: TrainingConfig) -> float:
+    return float(training.micro_batch_size * training.sequence_length
+                 * model.d_model * training.dtype_bytes)
+
+
+def pp_activation_bytes(model: ModelConfig, training: TrainingConfig) -> float:
+    """Bytes transferred between adjacent pipeline stages per micro-batch."""
+    return _activation_bytes(model, training)
+
+
+def layer_forward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                      training: TrainingConfig) -> list[OpSpec]:
+    """Kernel-level operations of one transformer layer's forward pass."""
+    b, s = training.micro_batch_size, training.sequence_length
+    h, f = model.d_model, model.d_ff
+    a = model.attention_dim
+    tp = parallel.tp
+    heads_local = max(1, model.n_heads // tp)
+    dtype = training.dtype_bytes
+    tokens = b * s
+    act = _activation_bytes(model, training)
+
+    ops: list[OpSpec] = [
+        _memory_bound("layer_norm_in", OpClass.LAYERNORM, 2 * act),
+        _gemm("attn_qkv", m=tokens, n=3 * a // tp, k=h, dtype_bytes=dtype),
+        _attention("flash_attention_fwd", batch=b, heads=heads_local, seq=s,
+                   d_head=model.d_head, dtype_bytes=dtype, backward=False),
+        _gemm("attn_proj", m=tokens, n=h, k=a // tp, dtype_bytes=dtype),
+    ]
+    if tp > 1:
+        ops.append(_tp_all_reduce("tp_all_reduce_attn_fwd", act))
+    ops.extend([
+        _memory_bound("dropout_residual_attn", OpClass.DROPOUT, 3 * act),
+        _memory_bound("layer_norm_post_attn", OpClass.LAYERNORM, 2 * act),
+        _gemm("mlp_fc1", m=tokens, n=f // tp, k=h, dtype_bytes=dtype),
+        _memory_bound("gelu", OpClass.GELU, 2.0 * tokens * (f // tp) * dtype),
+        _gemm("mlp_fc2", m=tokens, n=h, k=f // tp, dtype_bytes=dtype),
+    ])
+    if tp > 1:
+        ops.append(_tp_all_reduce("tp_all_reduce_mlp_fwd", act))
+    ops.append(_memory_bound("dropout_residual_mlp", OpClass.DROPOUT, 3 * act))
+    return _tagged(ops, phase="forward")
+
+
+def layer_backward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                       training: TrainingConfig) -> list[OpSpec]:
+    """Kernel-level operations of one transformer layer's backward pass."""
+    b, s = training.micro_batch_size, training.sequence_length
+    h, f = model.d_model, model.d_ff
+    a = model.attention_dim
+    tp = parallel.tp
+    heads_local = max(1, model.n_heads // tp)
+    dtype = training.dtype_bytes
+    tokens = b * s
+    act = _activation_bytes(model, training)
+
+    ops: list[OpSpec] = [
+        _memory_bound("dropout_residual_mlp_bwd", OpClass.DROPOUT, 3 * act),
+        _gemm("mlp_fc2_dgrad", m=tokens, n=f // tp, k=h, dtype_bytes=dtype),
+        _gemm("mlp_fc2_wgrad", m=f // tp, n=h, k=tokens, dtype_bytes=dtype),
+        _memory_bound("gelu_bwd", OpClass.GELU, 3.0 * tokens * (f // tp) * dtype),
+        _gemm("mlp_fc1_dgrad", m=tokens, n=h, k=f // tp, dtype_bytes=dtype),
+        _gemm("mlp_fc1_wgrad", m=h, n=f // tp, k=tokens, dtype_bytes=dtype),
+    ]
+    if tp > 1:
+        ops.append(_tp_all_reduce("tp_all_reduce_mlp_bwd", act))
+    ops.extend([
+        _memory_bound("layer_norm_post_attn_bwd", OpClass.LAYERNORM, 3 * act),
+        _memory_bound("dropout_residual_attn_bwd", OpClass.DROPOUT, 3 * act),
+        _gemm("attn_proj_dgrad", m=tokens, n=a // tp, k=h, dtype_bytes=dtype),
+        _gemm("attn_proj_wgrad", m=a // tp, n=h, k=tokens, dtype_bytes=dtype),
+        _attention("flash_attention_bwd", batch=b, heads=heads_local, seq=s,
+                   d_head=model.d_head, dtype_bytes=dtype, backward=True),
+        _gemm("attn_qkv_dgrad", m=tokens, n=h, k=3 * a // tp, dtype_bytes=dtype),
+        _gemm("attn_qkv_wgrad", m=h, n=3 * a // tp, k=tokens, dtype_bytes=dtype),
+    ])
+    if tp > 1:
+        ops.append(_tp_all_reduce("tp_all_reduce_attn_bwd", act))
+    ops.append(_memory_bound("layer_norm_in_bwd", OpClass.LAYERNORM, 3 * act))
+    return _tagged(ops, phase="backward")
+
+
+def embedding_forward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                          training: TrainingConfig) -> list[OpSpec]:
+    """Token/position embedding lookup on the first pipeline stage."""
+    act = _activation_bytes(model, training)
+    ops = [
+        _memory_bound("token_embedding", OpClass.EMBEDDING, 2 * act),
+        _memory_bound("position_embedding_add", OpClass.ELEMENTWISE, 2 * act),
+        _memory_bound("embedding_dropout", OpClass.DROPOUT, 2 * act),
+    ]
+    return _tagged(ops, phase="forward")
+
+
+def embedding_backward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                           training: TrainingConfig) -> list[OpSpec]:
+    """Embedding gradient accumulation on the first pipeline stage."""
+    act = _activation_bytes(model, training)
+    ops = [
+        _memory_bound("embedding_dropout_bwd", OpClass.DROPOUT, 2 * act),
+        _memory_bound("token_embedding_grad", OpClass.EMBEDDING, 3 * act),
+    ]
+    return _tagged(ops, phase="backward")
+
+
+def head_forward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                     training: TrainingConfig) -> list[OpSpec]:
+    """Final layer norm, LM head projection and loss on the last stage."""
+    b, s = training.micro_batch_size, training.sequence_length
+    tokens = b * s
+    tp = parallel.tp
+    dtype = training.dtype_bytes
+    act = _activation_bytes(model, training)
+    vocab_local = model.vocab_size // tp
+
+    ops = [
+        _memory_bound("final_layer_norm", OpClass.LAYERNORM, 2 * act),
+        _gemm("lm_head", m=tokens, n=vocab_local, k=model.d_model, dtype_bytes=dtype),
+        _memory_bound("cross_entropy_fwd", OpClass.CROSS_ENTROPY,
+                      2.0 * tokens * vocab_local * dtype),
+    ]
+    if tp > 1:
+        ops.append(_tp_all_reduce("tp_all_reduce_loss", 4.0 * tokens))
+    return _tagged(ops, phase="forward")
+
+
+def head_backward_ops(model: ModelConfig, parallel: ParallelismConfig,
+                      training: TrainingConfig) -> list[OpSpec]:
+    """Loss and LM head backward on the last stage."""
+    b, s = training.micro_batch_size, training.sequence_length
+    tokens = b * s
+    tp = parallel.tp
+    dtype = training.dtype_bytes
+    act = _activation_bytes(model, training)
+    vocab_local = model.vocab_size // tp
+
+    ops = [
+        _memory_bound("cross_entropy_bwd", OpClass.CROSS_ENTROPY,
+                      2.0 * tokens * vocab_local * dtype),
+        _gemm("lm_head_dgrad", m=tokens, n=model.d_model, k=vocab_local, dtype_bytes=dtype),
+        _gemm("lm_head_wgrad", m=model.d_model, n=vocab_local, k=tokens, dtype_bytes=dtype),
+        _memory_bound("final_layer_norm_bwd", OpClass.LAYERNORM, 3 * act),
+    ]
+    return _tagged(ops, phase="backward")
+
+
+def optimizer_ops(model: ModelConfig, parallel: ParallelismConfig,
+                  training: TrainingConfig, n_stage_layers: int,
+                  include_embedding: bool) -> list[OpSpec]:
+    """Adam optimizer step for the parameters owned by one rank.
+
+    A rank owns ``n_stage_layers`` layers' parameters divided by the
+    tensor-parallel degree, plus (on the first/last stage) the embedding.
+    Adam with an FP32 master copy touches roughly 18 bytes per parameter
+    (BF16 grad + FP32 master + two FP32 moments + BF16 write-back).
+    """
+    params = n_stage_layers * model.layer_parameters / parallel.tp
+    if include_embedding:
+        params += model.embedding_parameters / parallel.tp
+    bytes_per_param = 18.0
+    total_bytes = params * bytes_per_param
+    ops = [
+        _memory_bound("grad_norm_clip", OpClass.ELEMENTWISE, params * 2.0),
+        _memory_bound("adam_update_1", OpClass.OPTIMIZER, total_bytes / 2),
+        _memory_bound("adam_update_2", OpClass.OPTIMIZER, total_bytes / 2),
+        _memory_bound("param_copy", OpClass.ELEMENTWISE, params * 4.0),
+    ]
+    return _tagged(ops, phase="optimizer")
+
+
+def dp_gradient_buckets(model: ModelConfig, parallel: ParallelismConfig,
+                        training: TrainingConfig, stage_layer_indices: Iterable[int],
+                        include_embedding: bool) -> list[tuple[list[int], float]]:
+    """Group a stage's layers into data-parallel gradient buckets.
+
+    Returns ``(layer_indices, bucket_bytes)`` pairs in backward-pass
+    completion order (deepest layers first), matching how gradient buckets
+    become ready while the backward pass walks the stage from its last
+    layer to its first.
+    """
+    layers = sorted(stage_layer_indices, reverse=True)
+    grad_bytes_per_layer = model.layer_parameters / parallel.tp * training.dtype_bytes
+    buckets: list[tuple[list[int], float]] = []
+    for start in range(0, len(layers), training.gradient_bucket_layers):
+        chunk = layers[start:start + training.gradient_bucket_layers]
+        buckets.append((chunk, grad_bytes_per_layer * len(chunk)))
+    if include_embedding:
+        embedding_bytes = model.embedding_parameters / parallel.tp * training.dtype_bytes
+        buckets.append(([], embedding_bytes))
+    return buckets
+
+
+def _tagged(ops: list[OpSpec], phase: str) -> list[OpSpec]:
+    tagged = []
+    for op in ops:
+        metadata = dict(op.metadata)
+        metadata.setdefault("phase", phase)
+        tagged.append(op.scaled(metadata=metadata))
+    return tagged

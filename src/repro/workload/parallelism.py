@@ -1,0 +1,76 @@
+"""3D-parallelism configuration (TP × PP × DP)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.cluster import CommunicatorGroups
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """Tensor / pipeline / data parallel degrees.
+
+    The paper labels configurations ``TPxPPxDP`` (e.g. ``8x4x8`` for GPT-3
+    175B on 256 GPUs); :meth:`label` and :meth:`parse` follow that
+    convention.
+    """
+
+    tensor_parallel: int = 1
+    pipeline_parallel: int = 1
+    data_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.tensor_parallel, self.pipeline_parallel, self.data_parallel) < 1:
+            raise ValueError("parallel degrees must be >= 1")
+
+    @property
+    def tp(self) -> int:
+        return self.tensor_parallel
+
+    @property
+    def pp(self) -> int:
+        return self.pipeline_parallel
+
+    @property
+    def dp(self) -> int:
+        return self.data_parallel
+
+    @property
+    def world_size(self) -> int:
+        """Number of GPUs required by this configuration."""
+        return self.tp * self.pp * self.dp
+
+    def label(self) -> str:
+        """Paper-style ``TPxPPxDP`` label."""
+        return f"{self.tp}x{self.pp}x{self.dp}"
+
+    @classmethod
+    def parse(cls, label: str) -> "ParallelismConfig":
+        """Parse a ``TPxPPxDP`` label such as ``"8x4x8"``."""
+        parts = label.lower().split("x")
+        if len(parts) != 3:
+            raise ValueError(f"expected a TPxPPxDP label, got '{label}'")
+        tp, pp, dp = (int(p) for p in parts)
+        return cls(tensor_parallel=tp, pipeline_parallel=pp, data_parallel=dp)
+
+    def groups(self) -> CommunicatorGroups:
+        """Communicator groups for this configuration."""
+        return CommunicatorGroups(self.tp, self.pp, self.dp)
+
+    def with_changes(self, tensor_parallel: int | None = None,
+                     pipeline_parallel: int | None = None,
+                     data_parallel: int | None = None) -> "ParallelismConfig":
+        """Return a copy with the given degrees replaced."""
+        return ParallelismConfig(
+            tensor_parallel=tensor_parallel if tensor_parallel is not None else self.tp,
+            pipeline_parallel=pipeline_parallel if pipeline_parallel is not None else self.pp,
+            data_parallel=data_parallel if data_parallel is not None else self.dp,
+        )
+
+    def validate_for_model(self, n_layers: int) -> None:
+        """Check the model can be partitioned across this configuration."""
+        if self.pp > n_layers:
+            raise ValueError(
+                f"pipeline parallelism {self.pp} exceeds the number of layers {n_layers}"
+            )

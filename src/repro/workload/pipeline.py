@@ -1,0 +1,85 @@
+"""Pipeline-parallel layer partitioning and the 1F1B schedule.
+
+The schedule generator reproduces Megatron's non-interleaved 1F1B policy
+(Narayanan et al., 2021), which is what the paper assumes when it rebuilds
+pipeline schedules for new pipeline-parallel degrees (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineAction:
+    """One step of a per-stage pipeline schedule."""
+
+    kind: str  # "F" (forward) or "B" (backward)
+    microbatch: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("F", "B"):
+            raise ValueError(f"unknown pipeline action kind '{self.kind}'")
+        if self.microbatch < 0:
+            raise ValueError("microbatch index must be non-negative")
+
+
+def stage_layers(n_layers: int, pipeline_parallel: int, stage: int) -> list[int]:
+    """Global layer indices assigned to ``stage``.
+
+    Layers are split as evenly as possible; when the split is uneven the
+    earlier stages receive the extra layers (Megatron convention).
+    """
+    if not 0 <= stage < pipeline_parallel:
+        raise ValueError(f"stage {stage} out of range for PP={pipeline_parallel}")
+    if pipeline_parallel > n_layers:
+        raise ValueError(f"PP={pipeline_parallel} exceeds the number of layers {n_layers}")
+    base, remainder = divmod(n_layers, pipeline_parallel)
+    sizes = [base + (1 if s < remainder else 0) for s in range(pipeline_parallel)]
+    start = sum(sizes[:stage])
+    return list(range(start, start + sizes[stage]))
+
+
+def stage_of_layer(n_layers: int, pipeline_parallel: int, layer: int) -> int:
+    """Pipeline stage owning global layer index ``layer``."""
+    if not 0 <= layer < n_layers:
+        raise ValueError(f"layer {layer} out of range for a {n_layers}-layer model")
+    for stage in range(pipeline_parallel):
+        if layer in stage_layers(n_layers, pipeline_parallel, stage):
+            return stage
+    raise AssertionError("unreachable: every layer belongs to a stage")
+
+
+def one_f_one_b_schedule(num_microbatches: int, pipeline_parallel: int,
+                         stage: int) -> list[PipelineAction]:
+    """Per-stage 1F1B schedule.
+
+    Each stage runs ``min(PP - stage - 1, M)`` warm-up forwards, then
+    alternates one forward with one backward, then drains the remaining
+    backwards.  Every micro-batch appears exactly once as ``F`` and once as
+    ``B``.
+    """
+    if num_microbatches <= 0:
+        raise ValueError("num_microbatches must be positive")
+    if not 0 <= stage < pipeline_parallel:
+        raise ValueError(f"stage {stage} out of range for PP={pipeline_parallel}")
+
+    warmup = min(pipeline_parallel - stage - 1, num_microbatches)
+    steady = num_microbatches - warmup
+
+    schedule: list[PipelineAction] = []
+    for microbatch in range(warmup):
+        schedule.append(PipelineAction("F", microbatch))
+    for index in range(steady):
+        schedule.append(PipelineAction("F", warmup + index))
+        schedule.append(PipelineAction("B", index))
+    for microbatch in range(steady, num_microbatches):
+        schedule.append(PipelineAction("B", microbatch))
+    return schedule
+
+
+def pipeline_bubble_fraction(num_microbatches: int, pipeline_parallel: int) -> float:
+    """Ideal 1F1B bubble fraction ``(PP - 1) / (M + PP - 1)``."""
+    if num_microbatches <= 0 or pipeline_parallel <= 0:
+        raise ValueError("arguments must be positive")
+    return (pipeline_parallel - 1) / (num_microbatches + pipeline_parallel - 1)

@@ -1,0 +1,58 @@
+"""Training-loop configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_DTYPE_BYTES = {"bf16": 2, "fp16": 2, "fp32": 4}
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Iteration-level training parameters.
+
+    Attributes
+    ----------
+    micro_batch_size:
+        Samples per micro-batch per data-parallel replica.
+    num_microbatches:
+        Micro-batches processed per pipeline per iteration.  Kept constant
+        when scaling data parallelism (weak scaling), which matches the
+        paper's scale-out experiments where per-replica work is unchanged.
+    sequence_length:
+        Tokens per sample.
+    dtype:
+        Activation/gradient datatype ("bf16", "fp16" or "fp32").
+    gradient_bucket_layers:
+        Number of transformer layers whose gradients share one
+        data-parallel all-reduce bucket (overlapped with the backward pass).
+    """
+
+    micro_batch_size: int = 1
+    num_microbatches: int = 8
+    sequence_length: int = 2048
+    dtype: str = "bf16"
+    gradient_bucket_layers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.micro_batch_size <= 0 or self.num_microbatches <= 0:
+            raise ValueError("batch sizes must be positive")
+        if self.sequence_length <= 0:
+            raise ValueError("sequence_length must be positive")
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(f"unsupported dtype '{self.dtype}'")
+        if self.gradient_bucket_layers <= 0:
+            raise ValueError("gradient_bucket_layers must be positive")
+
+    @property
+    def dtype_bytes(self) -> int:
+        """Bytes per element for the activation/gradient datatype."""
+        return _DTYPE_BYTES[self.dtype]
+
+    def tokens_per_replica(self) -> int:
+        """Tokens processed by one data-parallel replica per iteration."""
+        return self.micro_batch_size * self.num_microbatches * self.sequence_length
+
+    def global_batch_size(self, data_parallel: int) -> int:
+        """Samples per iteration across all data-parallel replicas."""
+        return self.micro_batch_size * self.num_microbatches * data_parallel

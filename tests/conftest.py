@@ -1,0 +1,79 @@
+"""Shared fixtures.
+
+The unit and integration tests run against a deliberately small transformer
+(a few layers, short sequences) so that the full suite stays fast; the
+paper-scale models are exercised by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graph_builder import GraphBuilder
+from repro.core.replay import replay
+from repro.emulator.api import ClusterEmulator, emulate
+from repro.hardware.cluster import ClusterSpec
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+def tiny_model(n_layers: int = 4, d_model: int = 1024, name: str = "tiny-gpt") -> ModelConfig:
+    """A small transformer used throughout the tests."""
+    return ModelConfig(name=name, n_layers=n_layers, d_model=d_model, d_ff=4 * d_model,
+                       n_heads=max(1, d_model // 128), d_head=128, vocab_size=8192,
+                       seq_length=512)
+
+
+@pytest.fixture(scope="session")
+def small_model() -> ModelConfig:
+    return tiny_model()
+
+
+@pytest.fixture(scope="session")
+def small_parallel() -> ParallelismConfig:
+    return ParallelismConfig(tensor_parallel=2, pipeline_parallel=2, data_parallel=2)
+
+
+@pytest.fixture(scope="session")
+def small_training() -> TrainingConfig:
+    return TrainingConfig(micro_batch_size=1, num_microbatches=2, sequence_length=512,
+                          gradient_bucket_layers=2)
+
+
+@pytest.fixture(scope="session")
+def small_cluster(small_parallel) -> ClusterSpec:
+    return ClusterSpec.for_world_size(small_parallel.world_size)
+
+
+@pytest.fixture(scope="session")
+def small_emulation(small_model, small_parallel, small_training):
+    """Two emulated iterations of the tiny workload (profiled + measured)."""
+    return emulate(small_model, small_parallel, small_training, iterations=2, seed=42)
+
+
+@pytest.fixture(scope="session")
+def profiled_bundle(small_emulation):
+    return small_emulation.profiled
+
+
+@pytest.fixture(scope="session")
+def measured_bundle(small_emulation):
+    return small_emulation.measured
+
+
+@pytest.fixture(scope="session")
+def small_graph(profiled_bundle):
+    """The Lumos execution graph of the tiny profiled trace."""
+    return GraphBuilder().build(profiled_bundle)
+
+
+@pytest.fixture(scope="session")
+def small_replay(profiled_bundle):
+    """Lumos replay of the tiny profiled trace."""
+    return replay(profiled_bundle)
+
+
+@pytest.fixture(scope="session")
+def small_emulator(small_model, small_parallel, small_training):
+    return ClusterEmulator(small_model, small_parallel, small_training, seed=42)

@@ -1,0 +1,112 @@
+"""Tests for the dPRO / analytical baselines and the analysis helpers."""
+
+import pytest
+
+from repro.analysis.comparison import compare_breakdowns, evaluate_replay
+from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.baselines.analytical import analytical_iteration_time
+from repro.baselines.dpro import DPRO_OPTIONS, dpro_replay
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.tasks import DependencyType
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+class TestDproBaseline:
+    def test_options_disable_inter_stream_only(self):
+        assert not DPRO_OPTIONS.include_inter_stream
+        assert DPRO_OPTIONS.include_sync
+        assert DPRO_OPTIONS.include_collective_groups
+
+    def test_dpro_graph_has_no_inter_stream_edges(self, profiled_bundle):
+        result = dpro_replay(profiled_bundle)
+        assert result.graph.dependency_counts()[DependencyType.GPU_INTER_STREAM] == 0
+
+    def test_dpro_underestimates_iteration_time(self, profiled_bundle, measured_bundle,
+                                                small_replay):
+        dpro = dpro_replay(profiled_bundle)
+        actual = measured_bundle.iteration_time()
+        assert dpro.iteration_time_us < actual
+        assert dpro.iteration_time_us < small_replay.iteration_time_us
+
+    def test_dpro_overestimates_overlap(self, profiled_bundle, measured_bundle):
+        dpro = dpro_replay(profiled_bundle)
+        actual = compute_breakdown(measured_bundle)
+        exposed_ratio_dpro = dpro.breakdown().exposed_communication / max(dpro.breakdown().total, 1e-9)
+        exposed_ratio_actual = actual.exposed_communication / actual.total
+        assert exposed_ratio_dpro < exposed_ratio_actual
+
+
+class TestAnalyticalBaseline:
+    def test_components_positive_for_3d_parallel_job(self):
+        estimate = analytical_iteration_time(gpt3_model("gpt3-15b"), ParallelismConfig(2, 2, 4),
+                                             TrainingConfig(num_microbatches=4))
+        assert estimate.compute_us > 0
+        assert estimate.tensor_parallel_comm_us > 0
+        assert estimate.data_parallel_comm_us > 0
+        assert estimate.pipeline_comm_us > 0
+        assert estimate.bubble_us > 0
+        assert estimate.total_us == pytest.approx(
+            estimate.compute_us + estimate.tensor_parallel_comm_us
+            + estimate.data_parallel_comm_us + estimate.pipeline_comm_us + estimate.bubble_us)
+
+    def test_no_parallelism_no_comm(self):
+        estimate = analytical_iteration_time(gpt3_model("gpt3-15b"), ParallelismConfig(1, 1, 1),
+                                             TrainingConfig(num_microbatches=2))
+        assert estimate.tensor_parallel_comm_us == 0
+        assert estimate.data_parallel_comm_us == 0
+        assert estimate.pipeline_comm_us == 0
+        assert estimate.bubble_us == 0
+
+    def test_bigger_model_takes_longer(self):
+        parallel, training = ParallelismConfig(8, 4, 2), TrainingConfig(num_microbatches=4)
+        assert analytical_iteration_time(gpt3_model("gpt3-175b"), parallel, training).total_us > \
+            analytical_iteration_time(gpt3_model("gpt3-44b"), parallel, training).total_us
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            analytical_iteration_time(gpt3_model("gpt3-15b"), ParallelismConfig(1, 1, 1),
+                                      TrainingConfig(), achievable_flops_fraction=0.0)
+
+    def test_analytical_in_same_order_of_magnitude_as_emulation(self, small_model, small_parallel,
+                                                                small_training, measured_bundle):
+        estimate = analytical_iteration_time(small_model, small_parallel, small_training)
+        actual = measured_bundle.iteration_time()
+        # The analytical model is coarse (it has no launch gaps, idle time or
+        # per-kernel effects), so only an order-of-magnitude agreement is
+        # expected on the tiny test workload.
+        assert 0.1 < estimate.total_us / actual < 10.0
+
+
+class TestAnalysisHelpers:
+    def test_evaluate_replay_consistency(self, profiled_bundle, measured_bundle, small_replay):
+        comparison = evaluate_replay("tiny", profiled_bundle, measured_bundle,
+                                     lumos_result=small_replay)
+        assert comparison.actual_time_us == pytest.approx(measured_bundle.iteration_time())
+        assert comparison.lumos_abs_error_percent == pytest.approx(
+            abs(comparison.lumos_error_percent))
+        assert comparison.lumos_abs_error_percent < comparison.dpro_abs_error_percent
+
+    def test_compare_breakdowns_component_errors(self):
+        actual = ExecutionBreakdown(100.0, 50.0, 30.0, 20.0)
+        predicted = ExecutionBreakdown(110.0, 40.0, 30.0, 20.0)
+        comparison = compare_breakdowns("x", actual, predicted)
+        errors = comparison.component_errors_percent()
+        assert errors["exposed_compute"] == pytest.approx(5.0)
+        assert errors["overlapped"] == pytest.approx(-5.0)
+        assert comparison.total_error_percent == pytest.approx(0.0)
+
+    def test_compare_breakdowns_accepts_bundles(self, measured_bundle):
+        comparison = compare_breakdowns("same", measured_bundle, measured_bundle)
+        assert comparison.total_error_percent == pytest.approx(0.0)
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_breakdown_row_matches_headers(self):
+        row = format_breakdown_row("label", ExecutionBreakdown(1.0, 2.0, 3.0, 4.0))
+        assert len(row) == len(breakdown_headers())

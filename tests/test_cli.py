@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_directory(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("traces") / "bundle"
+    exit_code = main([
+        "emulate", "--model", "gpt3-15b", "--parallelism", "2x2x2",
+        "--micro-batch-size", "1", "--num-microbatches", "2",
+        "--iterations", "1", "--output", str(directory),
+    ])
+    assert exit_code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_emulate_defaults(self):
+        args = build_parser().parse_args(["emulate", "--output", "/tmp/x"])
+        assert args.model == "gpt3-15b"
+        assert args.parallelism == "2x2x4"
+
+
+class TestCommands:
+    def test_emulate_writes_bundle(self, trace_directory):
+        assert (trace_directory / "manifest.json").exists()
+
+    def test_replay_command(self, trace_directory, capsys):
+        assert main(["replay", "--trace", str(trace_directory)]) == 0
+        output = capsys.readouterr().out
+        assert "replayed iteration time" in output
+        assert "exposed_comm_ms" in output
+
+    def test_replay_with_dpro_baseline(self, trace_directory, capsys):
+        assert main(["replay", "--trace", str(trace_directory), "--baseline", "dpro"]) == 0
+        assert "replayed iteration time" in capsys.readouterr().out
+
+    def test_breakdown_command(self, trace_directory, capsys):
+        assert main(["breakdown", "--trace", str(trace_directory)]) == 0
+        assert "iteration time" in capsys.readouterr().out
+
+    def test_predict_parallelism(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1", "--num-microbatches", "2",
+            "--target-parallelism", "2x2x8",
+        ])
+        assert code == 0
+        assert "predicted 2x2x8" in capsys.readouterr().out
+
+    def test_predict_architecture(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1", "--num-microbatches", "2",
+            "--target-model", "gpt3-v1",
+        ])
+        assert code == 0
+        assert "gpt3-v1" in capsys.readouterr().out
+
+    def test_predict_without_target_errors(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2",
+        ])
+        assert code == 2

@@ -1,0 +1,158 @@
+"""Unit tests for execution-graph tasks and the graph container."""
+
+import pytest
+
+from repro.core.graph import ExecutionGraph
+from repro.core.tasks import DependencyType, Task, TaskKind
+
+
+def cpu_task(task_id=-1, rank=0, name="op", duration=1.0, thread=1, ts=0.0, **kwargs):
+    return Task(task_id=task_id, rank=rank, kind=TaskKind.CPU, name=name, duration=duration,
+                trace_ts=ts, thread=thread, **kwargs)
+
+
+def gpu_task(task_id=-1, rank=0, name="kernel", duration=1.0, stream=7, ts=0.0, **kwargs):
+    return Task(task_id=task_id, rank=rank, kind=TaskKind.GPU, name=name, duration=duration,
+                trace_ts=ts, stream=stream, **kwargs)
+
+
+class TestTask:
+    def test_cpu_task_requires_thread(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, rank=0, kind=TaskKind.CPU, name="x", duration=1.0)
+
+    def test_gpu_task_requires_stream(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, rank=0, kind=TaskKind.GPU, name="x", duration=1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_task(duration=-1.0)
+
+    def test_processor_identity(self):
+        assert cpu_task(rank=2, thread=5).processor == (2, "thread", 5)
+        assert gpu_task(rank=3, stream=20).processor == (3, "stream", 20)
+
+    def test_is_communication_from_args(self):
+        assert gpu_task(args={"collective": "all_reduce"}).is_communication
+        assert not gpu_task(name="gemm").is_communication
+        assert gpu_task(name="ncclDevKernel_AllReduce").is_communication
+
+    def test_cpu_task_never_communication(self):
+        assert not cpu_task(args={"collective": "all_reduce"}).is_communication
+
+    def test_sync_detection(self):
+        assert gpu_task().is_sync is False
+        assert cpu_task(sync_streams=(7,)).is_sync
+
+    def test_metadata_properties(self):
+        task = gpu_task(args={"layer": 3, "microbatch": 1, "phase": "forward", "op_class": "gemm"})
+        assert (task.layer, task.microbatch, task.phase, task.op_class) == (3, 1, "forward", "gemm")
+
+    def test_copy_is_independent(self):
+        task = gpu_task(args={"layer": 1})
+        clone = task.copy(duration=5.0)
+        clone.args["layer"] = 99
+        assert task.args["layer"] == 1
+        assert task.duration == 1.0 and clone.duration == 5.0
+
+
+class TestExecutionGraph:
+    def _linear_graph(self, n=4):
+        graph = ExecutionGraph()
+        tasks = [graph.add_task(cpu_task(ts=float(i))) for i in range(n)]
+        for a, b in zip(tasks, tasks[1:]):
+            graph.add_dependency(a.task_id, b.task_id, DependencyType.CPU_INTRA_THREAD)
+        return graph, tasks
+
+    def test_add_task_assigns_unique_ids(self):
+        graph = ExecutionGraph()
+        a = graph.add_task(cpu_task())
+        b = graph.add_task(cpu_task())
+        assert a.task_id != b.task_id
+        assert len(graph) == 2
+
+    def test_dependency_to_unknown_task_raises(self):
+        graph, tasks = self._linear_graph(2)
+        with pytest.raises(KeyError):
+            graph.add_dependency(tasks[0].task_id, 999, DependencyType.CPU_INTRA_THREAD)
+
+    def test_self_dependency_rejected(self):
+        graph, tasks = self._linear_graph(1)
+        with pytest.raises(ValueError):
+            graph.add_dependency(tasks[0].task_id, tasks[0].task_id,
+                                 DependencyType.CPU_INTRA_THREAD)
+
+    def test_successors_and_predecessors(self):
+        graph, tasks = self._linear_graph(3)
+        assert graph.successors(tasks[0].task_id) == [tasks[1].task_id]
+        assert graph.predecessors(tasks[2].task_id) == [tasks[1].task_id]
+
+    def test_topological_order_respects_edges(self):
+        graph, tasks = self._linear_graph(5)
+        order = graph.topological_order()
+        positions = {task_id: index for index, task_id in enumerate(order)}
+        for dependency in graph.dependencies:
+            assert positions[dependency.src] < positions[dependency.dst]
+
+    def test_acyclic_detection(self):
+        graph, tasks = self._linear_graph(3)
+        assert graph.is_acyclic()
+        graph.add_dependency(tasks[2].task_id, tasks[0].task_id, DependencyType.CPU_INTRA_THREAD)
+        assert not graph.is_acyclic()
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_dependency_counts_by_type(self):
+        graph = ExecutionGraph()
+        a = graph.add_task(cpu_task())
+        b = graph.add_task(gpu_task())
+        graph.add_dependency(a.task_id, b.task_id, DependencyType.CPU_TO_GPU)
+        counts = graph.dependency_counts()
+        assert counts[DependencyType.CPU_TO_GPU] == 1
+        assert counts[DependencyType.GPU_INTER_STREAM] == 0
+
+    def test_task_selectors(self):
+        graph = ExecutionGraph()
+        graph.add_task(cpu_task(rank=0, ts=1.0))
+        graph.add_task(gpu_task(rank=0, stream=7, ts=2.0))
+        graph.add_task(gpu_task(rank=1, stream=20, ts=3.0))
+        assert len(graph.cpu_tasks()) == 1
+        assert len(graph.gpu_tasks()) == 2
+        assert len(graph.gpu_tasks(rank=1)) == 1
+        assert graph.ranks() == [0, 1]
+        assert graph.streams(0) == [7]
+
+    def test_tasks_on_stream_sorted_by_trace_order(self):
+        graph = ExecutionGraph()
+        late = graph.add_task(gpu_task(ts=10.0, name="late"))
+        early = graph.add_task(gpu_task(ts=5.0, name="early"))
+        names = [t.name for t in graph.tasks_on_stream(0, 7)]
+        assert names == ["early", "late"]
+        assert late.task_id != early.task_id
+
+    def test_collective_groups(self):
+        graph = ExecutionGraph()
+        graph.add_task(gpu_task(rank=0, collective_group="act:1:0"))
+        graph.add_task(gpu_task(rank=1, collective_group="act:1:0"))
+        graph.add_task(gpu_task(rank=0))
+        groups = graph.collective_groups()
+        assert set(groups) == {"act:1:0"}
+        assert len(groups["act:1:0"]) == 2
+
+    def test_to_networkx_roundtrip_counts(self):
+        graph, _ = self._linear_graph(4)
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 4
+        assert nx_graph.number_of_edges() == 3
+
+    def test_subgraph_for_ranks(self):
+        graph = ExecutionGraph()
+        a = graph.add_task(cpu_task(rank=0))
+        b = graph.add_task(gpu_task(rank=0))
+        graph.add_task(gpu_task(rank=1))
+        graph.add_dependency(a.task_id, b.task_id, DependencyType.CPU_TO_GPU)
+        subgraph = graph.subgraph_for_ranks([0])
+        assert subgraph.ranks() == [0]
+        assert len(subgraph) == 2
+        assert len(subgraph.dependencies) == 1

@@ -1,0 +1,133 @@
+"""Tests for trace emission and the high-level emulation API."""
+
+import pytest
+
+from repro.emulator.api import ClusterEmulator, emulate
+from repro.emulator.program import Streams, Threads
+from repro.trace.events import Category, CudaRuntimeName
+from repro.trace.validation import validate_trace
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+from tests.conftest import tiny_model
+
+
+class TestEmulationResult:
+    def test_one_trace_per_pipeline_stage(self, profiled_bundle, small_parallel):
+        assert len(profiled_bundle) == small_parallel.pp
+
+    def test_profiled_and_measured_are_distinct_iterations(self, small_emulation):
+        assert small_emulation.profiled is small_emulation.iterations[0]
+        assert small_emulation.measured is small_emulation.iterations[-1]
+        assert small_emulation.profiled is not small_emulation.measured
+
+    def test_iteration_times_are_positive_and_similar(self, small_emulation):
+        t0 = small_emulation.iteration_time(0)
+        t1 = small_emulation.iteration_time(1)
+        assert t0 > 0 and t1 > 0
+        assert abs(t1 - t0) / t0 < 0.25
+
+    def test_traces_are_structurally_valid(self, small_emulation):
+        for bundle in small_emulation.iterations:
+            assert validate_trace(bundle).ok
+
+    def test_distributed_info_attached(self, profiled_bundle, small_parallel):
+        for trace in profiled_bundle:
+            info = trace.distributed
+            assert info is not None
+            assert info.world_size == small_parallel.world_size
+            assert info.tensor_parallel == small_parallel.tp
+
+    def test_metadata_records_configuration(self, profiled_bundle, small_model, small_parallel):
+        assert profiled_bundle.metadata["model"] == small_model.name
+        assert profiled_bundle.metadata["parallelism"] == small_parallel.label()
+
+    def test_requires_at_least_one_iteration(self, small_emulator):
+        with pytest.raises(ValueError):
+            small_emulator.run(iterations=0)
+
+    def test_programs_are_cached(self, small_emulator):
+        assert small_emulator.programs() is small_emulator.programs()
+
+
+class TestEmittedTraceContents:
+    def test_profiler_step_annotation_present(self, profiled_bundle):
+        for trace in profiled_bundle:
+            steps = trace.profiler_steps()
+            assert len(steps) == 1
+            assert steps[0].name == "ProfilerStep#0"
+
+    def test_event_categories_present(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        categories = {event.cat for event in trace}
+        assert {Category.CPU_OP, Category.CUDA_RUNTIME, Category.KERNEL,
+                Category.USER_ANNOTATION} <= categories
+
+    def test_launches_and_kernels_share_correlation_ids(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        launch_ids = {e.correlation for e in trace.runtime_events()
+                      if e.name == CudaRuntimeName.LAUNCH_KERNEL}
+        kernel_ids = {e.correlation for e in trace.kernels()}
+        assert kernel_ids == launch_ids
+
+    def test_event_record_and_wait_events_emitted(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        names = {e.name for e in trace.runtime_events()}
+        assert CudaRuntimeName.EVENT_RECORD in names
+        assert CudaRuntimeName.STREAM_WAIT_EVENT in names
+        assert CudaRuntimeName.DEVICE_SYNCHRONIZE in names
+
+    def test_kernels_are_tagged_with_stream_and_metadata(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        for kernel in trace.kernels():
+            assert kernel.stream in Streams.ALL
+            assert "op_class" in kernel.args
+
+    def test_communication_kernels_carry_group_metadata(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        comm = [k for k in trace.kernels() if k.args.get("collective")]
+        assert comm
+        for kernel in comm:
+            assert kernel.args["group"] in ("tp", "dp", "pp")
+            assert kernel.args["group_size"] >= 2
+            assert kernel.args["size_bytes"] > 0
+
+    def test_cpu_events_use_two_threads(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        threads = {e.tid for e in trace if e.is_cpu()}
+        assert {Threads.MAIN, Threads.BACKWARD} <= threads
+
+    def test_sync_event_duration_covers_wait(self, profiled_bundle):
+        trace = profiled_bundle[profiled_bundle.ranks()[0]]
+        syncs = [e for e in trace.runtime_events()
+                 if e.name == CudaRuntimeName.DEVICE_SYNCHRONIZE]
+        assert syncs and all(s.dur > 10.0 for s in syncs)
+
+
+class TestEmulationBehaviour:
+    def test_same_seed_reproduces_iteration_time(self, small_model, small_parallel, small_training):
+        first = emulate(small_model, small_parallel, small_training, iterations=1, seed=3)
+        second = emulate(small_model, small_parallel, small_training, iterations=1, seed=3)
+        assert first.iteration_time(0) == pytest.approx(second.iteration_time(0))
+
+    def test_different_seeds_differ(self, small_model, small_parallel, small_training):
+        first = emulate(small_model, small_parallel, small_training, iterations=1, seed=3)
+        second = emulate(small_model, small_parallel, small_training, iterations=1, seed=4)
+        assert first.iteration_time(0) != pytest.approx(second.iteration_time(0), rel=1e-6)
+
+    def test_more_layers_take_longer(self, small_parallel, small_training):
+        small = emulate(tiny_model(n_layers=4), small_parallel, small_training,
+                        iterations=1, seed=0)
+        large = emulate(tiny_model(n_layers=8), small_parallel, small_training,
+                        iterations=1, seed=0)
+        assert large.iteration_time(0) > small.iteration_time(0)
+
+    def test_tensor_parallel_only_job_has_single_trace(self, small_training):
+        result = emulate(tiny_model(n_layers=2), ParallelismConfig(2, 1, 1),
+                         TrainingConfig(micro_batch_size=1, num_microbatches=2,
+                                        sequence_length=512),
+                         iterations=1, seed=0)
+        assert len(result.profiled) == 1
+
+    def test_emulator_object_reusable(self, small_emulator):
+        result = small_emulator.run(iterations=1)
+        assert result.iteration_time(0) > 0

@@ -1,0 +1,170 @@
+"""Unit tests for the emulator's program executor."""
+
+import pytest
+
+from repro.emulator.executor import ProgramExecutor
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    EventRecord,
+    KernelIntent,
+    LaunchKernel,
+    RankProgram,
+    StreamSync,
+    StreamWaitEvent,
+    Streams,
+    Threads,
+)
+
+
+def kernel(name, stream, duration, comm_key=None, collective=None):
+    return KernelIntent(name=name, stream=stream, duration_us=duration, op_class="gemm",
+                        comm_key=comm_key, collective=collective)
+
+
+def launch(intent, thread=Threads.MAIN):
+    return LaunchKernel(thread=thread, kernel=intent, op_duration_us=1.0, launch_duration_us=1.0)
+
+
+def run(programs):
+    return ProgramExecutor().execute(programs, start_time=0.0)
+
+
+def kernels_of(tasks):
+    return [t for t in tasks if t.kind == "kernel"]
+
+
+class TestSequentialSemantics:
+    def test_cpu_instructions_execute_in_order(self):
+        program = RankProgram(rank=0, stage=0, instructions=[
+            CpuCompute(thread=Threads.MAIN, name="a", duration_us=10.0),
+            CpuCompute(thread=Threads.MAIN, name="b", duration_us=5.0),
+        ])
+        tasks = run({0: program})[0]
+        assert tasks[1].start == pytest.approx(tasks[0].end)
+
+    def test_kernel_starts_after_launch(self):
+        intent = kernel("k", Streams.COMPUTE, 100.0)
+        program = RankProgram(rank=0, stage=0, instructions=[launch(intent)])
+        tasks = run({0: program})[0]
+        launch_task, kernel_task = tasks
+        assert kernel_task.start >= launch_task.end
+
+    def test_same_stream_kernels_serialize(self):
+        k1, k2 = kernel("k1", Streams.COMPUTE, 100.0), kernel("k2", Streams.COMPUTE, 50.0)
+        program = RankProgram(rank=0, stage=0, instructions=[launch(k1), launch(k2)])
+        tasks = kernels_of(run({0: program})[0])
+        assert tasks[1].start >= tasks[0].end
+
+    def test_different_streams_overlap(self):
+        k1, k2 = kernel("k1", Streams.COMPUTE, 1000.0), kernel("k2", Streams.TP_COMM, 1000.0)
+        program = RankProgram(rank=0, stage=0, instructions=[launch(k1), launch(k2)])
+        tasks = kernels_of(run({0: program})[0])
+        assert tasks[1].start < tasks[0].end
+
+
+class TestEventSynchronisation:
+    def test_stream_wait_event_defers_next_kernel(self):
+        producer = kernel("producer", Streams.COMPUTE, 500.0)
+        consumer = kernel("consumer", Streams.TP_COMM, 10.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            launch(producer),
+            EventRecord(thread=Threads.MAIN, stream=Streams.COMPUTE, event_id=1),
+            StreamWaitEvent(thread=Threads.MAIN, stream=Streams.TP_COMM, event_id=1),
+            launch(consumer),
+        ])
+        tasks = kernels_of(run({0: program})[0])
+        assert tasks[1].start >= tasks[0].end
+
+    def test_without_wait_the_kernels_overlap(self):
+        producer = kernel("producer", Streams.COMPUTE, 500.0)
+        consumer = kernel("consumer", Streams.TP_COMM, 10.0)
+        program = RankProgram(rank=0, stage=0, instructions=[launch(producer), launch(consumer)])
+        tasks = kernels_of(run({0: program})[0])
+        assert tasks[1].start < tasks[0].end
+
+    def test_wait_for_unrecorded_event_is_noop(self):
+        consumer = kernel("consumer", Streams.TP_COMM, 10.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            StreamWaitEvent(thread=Threads.MAIN, stream=Streams.TP_COMM, event_id=99),
+            launch(consumer),
+        ])
+        tasks = run({0: program})[0]
+        assert kernels_of(tasks)[0].start < 20.0
+
+
+class TestBlockingSyncs:
+    def test_stream_sync_blocks_cpu(self):
+        slow = kernel("slow", Streams.COMPUTE, 1000.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            launch(slow),
+            StreamSync(thread=Threads.MAIN, stream=Streams.COMPUTE),
+            CpuCompute(thread=Threads.MAIN, name="after", duration_us=1.0),
+        ])
+        tasks = run({0: program})[0]
+        after = [t for t in tasks if t.name == "after"][0]
+        slow_kernel = kernels_of(tasks)[0]
+        assert after.start >= slow_kernel.end
+
+    def test_stream_sync_ignores_other_streams(self):
+        slow = kernel("slow", Streams.COMPUTE, 1000.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            launch(slow),
+            StreamSync(thread=Threads.MAIN, stream=Streams.DP_COMM),
+            CpuCompute(thread=Threads.MAIN, name="after", duration_us=1.0),
+        ])
+        tasks = run({0: program})[0]
+        after = [t for t in tasks if t.name == "after"][0]
+        assert after.start < 100.0
+
+    def test_device_sync_waits_for_all_streams(self):
+        k1 = kernel("k1", Streams.COMPUTE, 500.0)
+        k2 = kernel("k2", Streams.TP_COMM, 900.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            launch(k1), launch(k2), DeviceSync(thread=Threads.MAIN),
+            CpuCompute(thread=Threads.MAIN, name="after", duration_us=1.0),
+        ])
+        tasks = run({0: program})[0]
+        after = [t for t in tasks if t.name == "after"][0]
+        assert after.start >= max(t.end for t in kernels_of(tasks))
+
+    def test_sync_records_called_at(self):
+        slow = kernel("slow", Streams.COMPUTE, 1000.0)
+        program = RankProgram(rank=0, stage=0, instructions=[
+            launch(slow), StreamSync(thread=Threads.MAIN, stream=Streams.COMPUTE)])
+        tasks = run({0: program})[0]
+        sync = [t for t in tasks if t.name == "cudaStreamSynchronize"][0]
+        assert sync.called_at is not None
+        assert sync.called_at < sync.start
+
+
+class TestCollectiveAlignment:
+    def _pair_programs(self, recv_delay_us: float):
+        send = kernel("send", Streams.PP_SEND_FWD, 50.0, comm_key="act:1:0", collective="send")
+        recv = kernel("recv", Streams.PP_RECV_FWD, 50.0, comm_key="act:1:0", collective="recv")
+        sender = RankProgram(rank=0, stage=0, instructions=[launch(send)])
+        receiver = RankProgram(rank=1, stage=1, instructions=[
+            CpuCompute(thread=Threads.MAIN, name="delay", duration_us=recv_delay_us),
+            launch(recv),
+        ])
+        return {0: sender, 1: receiver}
+
+    def test_pair_starts_together_and_shares_duration(self):
+        results = run(self._pair_programs(recv_delay_us=400.0))
+        send_task = kernels_of(results[0])[0]
+        recv_task = kernels_of(results[1])[0]
+        assert send_task.start == pytest.approx(recv_task.start)
+        assert send_task.duration == pytest.approx(recv_task.duration)
+
+    def test_late_receiver_delays_sender(self):
+        results = run(self._pair_programs(recv_delay_us=800.0))
+        send_task = kernels_of(results[0])[0]
+        assert send_task.start >= 800.0
+
+    def test_unknown_instruction_type_raises(self):
+        class Weird:
+            thread = Threads.MAIN
+
+        program = RankProgram(rank=0, stage=0, instructions=[Weird()])
+        with pytest.raises(TypeError):
+            run({0: program})

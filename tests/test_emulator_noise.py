@@ -1,0 +1,69 @@
+"""Unit tests for the emulator noise models."""
+
+import pytest
+
+from repro.emulator.noise import NoiseConfig, NoiseModel, ZeroNoise
+
+
+class TestNoiseConfig:
+    def test_defaults_valid(self):
+        NoiseConfig()
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(straggler_probability=1.5)
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(kernel_sigma=-0.1)
+
+
+class TestNoiseModel:
+    def test_deterministic_given_seed_iteration_rank(self):
+        a = NoiseModel(seed=7).rank_stream(1, 3)
+        b = NoiseModel(seed=7).rank_stream(1, 3)
+        assert [a.kernel_factor(False) for _ in range(5)] == \
+            [b.kernel_factor(False) for _ in range(5)]
+
+    def test_different_iterations_differ(self):
+        model = NoiseModel(seed=7)
+        a = [model.rank_stream(0, 0).kernel_factor(False) for _ in range(3)]
+        b = [model.rank_stream(1, 0).kernel_factor(False) for _ in range(3)]
+        assert a != b
+
+    def test_profiled_iteration_has_unit_drift(self):
+        assert NoiseModel(seed=1).iteration_drift(0) == (1.0, 1.0, 1.0)
+
+    def test_later_iterations_have_nonunit_drift(self):
+        compute, comm, cpu = NoiseModel(seed=1).iteration_drift(1)
+        assert (compute, comm, cpu) != (1.0, 1.0, 1.0)
+        for factor in (compute, comm, cpu):
+            assert 0.5 < factor < 2.0
+
+    def test_drift_shared_across_ranks(self):
+        model = NoiseModel(seed=3)
+        stream_a, stream_b = model.rank_stream(2, 0), model.rank_stream(2, 5)
+        assert stream_a._compute_drift == stream_b._compute_drift
+
+    def test_kernel_factors_near_one(self):
+        stream = NoiseModel(seed=0).rank_stream(0, 0)
+        factors = [stream.kernel_factor(False) for _ in range(200)]
+        assert all(0.8 < f < 1.3 for f in factors)
+
+    def test_comm_factors_wider_than_compute(self):
+        config = NoiseConfig(straggler_probability=0.0)
+        stream = NoiseModel(seed=0, config=config).rank_stream(0, 0)
+        compute = [abs(stream.kernel_factor(False) - 1) for _ in range(500)]
+        comm = [abs(stream.kernel_factor(True) - 1) for _ in range(500)]
+        assert sum(comm) > sum(compute)
+
+    def test_start_skew_within_bound(self):
+        config = NoiseConfig(rank_start_skew_us=100.0)
+        stream = NoiseModel(seed=0, config=config).rank_stream(0, 0)
+        assert 0.0 <= stream.start_skew_us() <= 100.0
+
+    def test_zero_noise_is_identity(self):
+        zero = ZeroNoise()
+        assert zero.kernel_factor(True) == 1.0
+        assert zero.cpu_factor() == 1.0
+        assert zero.start_skew_us() == 0.0

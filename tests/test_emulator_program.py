@@ -1,0 +1,119 @@
+"""Unit tests for the emulator's program representation and builder."""
+
+import pytest
+
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    EventRecord,
+    KernelIntent,
+    LaunchKernel,
+    RankProgram,
+    StreamSync,
+    StreamWaitEvent,
+    Streams,
+    Threads,
+)
+from repro.emulator.program_builder import ProgramBuilder
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.pipeline import stage_layers
+from repro.workload.training import TrainingConfig
+from tests.conftest import tiny_model
+
+
+class TestProgramPrimitives:
+    def test_kernel_intent_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            KernelIntent(name="k", stream=7, duration_us=-1.0, op_class="gemm")
+
+    def test_launch_total_duration(self):
+        kernel = KernelIntent(name="k", stream=7, duration_us=1.0, op_class="gemm")
+        launch = LaunchKernel(thread=Threads.MAIN, kernel=kernel,
+                              op_duration_us=3.0, launch_duration_us=4.0)
+        assert launch.duration_us == 7.0
+
+    def test_rank_program_kernels(self):
+        program = RankProgram(rank=0, stage=0)
+        kernel = KernelIntent(name="k", stream=7, duration_us=1.0, op_class="gemm")
+        program.append(CpuCompute(thread=Threads.MAIN, name="x", duration_us=1.0))
+        program.append(LaunchKernel(thread=Threads.MAIN, kernel=kernel))
+        assert program.num_kernels() == 1
+        assert program.kernels() == [kernel]
+        assert len(program) == 2
+
+
+class TestProgramBuilder:
+    @pytest.fixture(scope="class")
+    def programs(self):
+        builder = ProgramBuilder(tiny_model(n_layers=4), ParallelismConfig(2, 2, 2),
+                                 TrainingConfig(micro_batch_size=1, num_microbatches=2,
+                                                sequence_length=512, gradient_bucket_layers=2))
+        return builder.build()
+
+    def test_one_program_per_pipeline_stage(self, programs):
+        assert len(programs) == 2
+
+    def test_programs_assigned_to_representative_ranks(self, programs):
+        parallel = ParallelismConfig(2, 2, 2)
+        expected = parallel.groups().representative_ranks()
+        assert sorted(programs) == sorted(expected)
+
+    def test_every_stage_launches_kernels_on_compute_and_tp_streams(self, programs):
+        for program in programs.values():
+            streams = {k.stream for k in program.kernels()}
+            assert Streams.COMPUTE in streams
+            assert Streams.TP_COMM in streams
+
+    def test_dp_allreduce_emitted_once_per_bucket(self, programs):
+        model = tiny_model(n_layers=4)
+        for program in programs.values():
+            dp_kernels = [k for k in program.kernels() if k.group == "dp"]
+            layers = stage_layers(model.n_layers, 2, program.stage)
+            expected_buckets = -(-len(layers) // 2) + (1 if program.stage == 0 else 0)
+            assert len(dp_kernels) == expected_buckets
+
+    def test_p2p_kernels_present_on_both_sides_with_matching_keys(self, programs):
+        sends = {k.comm_key for p in programs.values() for k in p.kernels()
+                 if k.collective == "send"}
+        recvs = {k.comm_key for p in programs.values() for k in p.kernels()
+                 if k.collective == "recv"}
+        assert sends and sends == recvs
+
+    def test_backward_instructions_on_backward_thread(self, programs):
+        for program in programs.values():
+            backward_launches = [i for i in program.instructions
+                                 if isinstance(i, LaunchKernel) and i.kernel.phase == "backward"
+                                 and i.kernel.collective is None]
+            assert backward_launches
+            assert all(i.thread == Threads.BACKWARD for i in backward_launches)
+
+    def test_event_records_and_waits_are_paired(self, programs):
+        for program in programs.values():
+            records = {i.event_id for i in program.instructions if isinstance(i, EventRecord)}
+            waits = {i.event_id for i in program.instructions if isinstance(i, StreamWaitEvent)}
+            assert waits <= records
+
+    def test_iteration_ends_with_device_sync(self, programs):
+        for program in programs.values():
+            kinds = [type(i) for i in program.instructions]
+            assert DeviceSync in kinds
+            assert kinds.index(DeviceSync) > kinds.index(StreamSync)
+
+    def test_forward_kernel_count_matches_schedule(self, programs):
+        # Stage 0 runs embedding + per-layer forward ops for every micro-batch.
+        stage0 = programs[min(programs)]
+        forward = [k for k in stage0.kernels() if k.phase == "forward"]
+        per_microbatch = len({(k.layer, k.op_name) for k in forward})
+        assert len(forward) == per_microbatch * 2  # two micro-batches
+
+    def test_too_small_cluster_rejected(self):
+        from repro.hardware.cluster import ClusterSpec
+        with pytest.raises(ValueError):
+            ProgramBuilder(tiny_model(), ParallelismConfig(2, 2, 2),
+                           TrainingConfig(num_microbatches=2),
+                           cluster=ClusterSpec(num_gpus=4))
+
+    def test_pp_larger_than_layers_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder(tiny_model(n_layers=2), ParallelismConfig(1, 4, 1),
+                           TrainingConfig(num_microbatches=2))

@@ -1,0 +1,72 @@
+"""Tests for the experiment definitions and evaluation settings."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIG5_CONFIGS,
+    FIG7A_CONFIGS,
+    FIG7B_CONFIGS,
+    FIG7C_CONFIGS,
+    FIG8_VARIANTS,
+)
+from repro.experiments.settings import EvaluationSettings
+from repro.workload.model_config import GPT3_VARIANTS, gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+
+
+class TestEvaluationSettings:
+    def test_default_settings(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        settings = EvaluationSettings.default()
+        assert settings.num_microbatches == 4
+        assert settings.training().micro_batch_size == settings.micro_batch_size
+
+    def test_fast_mode_reduces_microbatches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        assert EvaluationSettings.default().num_microbatches == 2
+
+    def test_training_config_round_trips_fields(self):
+        settings = EvaluationSettings(micro_batch_size=3, num_microbatches=5,
+                                      sequence_length=1024)
+        training = settings.training()
+        assert training.micro_batch_size == 3
+        assert training.num_microbatches == 5
+        assert training.sequence_length == 1024
+
+
+class TestExperimentDefinitions:
+    def test_fig5_grid_matches_paper_shape(self):
+        assert set(FIG5_CONFIGS) == {"gpt3-15b", "gpt3-44b", "gpt3-117b", "gpt3-175b"}
+        for configs in FIG5_CONFIGS.values():
+            assert len(configs) == 6
+
+    def test_fig5_configs_are_valid_parallelism_labels(self):
+        for model_name, configs in FIG5_CONFIGS.items():
+            model = gpt3_model(model_name)
+            for label in configs:
+                parallel = ParallelismConfig.parse(label)
+                parallel.validate_for_model(model.n_layers)
+                assert parallel.world_size <= 512  # the paper's cluster size
+
+    def test_fig5_largest_configuration_uses_hundreds_of_gpus(self):
+        world_sizes = [ParallelismConfig.parse(label).world_size
+                       for labels in FIG5_CONFIGS.values() for label in labels]
+        assert max(world_sizes) >= 256
+
+    def test_fig7_targets_share_the_base_tensor_parallelism(self):
+        for label in FIG7A_CONFIGS + FIG7B_CONFIGS + FIG7C_CONFIGS:
+            assert ParallelismConfig.parse(label).tp == 2
+
+    def test_fig7a_varies_only_data_parallelism(self):
+        degrees = [ParallelismConfig.parse(label) for label in FIG7A_CONFIGS]
+        assert all(p.pp == 2 for p in degrees)
+        assert [p.dp for p in degrees] == [8, 16, 32]
+
+    def test_fig7b_varies_only_pipeline_parallelism(self):
+        degrees = [ParallelismConfig.parse(label) for label in FIG7B_CONFIGS]
+        assert all(p.dp == 4 for p in degrees)
+        assert [p.pp for p in degrees] == [4, 8, 16]
+
+    def test_fig8_variants_exist_in_table2(self):
+        for name in FIG8_VARIANTS:
+            assert name in GPT3_VARIANTS

@@ -1,0 +1,157 @@
+"""Tests for execution-graph construction from traces (§3.3)."""
+
+import pytest
+
+from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions, build_execution_graph
+from repro.core.tasks import DependencyType, TaskKind
+from repro.trace.events import Category, CudaRuntimeName, TraceEvent
+from repro.trace.kineto import KinetoTrace
+
+
+class TestBuilderOnEmulatedTrace:
+    def test_all_ranks_present(self, small_graph, profiled_bundle):
+        assert small_graph.ranks() == profiled_bundle.ranks()
+
+    def test_gpu_task_count_matches_kernel_events(self, small_graph, profiled_bundle):
+        kernels = sum(len(trace.kernels()) for trace in profiled_bundle)
+        assert len(small_graph.gpu_tasks()) == kernels
+
+    def test_wrapper_cpu_ops_dropped(self, small_graph, profiled_bundle):
+        # Operator events that contain a runtime launch are dropped, so there
+        # are fewer CPU tasks than CPU events.
+        cpu_events = sum(len(trace.cpu_ops()) + len(trace.runtime_events())
+                         for trace in profiled_bundle)
+        assert len(small_graph.cpu_tasks()) < cpu_events
+
+    def test_graph_is_acyclic(self, small_graph):
+        small_graph.validate()
+
+    def test_all_dependency_classes_present(self, small_graph):
+        counts = small_graph.dependency_counts()
+        assert counts[DependencyType.CPU_INTRA_THREAD] > 0
+        assert counts[DependencyType.CPU_INTER_THREAD] > 0
+        assert counts[DependencyType.CPU_TO_GPU] > 0
+        assert counts[DependencyType.GPU_INTRA_STREAM] > 0
+        assert counts[DependencyType.GPU_INTER_STREAM] > 0
+
+    def test_every_kernel_has_a_launch_dependency(self, small_graph):
+        launch_targets = {d.dst for d in small_graph.dependencies
+                          if d.dep_type == DependencyType.CPU_TO_GPU}
+        for task in small_graph.gpu_tasks():
+            assert task.task_id in launch_targets
+
+    def test_intra_stream_chain_is_a_total_order(self, small_graph):
+        for rank in small_graph.ranks():
+            for stream in small_graph.streams(rank):
+                tasks = small_graph.tasks_on_stream(rank, stream)
+                chain_edges = [d for d in small_graph.dependencies
+                               if d.dep_type == DependencyType.GPU_INTRA_STREAM
+                               and small_graph.tasks[d.src].stream == stream
+                               and small_graph.tasks[d.src].rank == rank]
+                assert len(chain_edges) == len(tasks) - 1
+
+    def test_sync_tasks_marked_with_target_streams(self, small_graph):
+        device_syncs = [t for t in small_graph.cpu_tasks()
+                        if t.name == CudaRuntimeName.DEVICE_SYNCHRONIZE]
+        assert device_syncs
+        for sync in device_syncs:
+            assert set(sync.sync_streams) == set(small_graph.streams(sync.rank))
+
+    def test_sync_durations_clamped(self, small_graph):
+        for task in small_graph.cpu_tasks():
+            if task.is_sync:
+                assert task.duration <= 5.0
+
+    def test_p2p_kernels_grouped_across_ranks(self, small_graph):
+        groups = small_graph.collective_groups()
+        assert groups
+        for members in groups.values():
+            ranks = {small_graph.tasks[m].rank for m in members}
+            assert len(members) == 2
+            assert len(ranks) == 2
+
+    def test_dpro_options_remove_inter_stream_edges(self, profiled_bundle):
+        graph = GraphBuilder(GraphBuilderOptions(include_inter_stream=False)).build(profiled_bundle)
+        assert graph.dependency_counts()[DependencyType.GPU_INTER_STREAM] == 0
+
+    def test_disable_collective_groups(self, profiled_bundle):
+        graph = GraphBuilder(GraphBuilderOptions(include_collective_groups=False)).build(profiled_bundle)
+        assert not graph.collective_groups()
+
+    def test_disable_inter_thread(self, profiled_bundle):
+        graph = GraphBuilder(GraphBuilderOptions(include_inter_thread=False)).build(profiled_bundle)
+        assert graph.dependency_counts()[DependencyType.CPU_INTER_THREAD] == 0
+
+    def test_single_trace_input_accepted(self, profiled_bundle):
+        rank = profiled_bundle.ranks()[0]
+        graph = build_execution_graph(profiled_bundle[rank])
+        assert graph.ranks() == [rank]
+
+
+class TestBuilderOnHandcraftedTrace:
+    def _make_trace(self):
+        events = [
+            TraceEvent("aten::mm", Category.CPU_OP, 0.0, 10.0, 0, 1, {"correlation": 1}),
+            TraceEvent(CudaRuntimeName.LAUNCH_KERNEL, Category.CUDA_RUNTIME, 5.0, 4.0, 0, 1,
+                       {"correlation": 1, "stream": 7}),
+            TraceEvent("gemm", Category.KERNEL, 20.0, 100.0, 0, 7,
+                       {"correlation": 1, "stream": 7}),
+            TraceEvent(CudaRuntimeName.EVENT_RECORD, Category.CUDA_RUNTIME, 10.0, 1.0, 0, 1,
+                       {"event_id": 1, "stream": 7}),
+            TraceEvent(CudaRuntimeName.STREAM_WAIT_EVENT, Category.CUDA_RUNTIME, 12.0, 1.0, 0, 1,
+                       {"event_id": 1, "stream": 20}),
+            TraceEvent(CudaRuntimeName.LAUNCH_KERNEL, Category.CUDA_RUNTIME, 14.0, 4.0, 0, 1,
+                       {"correlation": 2, "stream": 20}),
+            TraceEvent("nccl_all_reduce", Category.KERNEL, 125.0, 30.0, 0, 20,
+                       {"correlation": 2, "stream": 20, "collective": "all_reduce"}),
+            TraceEvent(CudaRuntimeName.STREAM_SYNCHRONIZE, Category.CUDA_RUNTIME, 19.0, 140.0,
+                       0, 1, {"stream": 20}),
+            # A second thread that starts after a large gap (autograd-style).
+            TraceEvent("backward_op", Category.CPU_OP, 200.0, 10.0, 0, 2),
+        ]
+        return KinetoTrace(rank=0, events=events)
+
+    def test_inter_stream_edge_from_event_pair(self):
+        graph = GraphBuilder().build(self._make_trace())
+        inter = [d for d in graph.dependencies
+                 if d.dep_type == DependencyType.GPU_INTER_STREAM]
+        assert len(inter) == 1
+        src, dst = graph.tasks[inter[0].src], graph.tasks[inter[0].dst]
+        assert src.name == "gemm" and dst.name == "nccl_all_reduce"
+
+    def test_stream_sync_targets_requested_stream(self):
+        graph = GraphBuilder().build(self._make_trace())
+        sync = [t for t in graph.cpu_tasks() if t.name == CudaRuntimeName.STREAM_SYNCHRONIZE][0]
+        assert sync.sync_streams == (20,)
+
+    def test_gap_based_inter_thread_dependency(self):
+        graph = GraphBuilder().build(self._make_trace())
+        inter_thread = [d for d in graph.dependencies
+                        if d.dep_type == DependencyType.CPU_INTER_THREAD]
+        assert len(inter_thread) == 1
+        dst = graph.tasks[inter_thread[0].dst]
+        assert dst.name == "backward_op"
+        assert graph.tasks[inter_thread[0].src].thread != dst.thread
+
+    def test_gap_threshold_respected(self):
+        options = GraphBuilderOptions(inter_thread_gap_us=1e9)
+        graph = GraphBuilder(options).build(self._make_trace())
+        # The only candidate dependency is the cross-thread one for the first
+        # task of thread 2, which is always created (no previous task), so
+        # raising the threshold does not remove it.
+        inter_thread = [d for d in graph.dependencies
+                        if d.dep_type == DependencyType.CPU_INTER_THREAD]
+        assert len(inter_thread) == 1
+
+    def test_orphan_wait_without_record_is_ignored(self):
+        events = [
+            TraceEvent(CudaRuntimeName.STREAM_WAIT_EVENT, Category.CUDA_RUNTIME, 0.0, 1.0, 0, 1,
+                       {"event_id": 42, "stream": 7}),
+            TraceEvent("kernel", Category.KERNEL, 5.0, 1.0, 0, 7, {"stream": 7}),
+        ]
+        graph = GraphBuilder().build(KinetoTrace(rank=0, events=events))
+        assert graph.dependency_counts()[DependencyType.GPU_INTER_STREAM] == 0
+
+    def test_empty_trace_builds_empty_graph(self):
+        graph = GraphBuilder().build(KinetoTrace(rank=0, events=[]))
+        assert len(graph) == 0

@@ -1,0 +1,130 @@
+"""Unit tests for the hardware models (GPU, network, cluster, communicators)."""
+
+import pytest
+
+from repro.hardware.cluster import ClusterSpec, CommunicatorGroups
+from repro.hardware.gpu import A100_SXM, H100_SXM, GPUSpec
+from repro.hardware.network import NetworkSpec
+
+
+class TestGPUSpec:
+    def test_h100_headline_numbers(self):
+        assert H100_SXM.sm_count == 132
+        assert H100_SXM.bf16_tflops > A100_SXM.bf16_tflops
+
+    def test_unit_conversions(self):
+        gpu = GPUSpec(name="x", sm_count=1, bf16_tflops=1.0, fp32_tflops=1.0, memory_gb=1.0,
+                      memory_bandwidth_gbps=1.0, nvlink_bandwidth_gbps=1.0)
+        assert gpu.bf16_flops_per_us == pytest.approx(1e6)
+        assert gpu.memory_bytes_per_us == pytest.approx(1e3)
+        assert gpu.nvlink_bytes_per_us == pytest.approx(1e3)
+
+
+class TestNetworkSpec:
+    def test_intra_node_is_faster_than_inter_node(self):
+        network = NetworkSpec()
+        assert network.bandwidth_bytes_per_us(True) > network.bandwidth_bytes_per_us(False)
+        assert network.latency_us(True) < network.latency_us(False)
+
+    def test_efficiency_reduces_bandwidth(self):
+        network = NetworkSpec(intra_node_bandwidth_gbps=100.0, intra_node_efficiency=0.5)
+        assert network.bandwidth_bytes_per_us(True) == pytest.approx(50.0 * 1e9 / 1e6)
+
+
+class TestClusterSpec:
+    def test_node_mapping(self):
+        cluster = ClusterSpec(num_gpus=32, gpus_per_node=8)
+        assert cluster.num_nodes == 4
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(8) == 1
+        assert cluster.local_rank(9) == 1
+
+    def test_partial_last_node_rounds_up(self):
+        assert ClusterSpec(num_gpus=10, gpus_per_node=8).num_nodes == 2
+
+    def test_is_intra_node(self):
+        cluster = ClusterSpec(num_gpus=16, gpus_per_node=8)
+        assert cluster.is_intra_node((0, 3, 7))
+        assert not cluster.is_intra_node((0, 8))
+
+    def test_rank_out_of_range_raises(self):
+        cluster = ClusterSpec(num_gpus=8)
+        with pytest.raises(ValueError):
+            cluster.node_of(8)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_gpus=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(num_gpus=8, gpus_per_node=0)
+
+    def test_for_world_size(self):
+        cluster = ClusterSpec.for_world_size(512)
+        assert cluster.num_gpus == 512
+        assert cluster.num_nodes == 64
+
+
+class TestCommunicatorGroups:
+    def test_world_size(self):
+        groups = CommunicatorGroups(2, 4, 8)
+        assert groups.world_size == 64
+
+    def test_coordinates_roundtrip(self):
+        groups = CommunicatorGroups(2, 4, 8)
+        for rank in range(groups.world_size):
+            tp, dp, pp = groups.tp_index(rank), groups.dp_index(rank), groups.pp_index(rank)
+            assert groups.rank_of(tp, dp, pp) == rank
+
+    def test_tp_groups_are_contiguous(self):
+        groups = CommunicatorGroups(4, 2, 2)
+        assert groups.tp_group(0).ranks == (0, 1, 2, 3)
+        assert groups.tp_group(5).ranks == (4, 5, 6, 7)
+
+    def test_tp_group_is_intra_node_for_typical_configs(self):
+        groups = CommunicatorGroups(8, 4, 4)
+        cluster = ClusterSpec.for_world_size(groups.world_size)
+        for rank in (0, 17, 100):
+            assert cluster.is_intra_node(groups.tp_group(rank).ranks)
+
+    def test_dp_group_strides_by_tp(self):
+        groups = CommunicatorGroups(2, 2, 4)
+        assert groups.dp_group(0).ranks == (0, 2, 4, 6)
+
+    def test_pp_group_strides_by_tp_times_dp(self):
+        groups = CommunicatorGroups(2, 2, 4)
+        assert groups.pp_group(0).ranks == (0, 8)
+
+    def test_pp_neighbors(self):
+        groups = CommunicatorGroups(1, 4, 1)
+        assert groups.pp_neighbors(0) == (None, 1)
+        assert groups.pp_neighbors(2) == (1, 3)
+        assert groups.pp_neighbors(3) == (2, None)
+
+    def test_group_enumeration_counts(self):
+        groups = CommunicatorGroups(2, 4, 8)
+        assert len(groups.all_tp_groups()) == 4 * 8
+        assert len(groups.all_dp_groups()) == 4 * 2
+        assert len(groups.all_pp_groups()) == 8 * 2
+
+    def test_every_rank_in_exactly_one_group_of_each_kind(self):
+        groups = CommunicatorGroups(2, 2, 4)
+        for collection in (groups.all_tp_groups(), groups.all_dp_groups(), groups.all_pp_groups()):
+            seen = [rank for group in collection for rank in group.ranks]
+            assert sorted(seen) == list(range(groups.world_size))
+
+    def test_representative_ranks_one_per_stage(self):
+        groups = CommunicatorGroups(2, 4, 2)
+        representatives = groups.representative_ranks()
+        assert len(representatives) == 4
+        assert [groups.pp_index(rank) for rank in representatives] == [0, 1, 2, 3]
+
+    def test_invalid_coordinates_raise(self):
+        groups = CommunicatorGroups(2, 2, 2)
+        with pytest.raises(ValueError):
+            groups.rank_of(2, 0, 0)
+        with pytest.raises(ValueError):
+            groups.tp_index(99)
+
+    def test_invalid_degrees_raise(self):
+        with pytest.raises(ValueError):
+            CommunicatorGroups(0, 1, 1)

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across the whole toolkit."""
+
+import pytest
+
+from repro.analysis.comparison import evaluate_replay
+from repro.baselines.dpro import dpro_replay
+from repro.core.breakdown import compute_breakdown
+from repro.core.graph_builder import GraphBuilder
+from repro.core.manipulation import scale_data_parallelism, scale_pipeline_parallelism
+from repro.core.metrics import absolute_relative_error_percent
+from repro.core.perf_model import KernelPerfModel
+from repro.core.replay import replay, simulate_graph
+from repro.emulator.api import emulate
+from repro.experiments.figures import run_architecture_prediction, run_replay_comparison
+from repro.experiments.settings import EvaluationSettings
+from repro.hardware.cluster import ClusterSpec
+from repro.trace.kineto import TraceBundle
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+from tests.conftest import tiny_model
+
+_FAST_SETTINGS = EvaluationSettings(micro_batch_size=1, num_microbatches=2,
+                                    sequence_length=512, seed=7)
+
+
+class TestEndToEndReplay:
+    def test_profile_save_load_replay_roundtrip(self, small_emulation, tmp_path):
+        """Traces survive serialisation and replay identically afterwards."""
+        direct = replay(small_emulation.profiled)
+        small_emulation.profiled.save(tmp_path / "bundle")
+        reloaded = TraceBundle.load(tmp_path / "bundle")
+        indirect = replay(reloaded)
+        assert indirect.iteration_time_us == pytest.approx(direct.iteration_time_us, rel=1e-6)
+
+    def test_lumos_beats_dpro_on_every_tiny_config(self, small_training):
+        for label in ("2x2x2", "1x2x2", "2x1x2"):
+            parallel = ParallelismConfig.parse(label)
+            emulation = emulate(tiny_model(n_layers=4), parallel, small_training,
+                                iterations=2, seed=55)
+            comparison = evaluate_replay(label, emulation.profiled, emulation.measured)
+            assert comparison.lumos_abs_error_percent < comparison.dpro_abs_error_percent + 1e-9
+            assert comparison.lumos_abs_error_percent < 10.0
+
+    def test_replay_breakdown_consistent_with_iteration_time(self, small_replay):
+        breakdown = small_replay.breakdown()
+        # The averaged per-rank breakdown total cannot exceed the global
+        # iteration time (which spans the slowest rank).
+        assert breakdown.total <= small_replay.iteration_time_us + 1e-6
+
+
+class TestEndToEndPrediction:
+    def test_predict_then_measure_loop(self, small_training):
+        """The full §3.4 workflow: profile once, predict two what-if configs."""
+        model = tiny_model(n_layers=4)
+        base_parallel = ParallelismConfig(2, 2, 2)
+        emulation = emulate(model, base_parallel, small_training, iterations=1, seed=77)
+        base_graph = GraphBuilder().build(emulation.profiled)
+        perf_model = KernelPerfModel.calibrate(
+            base_graph, ClusterSpec.for_world_size(base_parallel.world_size))
+
+        dp_graph = scale_data_parallelism(base_graph, base_parallel, 4, perf_model)
+        pp_graph = scale_pipeline_parallelism(base_graph, model, base_parallel, small_training,
+                                              4, perf_model)
+        for graph, target in ((dp_graph, ParallelismConfig(2, 2, 4)),
+                              (pp_graph, ParallelismConfig(2, 4, 2))):
+            predicted = simulate_graph(graph).iteration_time_us
+            actual = emulate(model, target, small_training, iterations=2,
+                             seed=78).measured_iteration_time()
+            assert absolute_relative_error_percent(predicted, actual) < 12.0
+
+    def test_experiment_runner_replay_cell(self):
+        comparison = run_replay_comparison("gpt3-15b", "2x2x2", _FAST_SETTINGS)
+        assert comparison.lumos_abs_error_percent < 10.0
+        assert comparison.dpro_time_us < comparison.actual_time_us
+
+    def test_experiment_runner_architecture_cell(self):
+        comparison = run_architecture_prediction("gpt3-v1", config_label="2x2x2",
+                                                 settings=_FAST_SETTINGS)
+        assert abs(comparison.total_error_percent) < 12.0
+        assert comparison.predicted.total > 0
+
+
+class TestWhatIfEditing:
+    def test_speeding_up_kernels_never_slows_the_iteration(self, profiled_bundle):
+        # Build a private replay: the what-if edit mutates task durations and
+        # must not leak into the session-scoped fixture.
+        result = replay(profiled_bundle)
+        graph = result.graph
+        baseline = result.iteration_time_us
+        for task in graph.tasks.values():
+            if task.is_communication:
+                task.duration *= 0.5
+        faster = simulate_graph(graph).iteration_time_us
+        assert faster <= baseline + 1e-6
+
+    def test_breakdown_reflects_comm_speedup(self, profiled_bundle):
+        result = replay(profiled_bundle)
+        before = result.breakdown().exposed_communication
+        for task in result.graph.tasks.values():
+            if task.is_communication:
+                task.duration *= 0.25
+        after = simulate_graph(result.graph).breakdown().exposed_communication
+        assert after < before
+
+    def test_compute_breakdown_identical_for_same_bundle(self, measured_bundle):
+        assert compute_breakdown(measured_bundle).as_dict() == \
+            compute_breakdown(measured_bundle).as_dict()
+
+
+class TestScaleCoverage:
+    @pytest.mark.parametrize("label", ["1x1x1", "2x1x1", "1x2x1", "1x1x2", "2x4x1"])
+    def test_emulate_and_replay_many_parallel_shapes(self, label):
+        parallel = ParallelismConfig.parse(label)
+        training = TrainingConfig(micro_batch_size=1, num_microbatches=2, sequence_length=512,
+                                  gradient_bucket_layers=2)
+        emulation = emulate(tiny_model(n_layers=4), parallel, training, iterations=1, seed=3)
+        result = replay(emulation.profiled)
+        assert result.iteration_time_us > 0
+        assert len(result.graph.ranks()) == parallel.pp
+
+    def test_dpro_and_lumos_agree_when_there_is_no_communication(self):
+        parallel = ParallelismConfig(1, 1, 1)
+        training = TrainingConfig(micro_batch_size=1, num_microbatches=2, sequence_length=512)
+        emulation = emulate(tiny_model(n_layers=2), parallel, training, iterations=1, seed=3)
+        lumos = replay(emulation.profiled)
+        dpro = dpro_replay(emulation.profiled)
+        assert dpro.iteration_time_us == pytest.approx(lumos.iteration_time_us, rel=0.02)

@@ -1,0 +1,141 @@
+"""Unit tests for the kernel and collective cost models."""
+
+import pytest
+
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import A100_SXM, H100_SXM
+from repro.kernels.attention import attention_time_us
+from repro.kernels.collectives import (
+    collective_time_us,
+    effective_bandwidth_bytes_per_us,
+    point_to_point_time_us,
+)
+from repro.kernels.gemm import gemm_efficiency, gemm_time_us
+from repro.kernels.memory_bound import memory_bound_time_us
+from repro.kernels.registry import KernelCostModel
+from repro.workload.operators import CollectiveKind, CollectiveSpec, OpClass, OpSpec
+
+
+class TestGemm:
+    def test_time_scales_roughly_linearly_with_flops(self):
+        small = gemm_time_us(4096, 4096, 4096, 2, H100_SXM)
+        large = gemm_time_us(4096, 4096, 8192, 2, H100_SXM)
+        assert large / small == pytest.approx(2.0, rel=0.15)
+
+    def test_small_gemm_dominated_by_overhead(self):
+        assert gemm_time_us(8, 8, 8, 2, H100_SXM) < 3 * H100_SXM.kernel_fixed_overhead_us
+
+    def test_faster_gpu_is_faster(self):
+        assert gemm_time_us(8192, 8192, 8192, 2, H100_SXM) < \
+            gemm_time_us(8192, 8192, 8192, 2, A100_SXM)
+
+    def test_efficiency_bounded_and_monotonic_in_size(self):
+        small = gemm_efficiency(128, 128, 128)
+        large = gemm_efficiency(8192, 8192, 8192)
+        assert 0 < small <= large <= 1
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            gemm_time_us(0, 10, 10, 2, H100_SXM)
+        with pytest.raises(ValueError):
+            gemm_efficiency(-1, 10, 10)
+
+
+class TestAttentionAndMemoryBound:
+    def test_attention_time_grows_with_flops(self):
+        assert attention_time_us(1e12, 1e8, H100_SXM) > attention_time_us(1e11, 1e8, H100_SXM)
+
+    def test_attention_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            attention_time_us(-1.0, 0.0, H100_SXM)
+
+    def test_memory_bound_linear_in_bytes(self):
+        t1 = memory_bound_time_us(1e9, H100_SXM) - H100_SXM.kernel_fixed_overhead_us
+        t2 = memory_bound_time_us(2e9, H100_SXM) - H100_SXM.kernel_fixed_overhead_us
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_memory_bound_efficiency_varies_by_op_class(self):
+        embedding = memory_bound_time_us(1e9, H100_SXM, op_class="embedding")
+        elementwise = memory_bound_time_us(1e9, H100_SXM, op_class="elementwise")
+        assert embedding > elementwise
+
+    def test_memory_bound_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            memory_bound_time_us(-1.0, H100_SXM)
+
+
+class TestCollectives:
+    @pytest.fixture
+    def cluster(self):
+        return ClusterSpec(num_gpus=32, gpus_per_node=8)
+
+    def test_single_rank_group_is_overhead_only(self, cluster):
+        assert collective_time_us("all_reduce", 1e9, (0,), cluster) < 10.0
+
+    def test_all_reduce_moves_twice_reduce_scatter_traffic(self, cluster):
+        ranks = (0, 1, 2, 3)
+        all_reduce = collective_time_us("all_reduce", 1e9, ranks, cluster)
+        reduce_scatter = collective_time_us("reduce_scatter", 1e9, ranks, cluster)
+        assert all_reduce / reduce_scatter == pytest.approx(2.0, rel=0.1)
+
+    def test_inter_node_group_slower_than_intra_node(self, cluster):
+        intra = collective_time_us("all_reduce", 1e9, (0, 1, 2, 3), cluster)
+        inter = collective_time_us("all_reduce", 1e9, (0, 8, 16, 24), cluster)
+        assert inter > intra
+
+    def test_nic_parallelism_helps_multi_member_nodes(self, cluster):
+        spread = collective_time_us("all_reduce", 1e9, (0, 8, 16, 24), cluster)
+        packed = collective_time_us("all_reduce", 1e9, (0, 2, 4, 6, 8, 10, 12, 14), cluster)
+        assert packed < spread
+
+    def test_effective_bandwidth_intra_vs_inter(self, cluster):
+        intra = effective_bandwidth_bytes_per_us((0, 1), cluster)
+        inter = effective_bandwidth_bytes_per_us((0, 8), cluster)
+        assert intra > inter
+
+    def test_unknown_collective_raises(self, cluster):
+        with pytest.raises(ValueError):
+            collective_time_us("all_to_all_unknown", 1e6, (0, 1), cluster)
+
+    def test_negative_size_raises(self, cluster):
+        with pytest.raises(ValueError):
+            collective_time_us("all_reduce", -1.0, (0, 1), cluster)
+
+    def test_point_to_point_inter_node_slower(self, cluster):
+        assert point_to_point_time_us(1e8, 0, 8, cluster) > point_to_point_time_us(1e8, 0, 1, cluster)
+
+
+class TestKernelCostModel:
+    @pytest.fixture
+    def cost(self):
+        return KernelCostModel(ClusterSpec(num_gpus=16, gpus_per_node=8))
+
+    def test_dispatch_gemm(self, cost):
+        op = OpSpec(name="g", op_class=OpClass.GEMM, m=1024, n=1024, k=1024)
+        assert cost.duration_us(op) > 0
+
+    def test_dispatch_attention(self, cost):
+        op = OpSpec(name="a", op_class=OpClass.ATTENTION, flops=1e11, bytes_accessed=1e8)
+        assert cost.duration_us(op) > 0
+
+    def test_dispatch_memory_bound_classes(self, cost):
+        for op_class in (OpClass.LAYERNORM, OpClass.DROPOUT, OpClass.OPTIMIZER):
+            op = OpSpec(name="m", op_class=op_class, bytes_accessed=1e7)
+            assert cost.duration_us(op) > 0
+
+    def test_communication_requires_group_ranks(self, cost):
+        op = OpSpec(name="c", op_class=OpClass.COMM,
+                    collective=CollectiveSpec(CollectiveKind.ALL_REDUCE, 1e6, "tp"))
+        with pytest.raises(ValueError):
+            cost.duration_us(op)
+        assert cost.duration_us(op, group_ranks=(0, 1)) > 0
+
+    def test_point_to_point_requires_two_ranks(self, cost):
+        op = OpSpec(name="p", op_class=OpClass.COMM,
+                    collective=CollectiveSpec(CollectiveKind.SEND, 1e6, "pp"))
+        with pytest.raises(ValueError):
+            cost.duration_us(op, group_ranks=(0, 1, 2))
+
+    def test_unknown_op_class_raises(self, cost):
+        with pytest.raises(ValueError):
+            cost.duration_us(OpSpec(name="x", op_class="mystery"))

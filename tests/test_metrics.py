@@ -1,0 +1,71 @@
+"""Unit tests for error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    absolute_relative_error_percent,
+    mean_absolute_percentage_error,
+    relative_error_percent,
+    timeline_correlation,
+)
+
+
+class TestRelativeError:
+    def test_signed_error(self):
+        assert relative_error_percent(110.0, 100.0) == pytest.approx(10.0)
+        assert relative_error_percent(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_absolute_error(self):
+        assert absolute_relative_error_percent(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(ValueError):
+            relative_error_percent(1.0, 0.0)
+
+
+class TestMAPE:
+    def test_perfect_prediction(self):
+        assert mean_absolute_percentage_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_percentage_error([110.0, 80.0], [100.0, 100.0]) == pytest.approx(15.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([], [])
+
+    def test_zero_actual_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [0.0])
+
+
+class TestTimelineCorrelation:
+    def test_identical_series(self):
+        series = [0.1, 0.5, 0.9, 0.3]
+        assert timeline_correlation(series, series) == pytest.approx(1.0)
+
+    def test_anticorrelated_series(self):
+        a = [0.0, 1.0, 0.0, 1.0]
+        b = [1.0, 0.0, 1.0, 0.0]
+        assert timeline_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_different_lengths_padded(self):
+        value = timeline_correlation([1.0, 1.0, 1.0, 0.0], [1.0, 1.0, 1.0])
+        assert -1.0 <= value <= 1.0
+
+    def test_constant_series(self):
+        assert timeline_correlation([1.0, 1.0], [1.0, 1.0]) == 1.0
+        assert timeline_correlation([1.0, 1.0], [0.5, 0.5]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            timeline_correlation([], [])
+
+    def test_numpy_inputs_accepted(self):
+        a = np.array([0.2, 0.4, 0.8])
+        assert timeline_correlation(a, a) == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Unit tests for model configurations (Table 1 / Table 2)."""
+
+import pytest
+
+from repro.workload.model_config import GPT3_MODELS, GPT3_VARIANTS, ModelConfig, gpt3_model
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("name, expected_billion", [
+        ("gpt3-15b", 15), ("gpt3-44b", 44), ("gpt3-117b", 117), ("gpt3-175b", 175),
+    ])
+    def test_table1_models_match_headline_sizes(self, name, expected_billion):
+        model = gpt3_model(name)
+        assert model.num_parameters / 1e9 == pytest.approx(expected_billion, rel=0.05)
+
+    @pytest.mark.parametrize("name, expected_billion", [
+        ("gpt3-v1", 20), ("gpt3-v2", 30), ("gpt3-v3", 28), ("gpt3-v4", 44),
+    ])
+    def test_table2_variants_match_headline_sizes(self, name, expected_billion):
+        model = GPT3_VARIANTS[name]
+        assert model.num_parameters / 1e9 == pytest.approx(expected_billion, rel=0.07)
+
+    def test_v4_matches_the_44b_architecture(self):
+        v4, gpt44 = GPT3_VARIANTS["gpt3-v4"], GPT3_MODELS["gpt3-44b"]
+        assert (v4.n_layers, v4.d_model, v4.d_ff) == (gpt44.n_layers, gpt44.d_model, gpt44.d_ff)
+
+    def test_layer_parameters_scale_with_depth(self):
+        base = gpt3_model("gpt3-15b")
+        deeper = base.with_changes(n_layers=base.n_layers * 2)
+        added = deeper.num_parameters - base.num_parameters
+        assert added == base.n_layers * base.layer_parameters
+
+
+class TestModelConfig:
+    def test_attention_dim(self):
+        model = gpt3_model("gpt3-44b")
+        assert model.attention_dim == 48 * 128
+
+    def test_flops_per_token_positive_and_increasing(self):
+        small, large = gpt3_model("gpt3-15b"), gpt3_model("gpt3-175b")
+        assert 0 < small.flops_per_token() < large.flops_per_token()
+
+    def test_with_changes_replaces_fields(self):
+        base = gpt3_model("gpt3-15b")
+        changed = base.with_changes(name="wide", d_model=12288, d_ff=24576)
+        assert changed.name == "wide"
+        assert changed.d_model == 12288
+        assert changed.n_heads == 12288 // base.d_head  # heads follow hidden size by default
+        assert base.d_model == 6144  # original untouched
+
+    def test_with_changes_explicit_heads(self):
+        base = gpt3_model("gpt3-15b")
+        changed = base.with_changes(d_model=12288, n_heads=48)
+        assert changed.n_heads == 48
+
+    def test_invalid_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", n_layers=0, d_model=1, d_ff=1, n_heads=1, d_head=1)
+        with pytest.raises(ValueError):
+            ModelConfig(name="bad", n_layers=1, d_model=1, d_ff=1, n_heads=0, d_head=1)
+
+    def test_lookup_is_case_insensitive(self):
+        assert gpt3_model("GPT3-15B") is GPT3_MODELS["gpt3-15b"]
+
+    def test_lookup_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="gpt3-175b"):
+            gpt3_model("gpt5")

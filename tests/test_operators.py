@@ -1,0 +1,156 @@
+"""Unit tests for the transformer operator decomposition."""
+
+import pytest
+
+from repro.workload.model_config import gpt3_model
+from repro.workload.operators import (
+    CollectiveKind,
+    CollectiveSpec,
+    OpClass,
+    OpSpec,
+    dp_gradient_buckets,
+    embedding_backward_ops,
+    embedding_forward_ops,
+    head_backward_ops,
+    head_forward_ops,
+    layer_backward_ops,
+    layer_forward_ops,
+    optimizer_ops,
+    pp_activation_bytes,
+)
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+from tests.conftest import tiny_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return gpt3_model("gpt3-15b")
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return ParallelismConfig(2, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def training():
+    return TrainingConfig(micro_batch_size=2, num_microbatches=4)
+
+
+class TestLayerOps:
+    def test_forward_contains_two_tp_allreduces(self, model, parallel, training):
+        ops = layer_forward_ops(model, parallel, training)
+        comms = [op for op in ops if op.is_communication]
+        assert len(comms) == 2
+        assert all(op.collective.group == "tp" for op in comms)
+
+    def test_backward_contains_two_tp_allreduces(self, model, parallel, training):
+        comms = [op for op in layer_backward_ops(model, parallel, training)
+                 if op.is_communication]
+        assert len(comms) == 2
+
+    def test_no_tp_comm_when_tp_is_one(self, model, training):
+        ops = layer_forward_ops(model, ParallelismConfig(1, 2, 4), training)
+        assert not any(op.is_communication for op in ops)
+
+    def test_forward_gemm_flops_scale_inversely_with_tp(self, model, training):
+        def gemm_flops(tp):
+            ops = layer_forward_ops(model, ParallelismConfig(tp, 2, 4), training)
+            return sum(op.flops for op in ops if op.op_class == OpClass.GEMM)
+        assert gemm_flops(1) == pytest.approx(2 * gemm_flops(2), rel=1e-6)
+
+    def test_backward_has_more_gemm_flops_than_forward(self, model, parallel, training):
+        forward = sum(op.flops for op in layer_forward_ops(model, parallel, training))
+        backward = sum(op.flops for op in layer_backward_ops(model, parallel, training))
+        assert backward > forward
+
+    def test_ops_tagged_with_phase(self, model, parallel, training):
+        assert all(op.metadata["phase"] == "forward"
+                   for op in layer_forward_ops(model, parallel, training))
+        assert all(op.metadata["phase"] == "backward"
+                   for op in layer_backward_ops(model, parallel, training))
+
+    def test_qkv_gemm_uses_attention_width(self, parallel, training):
+        model_44b = gpt3_model("gpt3-44b")  # attention width is half the hidden size
+        qkv = next(op for op in layer_forward_ops(model_44b, parallel, training)
+                   if op.name == "attn_qkv")
+        assert qkv.n == 3 * model_44b.attention_dim // parallel.tp
+        assert qkv.k == model_44b.d_model
+
+    def test_flops_grow_with_hidden_size(self, parallel, training):
+        small = tiny_model(d_model=1024)
+        large = tiny_model(d_model=2048)
+        small_flops = sum(op.flops for op in layer_forward_ops(small, parallel, training))
+        large_flops = sum(op.flops for op in layer_forward_ops(large, parallel, training))
+        assert large_flops > 2 * small_flops
+
+
+class TestEmbeddingHeadOptimizer:
+    def test_embedding_ops_are_memory_bound(self, model, parallel, training):
+        for op in embedding_forward_ops(model, parallel, training) + \
+                embedding_backward_ops(model, parallel, training):
+            assert op.op_class in OpClass.COMPUTE_CLASSES
+            assert op.bytes_accessed > 0
+
+    def test_head_contains_vocabulary_gemm(self, model, parallel, training):
+        gemms = [op for op in head_forward_ops(model, parallel, training)
+                 if op.op_class == OpClass.GEMM]
+        assert any(op.n == model.vocab_size // parallel.tp for op in gemms)
+
+    def test_head_backward_has_wgrad_and_dgrad(self, model, parallel, training):
+        names = {op.name for op in head_backward_ops(model, parallel, training)}
+        assert {"lm_head_dgrad", "lm_head_wgrad"} <= names
+
+    def test_optimizer_bytes_scale_with_layers(self, model, parallel, training):
+        few = sum(op.bytes_accessed for op in optimizer_ops(model, parallel, training, 2, False))
+        many = sum(op.bytes_accessed for op in optimizer_ops(model, parallel, training, 8, False))
+        assert many > 3 * few
+
+    def test_optimizer_embedding_adds_bytes(self, model, parallel, training):
+        without = sum(op.bytes_accessed for op in optimizer_ops(model, parallel, training, 4, False))
+        with_embedding = sum(op.bytes_accessed
+                             for op in optimizer_ops(model, parallel, training, 4, True))
+        assert with_embedding > without
+
+
+class TestBucketsAndActivations:
+    def test_buckets_cover_all_layers_once(self, model, parallel, training):
+        layers = list(range(24))
+        buckets = dp_gradient_buckets(model, parallel, training, layers, include_embedding=False)
+        covered = [layer for bucket_layers, _ in buckets for layer in bucket_layers]
+        assert sorted(covered) == layers
+
+    def test_buckets_in_backward_completion_order(self, model, parallel, training):
+        buckets = dp_gradient_buckets(model, parallel, training, range(8), include_embedding=False)
+        first_bucket = buckets[0][0]
+        assert max(first_bucket) == 7  # deepest layers reduce first
+
+    def test_embedding_bucket_appended(self, model, parallel, training):
+        buckets = dp_gradient_buckets(model, parallel, training, range(4), include_embedding=True)
+        assert buckets[-1][0] == []
+        assert buckets[-1][1] > 0
+
+    def test_bucket_bytes_match_layer_parameters(self, model, parallel, training):
+        buckets = dp_gradient_buckets(model, parallel, training, range(4), include_embedding=False)
+        expected = model.layer_parameters / parallel.tp * training.dtype_bytes * 4
+        assert sum(size for _, size in buckets) == pytest.approx(expected)
+
+    def test_pp_activation_bytes(self, model, training):
+        expected = training.micro_batch_size * training.sequence_length * model.d_model * 2
+        assert pp_activation_bytes(model, training) == expected
+
+
+class TestSpecValidation:
+    def test_collective_spec_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            CollectiveSpec(kind=CollectiveKind.ALL_REDUCE, size_bytes=1.0, group="cp")
+
+    def test_collective_spec_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            CollectiveSpec(kind=CollectiveKind.ALL_REDUCE, size_bytes=-1.0, group="tp")
+
+    def test_opspec_scaled_returns_copy(self):
+        op = OpSpec(name="x", op_class=OpClass.ELEMENTWISE, bytes_accessed=10.0)
+        clone = op.scaled(bytes_accessed=20.0)
+        assert clone.bytes_accessed == 20.0 and op.bytes_accessed == 10.0

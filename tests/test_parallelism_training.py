@@ -1,0 +1,66 @@
+"""Unit tests for parallelism and training configurations."""
+
+import pytest
+
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+class TestParallelismConfig:
+    def test_world_size(self):
+        assert ParallelismConfig(8, 4, 8).world_size == 256
+
+    def test_label_and_parse_roundtrip(self):
+        for label in ("2x2x4", "8x4x16", "1x1x1"):
+            assert ParallelismConfig.parse(label).label() == label
+
+    def test_parse_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig.parse("2x2")
+        with pytest.raises(ValueError):
+            ParallelismConfig.parse("axbxc")
+
+    def test_degrees_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelismConfig(0, 1, 1)
+
+    def test_with_changes(self):
+        base = ParallelismConfig(2, 2, 4)
+        assert base.with_changes(data_parallel=16).label() == "2x2x16"
+        assert base.with_changes(pipeline_parallel=8).label() == "2x8x4"
+        assert base.label() == "2x2x4"
+
+    def test_groups_consistency(self):
+        parallel = ParallelismConfig(2, 4, 2)
+        groups = parallel.groups()
+        assert groups.world_size == parallel.world_size
+
+    def test_validate_for_model(self):
+        ParallelismConfig(1, 4, 1).validate_for_model(48)
+        with pytest.raises(ValueError):
+            ParallelismConfig(1, 64, 1).validate_for_model(48)
+
+
+class TestTrainingConfig:
+    def test_defaults_are_valid(self):
+        config = TrainingConfig()
+        assert config.dtype_bytes == 2
+        assert config.tokens_per_replica() == config.micro_batch_size * \
+            config.num_microbatches * config.sequence_length
+
+    def test_global_batch_size(self):
+        config = TrainingConfig(micro_batch_size=2, num_microbatches=8)
+        assert config.global_batch_size(data_parallel=4) == 64
+
+    def test_fp32_dtype_bytes(self):
+        assert TrainingConfig(dtype="fp32").dtype_bytes == 4
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(micro_batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(dtype="int8")
+        with pytest.raises(ValueError):
+            TrainingConfig(gradient_bucket_layers=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(sequence_length=-1)

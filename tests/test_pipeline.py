@@ -1,0 +1,105 @@
+"""Unit tests for layer partitioning and the 1F1B schedule."""
+
+import pytest
+
+from repro.workload.pipeline import (
+    PipelineAction,
+    one_f_one_b_schedule,
+    pipeline_bubble_fraction,
+    stage_layers,
+    stage_of_layer,
+)
+
+
+class TestStageLayers:
+    def test_even_split(self):
+        assert stage_layers(48, 4, 0) == list(range(0, 12))
+        assert stage_layers(48, 4, 3) == list(range(36, 48))
+
+    def test_uneven_split_gives_extra_to_early_stages(self):
+        sizes = [len(stage_layers(10, 4, s)) for s in range(4)]
+        assert sizes == [3, 3, 2, 2]
+        assert sum(sizes) == 10
+
+    def test_every_layer_assigned_exactly_once(self):
+        layers = [layer for stage in range(6) for layer in stage_layers(47, 6, stage)]
+        assert sorted(layers) == list(range(47))
+
+    def test_stage_of_layer_consistent_with_stage_layers(self):
+        for layer in range(24):
+            stage = stage_of_layer(24, 4, layer)
+            assert layer in stage_layers(24, 4, stage)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            stage_layers(4, 8, 0)
+        with pytest.raises(ValueError):
+            stage_layers(8, 4, 4)
+        with pytest.raises(ValueError):
+            stage_of_layer(8, 2, 8)
+
+
+class TestOneFOneB:
+    def test_every_microbatch_forward_and_backward_once(self):
+        for stage in range(4):
+            schedule = one_f_one_b_schedule(8, 4, stage)
+            forwards = [a.microbatch for a in schedule if a.kind == "F"]
+            backwards = [a.microbatch for a in schedule if a.kind == "B"]
+            assert sorted(forwards) == list(range(8))
+            assert sorted(backwards) == list(range(8))
+
+    def test_backward_never_precedes_its_forward(self):
+        for stage in range(4):
+            schedule = one_f_one_b_schedule(6, 4, stage)
+            seen_forward = set()
+            for action in schedule:
+                if action.kind == "F":
+                    seen_forward.add(action.microbatch)
+                else:
+                    assert action.microbatch in seen_forward
+
+    def test_last_stage_alternates_strictly(self):
+        schedule = one_f_one_b_schedule(4, 4, 3)
+        kinds = [action.kind for action in schedule]
+        assert kinds == ["F", "B"] * 4
+
+    def test_first_stage_warmup_depth(self):
+        schedule = one_f_one_b_schedule(8, 4, 0)
+        kinds = [action.kind for action in schedule]
+        assert kinds[:3] == ["F", "F", "F"]
+        assert kinds[-3:] == ["B", "B", "B"]
+
+    def test_warmup_capped_by_microbatch_count(self):
+        schedule = one_f_one_b_schedule(2, 8, 0)
+        assert len(schedule) == 4
+        assert [a.kind for a in schedule if a.kind == "F"] == ["F", "F"]
+
+    def test_single_stage_schedule(self):
+        schedule = one_f_one_b_schedule(3, 1, 0)
+        assert [(-1 if a.kind == "B" else 1) * (a.microbatch + 1) for a in schedule] == \
+            [1, -1, 2, -2, 3, -3]
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(0, 2, 0)
+        with pytest.raises(ValueError):
+            one_f_one_b_schedule(4, 2, 2)
+        with pytest.raises(ValueError):
+            PipelineAction("X", 0)
+        with pytest.raises(ValueError):
+            PipelineAction("F", -1)
+
+
+class TestBubbleFraction:
+    def test_no_bubble_without_pipeline(self):
+        assert pipeline_bubble_fraction(8, 1) == 0.0
+
+    def test_bubble_grows_with_stages(self):
+        assert pipeline_bubble_fraction(8, 16) > pipeline_bubble_fraction(8, 4)
+
+    def test_bubble_shrinks_with_microbatches(self):
+        assert pipeline_bubble_fraction(64, 8) < pipeline_bubble_fraction(8, 8)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            pipeline_bubble_fraction(0, 4)

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import rank_breakdown
+from repro.core.graph import ExecutionGraph
+from repro.core.simulator import Simulator
+from repro.core.sm_utilization import sm_utilization_timeline
+from repro.core.tasks import DependencyType, Task, TaskKind
+from repro.hardware.cluster import ClusterSpec, CommunicatorGroups
+from repro.hardware.gpu import H100_SXM
+from repro.kernels.collectives import collective_time_us
+from repro.kernels.gemm import gemm_time_us
+from repro.trace.events import Category, TraceEvent
+from repro.trace.kineto import KinetoTrace
+from repro.workload.pipeline import one_f_one_b_schedule, stage_layers
+
+# --------------------------------------------------------------------------------------
+# Strategies
+# --------------------------------------------------------------------------------------
+
+kernel_interval = st.tuples(
+    st.floats(min_value=0.0, max_value=900.0),
+    st.floats(min_value=0.1, max_value=100.0),
+    st.booleans(),
+)
+
+
+def _trace_from_intervals(intervals) -> KinetoTrace:
+    events = [TraceEvent("ProfilerStep#0", Category.USER_ANNOTATION, 0.0, 1000.0, 0, 0)]
+    for index, (ts, dur, is_comm) in enumerate(intervals):
+        stream = 20 + 2 * index if is_comm else 7  # distinct streams avoid invalid overlap
+        args = {"stream": stream}
+        if is_comm:
+            args["collective"] = "all_reduce"
+        events.append(TraceEvent(f"k{index}", Category.KERNEL, ts, dur, 0, stream, args))
+    return KinetoTrace(rank=0, events=events)
+
+
+# --------------------------------------------------------------------------------------
+# Breakdown and SM utilisation invariants
+# --------------------------------------------------------------------------------------
+
+
+class TestBreakdownProperties:
+    @given(st.lists(kernel_interval, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_components_non_negative_and_sum_to_window(self, intervals):
+        breakdown = rank_breakdown(_trace_from_intervals(intervals))
+        for value in breakdown.as_dict().values():
+            assert value >= -1e-6
+        assert breakdown.total <= 1000.0 + 1e-6
+        busy = breakdown.exposed_compute + breakdown.exposed_communication + breakdown.overlapped
+        assert busy <= 1000.0 + 1e-6
+
+    @given(st.lists(kernel_interval, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_bounded_by_each_class(self, intervals):
+        breakdown = rank_breakdown(_trace_from_intervals(intervals))
+        compute_total = breakdown.exposed_compute + breakdown.overlapped
+        comm_total = breakdown.exposed_communication + breakdown.overlapped
+        assert breakdown.overlapped <= compute_total + 1e-6
+        assert breakdown.overlapped <= comm_total + 1e-6
+
+    @given(st.lists(kernel_interval, max_size=15),
+           st.floats(min_value=10.0, max_value=500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_sm_utilization_bounded(self, intervals, bin_us):
+        timeline = sm_utilization_timeline(_trace_from_intervals(intervals), bin_us=bin_us)
+        assert np.all(timeline >= 0.0)
+        assert np.all(timeline <= 1.0 + 1e-9)
+
+
+# --------------------------------------------------------------------------------------
+# Pipeline schedule invariants
+# --------------------------------------------------------------------------------------
+
+
+class TestPipelineProperties:
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_a_permutation_of_forward_and_backward(self, microbatches, pp):
+        for stage in range(pp):
+            schedule = one_f_one_b_schedule(microbatches, pp, stage)
+            assert len(schedule) == 2 * microbatches
+            forwards = sorted(a.microbatch for a in schedule if a.kind == "F")
+            backwards = sorted(a.microbatch for a in schedule if a.kind == "B")
+            assert forwards == list(range(microbatches))
+            assert backwards == list(range(microbatches))
+            seen = set()
+            for action in schedule:
+                if action.kind == "F":
+                    seen.add(action.microbatch)
+                else:
+                    assert action.microbatch in seen
+
+    @given(st.integers(min_value=1, max_value=128), st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_stage_layers_partition_the_model(self, n_layers, pp):
+        if pp > n_layers:
+            return
+        layers = [layer for stage in range(pp) for layer in stage_layers(n_layers, pp, stage)]
+        assert sorted(layers) == list(range(n_layers))
+        sizes = [len(stage_layers(n_layers, pp, stage)) for stage in range(pp)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+# --------------------------------------------------------------------------------------
+# Communicator group invariants
+# --------------------------------------------------------------------------------------
+
+
+class TestCommunicatorProperties:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=80, deadline=None)
+    def test_groups_partition_the_world(self, tp, pp, dp):
+        groups = CommunicatorGroups(tp, pp, dp)
+        for collection in (groups.all_tp_groups(), groups.all_dp_groups(), groups.all_pp_groups()):
+            ranks = sorted(rank for group in collection for rank in group.ranks)
+            assert ranks == list(range(groups.world_size))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_coordinates_roundtrip(self, tp, pp, dp, data):
+        groups = CommunicatorGroups(tp, pp, dp)
+        rank = data.draw(st.integers(min_value=0, max_value=groups.world_size - 1))
+        assert groups.rank_of(groups.tp_index(rank), groups.dp_index(rank),
+                              groups.pp_index(rank)) == rank
+
+
+# --------------------------------------------------------------------------------------
+# Cost model invariants
+# --------------------------------------------------------------------------------------
+
+
+class TestCostModelProperties:
+    @given(st.integers(min_value=1, max_value=8192), st.integers(min_value=1, max_value=8192),
+           st.integers(min_value=1, max_value=8192))
+    @settings(max_examples=100, deadline=None)
+    def test_gemm_time_positive_and_monotone_in_k(self, m, n, k):
+        base = gemm_time_us(m, n, k, 2, H100_SXM)
+        double = gemm_time_us(m, n, 2 * k, 2, H100_SXM)
+        assert base > 0
+        assert double >= base
+
+    @given(st.floats(min_value=1.0, max_value=1e10),
+           st.integers(min_value=2, max_value=64))
+    @settings(max_examples=100, deadline=None)
+    def test_collective_time_monotone_in_size(self, size_bytes, group_size):
+        cluster = ClusterSpec(num_gpus=64, gpus_per_node=8)
+        ranks = tuple(range(group_size))
+        small = collective_time_us("all_reduce", size_bytes, ranks, cluster)
+        large = collective_time_us("all_reduce", size_bytes * 2, ranks, cluster)
+        assert 0 < small <= large
+
+
+# --------------------------------------------------------------------------------------
+# Simulator invariants on randomly generated DAGs
+# --------------------------------------------------------------------------------------
+
+
+@st.composite
+def random_task_graph(draw):
+    """A random DAG of CPU/GPU tasks whose edges always point forward."""
+    graph = ExecutionGraph()
+    n = draw(st.integers(min_value=1, max_value=25))
+    tasks = []
+    for index in range(n):
+        is_gpu = draw(st.booleans())
+        duration = draw(st.floats(min_value=0.0, max_value=50.0))
+        rank = draw(st.integers(min_value=0, max_value=1))
+        if is_gpu:
+            stream = draw(st.sampled_from([7, 20, 24]))
+            task = Task(task_id=-1, rank=rank, kind=TaskKind.GPU, name=f"g{index}",
+                        duration=duration, trace_ts=float(index), stream=stream)
+        else:
+            thread = draw(st.sampled_from([1, 2]))
+            task = Task(task_id=-1, rank=rank, kind=TaskKind.CPU, name=f"c{index}",
+                        duration=duration, trace_ts=float(index), thread=thread)
+        tasks.append(graph.add_task(task))
+    for dst_index in range(1, n):
+        for src_index in draw(st.lists(st.integers(min_value=0, max_value=dst_index - 1),
+                                       max_size=3, unique=True)):
+            graph.add_dependency(tasks[src_index].task_id, tasks[dst_index].task_id,
+                                 DependencyType.CPU_INTRA_THREAD)
+    return graph
+
+
+class TestSimulatorProperties:
+    @given(random_task_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_all_tasks_scheduled_and_dependencies_respected(self, graph):
+        result = Simulator(graph).run()
+        assert len(result.tasks) == len(graph)
+        for dependency in graph.dependencies:
+            assert result.tasks[dependency.dst].start >= result.tasks[dependency.src].end - 1e-6
+
+    @given(random_task_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_processors_never_oversubscribed(self, graph):
+        result = Simulator(graph).run()
+        by_processor = {}
+        for simulated in result.tasks.values():
+            by_processor.setdefault(simulated.task.processor, []).append(simulated)
+        for simulated_tasks in by_processor.values():
+            simulated_tasks.sort(key=lambda t: t.start)
+            for previous, current in zip(simulated_tasks, simulated_tasks[1:]):
+                assert current.start >= previous.end - 1e-6
+
+    @given(random_task_graph())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, graph):
+        result = Simulator(graph).run()
+        total = result.total_time()
+        longest_task = max((t.duration for t in graph.tasks.values()), default=0.0)
+        serial = sum(t.duration for t in graph.tasks.values())
+        assert total >= longest_task - 1e-6
+        assert total <= serial + 1e-6

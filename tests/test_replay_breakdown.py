@@ -1,0 +1,125 @@
+"""Tests for the replay API, execution breakdown and SM utilisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.breakdown import ExecutionBreakdown, compute_breakdown, rank_breakdown
+from repro.core.metrics import absolute_relative_error_percent
+from repro.core.replay import replay, simulate_graph
+from repro.core.sm_utilization import average_sm_utilization, sm_utilization_timeline
+from repro.trace.events import Category, TraceEvent
+from repro.trace.kineto import KinetoTrace
+
+
+def _trace_with_kernels(kernels):
+    """kernels: list of (name, ts, dur, is_comm)."""
+    events = [TraceEvent("ProfilerStep#0", Category.USER_ANNOTATION, 0.0, 100.0, 0, 0)]
+    for index, (name, ts, dur, is_comm) in enumerate(kernels):
+        args = {"stream": 20 if is_comm else 7}
+        if is_comm:
+            args["collective"] = "all_reduce"
+        events.append(TraceEvent(name, Category.KERNEL, ts, dur, 0,
+                                 args["stream"], args))
+    return KinetoTrace(rank=0, events=events)
+
+
+class TestBreakdown:
+    def test_components_sum_to_window(self):
+        trace = _trace_with_kernels([("gemm", 0.0, 40.0, False), ("nccl", 20.0, 40.0, True)])
+        breakdown = rank_breakdown(trace)
+        assert breakdown.total == pytest.approx(100.0)
+        assert breakdown.exposed_compute == pytest.approx(20.0)
+        assert breakdown.exposed_communication == pytest.approx(20.0)
+        assert breakdown.overlapped == pytest.approx(20.0)
+        assert breakdown.other == pytest.approx(40.0)
+
+    def test_pure_compute_trace(self):
+        trace = _trace_with_kernels([("gemm", 0.0, 60.0, False)])
+        breakdown = rank_breakdown(trace)
+        assert breakdown.exposed_communication == 0.0
+        assert breakdown.overlapped == 0.0
+        assert breakdown.exposed_compute == pytest.approx(60.0)
+
+    def test_overlapping_compute_kernels_not_double_counted(self):
+        trace = _trace_with_kernels([("a", 0.0, 50.0, False), ("b", 25.0, 50.0, False)])
+        assert rank_breakdown(trace).exposed_compute == pytest.approx(75.0)
+
+    def test_empty_trace(self):
+        breakdown = rank_breakdown(KinetoTrace(rank=0, events=[]))
+        assert breakdown.total == 0.0
+
+    def test_bundle_breakdown_averages_ranks(self, measured_bundle):
+        bundle_breakdown = compute_breakdown(measured_bundle)
+        per_rank = [rank_breakdown(trace) for trace in measured_bundle]
+        assert bundle_breakdown.total == pytest.approx(np.mean([b.total for b in per_rank]))
+
+    def test_as_milliseconds(self):
+        breakdown = ExecutionBreakdown(1000.0, 2000.0, 3000.0, 4000.0)
+        assert breakdown.as_milliseconds()["total"] == pytest.approx(10.0)
+
+
+class TestReplay:
+    def test_replay_matches_measured_iteration(self, small_replay, measured_bundle):
+        error = absolute_relative_error_percent(small_replay.iteration_time_us,
+                                                measured_bundle.iteration_time())
+        assert error < 10.0
+
+    def test_replay_breakdown_close_to_actual(self, small_replay, measured_bundle):
+        actual = compute_breakdown(measured_bundle)
+        replayed = small_replay.breakdown()
+        assert abs(replayed.total - actual.total) / actual.total < 0.10
+        assert abs(replayed.exposed_compute - actual.exposed_compute) / actual.total < 0.10
+
+    def test_replayed_trace_contains_all_ranks(self, small_replay, profiled_bundle):
+        assert small_replay.replayed_trace.ranks() == profiled_bundle.ranks()
+
+    def test_replay_is_deterministic(self, profiled_bundle):
+        first = replay(profiled_bundle)
+        second = replay(profiled_bundle)
+        assert first.iteration_time_us == pytest.approx(second.iteration_time_us)
+
+    def test_simulate_graph_equivalent_to_replay(self, small_replay):
+        again = simulate_graph(small_replay.graph)
+        assert again.iteration_time_us == pytest.approx(small_replay.iteration_time_us)
+
+    def test_iteration_time_units(self, small_replay):
+        assert small_replay.iteration_time_ms == pytest.approx(
+            small_replay.iteration_time_us / 1000.0)
+
+
+class TestSMUtilization:
+    def test_fully_busy_trace_has_unit_utilisation(self):
+        trace = _trace_with_kernels([("gemm", 0.0, 100.0, False)])
+        timeline = sm_utilization_timeline(trace, bin_us=10.0)
+        assert timeline.shape == (10,)
+        assert np.allclose(timeline, 1.0)
+
+    def test_idle_second_half(self):
+        trace = _trace_with_kernels([("gemm", 0.0, 50.0, False)])
+        timeline = sm_utilization_timeline(trace, bin_us=10.0)
+        assert np.allclose(timeline[:5], 1.0)
+        assert np.allclose(timeline[5:], 0.0)
+
+    def test_values_bounded(self, measured_bundle):
+        for trace in measured_bundle:
+            timeline = sm_utilization_timeline(trace, bin_us=500.0)
+            assert np.all(timeline >= 0.0) and np.all(timeline <= 1.0)
+
+    def test_replayed_utilisation_tracks_actual_mean(self, small_replay, measured_bundle):
+        rank = measured_bundle.ranks()[0]
+        actual = sm_utilization_timeline(measured_bundle[rank], bin_us=500.0)
+        replayed = sm_utilization_timeline(small_replay.replayed_trace[rank], bin_us=500.0)
+        assert abs(actual.mean() - replayed.mean()) < 0.15
+
+    def test_invalid_bin_raises(self, measured_bundle):
+        rank = measured_bundle.ranks()[0]
+        with pytest.raises(ValueError):
+            sm_utilization_timeline(measured_bundle[rank], bin_us=0.0)
+
+    def test_average_utilisation_over_bundle(self, measured_bundle):
+        value = average_sm_utilization(measured_bundle, bin_us=500.0)
+        assert 0.0 < value <= 1.0
+
+    def test_empty_trace_gives_empty_timeline(self):
+        timeline = sm_utilization_timeline(KinetoTrace(rank=0, events=[]))
+        assert timeline.size == 0

@@ -1,0 +1,88 @@
+"""Unit tests for correlation linking and trace validation."""
+
+import pytest
+
+from repro.trace.correlation import link_runtime_to_kernels
+from repro.trace.events import Category, CudaRuntimeName, TraceEvent
+from repro.trace.kineto import KinetoTrace, TraceBundle
+from repro.trace.validation import TraceValidationError, validate_trace
+
+
+def _launch(ts, correlation, tid=1):
+    return TraceEvent(name=CudaRuntimeName.LAUNCH_KERNEL, cat=Category.CUDA_RUNTIME,
+                      ts=ts, dur=4.0, pid=0, tid=tid, args={"correlation": correlation})
+
+
+def _kernel(ts, correlation, stream=7, dur=10.0, name="k"):
+    return TraceEvent(name=name, cat=Category.KERNEL, ts=ts, dur=dur, pid=0, tid=stream,
+                      args={"correlation": correlation, "stream": stream})
+
+
+class TestCorrelationIndex:
+    def test_links_launch_to_kernel(self):
+        events = [_launch(0.0, 1), _kernel(10.0, 1)]
+        index = link_runtime_to_kernels(events)
+        assert index.kernel_for_launch(events[0])[0] is events[1]
+        assert index.launch_for_kernel(events[1]) is events[0]
+
+    def test_multiple_kernels_per_correlation(self):
+        events = [_launch(0.0, 1), _kernel(10.0, 1), _kernel(25.0, 1)]
+        index = link_runtime_to_kernels(events)
+        assert len(index.kernel_for_launch(events[0])) == 2
+
+    def test_orphan_kernel_detection(self):
+        events = [_kernel(10.0, 99)]
+        index = link_runtime_to_kernels(events)
+        assert index.orphan_kernels() == [events[0]]
+        assert index.launch_for_kernel(events[0]) is None
+
+    def test_events_without_correlation_ignored(self):
+        plain = TraceEvent(name="aten::add", cat=Category.CPU_OP, ts=0.0, dur=1.0, pid=0, tid=1)
+        index = link_runtime_to_kernels([plain])
+        assert not index.launch_by_correlation and not index.kernels_by_correlation
+
+
+class TestValidation:
+    def test_valid_trace_has_no_errors(self):
+        trace = KinetoTrace(rank=0, events=[_launch(0.0, 1), _kernel(10.0, 1)])
+        report = validate_trace(trace)
+        assert report.ok and not report.warnings
+
+    def test_negative_duration_is_error(self):
+        bad = TraceEvent(name="x", cat=Category.CPU_OP, ts=0.0, dur=-1.0, pid=0, tid=1)
+        report = validate_trace(KinetoTrace(rank=0, events=[bad]))
+        assert not report.ok
+
+    def test_overlapping_kernels_on_same_stream_is_error(self):
+        trace = KinetoTrace(rank=0, events=[
+            _kernel(0.0, 1, dur=20.0), _kernel(10.0, 2, dur=20.0)])
+        report = validate_trace(trace)
+        assert any("overlap" in error for error in report.errors)
+
+    def test_overlapping_kernels_on_different_streams_is_fine(self):
+        trace = KinetoTrace(rank=0, events=[
+            _kernel(0.0, 1, stream=7, dur=20.0), _kernel(10.0, 2, stream=20, dur=20.0)])
+        assert validate_trace(trace).ok
+
+    def test_launch_without_kernel_is_warning(self):
+        report = validate_trace(KinetoTrace(rank=0, events=[_launch(0.0, 5)]))
+        assert report.ok and report.warnings
+
+    def test_orphan_kernel_is_warning(self):
+        report = validate_trace(KinetoTrace(rank=0, events=[_kernel(0.0, 5)]))
+        assert report.ok and report.warnings
+
+    def test_strict_mode_raises(self):
+        bad = TraceEvent(name="x", cat=Category.CPU_OP, ts=0.0, dur=-1.0, pid=0, tid=1)
+        with pytest.raises(TraceValidationError):
+            validate_trace(KinetoTrace(rank=0, events=[bad]), strict=True)
+
+    def test_bundle_validation_aggregates_ranks(self):
+        bundle = TraceBundle()
+        bundle.add(KinetoTrace(rank=0, events=[_kernel(0.0, 1, dur=20.0), _kernel(10.0, 2, dur=20.0)]))
+        bundle.add(KinetoTrace(rank=1, events=[_launch(0.0, 1), _kernel(10.0, 1)]))
+        report = validate_trace(bundle)
+        assert len(report.errors) == 1
+
+    def test_emulated_trace_is_valid(self, profiled_bundle):
+        assert validate_trace(profiled_bundle).ok

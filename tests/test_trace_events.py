@@ -1,0 +1,94 @@
+"""Unit tests for the trace event schema."""
+
+import pytest
+
+from repro.trace.events import (
+    Category,
+    CudaRuntimeName,
+    TraceEvent,
+    is_collective_kernel,
+    is_kernel_event,
+    is_runtime_event,
+    is_sync_runtime,
+)
+
+
+def make_event(**overrides):
+    defaults = dict(name="aten::mm", cat=Category.CPU_OP, ts=100.0, dur=5.0, pid=0, tid=1)
+    defaults.update(overrides)
+    return TraceEvent(**defaults)
+
+
+class TestTraceEvent:
+    def test_end_is_start_plus_duration(self):
+        event = make_event(ts=10.0, dur=2.5)
+        assert event.end == pytest.approx(12.5)
+
+    def test_correlation_parsed_from_args(self):
+        event = make_event(args={"correlation": "17"})
+        assert event.correlation == 17
+
+    def test_correlation_missing_is_none(self):
+        assert make_event().correlation is None
+
+    def test_stream_from_args_takes_priority(self):
+        event = make_event(cat=Category.KERNEL, tid=7, args={"stream": 20})
+        assert event.stream == 20
+
+    def test_stream_falls_back_to_tid_for_gpu_events(self):
+        event = make_event(cat=Category.KERNEL, tid=7)
+        assert event.stream == 7
+
+    def test_stream_is_none_for_cpu_events_without_args(self):
+        assert make_event().stream is None
+
+    def test_cpu_gpu_classification(self):
+        assert make_event().is_cpu() and not make_event().is_gpu()
+        kernel = make_event(cat=Category.KERNEL)
+        assert kernel.is_gpu() and not kernel.is_cpu()
+
+    def test_json_roundtrip_preserves_fields(self):
+        event = make_event(args={"correlation": 3, "stream": 7}, cat=Category.KERNEL)
+        restored = TraceEvent.from_json(event.to_json())
+        assert restored == event
+
+    def test_from_json_defaults_for_missing_fields(self):
+        restored = TraceEvent.from_json({"name": "x", "ts": 1.0})
+        assert restored.dur == 0.0
+        assert restored.pid == 0
+        assert restored.ph == "X"
+
+
+class TestEventPredicates:
+    def test_is_kernel_event_for_gpu_categories(self):
+        for cat in (Category.KERNEL, Category.GPU_MEMCPY, Category.GPU_MEMSET):
+            assert is_kernel_event(make_event(cat=cat))
+        assert not is_kernel_event(make_event())
+
+    def test_is_runtime_event(self):
+        event = make_event(cat=Category.CUDA_RUNTIME, name=CudaRuntimeName.LAUNCH_KERNEL)
+        assert is_runtime_event(event)
+        assert not is_runtime_event(make_event())
+
+    def test_is_sync_runtime_only_for_blocking_calls(self):
+        sync = make_event(cat=Category.CUDA_RUNTIME, name=CudaRuntimeName.DEVICE_SYNCHRONIZE)
+        launch = make_event(cat=Category.CUDA_RUNTIME, name=CudaRuntimeName.LAUNCH_KERNEL)
+        assert is_sync_runtime(sync)
+        assert not is_sync_runtime(launch)
+
+    def test_collective_kernel_by_args(self):
+        event = make_event(cat=Category.KERNEL, name="customKernel",
+                           args={"collective": "all_reduce"})
+        assert is_collective_kernel(event)
+
+    def test_collective_kernel_by_name(self):
+        event = make_event(cat=Category.KERNEL, name="ncclDevKernel_AllReduce_Sum_bf16")
+        assert is_collective_kernel(event)
+
+    def test_compute_kernel_not_collective(self):
+        event = make_event(cat=Category.KERNEL, name="sm90_xmma_gemm_bf16")
+        assert not is_collective_kernel(event)
+
+    def test_cpu_event_never_collective(self):
+        event = make_event(args={"collective": "all_reduce"})
+        assert not is_collective_kernel(event)

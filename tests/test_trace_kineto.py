@@ -1,0 +1,139 @@
+"""Unit tests for trace containers and serialisation."""
+
+import pytest
+
+from repro.trace.events import Category, TraceEvent
+from repro.trace.kineto import DistributedInfo, KinetoTrace, TraceBundle
+
+
+def _event(name, cat, ts, dur, tid=1, pid=0, args=None):
+    return TraceEvent(name=name, cat=cat, ts=ts, dur=dur, pid=pid, tid=tid, args=args or {})
+
+
+@pytest.fixture
+def simple_trace():
+    events = [
+        _event("ProfilerStep#3", Category.USER_ANNOTATION, 0.0, 100.0, tid=0),
+        _event("aten::mm", Category.CPU_OP, 5.0, 10.0, tid=1),
+        _event("cudaLaunchKernel", Category.CUDA_RUNTIME, 10.0, 4.0, tid=1,
+               args={"correlation": 1}),
+        _event("gemm_kernel", Category.KERNEL, 20.0, 30.0, tid=7,
+               args={"correlation": 1, "stream": 7}),
+        _event("nccl_all_reduce", Category.KERNEL, 55.0, 20.0, tid=20,
+               args={"stream": 20, "collective": "all_reduce"}),
+    ]
+    return KinetoTrace(rank=3, events=events,
+                       distributed=DistributedInfo(rank=3, world_size=8, tensor_parallel=2,
+                                                   pipeline_parallel=2, data_parallel=2))
+
+
+class TestKinetoTrace:
+    def test_events_sorted_by_timestamp(self):
+        events = [
+            _event("late", Category.CPU_OP, 50.0, 1.0),
+            _event("early", Category.CPU_OP, 1.0, 1.0),
+        ]
+        trace = KinetoTrace(rank=0, events=events)
+        assert [e.name for e in trace] == ["early", "late"]
+
+    def test_category_selectors(self, simple_trace):
+        assert len(simple_trace.cpu_ops()) == 1
+        assert len(simple_trace.runtime_events()) == 1
+        assert len(simple_trace.kernels()) == 2
+        assert len(simple_trace.annotations()) == 1
+
+    def test_threads_and_streams(self, simple_trace):
+        assert simple_trace.threads() == [0, 1]
+        assert simple_trace.streams() == [7, 20]
+
+    def test_span_and_bounds(self, simple_trace):
+        assert simple_trace.start_time() == 0.0
+        assert simple_trace.end_time() == 100.0
+        assert simple_trace.span() == 100.0
+
+    def test_empty_trace_bounds(self):
+        trace = KinetoTrace(rank=0, events=[])
+        assert trace.span() == 0.0
+        assert len(trace) == 0
+
+    def test_profiler_steps_sorted_by_number(self):
+        events = [
+            _event("ProfilerStep#10", Category.USER_ANNOTATION, 200.0, 10.0, tid=0),
+            _event("ProfilerStep#2", Category.USER_ANNOTATION, 0.0, 10.0, tid=0),
+        ]
+        trace = KinetoTrace(rank=0, events=events)
+        assert [e.name for e in trace.profiler_steps()] == ["ProfilerStep#2", "ProfilerStep#10"]
+
+    def test_iteration_window_uses_first_step(self, simple_trace):
+        assert simple_trace.iteration_window() == (0.0, 100.0)
+
+    def test_iteration_window_specific_step(self, simple_trace):
+        assert simple_trace.iteration_window(step=3) == (0.0, 100.0)
+
+    def test_iteration_window_unknown_step_raises(self, simple_trace):
+        with pytest.raises(KeyError):
+            simple_trace.iteration_window(step=99)
+
+    def test_iteration_window_without_steps_falls_back_to_span(self):
+        trace = KinetoTrace(rank=0, events=[_event("op", Category.CPU_OP, 5.0, 10.0)])
+        assert trace.iteration_window() == (5.0, 15.0)
+
+    def test_slice_keeps_only_contained_events(self, simple_trace):
+        sliced = simple_trace.slice(0.0, 30.0)
+        assert {e.name for e in sliced} == {"aten::mm", "cudaLaunchKernel"}
+
+    def test_json_roundtrip(self, simple_trace):
+        restored = KinetoTrace.from_json(simple_trace.to_json())
+        assert restored.rank == simple_trace.rank
+        assert len(restored) == len(simple_trace)
+        assert restored.distributed == simple_trace.distributed
+
+    def test_save_and_load_plain_json(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.json"
+        simple_trace.save(path)
+        assert KinetoTrace.load(path).span() == simple_trace.span()
+
+    def test_save_and_load_gzip(self, simple_trace, tmp_path):
+        path = tmp_path / "trace.json.gz"
+        simple_trace.save(path)
+        assert len(KinetoTrace.load(path)) == len(simple_trace)
+
+
+class TestDistributedInfo:
+    def test_json_roundtrip(self):
+        info = DistributedInfo(rank=5, world_size=64, tensor_parallel=4,
+                               pipeline_parallel=4, data_parallel=4)
+        assert DistributedInfo.from_json(info.to_json()) == info
+
+
+class TestTraceBundle:
+    def test_add_and_ranks(self, simple_trace):
+        bundle = TraceBundle()
+        bundle.add(simple_trace)
+        bundle.add(KinetoTrace(rank=0, events=[]))
+        assert bundle.ranks() == [0, 3]
+        assert bundle[3] is simple_trace
+
+    def test_iteration_time_spans_all_ranks(self):
+        bundle = TraceBundle()
+        bundle.add(KinetoTrace(rank=0, events=[
+            _event("ProfilerStep#0", Category.USER_ANNOTATION, 0.0, 100.0, tid=0)]))
+        bundle.add(KinetoTrace(rank=1, events=[
+            _event("ProfilerStep#0", Category.USER_ANNOTATION, 20.0, 110.0, tid=0)]))
+        assert bundle.iteration_time() == pytest.approx(130.0)
+
+    def test_iteration_time_empty_bundle(self):
+        assert TraceBundle().iteration_time() == 0.0
+
+    def test_save_and_load_directory(self, simple_trace, tmp_path):
+        bundle = TraceBundle(metadata={"model": "tiny"})
+        bundle.add(simple_trace)
+        bundle.save(tmp_path / "bundle")
+        restored = TraceBundle.load(tmp_path / "bundle")
+        assert restored.ranks() == [3]
+        assert restored.metadata["model"] == "tiny"
+
+    def test_events_iterates_all_ranks(self, simple_trace):
+        bundle = TraceBundle()
+        bundle.add(simple_trace)
+        assert sum(1 for _ in bundle.events()) == len(simple_trace)
