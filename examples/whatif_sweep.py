@@ -1,0 +1,65 @@
+"""Sweep a whole what-if design space from one profiled trace.
+
+Where ``examples/parallelism_exploration.py`` walks candidate configurations
+one at a time, this example hands the entire design space to the sweep
+engine: the base GPT-3 15B trace at TP=2, PP=2, DP=2 is replayed and
+calibrated once, and 24 scenarios — parallelism scale-outs, architecture
+variants and kernel-speedup hypotheticals — are evaluated from it.  The
+result is a ranked table plus the Pareto frontier of iteration time versus
+cluster size, and a second run is served from the on-disk cache.
+
+Run with ``python examples/whatif_sweep.py``.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import sweep
+from repro.emulator.api import emulate
+from repro.sweep.analysis import format_report
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+SPEC = {
+    "base": {"model": "gpt3-15b", "parallelism": "2x2x2",
+             "micro_batch_size": 1, "num_microbatches": 2},
+    "parallelism": ["2x2x4", "2x2x8", "2x1x2", "2x4x2", "2x4x4"],
+    "models": ["gpt3-v1", "gpt3-v3"],
+    "whatif": [
+        {"kind": "kernel_class", "op_class": "gemm", "speedup": 2.0},
+        {"kind": "launch_overhead"},
+    ],
+}
+
+
+def main() -> None:
+    base = SPEC["base"]
+    print(f"profiling the base configuration {base['parallelism']} ...")
+    result = emulate(gpt3_model(base["model"]),
+                     ParallelismConfig.parse(base["parallelism"]),
+                     TrainingConfig(micro_batch_size=base["micro_batch_size"],
+                                    num_microbatches=base["num_microbatches"]),
+                     iterations=1, seed=13)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_dir = Path(tmp) / "sweep-cache"
+
+        started = time.perf_counter()
+        cold = sweep(result.profiled, SPEC, workers=1, cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - started
+        print()
+        print(format_report(cold, top=10))
+
+        started = time.perf_counter()
+        warm = sweep(result.profiled, SPEC, workers=1, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started
+        print()
+        print(f"repeated sweep served from cache: {cold_seconds:.2f} s -> "
+              f"{warm_seconds:.2f} s ({cold_seconds / warm_seconds:.0f}x faster, "
+              f"{warm.cache_stats.hits}/{len(warm)} hits)")
+
+
+if __name__ == "__main__":
+    main()

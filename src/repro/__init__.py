@@ -24,8 +24,16 @@ described in the paper together with the substrates it depends on:
     The dPRO-style replayer and an analytical iteration-time model.
 ``repro.analysis``
     Comparison and reporting helpers used by the benchmark harness.
+``repro.sweep``
+    The parallel what-if sweep engine: declarative scenario grids over one
+    base trace, a process-pool runner, an on-disk result cache and Pareto
+    analysis.  :func:`repro.sweep` is the one-call entry point.
 """
 
 from repro.version import __version__
+# Importing the subpackage binds ``repro.sweep`` — a callable module, so
+# ``from repro import sweep; sweep(trace, spec)`` runs a sweep while
+# ``repro.sweep.SweepSpec`` keeps ordinary module access working.
+from repro.sweep import SweepResult, SweepSpec, run_sweep
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "SweepResult", "SweepSpec", "run_sweep", "sweep"]

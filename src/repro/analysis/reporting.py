@@ -37,3 +37,15 @@ def breakdown_headers(prefix: str = "") -> list[str]:
     """Column headers matching :func:`format_breakdown_row`."""
     label = f"{prefix}config" if prefix else "config"
     return [label, "exposed_compute_ms", "overlapped_ms", "exposed_comm_ms", "other_ms", "total_ms"]
+
+
+def format_sweep_row(rank: int, label: str, kind: str, world_size: int,
+                     time_ms: float, speedup_vs_base: float, cached: bool) -> list[str]:
+    """One row of a sweep ranking / Pareto table."""
+    return [str(rank), label, kind, str(world_size), f"{time_ms:.1f}",
+            f"{speedup_vs_base:.2f}x", "yes" if cached else "no"]
+
+
+def sweep_headers() -> list[str]:
+    """Column headers matching :func:`format_sweep_row`."""
+    return ["rank", "scenario", "kind", "gpus", "time_ms", "vs_base", "cached"]

@@ -7,7 +7,9 @@
 * ``replay``   — build the execution graph from saved traces and replay it;
 * ``breakdown`` — print the execution-time breakdown of saved traces;
 * ``predict``  — manipulate the graph of a base trace to estimate a new
-  parallelism configuration or model architecture.
+  parallelism configuration or model architecture;
+* ``sweep``    — evaluate a whole grid of what-if scenarios from one base
+  trace, with a process pool and an on-disk result cache.
 """
 
 from __future__ import annotations
@@ -27,7 +29,10 @@ from repro.core.perf_model import KernelPerfModel
 from repro.core.replay import replay, simulate_graph
 from repro.emulator.api import emulate
 from repro.hardware.cluster import ClusterSpec
+from repro.sweep import SweepCache, SweepSpec, SweepSpecError, WhatIfSpec, run_sweep
+from repro.sweep.analysis import format_report
 from repro.trace.kineto import TraceBundle
+from repro.version import __version__
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
@@ -91,6 +96,12 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         label = target_model.name
     elif args.target_parallelism:
         target_parallel = ParallelismConfig.parse(args.target_parallelism)
+        if target_parallel.tp != base_parallel.tp:
+            print(f"error: target parallelism {target_parallel.label()} changes tensor "
+                  f"parallelism (base TP={base_parallel.tp}, target TP={target_parallel.tp}); "
+                  "graph manipulation does not support TP modifications",
+                  file=sys.stderr)
+            return 2
         if target_parallel.pp == base_parallel.pp:
             graph = scale_data_parallelism(base_replay.graph, base_parallel,
                                            target_parallel.dp, perf_model)
@@ -101,6 +112,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         label = target_parallel.label()
     else:
         print("predict requires --target-parallelism or --target-model", file=sys.stderr)
+        args.parser.print_usage(sys.stderr)
         return 2
 
     predicted = simulate_graph(graph)
@@ -114,9 +126,39 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        if args.spec:
+            spec = SweepSpec.load(args.spec)
+        else:
+            if not (args.targets or args.target_models):
+                print("sweep requires --spec, --targets or --target-models", file=sys.stderr)
+                args.parser.print_usage(sys.stderr)
+                return 2
+            spec = SweepSpec(
+                base_model=args.model,
+                base_parallelism=args.parallelism,
+                micro_batch_size=args.micro_batch_size,
+                num_microbatches=args.num_microbatches,
+                parallelism=tuple(p for p in (args.targets or "").split(",") if p),
+                models=tuple(m for m in (args.target_models or "").split(",") if m),
+                whatif=tuple(WhatIfSpec.parse(w) for w in args.whatif),
+            )
+        bundle = TraceBundle.load(args.trace)
+        cache = SweepCache(args.cache_dir) if args.cache_dir else None
+        result = run_sweep(bundle, spec, workers=args.workers, cache=cache,
+                           force=args.force)
+    except (SweepSpecError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(format_report(result, top=args.top))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-lumos",
                                      description="Lumos reproduction command-line interface")
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     emulate_parser = subparsers.add_parser("emulate", help="emulate a training job and save traces")
@@ -140,7 +182,28 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--trace", required=True, help="base trace bundle directory")
     predict_parser.add_argument("--target-parallelism", help="target TPxPPxDP label")
     predict_parser.add_argument("--target-model", help="target model name (Table 2 variants)")
-    predict_parser.set_defaults(func=_cmd_predict)
+    predict_parser.set_defaults(func=_cmd_predict, parser=predict_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="evaluate a grid of what-if scenarios from a base trace")
+    _add_workload_arguments(sweep_parser)
+    sweep_parser.add_argument("--trace", required=True, help="base trace bundle directory")
+    sweep_parser.add_argument("--spec", help="sweep spec JSON file (overrides inline axes)")
+    sweep_parser.add_argument("--targets",
+                              help="comma-separated target TPxPPxDP labels (inline axis)")
+    sweep_parser.add_argument("--target-models",
+                              help="comma-separated target model names (inline axis)")
+    sweep_parser.add_argument("--whatif", action="append", default=[],
+                              help="what-if scenario: 'launch', 'comm[:group]:S' or "
+                                   "'CLASS:S' (repeatable)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="process count for scenario evaluation")
+    sweep_parser.add_argument("--cache-dir", help="on-disk result cache directory")
+    sweep_parser.add_argument("--force", action="store_true",
+                              help="re-evaluate scenarios even when cached")
+    sweep_parser.add_argument("--top", type=int, default=None,
+                              help="only print the best N scenarios")
+    sweep_parser.set_defaults(func=_cmd_sweep, parser=sweep_parser)
     return parser
 
 

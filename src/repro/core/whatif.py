@@ -117,3 +117,24 @@ def remove_launch_overhead(graph: ExecutionGraph,
 
     return evaluate_scenario(graph, "zero launch overhead", predicate, float("inf"),
                              baseline=baseline)
+
+
+def apply_speedup(graph: ExecutionGraph, kind: str, *, op_class: str | None = None,
+                  group: str | None = None, speedup: float = 2.0,
+                  baseline: ReplayResult | None = None) -> WhatIfResult:
+    """Declarative entry point over the scenario helpers above.
+
+    ``kind`` selects the scenario family: ``"kernel_class"`` (requires
+    ``op_class``), ``"communication"`` (optionally one ``group``) or
+    ``"launch_overhead"`` (ignores ``speedup``; launches are removed).
+    This is what the sweep runner calls after expanding a declarative spec.
+    """
+    if kind == "kernel_class":
+        if not op_class:
+            raise ValueError("what-if kind 'kernel_class' requires op_class")
+        return speed_up_kernel_class(graph, op_class, speedup, baseline=baseline)
+    if kind == "communication":
+        return speed_up_communication(graph, speedup, group=group, baseline=baseline)
+    if kind == "launch_overhead":
+        return remove_launch_overhead(graph, baseline=baseline)
+    raise ValueError(f"unknown what-if kind '{kind}'")

@@ -1,0 +1,77 @@
+"""Ranking and Pareto analysis of sweep results.
+
+The sweep produces a flat list of scenario results; the questions engineers
+actually ask are "what is the fastest configuration" (ranking) and "what is
+the best iteration time I can buy at each cluster size" (the Pareto
+frontier over iteration time vs. world size).  Table rendering goes through
+``repro.analysis.reporting`` so sweep output matches the rest of the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.reporting import format_sweep_row, format_table, sweep_headers
+from repro.sweep.runner import ScenarioResult, SweepResult, rank_results
+
+__all__ = ["rank_results", "pareto_frontier", "format_ranked_table",
+           "format_pareto_table", "format_report"]
+
+
+def pareto_frontier(results: Iterable[ScenarioResult]) -> list[ScenarioResult]:
+    """Results not dominated on (world size, iteration time), both minimised.
+
+    A scenario is dominated when another scenario needs no more GPUs and is
+    no slower, and is strictly better on at least one of the two.  The
+    frontier is returned ordered by world size, then time.
+    """
+    candidates = list(results)
+    frontier = []
+    for result in candidates:
+        dominated = any(
+            other.world_size <= result.world_size
+            and other.iteration_time_us <= result.iteration_time_us
+            and (other.world_size < result.world_size
+                 or other.iteration_time_us < result.iteration_time_us)
+            for other in candidates)
+        if not dominated:
+            frontier.append(result)
+    return sorted(frontier, key=lambda r: (r.world_size, r.iteration_time_us, r.label))
+
+
+def _rows(results: Sequence[ScenarioResult]) -> list[list[str]]:
+    return [format_sweep_row(position + 1, result.label, result.kind, result.world_size,
+                             result.iteration_time_ms, result.speedup_vs_base,
+                             result.from_cache)
+            for position, result in enumerate(results)]
+
+
+def format_ranked_table(results: Iterable[ScenarioResult], top: int | None = None) -> str:
+    """Render the ranked scenario table (optionally truncated to ``top`` rows)."""
+    ranked = rank_results(results)
+    if top is not None:
+        ranked = ranked[:top]
+    return format_table(sweep_headers(), _rows(ranked))
+
+
+def format_pareto_table(results: Iterable[ScenarioResult]) -> str:
+    """Render the Pareto frontier (iteration time vs. world size)."""
+    return format_table(sweep_headers(), _rows(pareto_frontier(results)))
+
+
+def format_report(sweep: SweepResult, top: int | None = None) -> str:
+    """The full plain-text report the ``repro-lumos sweep`` command prints."""
+    lines = [
+        f"base iteration time: {sweep.base_time_us / 1000.0:.1f} ms",
+        f"evaluated {len(sweep)} scenarios in {sweep.elapsed_seconds:.2f} s "
+        f"({sweep.scenarios_per_second:.1f} scenarios/s, workers={sweep.workers}, "
+        f"cache hits={sweep.cache_stats.hits} misses={sweep.cache_stats.misses})",
+        "",
+        "ranked scenarios" + (f" (top {top})" if top is not None else ""),
+        format_ranked_table(sweep.results, top=top),
+        "",
+        "pareto frontier (iteration time vs. world size)",
+        format_pareto_table(sweep.results),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""On-disk result cache for sweep scenarios.
+
+Results are stored one JSON file per scenario under
+``<root>/<bundle_hash>/<scenario_hash>.json`` where both hashes are content
+hashes (see ``hashing.py``).  Repeated sweeps over the same trace therefore
+only evaluate scenarios that were added or changed — and a fully cached
+sweep skips trace replay and perf-model calibration entirely.
+
+The cache is tolerant by construction: a missing, corrupted or
+schema-mismatched entry is simply a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+_CACHE_SCHEMA = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one sweep run."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class SweepCache:
+    """Content-addressed store of evaluated scenario results."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _entry_path(self, bundle_hash: str, scenario_hash: str) -> Path:
+        return self.root / bundle_hash[:32] / f"{scenario_hash[:32]}.json"
+
+    def lookup(self, bundle_hash: str, scenario_hash: str) -> dict[str, Any] | None:
+        """Return the cached result payload, or None on any kind of miss."""
+        path = self._entry_path(bundle_hash, scenario_hash)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != _CACHE_SCHEMA:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload.get("result")
+
+    def store(self, bundle_hash: str, scenario_hash: str, result: dict[str, Any]) -> None:
+        """Persist one evaluated scenario result."""
+        path = self._entry_path(bundle_hash, scenario_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": _CACHE_SCHEMA, "result": result}
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def entries(self) -> int:
+        """Number of cached scenario results on disk."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        for bucket in self.root.iterdir():
+            if bucket.is_dir() and not any(bucket.iterdir()):
+                bucket.rmdir()
+        return removed

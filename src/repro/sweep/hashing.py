@@ -1,0 +1,41 @@
+"""Content hashing for sweep cache keys.
+
+The sweep cache is keyed by *content*, not by file paths or timestamps: the
+same trace bundle swept with the same scenario always maps to the same key,
+no matter where the bundle lives on disk or when it was written.  Both
+helpers reduce their input to canonical JSON (sorted keys, no whitespace)
+before hashing so that dict ordering and formatting never change the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.trace.kineto import TraceBundle
+
+
+def canonical_json(payload: Any) -> bytes:
+    """Serialise ``payload`` to canonical JSON bytes (sorted keys, compact)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def hash_json(payload: Any) -> str:
+    """SHA-256 hex digest of ``payload``'s canonical JSON form."""
+    return hashlib.sha256(canonical_json(payload)).hexdigest()
+
+
+def hash_trace_bundle(bundle: TraceBundle) -> str:
+    """SHA-256 hex digest of a trace bundle's full content.
+
+    Every per-rank trace is serialised through the same chrome-trace JSON
+    schema that :meth:`TraceBundle.save` writes, so a bundle hashed from
+    memory and the same bundle reloaded from disk produce identical digests
+    (gzip headers and manifest formatting do not participate).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(canonical_json({"metadata": bundle.metadata, "ranks": bundle.ranks()}))
+    for rank in bundle.ranks():
+        hasher.update(canonical_json(bundle[rank].to_json()))
+    return hasher.hexdigest()

@@ -1,0 +1,326 @@
+"""Parallel sweep evaluation.
+
+The runner amortises the expensive, shared work of a what-if sweep: the
+base trace is replayed and the kernel performance model calibrated exactly
+once, after which every scenario of the expanded grid only needs graph
+manipulation plus one simulation.  Scenario evaluation is grouped by target
+configuration (all what-if variants of ``2x2x8`` share one derived graph)
+and the groups fan out over a ``ProcessPoolExecutor`` when ``workers > 1``.
+
+Determinism: graph manipulation and simulation are pure functions of the
+base graph, so serial and parallel runs produce identical results — results
+are collected in expansion order regardless of which worker finished first.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.graph import ExecutionGraph
+from repro.core.manipulation import (
+    change_architecture,
+    scale_data_parallelism,
+    scale_pipeline_parallelism,
+)
+from repro.core.perf_model import KernelPerfModel
+from repro.core.replay import ReplayResult, replay, simulate_graph
+from repro.core.whatif import apply_speedup
+from repro.hardware.cluster import ClusterSpec
+from repro.sweep.cache import CacheStats, SweepCache
+from repro.sweep.hashing import hash_json, hash_trace_bundle
+from repro.sweep.spec import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+    ScenarioSpec,
+    SweepSpec,
+    SweepSpecError,
+    scenario_cache_key,
+)
+from repro.trace.kineto import TraceBundle
+from repro.workload.model_config import ModelConfig, gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of evaluating one scenario of the grid."""
+
+    label: str
+    kind: str
+    target: str
+    whatif: str | None
+    world_size: int
+    iteration_time_us: float
+    base_time_us: float
+    affected_tasks: int = 0
+    from_cache: bool = False
+
+    @property
+    def iteration_time_ms(self) -> float:
+        return self.iteration_time_us / 1000.0
+
+    @property
+    def speedup_vs_base(self) -> float:
+        if self.iteration_time_us <= 0:
+            return float("inf")
+        return self.base_time_us / self.iteration_time_us
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "kind": self.kind,
+            "target": self.target,
+            "whatif": self.whatif,
+            "world_size": self.world_size,
+            "iteration_time_us": self.iteration_time_us,
+            "base_time_us": self.base_time_us,
+            "affected_tasks": self.affected_tasks,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any], from_cache: bool = False) -> "ScenarioResult":
+        return cls(
+            label=str(payload["label"]),
+            kind=str(payload["kind"]),
+            target=str(payload["target"]),
+            whatif=payload.get("whatif"),
+            world_size=int(payload["world_size"]),
+            iteration_time_us=float(payload["iteration_time_us"]),
+            base_time_us=float(payload["base_time_us"]),
+            affected_tasks=int(payload.get("affected_tasks", 0)),
+            from_cache=from_cache,
+        )
+
+
+def rank_results(results: Iterable[ScenarioResult]) -> list[ScenarioResult]:
+    """Order results fastest-first; ties break on the scenario label."""
+    return sorted(results, key=lambda r: (r.iteration_time_us, r.label))
+
+
+@dataclass
+class SweepResult:
+    """All scenario results of one sweep run, in expansion order."""
+
+    spec: SweepSpec
+    results: list[ScenarioResult]
+    base_time_us: float
+    elapsed_seconds: float
+    workers: int
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def scenarios_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return len(self.results) / self.elapsed_seconds
+
+    def ranked(self) -> list[ScenarioResult]:
+        """Results ordered fastest-first (stable on ties via the label)."""
+        return rank_results(self.results)
+
+    def best(self) -> ScenarioResult:
+        return self.ranked()[0]
+
+
+# -- per-worker state ---------------------------------------------------------
+
+@dataclass
+class _SweepState:
+    """Everything a worker needs to evaluate scenarios independently."""
+
+    graph: ExecutionGraph
+    perf_model: KernelPerfModel
+    cluster: ClusterSpec
+    base_model: ModelConfig
+    base_parallel: ParallelismConfig
+    training: TrainingConfig
+    base_time_us: float
+
+
+_WORKER_STATE: _SweepState | None = None
+
+
+def _pool_initializer(state: _SweepState) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _pool_evaluate(item: tuple[str, str, list[dict[str, Any]]]) -> list[dict[str, Any]]:
+    assert _WORKER_STATE is not None, "worker pool used before initialisation"
+    kind, target, scenarios = item
+    return _evaluate_group(_WORKER_STATE, kind, target,
+                           [ScenarioSpec.from_json(s) for s in scenarios])
+
+
+# -- evaluation ---------------------------------------------------------------
+
+def _derive_graph(state: _SweepState, kind: str, target: str) -> tuple[ExecutionGraph, int]:
+    """Build the execution graph for one target configuration."""
+    if kind == KIND_BASELINE:
+        return state.graph, state.base_parallel.world_size
+    if kind == KIND_PARALLELISM:
+        parallel = ParallelismConfig.parse(target)
+        if parallel.tp != state.base_parallel.tp:
+            raise SweepSpecError(
+                f"target parallelism {target} changes tensor parallelism; "
+                "TP modifications are not supported")
+        # The cluster must cover the base trace's ranks as well as the
+        # target's: perf-model rescaling evaluates the *old* collective
+        # groups too, so a down-scaled target cannot shrink the cluster.
+        cluster = ClusterSpec.for_world_size(
+            max(state.base_parallel.world_size, parallel.world_size))
+        if parallel.pp == state.base_parallel.pp:
+            graph = scale_data_parallelism(state.graph, state.base_parallel,
+                                           parallel.dp, state.perf_model,
+                                           cluster=cluster)
+        else:
+            graph = scale_pipeline_parallelism(state.graph, state.base_model,
+                                               state.base_parallel, state.training,
+                                               parallel.pp, state.perf_model,
+                                               new_data_parallel=parallel.dp,
+                                               cluster=cluster)
+        return graph, parallel.world_size
+    if kind == KIND_ARCHITECTURE:
+        graph = change_architecture(state.graph, state.base_model, state.base_parallel,
+                                    state.training, gpt3_model(target), state.perf_model,
+                                    cluster=state.cluster)
+        return graph, state.base_parallel.world_size
+    raise SweepSpecError(f"unknown scenario kind '{kind}'")
+
+
+def _evaluate_group(state: _SweepState, kind: str, target: str,
+                    scenarios: list[ScenarioSpec]) -> list[dict[str, Any]]:
+    """Evaluate every scenario sharing one target configuration.
+
+    The derived graph and its plain simulation are computed once and shared
+    by all what-if variants of the configuration.
+    """
+    graph, world_size = _derive_graph(state, kind, target)
+    config_sim: ReplayResult | None = None
+    results: list[dict[str, Any]] = []
+    for scenario in scenarios:
+        if config_sim is None:
+            config_sim = simulate_graph(graph)
+        if scenario.whatif is None:
+            iteration_time = config_sim.iteration_time_us
+            affected = 0
+        else:
+            whatif = apply_speedup(graph, scenario.whatif.kind,
+                                   op_class=scenario.whatif.op_class,
+                                   group=scenario.whatif.group,
+                                   speedup=scenario.whatif.speedup,
+                                   baseline=config_sim)
+            iteration_time = whatif.scenario_time_us
+            affected = whatif.affected_tasks
+        results.append(ScenarioResult(
+            label=scenario.label,
+            kind=scenario.kind,
+            target=scenario.target,
+            whatif=scenario.whatif.describe() if scenario.whatif else None,
+            world_size=world_size,
+            iteration_time_us=iteration_time,
+            base_time_us=state.base_time_us,
+            affected_tasks=affected,
+        ).to_json())
+    return results
+
+
+def _prepare_state(bundle: TraceBundle, spec: SweepSpec) -> _SweepState:
+    """Replay and calibrate the base trace — the once-per-sweep shared work."""
+    base_model = gpt3_model(spec.base_model)
+    base_parallel = spec.base_parallel()
+    base_replay = replay(bundle)
+    cluster = ClusterSpec.for_world_size(base_parallel.world_size)
+    perf_model = KernelPerfModel.calibrate(base_replay.graph, cluster)
+    return _SweepState(
+        graph=base_replay.graph,
+        perf_model=perf_model,
+        cluster=cluster,
+        base_model=base_model,
+        base_parallel=base_parallel,
+        training=spec.training(),
+        base_time_us=base_replay.iteration_time_us,
+    )
+
+
+def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
+              cache: SweepCache | None = None, force: bool = False) -> SweepResult:
+    """Evaluate every scenario of ``spec`` against one base trace.
+
+    Parameters
+    ----------
+    bundle:
+        The profiled base trace (what ``repro-lumos emulate`` saved).
+    spec:
+        The declarative sweep specification; it is validated first.
+    workers:
+        Process count for scenario evaluation.  ``1`` runs serially in
+        process; parallel and serial runs produce identical results.
+    cache:
+        Optional on-disk result cache.  Cached scenarios skip evaluation,
+        and a fully cached sweep skips base-trace replay and calibration.
+    force:
+        Re-evaluate every scenario even when cached (results are re-stored).
+    """
+    started = time.perf_counter()
+    spec.validate()
+    scenarios = spec.expand()
+
+    # Content hashing walks the full trace bundle, so only pay for it when
+    # there is a cache to key.
+    bundle_hash = ""
+    scenario_hashes: dict[ScenarioSpec, str] = {}
+    collected: dict[ScenarioSpec, ScenarioResult] = {}
+    if cache is not None:
+        bundle_hash = hash_trace_bundle(bundle)
+        scenario_hashes = {scenario: hash_json(scenario_cache_key(spec, scenario))
+                           for scenario in scenarios}
+        if not force:
+            for scenario in scenarios:
+                payload = cache.lookup(bundle_hash, scenario_hashes[scenario])
+                if payload is not None:
+                    collected[scenario] = ScenarioResult.from_json(payload, from_cache=True)
+
+    missing = [scenario for scenario in scenarios if scenario not in collected]
+    if missing:
+        state = _prepare_state(bundle, spec)
+        groups: dict[tuple[str, str], list[ScenarioSpec]] = {}
+        for scenario in missing:
+            groups.setdefault((scenario.kind, scenario.target), []).append(scenario)
+        items = [(kind, target, [s.to_json() for s in group])
+                 for (kind, target), group in groups.items()]
+        if workers > 1 and len(items) > 1:
+            with ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                                     initializer=_pool_initializer,
+                                     initargs=(state,)) as pool:
+                evaluated = list(pool.map(_pool_evaluate, items))
+        else:
+            evaluated = [_evaluate_group(state, kind, target, group)
+                         for (kind, target), group in groups.items()]
+        for (_, group), payloads in zip(groups.items(), evaluated):
+            for scenario, payload in zip(group, payloads):
+                result = ScenarioResult.from_json(payload)
+                collected[scenario] = result
+                if cache is not None:
+                    cache.store(bundle_hash, scenario_hashes[scenario], payload)
+        base_time_us = state.base_time_us
+    else:
+        base_time_us = next(iter(collected.values())).base_time_us
+
+    results = [collected[scenario] for scenario in scenarios]
+    return SweepResult(
+        spec=spec,
+        results=results,
+        base_time_us=base_time_us,
+        elapsed_seconds=time.perf_counter() - started,
+        workers=workers,
+        cache_stats=cache.stats if cache is not None else CacheStats(),
+    )

@@ -1,0 +1,307 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` describes a *what-if design space* around one profiled
+base configuration: target parallelism labels (§3.4 graph manipulation),
+target model variants (§4.3.2 architecture changes) and kernel-speedup
+what-if scenarios (§5).  :meth:`SweepSpec.expand` turns the spec into the
+concrete grid of :class:`ScenarioSpec` entries the runner evaluates — the
+cartesian product of configurations and what-if variants.
+
+Specs are plain JSON on disk::
+
+    {
+      "base": {"model": "gpt3-15b", "parallelism": "2x2x4",
+               "micro_batch_size": 2, "num_microbatches": 4},
+      "parallelism": ["2x2x8", "2x4x4"],
+      "models": ["gpt3-v1"],
+      "whatif": [{"kind": "kernel_class", "op_class": "gemm", "speedup": 2.0},
+                 {"kind": "communication", "group": "dp", "speedup": 2.0},
+                 {"kind": "launch_overhead"}],
+      "include_baseline": true
+    }
+
+Tensor-parallelism targets are rejected up front: the paper (and
+``repro.core.manipulation``) does not support modifying TP.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+
+class SweepSpecError(ValueError):
+    """Raised when a sweep spec is malformed or asks for unsupported changes."""
+
+
+def _known_model(name: str):
+    """Resolve a model name, reporting unknown names as spec errors."""
+    try:
+        return gpt3_model(name)
+    except KeyError as error:
+        raise SweepSpecError(error.args[0]) from error
+
+
+def _parsed_label(label: str) -> "ParallelismConfig":
+    """Parse a TPxPPxDP label, reporting malformed labels as spec errors."""
+    try:
+        return ParallelismConfig.parse(label)
+    except ValueError as error:
+        raise SweepSpecError(str(error)) from error
+
+
+_WHATIF_KINDS = ("kernel_class", "communication", "launch_overhead")
+
+#: Scenario kinds, in the order expansion emits them.
+KIND_BASELINE = "baseline"
+KIND_PARALLELISM = "parallelism"
+KIND_ARCHITECTURE = "architecture"
+
+
+@dataclass(frozen=True)
+class WhatIfSpec:
+    """One declarative kernel-speedup scenario (maps onto ``core/whatif.py``)."""
+
+    kind: str
+    op_class: str | None = None
+    group: str | None = None
+    speedup: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WHATIF_KINDS:
+            raise SweepSpecError(
+                f"unknown what-if kind '{self.kind}' (expected one of {_WHATIF_KINDS})")
+        if self.kind == "kernel_class" and not self.op_class:
+            raise SweepSpecError("what-if kind 'kernel_class' requires 'op_class'")
+        if self.speedup <= 0:
+            raise SweepSpecError("what-if speedup must be positive")
+
+    def describe(self) -> str:
+        """Short human-readable label used in scenario names and tables."""
+        if self.kind == "launch_overhead":
+            return "zero-launch"
+        scale = "inf" if math.isinf(self.speedup) else f"{self.speedup:g}"
+        if self.kind == "communication":
+            return f"{self.group or 'all'}-comm x{scale}"
+        return f"{self.op_class} x{scale}"
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": self.kind}
+        if self.op_class is not None:
+            payload["op_class"] = self.op_class
+        if self.group is not None:
+            payload["group"] = self.group
+        if self.kind != "launch_overhead":
+            payload["speedup"] = "inf" if math.isinf(self.speedup) else self.speedup
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "WhatIfSpec":
+        if not isinstance(payload, Mapping):
+            raise SweepSpecError(f"what-if entry must be an object, got {payload!r}")
+        kind = str(payload.get("kind", ""))
+        speedup = float(payload.get("speedup", 2.0))
+        if kind == "launch_overhead":
+            speedup = float("inf")
+        return cls(kind=kind, op_class=payload.get("op_class"),
+                   group=payload.get("group"), speedup=speedup)
+
+    @classmethod
+    def parse(cls, text: str) -> "WhatIfSpec":
+        """Parse the compact CLI form.
+
+        ``launch`` — zero launch overhead; ``comm[:group]:S`` — communication
+        (optionally one group) sped up ``S`` times; ``CLASS:S`` — one kernel
+        class (e.g. ``gemm:2``) sped up ``S`` times.  ``S`` may be ``inf``.
+        """
+        parts = text.split(":")
+        if parts[0] == "launch" and len(parts) == 1:
+            return cls(kind="launch_overhead", speedup=float("inf"))
+        try:
+            if parts[0] == "comm" and len(parts) == 3:
+                return cls(kind="communication", group=parts[1] or None,
+                           speedup=float(parts[2]))
+            if parts[0] == "comm" and len(parts) == 2:
+                return cls(kind="communication", speedup=float(parts[1]))
+            if len(parts) == 2:
+                return cls(kind="kernel_class", op_class=parts[0], speedup=float(parts[1]))
+        except ValueError as error:
+            raise SweepSpecError(f"bad what-if '{text}': {error}") from error
+        raise SweepSpecError(
+            f"bad what-if '{text}' (expected 'launch', 'comm[:group]:S' or 'CLASS:S')")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One concrete point of the expanded sweep grid."""
+
+    kind: str
+    target: str
+    whatif: WhatIfSpec | None = None
+
+    @property
+    def label(self) -> str:
+        base = "base" if self.kind == KIND_BASELINE else self.target
+        return f"{base} +{self.whatif.describe()}" if self.whatif else base
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"kind": self.kind, "target": self.target}
+        if self.whatif is not None:
+            payload["whatif"] = self.whatif.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        whatif = payload.get("whatif")
+        return cls(kind=str(payload["kind"]), target=str(payload["target"]),
+                   whatif=WhatIfSpec.from_json(whatif) if whatif else None)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep over one base trace."""
+
+    base_model: str = "gpt3-15b"
+    base_parallelism: str = "2x2x4"
+    micro_batch_size: int = 2
+    num_microbatches: int = 4
+    parallelism: tuple[str, ...] = ()
+    models: tuple[str, ...] = ()
+    whatif: tuple[WhatIfSpec, ...] = ()
+    include_baseline: bool = True
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "SweepSpec":
+        base = payload.get("base", {})
+        if not isinstance(base, Mapping):
+            raise SweepSpecError("'base' must be an object")
+        try:
+            return cls(
+                base_model=str(base.get("model", cls.base_model)),
+                base_parallelism=str(base.get("parallelism", cls.base_parallelism)),
+                micro_batch_size=int(base.get("micro_batch_size", cls.micro_batch_size)),
+                num_microbatches=int(base.get("num_microbatches", cls.num_microbatches)),
+                parallelism=tuple(str(p) for p in payload.get("parallelism", ())),
+                models=tuple(str(m) for m in payload.get("models", ())),
+                whatif=tuple(WhatIfSpec.from_json(w) for w in payload.get("whatif", ())),
+                include_baseline=bool(payload.get("include_baseline", True)),
+            )
+        except (TypeError, ValueError) as error:
+            if isinstance(error, SweepSpecError):
+                raise
+            raise SweepSpecError(f"malformed sweep spec: {error}") from error
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepSpec":
+        """Read a spec from a JSON file."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise SweepSpecError(f"spec file {path} is not valid JSON: {error}") from error
+        return cls.from_json(payload)
+
+    @classmethod
+    def coerce(cls, spec: "SweepSpec | Mapping[str, Any] | str | Path") -> "SweepSpec":
+        """Accept a spec object, a JSON-style mapping, or a spec file path."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, Mapping):
+            return cls.from_json(spec)
+        if isinstance(spec, (str, Path)):
+            return cls.load(spec)
+        raise SweepSpecError(f"cannot build a SweepSpec from {type(spec).__name__}")
+
+    # -- serialisation ------------------------------------------------------
+
+    def base_json(self) -> dict[str, Any]:
+        return {
+            "model": self.base_model,
+            "parallelism": self.base_parallelism,
+            "micro_batch_size": self.micro_batch_size,
+            "num_microbatches": self.num_microbatches,
+        }
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "base": self.base_json(),
+            "parallelism": list(self.parallelism),
+            "models": list(self.models),
+            "whatif": [w.to_json() for w in self.whatif],
+            "include_baseline": self.include_baseline,
+        }
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_json(), indent=2), encoding="utf-8")
+
+    # -- workload accessors -------------------------------------------------
+
+    def base_parallel(self) -> ParallelismConfig:
+        return ParallelismConfig.parse(self.base_parallelism)
+
+    def training(self) -> TrainingConfig:
+        return TrainingConfig(micro_batch_size=self.micro_batch_size,
+                              num_microbatches=self.num_microbatches)
+
+    # -- validation and expansion -------------------------------------------
+
+    def validate(self) -> None:
+        """Reject unsupported or inconsistent specs before any work happens."""
+        base_model = _known_model(self.base_model)
+        base_parallel = _parsed_label(self.base_parallelism)
+        for label in self.parallelism:
+            target = _parsed_label(label)
+            if target.tp != base_parallel.tp:
+                raise SweepSpecError(
+                    f"target parallelism {label} changes tensor parallelism "
+                    f"(base TP={base_parallel.tp}); TP modifications are not "
+                    "supported by graph manipulation")
+            try:
+                target.validate_for_model(base_model.n_layers)
+            except ValueError as error:
+                raise SweepSpecError(str(error)) from error
+        for name in self.models:
+            _known_model(name)
+        if not self.expand():
+            raise SweepSpecError("sweep spec expands to zero scenarios")
+
+    def configurations(self) -> list[tuple[str, str]]:
+        """The ``(kind, target)`` configuration axis, de-duplicated in order."""
+        configs: list[tuple[str, str]] = []
+        if self.include_baseline:
+            configs.append((KIND_BASELINE, self.base_parallelism))
+        for label in self.parallelism:
+            configs.append((KIND_PARALLELISM, label))
+        for name in self.models:
+            configs.append((KIND_ARCHITECTURE, name))
+        seen: set[tuple[str, str]] = set()
+        unique = []
+        for config in configs:
+            if config not in seen:
+                seen.add(config)
+                unique.append(config)
+        return unique
+
+    def expand(self) -> list[ScenarioSpec]:
+        """The full scenario grid: configurations × (no what-if + each what-if)."""
+        variants: list[WhatIfSpec | None] = [None, *self.whatif]
+        return [ScenarioSpec(kind=kind, target=target, whatif=variant)
+                for kind, target in self.configurations()
+                for variant in variants]
+
+
+def scenario_cache_key(spec: SweepSpec, scenario: ScenarioSpec) -> dict[str, Any]:
+    """The JSON payload whose hash keys one scenario in the result cache.
+
+    The base configuration participates because graph manipulation depends
+    on it; the trace content is hashed separately (see ``hashing.py``).
+    """
+    return {"schema": 1, "base": spec.base_json(), "scenario": scenario.to_json()}

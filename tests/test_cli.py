@@ -27,6 +27,13 @@ class TestParser:
         assert args.model == "gpt3-15b"
         assert args.parallelism == "2x2x4"
 
+    def test_version_flag(self, capsys):
+        from repro.version import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro-lumos {__version__}" in capsys.readouterr().out
+
 
 class TestCommands:
     def test_emulate_writes_bundle(self, trace_directory):
@@ -70,3 +77,95 @@ class TestCommands:
             "--parallelism", "2x2x2",
         ])
         assert code == 2
+
+    def test_predict_without_target_prints_usage(self, trace_directory, capsys):
+        main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2",
+        ])
+        err = capsys.readouterr().err
+        assert "predict requires --target-parallelism or --target-model" in err
+        assert "usage:" in err
+
+    def test_predict_rejects_tensor_parallelism_change(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--target-parallelism", "4x2x2",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "tensor" in err
+        assert "4x2x2" in err
+
+    def test_sweep_with_inline_axes(self, trace_directory, tmp_path, capsys):
+        argv = [
+            "sweep", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--targets", "2x2x4",
+            "--whatif", "gemm:2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "evaluated 4 scenarios" in output
+        assert "pareto frontier" in output
+        # A repeated invocation is served entirely from the cache.
+        assert main(argv) == 0
+        assert "cache hits=4 misses=0" in capsys.readouterr().out
+
+    def test_sweep_with_spec_file(self, trace_directory, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            '{"base": {"model": "gpt3-15b", "parallelism": "2x2x2",'
+            ' "micro_batch_size": 1, "num_microbatches": 2},'
+            ' "parallelism": ["2x2x4"], "include_baseline": false}',
+            encoding="utf-8")
+        assert main(["sweep", "--trace", str(trace_directory),
+                     "--spec", str(spec), "--top", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "evaluated 1 scenarios" in output
+        assert "2x2x4" in output
+
+    def test_sweep_without_axes_errors(self, trace_directory, capsys):
+        assert main(["sweep", "--trace", str(trace_directory)]) == 2
+        err = capsys.readouterr().err
+        assert "sweep requires --spec, --targets or --target-models" in err
+        assert "usage:" in err
+
+    def test_sweep_reports_bad_whatif_cleanly(self, trace_directory, capsys):
+        code = main(["sweep", "--trace", str(trace_directory),
+                     "--targets", "2x2x4", "--whatif", "gemm"])
+        assert code == 2
+        assert "error: bad what-if 'gemm'" in capsys.readouterr().err
+
+    def test_sweep_reports_unknown_model_cleanly(self, trace_directory, capsys):
+        code = main(["sweep", "--trace", str(trace_directory),
+                     "--target-models", "gpt9"])
+        assert code == 2
+        assert "error: unknown model 'gpt9'" in capsys.readouterr().err
+
+    def test_sweep_reports_bad_spec_file_cleanly(self, trace_directory, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["sweep", "--trace", str(trace_directory), "--spec", str(bad)])
+        assert code == 2
+        assert "is not valid JSON" in capsys.readouterr().err
+
+    def test_sweep_reports_missing_trace_cleanly(self, tmp_path, capsys):
+        code = main(["sweep", "--trace", str(tmp_path / "nope"), "--targets", "2x2x4"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_reports_malformed_target_cleanly(self, trace_directory, capsys):
+        code = main(["sweep", "--trace", str(trace_directory), "--targets", "2x2"])
+        assert code == 2
+        assert "TPxPPxDP" in capsys.readouterr().err
+
+    def test_sweep_rejects_tp_change(self, trace_directory, capsys):
+        code = main([
+            "sweep", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--targets", "4x2x2",
+        ])
+        assert code == 2
+        assert "tensor parallelism" in capsys.readouterr().err

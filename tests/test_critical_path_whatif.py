@@ -8,6 +8,8 @@ from repro.core.replay import simulate_graph
 from repro.core.simulator import Simulator
 from repro.core.tasks import DependencyType, Task, TaskKind
 from repro.core.whatif import (
+    _clone_graph,
+    apply_speedup,
     evaluate_scenario,
     remove_launch_overhead,
     speed_up_communication,
@@ -165,3 +167,101 @@ class TestWhatIf:
         assert result.saved_us == 100.0
         assert result.speedup == 2.0
         assert result.improvement_percent == 50.0
+
+    def test_evaluate_scenario_infinite_speedup_zeroes_matches(self):
+        graph, launch, kernel, side = _chain_graph()
+        result = evaluate_scenario(graph, "no-gemm",
+                                   lambda t: t.args.get("op_class") == "gemm",
+                                   float("inf"))
+        assert result.affected_tasks == 1
+        # Only the 10 us launch and the 20 us side collective remain.
+        assert result.scenario_time_us == pytest.approx(20.0)
+        # The input graph keeps its original durations.
+        assert graph.tasks[kernel.task_id].duration == pytest.approx(100.0)
+
+
+class TestCloneGraph:
+    def _decorated_graph(self):
+        graph = ExecutionGraph(metadata={"parallelism": "2x2x2", "source": "test"})
+        launch = graph.add_task(Task(task_id=-1, rank=0, kind=TaskKind.CPU,
+                                     name="cudaLaunchKernel", duration=10.0,
+                                     trace_ts=0.0, thread=1, correlation=42))
+        kernel = graph.add_task(Task(task_id=-1, rank=0, kind=TaskKind.GPU,
+                                     name="nccl_send", duration=50.0, trace_ts=1.0,
+                                     stream=7, correlation=42,
+                                     args={"op_class": "comm", "collective": "send"},
+                                     sync_streams=(7, 9),
+                                     collective_group="pp_send_0_1"))
+        peer = graph.add_task(Task(task_id=-1, rank=1, kind=TaskKind.GPU,
+                                   name="nccl_recv", duration=50.0, trace_ts=1.0,
+                                   stream=7, collective_group="pp_send_0_1"))
+        graph.add_dependency(launch.task_id, kernel.task_id, DependencyType.CPU_TO_GPU)
+        graph.add_dependency(kernel.task_id, peer.task_id, DependencyType.GPU_INTER_STREAM)
+        return graph
+
+    def test_metadata_survives_and_is_independent(self):
+        graph = self._decorated_graph()
+        clone = _clone_graph(graph)
+        assert clone.metadata == graph.metadata
+        clone.metadata["parallelism"] = "9x9x9"
+        assert graph.metadata["parallelism"] == "2x2x2"
+
+    def test_dependency_types_survive(self):
+        graph = self._decorated_graph()
+        clone = _clone_graph(graph)
+        assert len(clone.dependencies) == len(graph.dependencies)
+        assert sorted(d.dep_type for d in clone.dependencies) == \
+            sorted(d.dep_type for d in graph.dependencies)
+        # Edges connect the cloned counterparts of the original endpoints.
+        names = {(clone.tasks[d.src].name, clone.tasks[d.dst].name)
+                 for d in clone.dependencies}
+        assert names == {("cudaLaunchKernel", "nccl_send"), ("nccl_send", "nccl_recv")}
+
+    def test_collective_groups_and_sync_streams_survive(self):
+        graph = self._decorated_graph()
+        clone = _clone_graph(graph)
+        cloned = {task.name: task for task in clone.tasks.values()}
+        assert cloned["nccl_send"].collective_group == "pp_send_0_1"
+        assert cloned["nccl_recv"].collective_group == "pp_send_0_1"
+        assert cloned["nccl_send"].sync_streams == (7, 9)
+        assert cloned["cudaLaunchKernel"].correlation == 42
+
+    def test_task_args_are_independent_copies(self):
+        graph = self._decorated_graph()
+        clone = _clone_graph(graph)
+        cloned_send = next(t for t in clone.tasks.values() if t.name == "nccl_send")
+        original_send = next(t for t in graph.tasks.values() if t.name == "nccl_send")
+        cloned_send.args["collective"] = "mutated"
+        assert original_send.args["collective"] == "send"
+
+    def test_simulated_times_match(self, small_graph):
+        from repro.core.replay import simulate_graph
+        original = simulate_graph(small_graph)
+        clone = _clone_graph(small_graph)
+        assert simulate_graph(clone).iteration_time_us == \
+            pytest.approx(original.iteration_time_us)
+
+
+class TestApplySpeedup:
+    def test_dispatches_to_kernel_class(self, small_graph):
+        via_dispatch = apply_speedup(small_graph, "kernel_class", op_class="gemm",
+                                     speedup=2.0)
+        direct = speed_up_kernel_class(small_graph, "gemm", 2.0)
+        assert via_dispatch.scenario_time_us == pytest.approx(direct.scenario_time_us)
+        assert via_dispatch.affected_tasks == direct.affected_tasks
+
+    def test_dispatches_to_communication(self, small_graph):
+        via_dispatch = apply_speedup(small_graph, "communication", group="dp", speedup=4.0)
+        direct = speed_up_communication(small_graph, 4.0, group="dp")
+        assert via_dispatch.scenario_time_us == pytest.approx(direct.scenario_time_us)
+
+    def test_dispatches_to_launch_overhead(self, small_graph):
+        via_dispatch = apply_speedup(small_graph, "launch_overhead")
+        direct = remove_launch_overhead(small_graph)
+        assert via_dispatch.scenario_time_us == pytest.approx(direct.scenario_time_us)
+
+    def test_rejects_unknown_kind_and_missing_op_class(self, small_graph):
+        with pytest.raises(ValueError):
+            apply_speedup(small_graph, "wormhole")
+        with pytest.raises(ValueError):
+            apply_speedup(small_graph, "kernel_class")

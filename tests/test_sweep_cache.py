@@ -1,0 +1,94 @@
+"""Tests for the content-addressed sweep result cache and hashing."""
+
+from repro.sweep.cache import CacheStats, SweepCache
+from repro.sweep.hashing import hash_json, hash_trace_bundle
+from repro.trace.events import TraceEvent
+from repro.trace.kineto import KinetoTrace, TraceBundle
+
+BUNDLE_HASH = "b" * 64
+SCENARIO_HASH = "s" * 64
+
+
+def _result_payload(time_us: float = 1234.5) -> dict:
+    return {"label": "2x2x8", "kind": "parallelism", "target": "2x2x8",
+            "whatif": None, "world_size": 32, "iteration_time_us": time_us,
+            "base_time_us": 2000.0, "affected_tasks": 0}
+
+
+class TestSweepCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.lookup(BUNDLE_HASH, SCENARIO_HASH) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_store_then_lookup(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        assert cache.lookup(BUNDLE_HASH, SCENARIO_HASH) == _result_payload()
+        assert cache.stats.hits == 1
+
+    def test_different_scenario_hash_misses(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        assert cache.lookup(BUNDLE_HASH, "t" * 64) is None
+
+    def test_different_bundle_hash_misses(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        assert cache.lookup("c" * 64, SCENARIO_HASH) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        entry = next((tmp_path / "cache").glob("*/*.json"))
+        entry.write_text("{truncated", encoding="utf-8")
+        assert cache.lookup(BUNDLE_HASH, SCENARIO_HASH) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        entry = next((tmp_path / "cache").glob("*/*.json"))
+        entry.write_text('{"schema": 999, "result": {}}', encoding="utf-8")
+        assert cache.lookup(BUNDLE_HASH, SCENARIO_HASH) is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        cache.store(BUNDLE_HASH, "t" * 64, _result_payload(999.0))
+        assert cache.entries() == 2
+        assert cache.clear() == 2
+        assert cache.entries() == 0
+
+    def test_stats_properties(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert CacheStats().hit_rate == 0.0
+
+
+class TestHashing:
+    def test_hash_json_is_order_insensitive(self):
+        assert hash_json({"a": 1, "b": 2}) == hash_json({"b": 2, "a": 1})
+
+    def test_hash_json_differs_on_content(self):
+        assert hash_json({"a": 1}) != hash_json({"a": 2})
+
+    def _bundle(self, duration: float = 5.0) -> TraceBundle:
+        event = TraceEvent(name="kernel", cat="kernel", ts=0.0,
+                           dur=duration, pid=0, tid=0)
+        bundle = TraceBundle()
+        bundle.add(KinetoTrace(rank=0, events=[event]))
+        return bundle
+
+    def test_bundle_hash_is_deterministic(self):
+        assert hash_trace_bundle(self._bundle()) == hash_trace_bundle(self._bundle())
+
+    def test_bundle_hash_sees_event_changes(self):
+        assert hash_trace_bundle(self._bundle(5.0)) != hash_trace_bundle(self._bundle(6.0))
+
+    def test_bundle_hash_survives_disk_roundtrip(self, tmp_path):
+        bundle = self._bundle()
+        bundle.save(tmp_path / "bundle")
+        reloaded = TraceBundle.load(tmp_path / "bundle")
+        assert hash_trace_bundle(reloaded) == hash_trace_bundle(bundle)

@@ -1,0 +1,182 @@
+"""Tests for declarative sweep specifications and their expansion."""
+
+import json
+
+import pytest
+
+from repro.sweep.spec import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+    ScenarioSpec,
+    SweepSpec,
+    SweepSpecError,
+    WhatIfSpec,
+    scenario_cache_key,
+)
+
+
+class TestWhatIfSpec:
+    def test_kernel_class_describe(self):
+        spec = WhatIfSpec(kind="kernel_class", op_class="gemm", speedup=2.0)
+        assert spec.describe() == "gemm x2"
+
+    def test_communication_defaults_to_all_groups(self):
+        assert WhatIfSpec(kind="communication").describe() == "all-comm x2"
+        assert WhatIfSpec(kind="communication", group="dp").describe() == "dp-comm x2"
+
+    def test_launch_overhead_is_always_infinite(self):
+        spec = WhatIfSpec.from_json({"kind": "launch_overhead"})
+        assert spec.speedup == float("inf")
+        assert spec.describe() == "zero-launch"
+
+    def test_json_roundtrip_preserves_infinity(self):
+        spec = WhatIfSpec(kind="kernel_class", op_class="attention", speedup=float("inf"))
+        payload = json.loads(json.dumps(spec.to_json()))
+        assert WhatIfSpec.from_json(payload) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SweepSpecError):
+            WhatIfSpec(kind="teleportation")
+
+    def test_kernel_class_requires_op_class(self):
+        with pytest.raises(SweepSpecError):
+            WhatIfSpec(kind="kernel_class")
+
+    def test_non_positive_speedup_rejected(self):
+        with pytest.raises(SweepSpecError):
+            WhatIfSpec(kind="communication", speedup=0.0)
+
+    @pytest.mark.parametrize("text, expected", [
+        ("launch", WhatIfSpec(kind="launch_overhead", speedup=float("inf"))),
+        ("gemm:2", WhatIfSpec(kind="kernel_class", op_class="gemm", speedup=2.0)),
+        ("comm:dp:4", WhatIfSpec(kind="communication", group="dp", speedup=4.0)),
+        ("comm:1.5", WhatIfSpec(kind="communication", speedup=1.5)),
+        ("comm::inf", WhatIfSpec(kind="communication", speedup=float("inf"))),
+    ])
+    def test_parse_compact_cli_form(self, text, expected):
+        assert WhatIfSpec.parse(text) == expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SweepSpecError):
+            WhatIfSpec.parse("gemm")
+        with pytest.raises(SweepSpecError):
+            WhatIfSpec.parse("gemm:fast")
+
+
+class TestExpansion:
+    def _spec(self, **overrides):
+        defaults = dict(base_model="gpt3-15b", base_parallelism="2x2x2",
+                        micro_batch_size=1, num_microbatches=2)
+        defaults.update(overrides)
+        return SweepSpec(**defaults)
+
+    def test_baseline_only(self):
+        scenarios = self._spec().expand()
+        assert [s.kind for s in scenarios] == [KIND_BASELINE]
+        assert scenarios[0].label == "base"
+
+    def test_grid_is_configurations_times_whatif_variants(self):
+        spec = self._spec(parallelism=("2x2x4", "2x4x2"), models=("gpt3-v1",),
+                          whatif=(WhatIfSpec(kind="kernel_class", op_class="gemm"),
+                                  WhatIfSpec(kind="launch_overhead")))
+        scenarios = spec.expand()
+        # (baseline + 2 parallelism + 1 model) x (none + 2 what-if) = 12
+        assert len(scenarios) == 12
+        assert sum(1 for s in scenarios if s.whatif is None) == 4
+        assert sum(1 for s in scenarios if s.kind == KIND_ARCHITECTURE) == 3
+
+    def test_labels_are_unique(self):
+        spec = self._spec(parallelism=("2x2x4",), models=("gpt3-v1",),
+                          whatif=(WhatIfSpec(kind="communication", group="dp"),))
+        labels = [s.label for s in spec.expand()]
+        assert len(labels) == len(set(labels))
+
+    def test_duplicate_configurations_collapse(self):
+        spec = self._spec(parallelism=("2x2x4", "2x2x4"))
+        kinds = [(s.kind, s.target) for s in spec.expand()]
+        assert kinds.count((KIND_PARALLELISM, "2x2x4")) == 1
+
+    def test_exclude_baseline(self):
+        spec = self._spec(parallelism=("2x2x4",), include_baseline=False)
+        assert all(s.kind != KIND_BASELINE for s in spec.expand())
+
+
+class TestValidation:
+    def test_tensor_parallelism_change_rejected(self):
+        spec = SweepSpec(base_parallelism="2x2x2", parallelism=("4x2x2",))
+        with pytest.raises(SweepSpecError, match="tensor parallelism"):
+            spec.validate()
+
+    def test_unknown_model_rejected(self):
+        spec = SweepSpec(models=("gpt5-900t",))
+        with pytest.raises(SweepSpecError, match="unknown model"):
+            spec.validate()
+
+    def test_unknown_base_model_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown model"):
+            SweepSpec(base_model="not-a-model").validate()
+
+    def test_malformed_label_rejected(self):
+        spec = SweepSpec(base_parallelism="2x2x2", parallelism=("2x2",))
+        with pytest.raises(SweepSpecError, match="TPxPPxDP"):
+            spec.validate()
+
+    def test_excessive_pipeline_parallelism_rejected(self):
+        spec = SweepSpec(base_model="gpt3-15b", base_parallelism="2x2x2",
+                         parallelism=("2x64x1",))
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_empty_grid_rejected(self):
+        spec = SweepSpec(include_baseline=False)
+        with pytest.raises(SweepSpecError, match="zero scenarios"):
+            spec.validate()
+
+    def test_valid_spec_passes(self):
+        SweepSpec(base_parallelism="2x2x2", parallelism=("2x2x4",),
+                  models=("gpt3-v1",)).validate()
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        spec = SweepSpec(base_model="gpt3-15b", base_parallelism="2x2x4",
+                         micro_batch_size=2, num_microbatches=4,
+                         parallelism=("2x2x8",), models=("gpt3-v2",),
+                         whatif=(WhatIfSpec(kind="communication", group="pp"),),
+                         include_baseline=False)
+        assert SweepSpec.from_json(spec.to_json()) == spec
+
+    def test_file_roundtrip(self, tmp_path):
+        spec = SweepSpec(parallelism=("2x2x8",))
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert SweepSpec.load(path) == spec
+
+    def test_coerce_accepts_spec_mapping_and_path(self, tmp_path):
+        spec = SweepSpec(parallelism=("2x2x8",))
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert SweepSpec.coerce(spec) is spec
+        assert SweepSpec.coerce(spec.to_json()) == spec
+        assert SweepSpec.coerce(path) == spec
+        with pytest.raises(SweepSpecError):
+            SweepSpec.coerce(42)
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SweepSpecError, match="not valid JSON"):
+            SweepSpec.load(path)
+
+    def test_scenario_roundtrip(self):
+        scenario = ScenarioSpec(kind=KIND_PARALLELISM, target="2x4x4",
+                                whatif=WhatIfSpec(kind="launch_overhead",
+                                                  speedup=float("inf")))
+        assert ScenarioSpec.from_json(scenario.to_json()) == scenario
+
+    def test_cache_key_depends_on_base_configuration(self):
+        scenario = ScenarioSpec(kind=KIND_PARALLELISM, target="2x2x8")
+        key_a = scenario_cache_key(SweepSpec(base_parallelism="2x2x2"), scenario)
+        key_b = scenario_cache_key(SweepSpec(base_parallelism="2x2x4"), scenario)
+        assert key_a != key_b
