@@ -1,0 +1,97 @@
+"""CI perf-regression gate for the engine benchmarks.
+
+Compares the JSON emitted by ``benchmarks/test_perf_engine.py`` (and any
+other benchmark writing the same schema) against the committed baseline
+and fails when any metric regressed by more than the allowed factor:
+
+.. code-block:: sh
+
+    python benchmarks/perf_gate.py \
+        --current benchmarks/engine-perf.json \
+        --baseline benchmarks/baselines/engine.json \
+        --max-regression 2.0
+
+A metric's regression factor is ``current / baseline`` for
+lower-is-better metrics (latencies) and ``baseline / current`` for
+higher-is-better ones (speedups, throughput), so 1.0 means "exactly the
+baseline" and 2.0 means "twice as bad".  Metrics present in the baseline
+but missing from the current run fail the gate; extra current metrics are
+reported but never fail it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_metrics(path: Path) -> dict[str, dict]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    metrics = payload.get("metrics", {})
+    if not isinstance(metrics, dict) or not metrics:
+        raise ValueError(f"{path} contains no metrics")
+    return metrics
+
+
+def regression_factor(baseline: dict, current: dict) -> float:
+    """How many times worse the current value is (1.0 = at baseline)."""
+    baseline_value = float(baseline["value"])
+    current_value = float(current["value"])
+    if baseline_value <= 0 or current_value <= 0:
+        raise ValueError("metric values must be positive")
+    if baseline.get("higher_is_better", False):
+        return baseline_value / current_value
+    return current_value / baseline_value
+
+
+def check(baseline_metrics: dict[str, dict], current_metrics: dict[str, dict],
+          max_regression: float) -> list[str]:
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures: list[str] = []
+    for name, baseline in sorted(baseline_metrics.items()):
+        current = current_metrics.get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        factor = regression_factor(baseline, current)
+        unit = baseline.get("unit", "")
+        direction = "higher" if baseline.get("higher_is_better", False) else "lower"
+        line = (f"{name}: baseline {baseline['value']:.3f} {unit} -> "
+                f"current {current['value']:.3f} {unit} "
+                f"({factor:.2f}x worse, {direction} is better)")
+        if factor > max_regression:
+            failures.append(line)
+        else:
+            print(f"ok   {line}")
+    for name in sorted(set(current_metrics) - set(baseline_metrics)):
+        print(f"new  {name}: {current_metrics[name]['value']:.3f} "
+              f"{current_metrics[name].get('unit', '')} (not gated)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, required=True,
+                        help="JSON emitted by the benchmark run under test")
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="maximum allowed regression factor (default 2.0)")
+    args = parser.parse_args(argv)
+
+    failures = check(load_metrics(args.baseline), load_metrics(args.current),
+                     args.max_regression)
+    if failures:
+        print(f"\nperf gate FAILED (> {args.max_regression:g}x regression):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

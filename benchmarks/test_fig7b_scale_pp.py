@@ -22,7 +22,8 @@ def _run(settings):
 def test_fig7b_scale_pipeline_parallelism(benchmark, settings):
     comparisons = run_once(benchmark, _run, settings)
 
-    print("\nFigure 7b — scaling pipeline parallelism from 2x2x4 (upper = predicted, lower = actual)")
+    print("\nFigure 7b — scaling pipeline parallelism from 2x2x4 "
+          "(upper = predicted, lower = actual)")
     rows = []
     for comparison in comparisons:
         rows.append(format_breakdown_row(f"{comparison.label} predicted", comparison.predicted))

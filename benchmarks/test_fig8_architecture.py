@@ -27,7 +27,8 @@ def test_fig8_architecture_variants(benchmark, settings):
               for m in GPT3_VARIANTS.values()]
     print(format_table(["model", "n_params", "n_layers", "d_model", "d_ffn"], table2))
 
-    print("\nFigure 8 — iteration-time breakdown of model variants (upper = actual, lower = predicted)")
+    print("\nFigure 8 — iteration-time breakdown of model variants "
+          "(upper = actual, lower = predicted)")
     rows = []
     for comparison in comparisons:
         rows.append(format_breakdown_row(f"{comparison.label} actual", comparison.actual))

@@ -86,7 +86,8 @@ def evaluate_replay(label: str, profiled: TraceBundle, measured: TraceBundle,
 def compare_breakdowns(label: str, actual: TraceBundle | ExecutionBreakdown,
                        predicted: TraceBundle | ExecutionBreakdown) -> BreakdownComparison:
     """Compare a predicted breakdown (from manipulation) against ground truth."""
-    actual_breakdown = actual if isinstance(actual, ExecutionBreakdown) else compute_breakdown(actual)
+    actual_breakdown = (actual if isinstance(actual, ExecutionBreakdown)
+                        else compute_breakdown(actual))
     predicted_breakdown = (predicted if isinstance(predicted, ExecutionBreakdown)
                            else compute_breakdown(predicted))
     return BreakdownComparison(label=label, actual=actual_breakdown,

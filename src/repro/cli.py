@@ -172,7 +172,8 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--baseline", choices=["lumos", "dpro"], default="lumos")
     replay_parser.set_defaults(func=_cmd_replay)
 
-    breakdown_parser = subparsers.add_parser("breakdown", help="print a trace's execution breakdown")
+    breakdown_parser = subparsers.add_parser(
+        "breakdown", help="print a trace's execution breakdown")
     breakdown_parser.add_argument("--trace", required=True, help="trace bundle directory")
     breakdown_parser.set_defaults(func=_cmd_breakdown)
 

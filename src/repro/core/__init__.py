@@ -7,8 +7,12 @@ This package implements the paper's contribution:
   cross-rank collective groups);
 * :mod:`repro.core.graph_builder` — constructing the graph from Kineto
   traces (§3.3);
+* :mod:`repro.core.engine` — the array-backed two-phase engine: a
+  :class:`~repro.core.engine.CompiledGraph` precomputes immutable
+  structure once, a :class:`~repro.core.engine.SimulationSession` replays
+  it over preallocated numpy buffers;
 * :mod:`repro.core.simulator` — the replay simulator (Algorithm 1) with
-  fixed and runtime dependencies;
+  fixed and runtime dependencies, now a thin wrapper over the engine;
 * :mod:`repro.core.replay` — the high-level replay API;
 * :mod:`repro.core.breakdown` / :mod:`repro.core.sm_utilization` —
   execution-time breakdowns and SM-utilisation timelines (§4.2);
@@ -21,6 +25,7 @@ This package implements the paper's contribution:
 from repro.core.tasks import DependencyType, Task, TaskKind
 from repro.core.graph import ExecutionGraph
 from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions, build_execution_graph
+from repro.core.engine import CompiledGraph, SessionRun, SimulationSession, compile_graph
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.replay import ReplayResult, replay
 from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
@@ -38,6 +43,10 @@ __all__ = [
     "GraphBuilder",
     "GraphBuilderOptions",
     "build_execution_graph",
+    "CompiledGraph",
+    "SimulationSession",
+    "SessionRun",
+    "compile_graph",
     "Simulator",
     "SimulationResult",
     "replay",

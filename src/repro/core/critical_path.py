@@ -111,7 +111,8 @@ class KernelClassSummary:
     share: float
 
 
-def kernel_time_summary(graph: ExecutionGraph, top_k: int | None = None) -> list[KernelClassSummary]:
+def kernel_time_summary(graph: ExecutionGraph,
+                        top_k: int | None = None) -> list[KernelClassSummary]:
     """GPU time grouped by kernel class (``op_class`` arg, or comm/other).
 
     Useful for "where does the time go" reports; operates on recorded task

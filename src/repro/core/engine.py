@@ -1,0 +1,470 @@
+"""The array-backed simulation engine: compile once, simulate many times.
+
+The seed :class:`~repro.core.simulator.Simulator` rebuilds every piece of
+scheduling state — indegrees, successor lists, per-stream kernel counts,
+collective-group membership — from Python dicts on every call, which makes
+it the hot path of what-if sweeps that re-simulate one graph hundreds of
+times with nothing but kernel durations changing.
+
+This module splits Algorithm 1 into two phases:
+
+* :class:`CompiledGraph` precomputes the immutable structure of an
+  execution graph exactly once: dense integer task ids (assigned in
+  ``task_id`` order so heap tie-breaking matches the seed scheduler),
+  CSR-style successor adjacency, a topological task order (which doubles
+  as the cycle check), processor slots, per-stream kernel totals and
+  collective-group membership — all as flat numpy arrays.
+
+* :class:`SimulationSession` owns preallocated per-run buffers (ready
+  times, start times, processor-available times, stream drain counters)
+  and replays the compiled graph.  Repeated :meth:`SimulationSession.run`
+  calls only reset buffers and optionally swap the duration vector, so a
+  what-if scenario costs one array scaling plus one simulation — no graph
+  clone, no dict rebuilds, no trace-bundle materialisation.
+
+The engine is bit-identical to the seed scheduler: it performs the same
+floating-point operations in the same order, so every start time matches
+exactly (``tests/test_engine.py`` asserts this against a verbatim copy of
+the seed algorithm).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.graph import ExecutionGraph
+from repro.core.tasks import Task, TaskKind
+
+
+@dataclass(frozen=True)
+class CompiledGraph:
+    """Immutable, array-backed structure of one execution graph.
+
+    Dense index ``i`` refers to ``tasks[i]``; dense indices are assigned in
+    ascending ``task_id`` order so that ordering by dense index is ordering
+    by ``task_id`` (the seed scheduler's heap tie-break).
+    """
+
+    graph: ExecutionGraph
+    #: Tasks in dense-index (ascending ``task_id``) order.
+    tasks: tuple[Task, ...]
+    #: ``task_id`` → dense index.
+    index_of: dict[int, int]
+    #: Base durations (microseconds), dense-indexed.  float64.
+    durations: np.ndarray
+    #: Fixed-dependency indegree per task.  int32.
+    indegree: np.ndarray
+    #: CSR successor adjacency: successors of ``i`` are
+    #: ``succ_indices[succ_indptr[i]:succ_indptr[i + 1]]``.
+    succ_indptr: np.ndarray
+    succ_indices: np.ndarray
+    #: Dense indices in Kahn topological order (ties broken by task id).
+    topological: np.ndarray
+    #: Processor slot per task (one slot per distinct ``(rank, kind, id)``).
+    proc_index: np.ndarray
+    n_procs: int
+    #: Stream slot per task (GPU tasks only; ``-1`` otherwise).
+    stream_slot: np.ndarray
+    #: GPU kernel count per stream slot.  int64.
+    stream_total: np.ndarray
+    n_streams: int
+    #: Per-task stream slots a blocking sync waits on (empty for non-sync
+    #: tasks; streams with no kernels are dropped at compile time because
+    #: they are trivially drained).
+    sync_slots: tuple[tuple[int, ...], ...]
+    #: Collective-group slot per task (``-1`` when not in a group).
+    group_id: np.ndarray
+    #: Group members (dense indices, ascending) per group slot.
+    group_members: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def mask(self, predicate: Callable[[Task], bool]) -> np.ndarray:
+        """Boolean dense-indexed mask of the tasks matching ``predicate``."""
+        return np.fromiter((predicate(task) for task in self.tasks),
+                           dtype=bool, count=len(self.tasks))
+
+    def scaled_durations(self, predicate: Callable[[Task], bool],
+                         speedup: float) -> tuple[np.ndarray, int]:
+        """Base durations with matching tasks rescaled by ``1/speedup``.
+
+        Returns the new duration vector and the number of affected tasks; a
+        ``speedup`` of ``float("inf")`` zeroes the matching durations.  The
+        arithmetic matches the seed what-if path (per-element division)
+        exactly.
+        """
+        if speedup <= 0:
+            raise ValueError("speedup must be positive")
+        durations = self.durations.copy()
+        mask = self.mask(predicate)
+        if speedup == float("inf"):
+            durations[mask] = 0.0
+        else:
+            durations[mask] = durations[mask] / speedup
+        return durations, int(mask.sum())
+
+
+def compile_graph(graph: ExecutionGraph) -> CompiledGraph:
+    """Precompute the immutable scheduling structure of ``graph``.
+
+    Raises ``RuntimeError`` when the fixed dependencies contain a cycle
+    (the seed scheduler reported this at run time; compiling surfaces it
+    up front via the topological sort).
+    """
+    task_ids = sorted(graph.tasks)
+    tasks = tuple(graph.tasks[task_id] for task_id in task_ids)
+    index_of = {task_id: index for index, task_id in enumerate(task_ids)}
+    n = len(tasks)
+
+    durations = np.fromiter((task.duration for task in tasks),
+                            dtype=np.float64, count=n)
+
+    indegree = np.zeros(n, dtype=np.int32)
+    succ_counts = np.zeros(n, dtype=np.int64)
+    for dependency in graph.dependencies:
+        indegree[index_of[dependency.dst]] += 1
+        succ_counts[index_of[dependency.src]] += 1
+    succ_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(succ_counts, out=succ_indptr[1:])
+    succ_indices = np.zeros(len(graph.dependencies), dtype=np.int64)
+    cursor = succ_indptr[:-1].copy()
+    for dependency in graph.dependencies:
+        src = index_of[dependency.src]
+        succ_indices[cursor[src]] = index_of[dependency.dst]
+        cursor[src] += 1
+
+    processors: dict[tuple, int] = {}
+    proc_index = np.zeros(n, dtype=np.int64)
+    for index, task in enumerate(tasks):
+        proc_index[index] = processors.setdefault(task.processor, len(processors))
+
+    streams: dict[tuple[int, int], int] = {}
+    stream_slot = np.full(n, -1, dtype=np.int64)
+    stream_counts: list[int] = []
+    for index, task in enumerate(tasks):
+        if task.kind == TaskKind.GPU:
+            key = (task.rank, int(task.stream))
+            slot = streams.setdefault(key, len(streams))
+            if slot == len(stream_counts):
+                stream_counts.append(0)
+            stream_counts[slot] += 1
+            stream_slot[index] = slot
+    stream_total = np.asarray(stream_counts, dtype=np.int64)
+
+    sync_slots: list[tuple[int, ...]] = []
+    for task in tasks:
+        slots = tuple(streams[(task.rank, stream)] for stream in task.sync_streams
+                      if (task.rank, stream) in streams)
+        sync_slots.append(slots)
+
+    groups: dict[str, int] = {}
+    group_id = np.full(n, -1, dtype=np.int64)
+    members: list[list[int]] = []
+    for index, task in enumerate(tasks):
+        if task.collective_group is not None:
+            slot = groups.setdefault(task.collective_group, len(groups))
+            if slot == len(members):
+                members.append([])
+            members[slot].append(index)
+            group_id[index] = slot
+    group_members = tuple(tuple(member_list) for member_list in members)
+
+    topological = _topological_order(n, indegree, succ_indptr, succ_indices)
+    if len(topological) != n:
+        on_cycle = sorted(set(range(n)) - set(topological.tolist()))
+        names = [tasks[index].name for index in on_cycle[:10]]
+        raise RuntimeError(
+            f"execution graph contains a dependency cycle through "
+            f"{len(on_cycle)} tasks (first: {names})"
+        )
+
+    return CompiledGraph(
+        graph=graph,
+        tasks=tasks,
+        index_of=index_of,
+        durations=durations,
+        indegree=indegree,
+        succ_indptr=succ_indptr,
+        succ_indices=succ_indices,
+        topological=topological,
+        proc_index=proc_index,
+        n_procs=len(processors),
+        stream_slot=stream_slot,
+        stream_total=stream_total,
+        n_streams=len(streams),
+        sync_slots=tuple(sync_slots),
+        group_id=group_id,
+        group_members=group_members,
+    )
+
+
+def _topological_order(n: int, indegree: np.ndarray, indptr: np.ndarray,
+                       indices: np.ndarray) -> np.ndarray:
+    """Kahn topological order over the CSR adjacency (heap for determinism)."""
+    remaining = indegree.copy()
+    heap = [index for index in range(n) if remaining[index] == 0]
+    heapq.heapify(heap)
+    order = np.zeros(n, dtype=np.int64)
+    count = 0
+    while heap:
+        index = heapq.heappop(heap)
+        order[count] = index
+        count += 1
+        for position in range(indptr[index], indptr[index + 1]):
+            successor = int(indices[position])
+            remaining[successor] -= 1
+            if remaining[successor] == 0:
+                heapq.heappush(heap, successor)
+    return order[:count]
+
+
+@dataclass(frozen=True)
+class SessionRun:
+    """Timings of one :meth:`SimulationSession.run` call, as flat arrays.
+
+    ``starts``/``durations`` are dense-indexed (``compiled.tasks`` order);
+    ``finalize_order`` records the order tasks were scheduled in, which the
+    compatibility layer uses to materialise a :class:`SimulationResult`
+    whose dict iteration order matches the seed scheduler exactly.
+    """
+
+    compiled: CompiledGraph
+    start_time: float
+    starts: np.ndarray
+    durations: np.ndarray
+    finalize_order: np.ndarray
+
+    @property
+    def ends(self) -> np.ndarray:
+        return self.starts + self.durations
+
+    def start_of(self, task_id: int) -> float:
+        return float(self.starts[self.compiled.index_of[task_id]])
+
+    def end_time(self) -> float:
+        if len(self.starts) == 0:
+            return self.start_time
+        return float(self.ends.max())
+
+    def total_time(self) -> float:
+        return self.end_time() - self.start_time
+
+    @property
+    def iteration_time_us(self) -> float:
+        """Global span (earliest start to latest end) in microseconds.
+
+        Matches ``SimulationResult.to_trace_bundle().iteration_time()``:
+        the simulated bundle wraps each rank's events in one profiler-step
+        annotation, so the bundle-level iteration time collapses to the
+        global task span.
+        """
+        if len(self.starts) == 0:
+            return 0.0
+        return float(self.ends.max() - self.starts.min())
+
+    def to_simulation_result(self):
+        """Materialise the seed-compatible :class:`SimulationResult`."""
+        from repro.core.simulator import SimulatedTask, SimulationResult
+
+        result = SimulationResult(start_time=self.start_time)
+        tasks = self.compiled.tasks
+        starts = self.starts
+        durations = self.durations
+        for index in self.finalize_order.tolist():
+            task = tasks[index]
+            result.tasks[task.task_id] = SimulatedTask(
+                task=task, start=float(starts[index]),
+                duration=float(durations[index]))
+        return result
+
+
+class SimulationSession:
+    """A reusable Algorithm 1 runner over one compiled graph.
+
+    The session preallocates every per-run buffer once; :meth:`run` resets
+    them in place, so back-to-back simulations of the same structure (the
+    sweep hot path) allocate almost nothing.  Passing ``durations`` swaps
+    the kernel-duration vector without touching the graph.
+    """
+
+    def __init__(self, compiled: CompiledGraph) -> None:
+        self.compiled = compiled
+        n = compiled.n_tasks
+        self._ready = np.zeros(n, dtype=np.float64)
+        self._starts = np.zeros(n, dtype=np.float64)
+        self._scheduled = np.zeros(n, dtype=bool)
+        self._indegree = np.zeros(n, dtype=np.int32)
+        self._proc_available = np.zeros(compiled.n_procs, dtype=np.float64)
+        self._stream_finished = np.zeros(compiled.n_streams, dtype=np.int64)
+        self._stream_last_end = np.zeros(compiled.n_streams, dtype=np.float64)
+        self._group_value = np.zeros(n, dtype=np.float64)
+        self._group_seen = np.zeros(n, dtype=bool)
+        self._group_count = np.zeros(len(compiled.group_members), dtype=np.int64)
+        self._waiting: list[list[int]] = [[] for _ in range(compiled.n_streams)]
+        self._order = np.zeros(n, dtype=np.int64)
+
+    def run(self, durations: Sequence[float] | np.ndarray | None = None,
+            start_time: float = 0.0) -> SessionRun:
+        """Simulate the compiled graph and return flat per-task timings.
+
+        Parameters
+        ----------
+        durations:
+            Optional replacement duration vector (dense-indexed, same
+            length as the compiled task list).  ``None`` replays the base
+            durations.
+        start_time:
+            Simulated time every processor becomes available at.
+        """
+        compiled = self.compiled
+        n = compiled.n_tasks
+        if durations is None:
+            duration = compiled.durations
+        else:
+            duration = np.ascontiguousarray(durations, dtype=np.float64)
+            if duration.shape != (n,):
+                raise ValueError(
+                    f"duration vector has shape {duration.shape}, expected ({n},)")
+        if n == 0:
+            return SessionRun(compiled=compiled, start_time=start_time,
+                              starts=np.zeros(0), durations=np.zeros(0),
+                              finalize_order=np.zeros(0, dtype=np.int64))
+
+        ready = self._ready
+        ready.fill(start_time)
+        starts = self._starts
+        scheduled = self._scheduled
+        scheduled.fill(False)
+        indegree = self._indegree
+        np.copyto(indegree, compiled.indegree)
+        proc_available = self._proc_available
+        proc_available.fill(start_time)
+        stream_finished = self._stream_finished
+        stream_finished.fill(0)
+        stream_last_end = self._stream_last_end
+        stream_last_end.fill(start_time)
+        stream_total = compiled.stream_total
+        group_value = self._group_value
+        group_seen = self._group_seen
+        group_seen.fill(False)
+        group_count = self._group_count
+        group_count.fill(0)
+        waiting = self._waiting
+        for parked in waiting:
+            parked.clear()
+        order = self._order
+
+        indptr = compiled.succ_indptr
+        indices = compiled.succ_indices
+        proc_index = compiled.proc_index
+        stream_slot = compiled.stream_slot
+        sync_slots = compiled.sync_slots
+        group_id = compiled.group_id
+        group_members = compiled.group_members
+
+        heap: list[tuple[float, int]] = [
+            (start_time, index) for index in np.flatnonzero(indegree == 0).tolist()
+        ]
+        heapq.heapify(heap)
+        finalized = 0
+
+        def sync_ready_time(index: int, base: float) -> float:
+            latest = base
+            for slot in sync_slots[index]:
+                latest = max(latest, stream_last_end[slot])
+            return latest
+
+        def finalize(index: int, at: float) -> None:
+            nonlocal finalized
+            processor = proc_index[index]
+            begin = max(at, proc_available[processor])
+            starts[index] = begin
+            end = begin + duration[index]
+            scheduled[index] = True
+            order[finalized] = index
+            finalized += 1
+            proc_available[processor] = end
+            slot = stream_slot[index]
+            if slot >= 0:
+                stream_finished[slot] += 1
+                if end > stream_last_end[slot]:
+                    stream_last_end[slot] = end
+                if stream_finished[slot] >= stream_total[slot]:
+                    parked, waiting[slot] = waiting[slot], []
+                    for sync_index in parked:
+                        if scheduled[sync_index]:
+                            continue
+                        if all(stream_finished[pending] >= stream_total[pending]
+                               for pending in sync_slots[sync_index]):
+                            heapq.heappush(heap, (
+                                sync_ready_time(sync_index, ready[sync_index]),
+                                sync_index))
+                        else:
+                            for pending in sync_slots[sync_index]:
+                                if stream_finished[pending] < stream_total[pending]:
+                                    waiting[pending].append(sync_index)
+                                    break
+            for position in range(indptr[index], indptr[index + 1]):
+                successor = int(indices[position])
+                if end > ready[successor]:
+                    ready[successor] = end
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    heapq.heappush(heap, (ready[successor], successor))
+
+        while heap:
+            _, index = heapq.heappop(heap)
+            if scheduled[index]:
+                continue
+
+            # Runtime dependencies (GPU → CPU synchronisation).
+            slots = sync_slots[index]
+            if slots:
+                if not all(stream_finished[slot] >= stream_total[slot]
+                           for slot in slots):
+                    for slot in slots:
+                        if stream_finished[slot] < stream_total[slot]:
+                            waiting[slot].append(index)
+                            break
+                    continue
+                ready[index] = sync_ready_time(index, ready[index])
+
+            # Collective alignment (cross-rank point-to-point pairs).
+            group = group_id[index]
+            if group >= 0:
+                group_value[index] = max(ready[index],
+                                         proc_available[proc_index[index]])
+                if not group_seen[index]:
+                    group_seen[index] = True
+                    group_count[group] += 1
+                members = group_members[group]
+                if group_count[group] < len(members):
+                    continue
+                common_start = max(group_value[member] for member in members)
+                for member in members:
+                    finalize(member, common_start)
+                continue
+
+            finalize(index, ready[index])
+
+        if finalized != n:
+            missing = [compiled.tasks[index].name for index in range(n)
+                       if not scheduled[index]][:10]
+            raise RuntimeError(
+                f"simulation did not schedule {n - finalized} of {n} tasks "
+                f"(first missing: {missing}); the graph may contain a cycle or an "
+                f"unsatisfiable synchronisation"
+            )
+
+        return SessionRun(compiled=compiled, start_time=start_time,
+                          starts=starts.copy(), durations=duration.copy(),
+                          finalize_order=order[:finalized].copy())

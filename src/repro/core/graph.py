@@ -30,8 +30,10 @@ class ExecutionGraph:
     tasks: dict[int, Task] = field(default_factory=dict)
     dependencies: list[Dependency] = field(default_factory=list)
     metadata: dict[str, Any] = field(default_factory=dict)
-    _successors: dict[int, list[int]] = field(default_factory=lambda: defaultdict(list), repr=False)
-    _predecessors: dict[int, list[int]] = field(default_factory=lambda: defaultdict(list), repr=False)
+    _successors: dict[int, list[int]] = field(
+        default_factory=lambda: defaultdict(list), repr=False)
+    _predecessors: dict[int, list[int]] = field(
+        default_factory=lambda: defaultdict(list), repr=False)
     _next_id: int = 0
 
     # -- construction -----------------------------------------------------------

@@ -237,7 +237,8 @@ class GraphSynthesizer:
 
         scale = self._optimizer_scale(stage, len(layers))
         for kernel in template.optimizer:
-            duration = template.cpu.sync_call_us if kernel.duration <= 0 else kernel.duration * scale
+            duration = (template.cpu.sync_call_us if kernel.duration <= 0
+                        else kernel.duration * scale)
             self._add_kernel(graph, state, kernel, duration=duration, layer=None,
                              microbatch=None, phase="optimizer")
 
@@ -403,7 +404,8 @@ class GraphSynthesizer:
 
     # -- sizing helpers -------------------------------------------------------------------------
 
-    def _gradient_buckets(self, layers: list[int], include_embedding: bool) -> list[tuple[list[int], float]]:
+    def _gradient_buckets(self, layers: list[int],
+                          include_embedding: bool) -> list[tuple[list[int], float]]:
         grad_bytes_per_layer = (self.target_model.layer_parameters / self.target_parallel.tp
                                 * self.training.dtype_bytes)
         ordered = sorted(layers, reverse=True)

@@ -146,8 +146,10 @@ def extract_iteration_template(graph: ExecutionGraph, base_model: ModelConfig,
         raise ValueError("execution graph has no tasks")
     first_rank, last_rank = ranks[0], ranks[-1]
 
-    layer_tasks: dict[tuple[int, str], dict[int, list[Task]]] = defaultdict(lambda: defaultdict(list))
-    no_layer_tasks: dict[tuple[int, str], dict[int, list[Task]]] = defaultdict(lambda: defaultdict(list))
+    layer_tasks: dict[tuple[int, str], dict[int, list[Task]]] = \
+        defaultdict(lambda: defaultdict(list))
+    no_layer_tasks: dict[tuple[int, str], dict[int, list[Task]]] = \
+        defaultdict(lambda: defaultdict(list))
     optimizer_tasks: dict[int, list[Task]] = defaultdict(list)
     dp_samples: list[Task] = []
     pp_send_samples: list[Task] = []

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
+from repro.core.engine import CompiledGraph, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions
-from repro.core.simulator import SimulationResult, Simulator
+from repro.core.simulator import SimulationResult
 from repro.trace.kineto import KinetoTrace, TraceBundle
 
 
@@ -24,6 +25,10 @@ class ReplayResult:
     graph: ExecutionGraph
     simulation: SimulationResult
     replayed_trace: TraceBundle
+    #: The compiled form of ``graph`` (compiling is part of replaying, so
+    #: it is kept for callers that re-simulate — what-if evaluation and
+    #: sweeps open a session on it instead of recompiling).
+    compiled: CompiledGraph | None = None
 
     @property
     def iteration_time_us(self) -> float:
@@ -38,6 +43,11 @@ class ReplayResult:
     def breakdown(self) -> ExecutionBreakdown:
         """Execution breakdown of the replayed iteration."""
         return compute_breakdown(self.replayed_trace)
+
+    def session(self) -> SimulationSession:
+        """A fresh simulation session over this replay's compiled graph."""
+        compiled = self.compiled or compile_graph(self.graph)
+        return SimulationSession(compiled)
 
 
 def replay(traces: TraceBundle | KinetoTrace,
@@ -59,9 +69,11 @@ def replay(traces: TraceBundle | KinetoTrace,
     """
     if graph is None:
         graph = GraphBuilder(options).build(traces)
-    simulation = Simulator(graph).run()
+    compiled = compile_graph(graph)
+    simulation = SimulationSession(compiled).run().to_simulation_result()
     return ReplayResult(graph=graph, simulation=simulation,
-                        replayed_trace=simulation.to_trace_bundle())
+                        replayed_trace=simulation.to_trace_bundle(),
+                        compiled=compiled)
 
 
 def simulate_graph(graph: ExecutionGraph) -> ReplayResult:

@@ -14,14 +14,22 @@ processor (a CPU thread or a CUDA stream), honouring:
 
 The output records the simulated start time of every task, from which the
 iteration time, execution breakdown and SM utilisation are derived.
+
+Since the array-backed engine landed (:mod:`repro.core.engine`), this
+module is a thin compatibility wrapper: :class:`Simulator` compiles the
+graph and runs one :class:`~repro.core.engine.SimulationSession`, then
+materialises the dict-based :class:`SimulationResult` the rest of the
+code base consumes.  Schedules are bit-identical to the original
+dict/heap scheduler.  Hot paths that simulate one graph many times
+should compile once and reuse a session instead.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.core.engine import SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.tasks import Task, TaskKind
 from repro.trace.events import Category, TraceEvent
@@ -103,141 +111,21 @@ class SimulationResult:
 
 
 class Simulator:
-    """Replays an execution graph (Algorithm 1)."""
+    """Replays an execution graph (Algorithm 1).
+
+    Compatibility wrapper over the array-backed engine: every ``run``
+    compiles the graph's current state and simulates it once, producing
+    schedules bit-identical to the original dict/heap scheduler.  To
+    simulate the same structure repeatedly (what-if sweeps), compile once
+    with :func:`repro.core.engine.compile_graph` and reuse a
+    :class:`repro.core.engine.SimulationSession` instead.
+    """
 
     def __init__(self, graph: ExecutionGraph) -> None:
         self.graph = graph
 
     def run(self, start_time: float = 0.0) -> SimulationResult:
         """Simulate the graph and return per-task timings."""
-        graph = self.graph
-        tasks = graph.tasks
-        n = len(tasks)
-        result = SimulationResult(start_time=start_time)
-        if n == 0:
-            return result
-
-        indegree: dict[int, int] = {task_id: 0 for task_id in tasks}
-        successors: dict[int, list[int]] = defaultdict(list)
-        for dependency in graph.dependencies:
-            indegree[dependency.dst] += 1
-            successors[dependency.src].append(dependency.dst)
-
-        ready_time: dict[int, float] = {task_id: start_time for task_id in tasks}
-        processor_available: dict[tuple, float] = defaultdict(lambda: start_time)
-
-        # Runtime-dependency bookkeeping for synchronisation tasks: a sync
-        # completes once every kernel of its target streams has finished.
-        stream_total: dict[tuple[int, int], int] = defaultdict(int)
-        stream_finished: dict[tuple[int, int], int] = defaultdict(int)
-        stream_last_end: dict[tuple[int, int], float] = defaultdict(lambda: start_time)
-        for task in tasks.values():
-            if task.kind == TaskKind.GPU:
-                stream_total[(task.rank, int(task.stream))] += 1
-        waiting_syncs: dict[tuple[int, int], list[int]] = defaultdict(list)
-
-        # Collective alignment bookkeeping.
-        group_members: dict[str, list[int]] = defaultdict(list)
-        for task in tasks.values():
-            if task.collective_group is not None:
-                group_members[task.collective_group].append(task.task_id)
-        group_ready: dict[str, dict[int, float]] = defaultdict(dict)
-
-        # Ready heap ordered by earliest possible start for determinism.
-        heap: list[tuple[float, int]] = []
-        for task_id, degree in indegree.items():
-            if degree == 0:
-                heapq.heappush(heap, (ready_time[task_id], task_id))
-
-        scheduled: dict[int, SimulatedTask] = {}
-
-        def sync_satisfied(task: Task) -> bool:
-            return all(stream_finished[(task.rank, stream)] >= stream_total[(task.rank, stream)]
-                       for stream in task.sync_streams)
-
-        def sync_ready_time(task: Task, base: float) -> float:
-            latest = base
-            for stream in task.sync_streams:
-                latest = max(latest, stream_last_end[(task.rank, stream)])
-            return latest
-
-        def finalize(task_id: int, at: float) -> None:
-            task = tasks[task_id]
-            processor = task.processor
-            begin = max(at, processor_available[processor])
-            simulated = SimulatedTask(task=task, start=begin, duration=task.duration)
-            scheduled[task_id] = simulated
-            processor_available[processor] = simulated.end
-            if task.kind == TaskKind.GPU:
-                key = (task.rank, int(task.stream))
-                stream_finished[key] += 1
-                stream_last_end[key] = max(stream_last_end[key], simulated.end)
-                if stream_finished[key] >= stream_total[key]:
-                    for sync_id in waiting_syncs.pop(key, []):
-                        if sync_id in scheduled:
-                            continue
-                        sync_task = tasks[sync_id]
-                        if _sync_streams_done(sync_task, stream_finished, stream_total):
-                            heapq.heappush(heap, (sync_ready_time(sync_task,
-                                                                  ready_time[sync_id]), sync_id))
-                        else:
-                            # Re-park on the next stream that is still draining.
-                            for pending in sync_task.sync_streams:
-                                pending_key = (sync_task.rank, pending)
-                                if stream_finished[pending_key] < stream_total[pending_key]:
-                                    waiting_syncs[pending_key].append(sync_id)
-                                    break
-            for successor in successors[task_id]:
-                ready_time[successor] = max(ready_time[successor], simulated.end)
-                indegree[successor] -= 1
-                if indegree[successor] == 0:
-                    heapq.heappush(heap, (ready_time[successor], successor))
-
-        while heap:
-            _, task_id = heapq.heappop(heap)
-            if task_id in scheduled:
-                continue
-            task = tasks[task_id]
-
-            # Runtime dependencies (GPU → CPU synchronisation).
-            if task.is_sync and not sync_satisfied(task):
-                for stream in task.sync_streams:
-                    key = (task.rank, stream)
-                    if stream_finished[key] < stream_total[key]:
-                        waiting_syncs[key].append(task_id)
-                        break
-                continue
-            if task.is_sync:
-                ready_time[task_id] = sync_ready_time(task, ready_time[task_id])
-
-            # Collective alignment (cross-rank point-to-point pairs).
-            if task.collective_group is not None:
-                group = task.collective_group
-                group_ready[group][task_id] = max(ready_time[task_id],
-                                                  processor_available[task.processor])
-                members = group_members[group]
-                if len(group_ready[group]) < len(members):
-                    continue
-                common_start = max(group_ready[group].values())
-                for member in sorted(members):
-                    finalize(member, common_start)
-                continue
-
-            finalize(task_id, ready_time[task_id])
-
-        if len(scheduled) != n:
-            missing = [tasks[task_id].name for task_id in tasks if task_id not in scheduled][:10]
-            raise RuntimeError(
-                f"simulation did not schedule {n - len(scheduled)} of {n} tasks "
-                f"(first missing: {missing}); the graph may contain a cycle or an "
-                f"unsatisfiable synchronisation"
-            )
-
-        result.tasks = scheduled
-        return result
-
-
-def _sync_streams_done(task: Task, finished: dict[tuple[int, int], int],
-                       total: dict[tuple[int, int], int]) -> bool:
-    return all(finished[(task.rank, stream)] >= total[(task.rank, stream)]
-               for stream in task.sync_streams)
+        compiled = compile_graph(self.graph)
+        session = SimulationSession(compiled)
+        return session.run(start_time=start_time).to_simulation_result()

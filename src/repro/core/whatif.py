@@ -14,11 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.core.engine import SessionRun, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
-from repro.core.replay import ReplayResult, simulate_graph
+from repro.core.replay import ReplayResult
 from repro.core.tasks import Task, TaskKind
 
 TaskPredicate = Callable[[Task], bool]
+
+#: Anything that can serve as the baseline timing of a scenario: a full
+#: :class:`ReplayResult`, a raw :class:`SessionRun`, or the time itself.
+Baseline = ReplayResult | SessionRun | float
 
 
 @dataclass(frozen=True)
@@ -59,36 +64,49 @@ def _clone_graph(graph: ExecutionGraph) -> ExecutionGraph:
     return clone
 
 
+def _baseline_time_us(baseline: Baseline) -> float:
+    if isinstance(baseline, (int, float)):
+        return float(baseline)
+    return baseline.iteration_time_us
+
+
 def evaluate_scenario(graph: ExecutionGraph, name: str, predicate: TaskPredicate,
                       speedup: float,
-                      baseline: ReplayResult | None = None) -> WhatIfResult:
+                      baseline: Baseline | None = None,
+                      session: SimulationSession | None = None) -> WhatIfResult:
     """Rescale every task matching ``predicate`` by ``1/speedup`` and re-simulate.
 
     The input graph is left untouched; a ``speedup`` of 2.0 halves the
     matching tasks' durations, ``float("inf")`` removes them from the
     timeline entirely.
+
+    A scenario is one duration-vector swap on a reusable simulation
+    session: the graph is compiled once (or not at all when ``session`` —
+    which must have been compiled from ``graph`` — is supplied) and only
+    the rescaled durations are re-simulated.  Sweeps that evaluate many
+    scenarios against one graph should pass the same ``session`` (and a
+    precomputed ``baseline``) to every call.
     """
     if speedup <= 0:
         raise ValueError("speedup must be positive")
-    baseline_result = baseline or simulate_graph(graph)
-    scenario_graph = _clone_graph(graph)
-    affected = 0
-    for task in scenario_graph.tasks.values():
-        if predicate(task):
-            task.duration = 0.0 if speedup == float("inf") else task.duration / speedup
-            affected += 1
-    scenario_result = simulate_graph(scenario_graph)
+    if session is None:
+        session = SimulationSession(compile_graph(graph))
+    baseline_time = (_baseline_time_us(baseline) if baseline is not None
+                     else session.run().iteration_time_us)
+    durations, affected = session.compiled.scaled_durations(predicate, speedup)
+    scenario_run = session.run(durations=durations)
     return WhatIfResult(
         name=name,
-        baseline_time_us=baseline_result.iteration_time_us,
-        scenario_time_us=scenario_result.iteration_time_us,
+        baseline_time_us=baseline_time,
+        scenario_time_us=scenario_run.iteration_time_us,
         affected_tasks=affected,
     )
 
 
 def speed_up_communication(graph: ExecutionGraph, speedup: float = 2.0,
                            group: str | None = None,
-                           baseline: ReplayResult | None = None) -> WhatIfResult:
+                           baseline: Baseline | None = None,
+                           session: SimulationSession | None = None) -> WhatIfResult:
     """What if communication kernels (optionally one group: tp/dp/pp) were faster?"""
     def predicate(task: Task) -> bool:
         if task.kind != TaskKind.GPU or not task.is_communication:
@@ -96,45 +114,53 @@ def speed_up_communication(graph: ExecutionGraph, speedup: float = 2.0,
         return group is None or task.args.get("group") == group
 
     label = f"{group or 'all'}-communication x{speedup:g}"
-    return evaluate_scenario(graph, label, predicate, speedup, baseline=baseline)
+    return evaluate_scenario(graph, label, predicate, speedup, baseline=baseline,
+                             session=session)
 
 
 def speed_up_kernel_class(graph: ExecutionGraph, op_class: str, speedup: float = 2.0,
-                          baseline: ReplayResult | None = None) -> WhatIfResult:
+                          baseline: Baseline | None = None,
+                          session: SimulationSession | None = None) -> WhatIfResult:
     """What if every kernel of one class (e.g. ``"gemm"``) were faster?"""
     def predicate(task: Task) -> bool:
         return task.kind == TaskKind.GPU and task.op_class == op_class
 
     return evaluate_scenario(graph, f"{op_class} x{speedup:g}", predicate, speedup,
-                             baseline=baseline)
+                             baseline=baseline, session=session)
 
 
 def remove_launch_overhead(graph: ExecutionGraph,
-                           baseline: ReplayResult | None = None) -> WhatIfResult:
+                           baseline: Baseline | None = None,
+                           session: SimulationSession | None = None) -> WhatIfResult:
     """What if CPU-side launch overhead were free (CUDA-graph style launches)?"""
     def predicate(task: Task) -> bool:
         return task.kind == TaskKind.CPU and task.name == "cudaLaunchKernel"
 
     return evaluate_scenario(graph, "zero launch overhead", predicate, float("inf"),
-                             baseline=baseline)
+                             baseline=baseline, session=session)
 
 
 def apply_speedup(graph: ExecutionGraph, kind: str, *, op_class: str | None = None,
                   group: str | None = None, speedup: float = 2.0,
-                  baseline: ReplayResult | None = None) -> WhatIfResult:
+                  baseline: Baseline | None = None,
+                  session: SimulationSession | None = None) -> WhatIfResult:
     """Declarative entry point over the scenario helpers above.
 
     ``kind`` selects the scenario family: ``"kernel_class"`` (requires
     ``op_class``), ``"communication"`` (optionally one ``group``) or
     ``"launch_overhead"`` (ignores ``speedup``; launches are removed).
-    This is what the sweep runner calls after expanding a declarative spec.
+    This is what the sweep runner calls after expanding a declarative spec,
+    passing one reusable ``session`` so the whole scenario group shares a
+    single compiled graph.
     """
     if kind == "kernel_class":
         if not op_class:
             raise ValueError("what-if kind 'kernel_class' requires op_class")
-        return speed_up_kernel_class(graph, op_class, speedup, baseline=baseline)
+        return speed_up_kernel_class(graph, op_class, speedup, baseline=baseline,
+                                     session=session)
     if kind == "communication":
-        return speed_up_communication(graph, speedup, group=group, baseline=baseline)
+        return speed_up_communication(graph, speedup, group=group, baseline=baseline,
+                                      session=session)
     if kind == "launch_overhead":
-        return remove_launch_overhead(graph, baseline=baseline)
+        return remove_launch_overhead(graph, baseline=baseline, session=session)
     raise ValueError(f"unknown what-if kind '{kind}'")

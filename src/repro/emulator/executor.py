@@ -114,8 +114,9 @@ class ProgramExecutor:
                     cpu_prev = uid
                 elif isinstance(instruction, LaunchKernel):
                     correlation += 1
+                    op_name = instruction.kernel.op_name or instruction.kernel.name
                     launch_uid = add(_Node(uid=-1, rank=rank, kind="cpu",
-                                           name=f"aten::{instruction.kernel.op_name or instruction.kernel.name}",
+                                           name=f"aten::{op_name}",
                                            duration=instruction.duration_us * noise.cpu_factor(),
                                            thread=instruction.thread, instruction=instruction,
                                            correlation=correlation,
@@ -130,7 +131,8 @@ class ProgramExecutor:
                         kernel_deps.extend(pending_waits[intent.stream])
                         pending_waits[intent.stream] = []
                     kernel_uid = add(_Node(uid=-1, rank=rank, kind="kernel", name=intent.name,
-                                           duration=intent.duration_us * noise.kernel_factor(is_comm),
+                                           duration=(intent.duration_us
+                                                     * noise.kernel_factor(is_comm)),
                                            thread=instruction.thread, stream=intent.stream,
                                            correlation=correlation, kernel=intent,
                                            comm_key=intent.comm_key, deps=kernel_deps))

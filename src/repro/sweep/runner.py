@@ -25,8 +25,9 @@ from repro.core.manipulation import (
     scale_data_parallelism,
     scale_pipeline_parallelism,
 )
+from repro.core.engine import SessionRun, SimulationSession, compile_graph
 from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import ReplayResult, replay, simulate_graph
+from repro.core.replay import replay
 from repro.core.whatif import apply_speedup
 from repro.hardware.cluster import ClusterSpec
 from repro.sweep.cache import CacheStats, SweepCache
@@ -200,24 +201,29 @@ def _evaluate_group(state: _SweepState, kind: str, target: str,
                     scenarios: list[ScenarioSpec]) -> list[dict[str, Any]]:
     """Evaluate every scenario sharing one target configuration.
 
-    The derived graph and its plain simulation are computed once and shared
-    by all what-if variants of the configuration.
+    The derived graph is compiled exactly once into a reusable simulation
+    session; its plain simulation and every what-if variant are then just
+    duration-vector swaps on that session — no graph clones, no per-run
+    scheduling-state rebuilds.
     """
     graph, world_size = _derive_graph(state, kind, target)
-    config_sim: ReplayResult | None = None
+    session: SimulationSession | None = None
+    config_run: SessionRun | None = None
     results: list[dict[str, Any]] = []
     for scenario in scenarios:
-        if config_sim is None:
-            config_sim = simulate_graph(graph)
+        if session is None:
+            session = SimulationSession(compile_graph(graph))
+            config_run = session.run()
         if scenario.whatif is None:
-            iteration_time = config_sim.iteration_time_us
+            iteration_time = config_run.iteration_time_us
             affected = 0
         else:
             whatif = apply_speedup(graph, scenario.whatif.kind,
                                    op_class=scenario.whatif.op_class,
                                    group=scenario.whatif.group,
                                    speedup=scenario.whatif.speedup,
-                                   baseline=config_sim)
+                                   baseline=config_run,
+                                   session=session)
             iteration_time = whatif.scenario_time_us
             affected = whatif.affected_tasks
         results.append(ScenarioResult(

@@ -28,9 +28,9 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig

@@ -145,7 +145,8 @@ class KinetoTrace:
                 int(e.name[len(_PROFILER_STEP_PREFIX):]): e for e in steps
             }
             if step not in by_number:
-                raise KeyError(f"profiler step {step} not present in trace (have {sorted(by_number)})")
+                raise KeyError(
+                    f"profiler step {step} not present in trace (have {sorted(by_number)})")
             chosen = by_number[step]
         return chosen.ts, chosen.end
 

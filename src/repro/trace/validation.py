@@ -51,13 +51,15 @@ def _validate_single(trace: KinetoTrace) -> ValidationReport:
 
     index = link_runtime_to_kernels(trace.events)
     for correlation, launch in index.launch_by_correlation.items():
-        if launch.name == CudaRuntimeName.LAUNCH_KERNEL and correlation not in index.kernels_by_correlation:
+        if (launch.name == CudaRuntimeName.LAUNCH_KERNEL
+                and correlation not in index.kernels_by_correlation):
             report.warnings.append(
                 f"rank {trace.rank}: launch correlation {correlation} has no matching kernel"
             )
     for kernel in index.orphan_kernels():
         report.warnings.append(
-            f"rank {trace.rank}: kernel '{kernel.name}' correlation {kernel.correlation} has no launch event"
+            f"rank {trace.rank}: kernel '{kernel.name}' correlation {kernel.correlation} "
+            "has no launch event"
         )
 
     # Kernels on the same stream must not overlap.

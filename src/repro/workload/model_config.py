@@ -99,7 +99,8 @@ class ModelConfig:
         return replace(self, **changes)
 
 
-def _gpt3(name: str, n_layers: int, d_model: int, d_ff: int, n_heads: int, d_head: int = 128) -> ModelConfig:
+def _gpt3(name: str, n_layers: int, d_model: int, d_ff: int, n_heads: int,
+          d_head: int = 128) -> ModelConfig:
     return ModelConfig(name=name, n_layers=n_layers, d_model=d_model, d_ff=d_ff,
                        n_heads=n_heads, d_head=d_head)
 

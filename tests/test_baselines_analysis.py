@@ -33,7 +33,8 @@ class TestDproBaseline:
     def test_dpro_overestimates_overlap(self, profiled_bundle, measured_bundle):
         dpro = dpro_replay(profiled_bundle)
         actual = compute_breakdown(measured_bundle)
-        exposed_ratio_dpro = dpro.breakdown().exposed_communication / max(dpro.breakdown().total, 1e-9)
+        exposed_ratio_dpro = (dpro.breakdown().exposed_communication
+                              / max(dpro.breakdown().total, 1e-9))
         exposed_ratio_actual = actual.exposed_communication / actual.total
         assert exposed_ratio_dpro < exposed_ratio_actual
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.emulator.api import ClusterEmulator, emulate
+from repro.emulator.api import emulate
 from repro.emulator.program import Streams, Threads
 from repro.trace.events import Category, CudaRuntimeName
 from repro.trace.validation import validate_trace

@@ -1,6 +1,5 @@
 """Tests for the experiment definitions and evaluation settings."""
 
-import pytest
 
 from repro.experiments.figures import (
     FIG5_CONFIGS,

@@ -1,9 +1,8 @@
 """Tests for execution-graph construction from traces (§3.3)."""
 
-import pytest
 
 from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions, build_execution_graph
-from repro.core.tasks import DependencyType, TaskKind
+from repro.core.tasks import DependencyType
 from repro.trace.events import Category, CudaRuntimeName, TraceEvent
 from repro.trace.kineto import KinetoTrace
 
@@ -75,7 +74,8 @@ class TestBuilderOnEmulatedTrace:
         assert graph.dependency_counts()[DependencyType.GPU_INTER_STREAM] == 0
 
     def test_disable_collective_groups(self, profiled_bundle):
-        graph = GraphBuilder(GraphBuilderOptions(include_collective_groups=False)).build(profiled_bundle)
+        options = GraphBuilderOptions(include_collective_groups=False)
+        graph = GraphBuilder(options).build(profiled_bundle)
         assert not graph.collective_groups()
 
     def test_disable_inter_thread(self, profiled_bundle):

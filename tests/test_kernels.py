@@ -102,7 +102,8 @@ class TestCollectives:
             collective_time_us("all_reduce", -1.0, (0, 1), cluster)
 
     def test_point_to_point_inter_node_slower(self, cluster):
-        assert point_to_point_time_us(1e8, 0, 8, cluster) > point_to_point_time_us(1e8, 0, 1, cluster)
+        assert (point_to_point_time_us(1e8, 0, 8, cluster)
+                > point_to_point_time_us(1e8, 0, 1, cluster))
 
 
 class TestKernelCostModel:

@@ -12,7 +12,7 @@ from repro.core.manipulation import (
 )
 from repro.core.metrics import absolute_relative_error_percent
 from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import replay, simulate_graph
+from repro.core.replay import simulate_graph
 from repro.core.tasks import DependencyType, TaskKind
 from repro.emulator.api import emulate
 from repro.hardware.cluster import ClusterSpec
@@ -70,7 +70,8 @@ class TestTemplateExtraction:
         assert any(k.op_class == "gemm" for k in kernels)
 
     def test_backward_has_more_kernels_than_forward(self, template):
-        assert len(template.layer_template(0, "backward")) > len(template.layer_template(0, "forward"))
+        assert (len(template.layer_template(0, "backward"))
+                > len(template.layer_template(0, "forward")))
 
     def test_embedding_head_and_optimizer_extracted(self, template):
         assert template.embedding_forward

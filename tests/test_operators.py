@@ -108,7 +108,8 @@ class TestEmbeddingHeadOptimizer:
         assert many > 3 * few
 
     def test_optimizer_embedding_adds_bytes(self, model, parallel, training):
-        without = sum(op.bytes_accessed for op in optimizer_ops(model, parallel, training, 4, False))
+        without = sum(op.bytes_accessed
+                      for op in optimizer_ops(model, parallel, training, 4, False))
         with_embedding = sum(op.bytes_accessed
                              for op in optimizer_ops(model, parallel, training, 4, True))
         assert with_embedding > without

@@ -1,0 +1,73 @@
+"""Tests for the CI perf-regression gate (benchmarks/perf_gate.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.perf_gate import check, load_metrics, main, regression_factor
+
+
+def metric(value, higher_is_better=False, unit="ms"):
+    return {"value": value, "higher_is_better": higher_is_better, "unit": unit}
+
+
+class TestRegressionFactor:
+    def test_lower_is_better_regression(self):
+        assert regression_factor(metric(10.0), metric(25.0)) == pytest.approx(2.5)
+
+    def test_lower_is_better_improvement(self):
+        assert regression_factor(metric(10.0), metric(5.0)) == pytest.approx(0.5)
+
+    def test_higher_is_better_regression(self):
+        baseline = metric(30.0, higher_is_better=True, unit="scenarios/s")
+        current = metric(10.0, higher_is_better=True, unit="scenarios/s")
+        assert regression_factor(baseline, current) == pytest.approx(3.0)
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            regression_factor(metric(0.0), metric(1.0))
+
+
+class TestCheck:
+    def test_passes_within_budget(self):
+        baseline = {"latency": metric(10.0), "speedup": metric(5.0, True, "x")}
+        current = {"latency": metric(15.0), "speedup": metric(3.0, True, "x")}
+        assert check(baseline, current, max_regression=2.0) == []
+
+    def test_fails_beyond_budget(self):
+        baseline = {"latency": metric(10.0)}
+        current = {"latency": metric(30.0)}
+        failures = check(baseline, current, max_regression=2.0)
+        assert len(failures) == 1
+        assert "latency" in failures[0]
+
+    def test_missing_metric_fails(self):
+        failures = check({"latency": metric(10.0)}, {}, max_regression=2.0)
+        assert failures == ["latency: missing from current run"]
+
+    def test_extra_current_metric_does_not_fail(self):
+        baseline = {"latency": metric(10.0)}
+        current = {"latency": metric(10.0), "new_metric": metric(1.0)}
+        assert check(baseline, current, max_regression=2.0) == []
+
+
+class TestMain:
+    def write(self, path, metrics):
+        path.write_text(json.dumps({"schema": 1, "metrics": metrics}),
+                        encoding="utf-8")
+        return path
+
+    def test_exit_codes(self, tmp_path):
+        baseline = self.write(tmp_path / "baseline.json", {"m": metric(10.0)})
+        good = self.write(tmp_path / "good.json", {"m": metric(12.0)})
+        bad = self.write(tmp_path / "bad.json", {"m": metric(100.0)})
+        args = ["--baseline", str(baseline), "--max-regression", "2.0"]
+        assert main(["--current", str(good)] + args) == 0
+        assert main(["--current", str(bad)] + args) == 1
+
+    def test_empty_metrics_rejected(self, tmp_path):
+        path = self.write(tmp_path / "empty.json", {})
+        with pytest.raises(ValueError):
+            load_metrics(path)

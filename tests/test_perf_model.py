@@ -55,7 +55,8 @@ class TestPredictions:
         assert predicted == pytest.approx(analytical * calibrated.calibration_factor("gemm"))
 
     def test_predict_collective_larger_group_not_cheaper(self, calibrated_large_cluster):
-        small = calibrated_large_cluster.predict_collective_us("all_reduce", 1e8, (0, 1), group="tp")
+        small = calibrated_large_cluster.predict_collective_us("all_reduce", 1e8, (0, 1),
+                                                                group="tp")
         large = calibrated_large_cluster.predict_collective_us("all_reduce", 1e8, (0, 8, 16, 24),
                                                                group="dp")
         assert large > small

@@ -79,7 +79,8 @@ class TestValidation:
 
     def test_bundle_validation_aggregates_ranks(self):
         bundle = TraceBundle()
-        bundle.add(KinetoTrace(rank=0, events=[_kernel(0.0, 1, dur=20.0), _kernel(10.0, 2, dur=20.0)]))
+        bundle.add(KinetoTrace(rank=0, events=[_kernel(0.0, 1, dur=20.0),
+                                               _kernel(10.0, 2, dur=20.0)]))
         bundle.add(KinetoTrace(rank=1, events=[_launch(0.0, 1), _kernel(10.0, 1)]))
         report = validate_trace(bundle)
         assert len(report.errors) == 1
