@@ -3,45 +3,37 @@
 Starting from the GPT-3 15B trace, predict the per-iteration time of the
 Table 2 variants (more layers, larger hidden size, larger feed-forward
 size) without training any of them, then rank the variants by predicted
-throughput per parameter.
+throughput per parameter.  One ``Study`` carries the shared state: the
+base trace is replayed and the perf model calibrated exactly once, and
+each variant is one ``study.predict(model=...)`` call.
 
 Run with ``python examples/architecture_sweep.py``.
 """
 
+from repro import Study
 from repro.analysis.reporting import format_table
-from repro.core.manipulation import change_architecture
-from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import replay, simulate_graph
-from repro.emulator.api import emulate
-from repro.hardware.cluster import ClusterSpec
-from repro.workload.model_config import GPT3_VARIANTS, gpt3_model
-from repro.workload.parallelism import ParallelismConfig
+from repro.workload.model_config import GPT3_VARIANTS
 from repro.workload.training import TrainingConfig
 
 
 def main() -> None:
-    base_model = gpt3_model("gpt3-15b")
-    parallel = ParallelismConfig.parse("2x2x4")
     training = TrainingConfig(micro_batch_size=2, num_microbatches=4)
 
-    print(f"profiling the base model {base_model.name} at {parallel.label()} ...")
-    base = emulate(base_model, parallel, training, iterations=1, seed=9)
-    base_replay = replay(base.profiled)
-    cluster = ClusterSpec.for_world_size(parallel.world_size)
-    perf_model = KernelPerfModel.calibrate(base_replay.graph, cluster)
-    tokens = training.tokens_per_replica() * parallel.dp
+    print("profiling the base model gpt3-15b at 2x2x4 ...")
+    study = Study.from_emulation("gpt3-15b", "2x2x4", training,
+                                 iterations=1, seed=9)
+    base_model = study.base_model
+    tokens = training.tokens_per_replica() * study.base_parallel.dp
 
     rows = [[
         base_model.name, f"{base_model.num_parameters / 1e9:.0f}B", base_model.n_layers,
-        base_model.d_model, f"{base_replay.iteration_time_ms:.1f}",
-        f"{tokens / (base_replay.iteration_time_us / 1e6):.0f}",
+        base_model.d_model, f"{study.base_time_ms:.1f}",
+        f"{tokens / (study.base_time_us / 1e6):.0f}",
     ]]
     for name, variant in GPT3_VARIANTS.items():
         if name == "gpt3-15b":
             continue
-        graph = change_architecture(base_replay.graph, base_model, parallel, training,
-                                    variant, perf_model, cluster=cluster)
-        predicted = simulate_graph(graph)
+        predicted = study.predict(model=name)
         rows.append([
             variant.name, f"{variant.num_parameters / 1e9:.0f}B", variant.n_layers,
             variant.d_model, f"{predicted.iteration_time_ms:.1f}",

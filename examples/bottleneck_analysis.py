@@ -4,8 +4,8 @@ Beyond the end-to-end iteration time, the execution graph lets Lumos answer
 diagnostic questions (§4.2): how much communication is exposed, how the SM
 utilisation evolves over the iteration, and what a what-if optimisation
 would buy — here, "how much faster would the iteration be if the
-tensor-parallel all-reduce kernels ran 2x faster?", answered by editing
-kernel durations in the graph and re-simulating (§5, "Kernel Execution Time
+tensor-parallel all-reduce kernels ran 2x faster?", answered without
+touching the graph via ``study.whatif`` (§5, "Kernel Execution Time
 Prediction").
 
 Run with ``python examples/bottleneck_analysis.py``.
@@ -13,28 +13,22 @@ Run with ``python examples/bottleneck_analysis.py``.
 
 import numpy as np
 
-from repro.core.breakdown import compute_breakdown
-from repro.core.replay import replay, simulate_graph
+from repro import Study
 from repro.core.sm_utilization import sm_utilization_timeline
 from repro.core.tasks import TaskKind
-from repro.emulator.api import emulate
-from repro.workload.model_config import gpt3_model
-from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
 
 
 def main() -> None:
-    model = gpt3_model("gpt3-44b")
-    parallel = ParallelismConfig.parse("4x4x2")
-    training = TrainingConfig(micro_batch_size=2, num_microbatches=4)
+    print("emulating and replaying gpt3-44b at 4x4x2 ...")
+    study = Study.from_emulation(
+        "gpt3-44b", "4x4x2",
+        TrainingConfig(micro_batch_size=2, num_microbatches=4),
+        iterations=1, seed=13)
+    result = study.replay()
 
-    print(f"emulating and replaying {model.name} at {parallel.label()} ...")
-    emulation = emulate(model, parallel, training, iterations=1, seed=13)
-    result = replay(emulation.profiled)
-    breakdown = compute_breakdown(result.replayed_trace)
-
-    print(f"\niteration time: {result.iteration_time_ms:.1f} ms")
-    for key, value in breakdown.as_milliseconds().items():
+    print(f"\niteration time: {study.base_time_ms:.1f} ms")
+    for key, value in study.breakdown().as_milliseconds().items():
         print(f"  {key:22s} {value:8.1f} ms")
 
     rank = result.replayed_trace.ranks()[0]
@@ -43,18 +37,20 @@ def main() -> None:
           f"p10 {np.percentile(utilization, 10):.2f}, p90 {np.percentile(utilization, 90):.2f} "
           f"over {utilization.size} one-millisecond bins")
 
-    # What-if: speed up tensor-parallel all-reduce kernels by 2x and re-simulate.
-    graph = result.graph
-    accelerated = 0
-    for task in graph.tasks.values():
-        if task.kind == TaskKind.GPU and task.args.get("group") == "tp":
-            task.duration /= 2.0
-            accelerated += 1
-    what_if = simulate_graph(graph)
-    saved = result.iteration_time_ms - what_if.iteration_time_ms
-    print(f"\nwhat-if: {accelerated} tensor-parallel all-reduce kernels at 2x speed")
-    print(f"  new iteration time: {what_if.iteration_time_ms:.1f} ms "
-          f"({saved:.1f} ms saved, {saved / result.iteration_time_ms * 100:.1f}%)")
+    # What-if: speed up tensor-parallel all-reduce kernels by 2x.  The
+    # custom predicate runs as a duration-vector swap on the study's
+    # memoized session; the graph itself is never modified.
+    what_if = (study.whatif()
+               .scenario("tp all-reduce x2",
+                         lambda task: (task.kind == TaskKind.GPU
+                                       and task.args.get("group") == "tp"),
+                         2.0)
+               .run()[0])
+    print(f"\nwhat-if: {what_if.affected_tasks} tensor-parallel all-reduce "
+          "kernels at 2x speed")
+    print(f"  new iteration time: {what_if.scenario_time_us / 1000:.1f} ms "
+          f"({what_if.saved_us / 1000:.1f} ms saved, "
+          f"{what_if.improvement_percent:.1f}%)")
 
 
 if __name__ == "__main__":

@@ -3,23 +3,20 @@
 This is the §3.4 use case the paper motivates: an engineer has one profiled
 run of GPT-3 15B at TP=2, PP=2, DP=4 and wants to know how the iteration
 time would change when scaling data parallelism and/or pipeline parallelism
-— without deploying anything.  Lumos manipulates the execution graph of the
-existing trace and predicts each candidate through simulation, and this
-example also emulates the candidates directly to show the predictions are
-trustworthy.
+— without deploying anything.  ``Study.predict`` manipulates the execution
+graph of the existing trace and simulates each candidate (the base trace is
+replayed and the perf model calibrated once, on the first prediction), and
+this example also emulates the candidates directly to show the predictions
+are trustworthy.
 
 Run with ``python examples/parallelism_exploration.py``.
 """
 
+from repro import Study
 from repro.analysis.reporting import format_table
 from repro.core.breakdown import compute_breakdown
-from repro.core.manipulation import scale_data_parallelism, scale_pipeline_parallelism
 from repro.core.metrics import relative_error_percent
-from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import replay, simulate_graph
 from repro.emulator.api import emulate
-from repro.hardware.cluster import ClusterSpec
-from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
 
@@ -27,41 +24,30 @@ CANDIDATES = ["2x2x8", "2x2x16", "2x4x4", "2x8x4", "2x4x8"]
 
 
 def main() -> None:
-    model = gpt3_model("gpt3-15b")
-    base_parallel = ParallelismConfig.parse("2x2x4")
     training = TrainingConfig(micro_batch_size=2, num_microbatches=4)
 
-    print(f"profiling the base configuration {base_parallel.label()} ...")
-    base = emulate(model, base_parallel, training, iterations=1, seed=5)
-    base_replay = replay(base.profiled)
-    perf_model = KernelPerfModel.calibrate(
-        base_replay.graph, ClusterSpec.for_world_size(base_parallel.world_size))
-    print(f"  base iteration time (replayed): {base_replay.iteration_time_ms:.1f} ms")
+    print("profiling the base configuration 2x2x4 ...")
+    study = Study.from_emulation("gpt3-15b", "2x2x4", training,
+                                 iterations=1, seed=5)
+    print(f"  base iteration time (replayed): {study.base_time_ms:.1f} ms")
 
     rows = []
     for label in CANDIDATES:
-        target = ParallelismConfig.parse(label)
-        if target.pp == base_parallel.pp:
-            graph = scale_data_parallelism(base_replay.graph, base_parallel, target.dp,
-                                           perf_model)
-        else:
-            graph = scale_pipeline_parallelism(base_replay.graph, model, base_parallel,
-                                               training, target.pp, perf_model,
-                                               new_data_parallel=target.dp)
-        predicted = simulate_graph(graph)
+        prediction = study.predict(label)
 
         # Validation only: emulate the target directly (what the paper does
         # by deploying the configuration on the real cluster).
-        actual = emulate(model, target, training, iterations=2, seed=31)
+        target = ParallelismConfig.parse(label)
+        actual = emulate(study.base_model, target, training, iterations=2, seed=31)
         actual_time = actual.measured_iteration_time()
         breakdown = compute_breakdown(actual.measured)
 
         rows.append([
             label,
-            f"{target.world_size}",
-            f"{predicted.iteration_time_ms:.1f}",
+            f"{prediction.world_size}",
+            f"{prediction.iteration_time_ms:.1f}",
             f"{actual_time / 1000:.1f}",
-            f"{relative_error_percent(predicted.iteration_time_us, actual_time):+.1f}%",
+            f"{relative_error_percent(prediction.iteration_time_us, actual_time):+.1f}%",
             f"{breakdown.exposed_communication / 1000:.1f}",
         ])
 

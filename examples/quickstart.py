@@ -4,59 +4,59 @@ The workflow mirrors Figure 2 of the paper:
 
 1. "collect" Kineto-style traces for one iteration of GPT-3 15B trained
    with TP=2, PP=2, DP=4 (here the cluster emulator stands in for the
-   production cluster);
+   production cluster) — ``Study.from_emulation`` does this and opens the
+   study over the profiled iteration;
 2. build the execution graph and replay it with the Lumos simulator;
 3. compare the replayed iteration time and execution breakdown against a
    later, independently measured iteration;
 4. do the same with the dPRO-style baseline to see why inter-stream
    dependencies matter.
 
-Run with ``python examples/quickstart.py``.
+Run with ``python examples/quickstart.py``.  See ``study_api.py`` for the
+rest of the facade (predict / what-if / sweep).
 """
 
+from repro import Study
 from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
 from repro.baselines.dpro import dpro_replay
 from repro.core.breakdown import compute_breakdown
 from repro.core.metrics import relative_error_percent
-from repro.core.replay import replay
-from repro.emulator.api import emulate
-from repro.workload.model_config import gpt3_model
-from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
 
 
 def main() -> None:
-    model = gpt3_model("gpt3-15b")
-    parallel = ParallelismConfig.parse("2x2x4")
-    training = TrainingConfig(micro_batch_size=2, num_microbatches=4)
+    study = Study.from_emulation(
+        "gpt3-15b", "2x2x4",
+        TrainingConfig(micro_batch_size=2, num_microbatches=4),
+        iterations=2, seed=1)
+    model = study.base_model
+    parallel = study.base_parallel
 
-    print(f"emulating {model.name} ({model.num_parameters / 1e9:.1f}B parameters) "
-          f"with TPxPPxDP = {parallel.label()} on {parallel.world_size} GPUs ...")
-    emulation = emulate(model, parallel, training, iterations=2, seed=1)
-    profiled = emulation.profiled
-    measured = emulation.measured
+    print(f"emulated {model.name} ({model.num_parameters / 1e9:.1f}B parameters) "
+          f"with TPxPPxDP = {parallel.label()} on {parallel.world_size} GPUs")
+    measured = study.emulation.measured
     actual_time_us = measured.iteration_time()
 
     print("\nbuilding the execution graph and replaying with Lumos ...")
-    lumos = replay(profiled)
+    lumos = study.replay()
     counts = lumos.graph.dependency_counts()
     print(f"  graph: {len(lumos.graph)} tasks, "
           f"{sum(counts.values())} dependencies "
           f"({counts!r})")
 
-    dpro = dpro_replay(profiled)
+    dpro = dpro_replay(study.trace)
 
     print("\nper-iteration execution time:")
     print(f"  actual : {actual_time_us / 1000:8.1f} ms")
-    print(f"  Lumos  : {lumos.iteration_time_ms:8.1f} ms "
-          f"({relative_error_percent(lumos.iteration_time_us, actual_time_us):+.1f}% error)")
+    print(f"  Lumos  : {study.base_time_ms:8.1f} ms "
+          f"({relative_error_percent(study.base_time_us, actual_time_us):+.1f}% error)")
     print(f"  dPRO   : {dpro.iteration_time_ms:8.1f} ms "
           f"({relative_error_percent(dpro.iteration_time_us, actual_time_us):+.1f}% error)")
 
     print("\nexecution breakdown (ms):")
     rows = [
         format_breakdown_row("actual", compute_breakdown(measured)),
-        format_breakdown_row("lumos", lumos.breakdown()),
+        format_breakdown_row("lumos", study.breakdown()),
         format_breakdown_row("dpro", dpro.breakdown()),
     ]
     print(format_table(breakdown_headers(), rows))

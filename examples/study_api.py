@@ -1,0 +1,75 @@
+"""Tour of the ``Study`` facade: the whole paper workflow on one object.
+
+A :class:`repro.Study` owns everything Figure 2 shares between steps — the
+base replay, the calibrated kernel perf model, and one compiled simulation
+session per derived configuration — so replaying, predicting, asking
+what-if questions and sweeping a design space are all method calls against
+state that is computed once and memoized.
+
+Run with ``python examples/study_api.py``.
+"""
+
+from repro import PredictError, Study
+from repro.workload.training import TrainingConfig
+
+
+def main() -> None:
+    # 1. Profile: emulate one training job (a stand-in for profiling a real
+    #    cluster) and open a study over its profiled iteration.  Nothing
+    #    expensive happens yet — replay and calibration are lazy.
+    study = Study.from_emulation(
+        "gpt3-15b", "2x2x4",
+        TrainingConfig(micro_batch_size=2, num_microbatches=4),
+        iterations=2, seed=1)
+    print(f"opened {study}")
+
+    # 2. Replay: the base trace is replayed once; every later step reuses it.
+    print(f"\nbase replay: {study.base_time_ms:.1f} ms "
+          f"(measured: {study.emulation.measured_iteration_time() / 1000:.1f} ms)")
+    for key, value in study.breakdown().as_milliseconds().items():
+        print(f"  {key:22s} {value:8.1f} ms")
+
+    # 3. Predict: scale the deployment or change the architecture.  The
+    #    perf model calibrates on the first call; repeated predictions of
+    #    one target are cache hits.
+    print("\npredictions from the one profiled trace:")
+    for target in ("2x2x8", "2x4x4"):
+        prediction = study.predict(target)
+        print(f"  {prediction.label:8s} ({prediction.world_size:3d} GPUs) "
+              f"{prediction.iteration_time_ms:8.1f} ms "
+              f"({prediction.speedup_vs_base:.2f}x vs base)")
+    variant = study.predict(model="gpt3-v1")
+    print(f"  {variant.label:8s} (same GPUs) {variant.iteration_time_ms:8.1f} ms")
+    print(f"  calibrations performed: {study.calibrations}")
+
+    # Unsupported targets are typed errors, not stderr strings.
+    try:
+        study.predict("4x2x2")
+    except PredictError as error:
+        print(f"  rejected 4x2x2: {error}")
+
+    # 4. What-if: queue scenarios fluently; the batch shares one compiled
+    #    session, so each scenario is a duration-vector swap.
+    print("\nwhat-if scenarios against the base configuration:")
+    results = (study.whatif()
+               .kernel_class("gemm", 2.0)
+               .communication(2.0, group="dp")
+               .launch_overhead()
+               .run())
+    for result in results:
+        print(f"  {result.name:24s} {result.scenario_time_us / 1000:8.1f} ms "
+              f"({result.improvement_percent:+.1f}%)")
+
+    # 5. Sweep: evaluate a whole grid, reusing the study's calibrated state
+    #    (no second replay, no second calibration).
+    sweep = study.sweep(parallelism=["2x2x8", "2x4x4"], models=["gpt3-v1"],
+                        whatif=["gemm:2", "launch"])
+    best = sweep.best()
+    print(f"\nswept {len(sweep)} scenarios; best: {best.label} "
+          f"at {best.iteration_time_ms:.1f} ms "
+          f"({best.speedup_vs_base:.2f}x vs base)")
+    print(f"calibrations performed in total: {study.calibrations}")
+
+
+if __name__ == "__main__":
+    main()

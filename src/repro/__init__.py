@@ -20,6 +20,11 @@ described in the paper together with the substrates it depends on:
     The Lumos contribution: execution-graph construction, the replay
     simulator (Algorithm 1), execution breakdowns, SM utilisation,
     kernel-performance-model calibration and graph manipulation.
+``repro.api``
+    The programmable facade: :class:`Study` owns one base trace's replay,
+    calibration and per-target simulation sessions, and exposes the whole
+    paper workflow (replay / breakdown / predict / what-if / sweep) as
+    memoized methods.
 ``repro.baselines``
     The dPRO-style replayer and an analytical iteration-time model.
 ``repro.analysis``
@@ -28,6 +33,11 @@ described in the paper together with the substrates it depends on:
     The parallel what-if sweep engine: declarative scenario grids over one
     base trace, a process-pool runner, an on-disk result cache and Pareto
     analysis.  :func:`repro.sweep` is the one-call entry point.
+
+The convenience surface re-exported here: :class:`Study` (open with
+``Study.from_trace(...)`` / ``Study.from_emulation(...)``), the one-call
+:func:`predict` and :func:`replay` wrappers, the typed
+:class:`PredictError` / :class:`StudyError`, and the sweep names.
 """
 
 from repro.version import __version__
@@ -35,5 +45,19 @@ from repro.version import __version__
 # ``from repro import sweep; sweep(trace, spec)`` runs a sweep while
 # ``repro.sweep.SweepSpec`` keeps ordinary module access working.
 from repro.sweep import SweepResult, SweepSpec, run_sweep
+from repro.api import Prediction, PredictError, Study, StudyError, predict
+from repro.core.replay import replay
 
-__all__ = ["__version__", "SweepResult", "SweepSpec", "run_sweep", "sweep"]
+__all__ = [
+    "__version__",
+    "Prediction",
+    "PredictError",
+    "Study",
+    "StudyError",
+    "SweepResult",
+    "SweepSpec",
+    "predict",
+    "replay",
+    "run_sweep",
+    "sweep",
+]

@@ -1,0 +1,41 @@
+"""The programmable facade over the paper's workflow (Figure 2).
+
+``repro.api`` packages the profile → replay → calibrate → manipulate →
+predict loop behind one stateful object:
+
+``repro.api.study``
+    :class:`Study` (the facade), :class:`Prediction`,
+    :class:`WhatIfBuilder`, the shared :func:`derive_graph` manipulation
+    dispatcher and the one-call :func:`predict` convenience wrapper.
+``repro.api.errors``
+    :class:`StudyError` and :class:`PredictError` — the typed errors the
+    facade raises instead of printing to stderr.
+
+The CLI and the sweep runner are clients of this package; anything they
+can do is available programmatically here.
+"""
+
+from repro.api.errors import PredictError, StudyError
+from repro.api.study import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+    Prediction,
+    Study,
+    WhatIfBuilder,
+    derive_graph,
+    predict,
+)
+
+__all__ = [
+    "KIND_ARCHITECTURE",
+    "KIND_BASELINE",
+    "KIND_PARALLELISM",
+    "Prediction",
+    "PredictError",
+    "Study",
+    "StudyError",
+    "WhatIfBuilder",
+    "derive_graph",
+    "predict",
+]

@@ -1,0 +1,38 @@
+"""Typed errors raised by the :mod:`repro.api` facade.
+
+The library raises these instead of printing to stderr; front-ends (the
+CLI, notebooks, services) decide how to present them.  Both derive from
+:class:`ValueError`, so pre-facade code that caught ``ValueError`` keeps
+working.
+"""
+
+from __future__ import annotations
+
+
+class StudyError(ValueError):
+    """A study was asked for something inconsistent or unavailable."""
+
+
+class PredictError(StudyError):
+    """A prediction target is unsupported by graph manipulation.
+
+    The canonical case is the paper's stated limitation: tensor-parallelism
+    changes rewrite per-kernel shapes throughout the graph, so manipulation
+    refuses them.  :attr:`base_tp` / :attr:`target_tp` carry the offending
+    degrees when the error is a TP mismatch (both are ``None`` otherwise).
+    """
+
+    def __init__(self, message: str, *, base_tp: int | None = None,
+                 target_tp: int | None = None) -> None:
+        super().__init__(message)
+        self.base_tp = base_tp
+        self.target_tp = target_tp
+
+    @classmethod
+    def tp_mismatch(cls, target_label: str, base_tp: int, target_tp: int) -> "PredictError":
+        """The uniform message for tensor-parallelism changes."""
+        return cls(
+            f"target parallelism {target_label} changes tensor parallelism "
+            f"(base TP={base_tp}, target TP={target_tp}); graph manipulation "
+            "does not support TP modifications",
+            base_tp=base_tp, target_tp=target_tp)

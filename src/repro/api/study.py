@@ -1,0 +1,722 @@
+"""The :class:`Study` facade: one stateful object for the paper's workflow.
+
+Figure 2 of the paper is a loop — profile, replay, calibrate, manipulate,
+predict — and every step after "profile" shares expensive state: the base
+replay, the calibrated :class:`~repro.core.perf_model.KernelPerfModel`, and
+one compiled :class:`~repro.core.engine.SimulationSession` per derived
+configuration.  A :class:`Study` owns that state and memoizes it:
+
+* the base trace is replayed once (:meth:`Study.replay`);
+* the perf model is calibrated lazily, on the first manipulation that
+  needs it (:attr:`Study.perf_model`);
+* derived graphs and their compiled sessions are cached per target, so a
+  repeated :meth:`Study.predict` of the same configuration is a lookup and
+  a batch of :meth:`Study.whatif` scenarios against one target is a series
+  of duration-vector swaps on a single session.
+
+The sweep runner (:mod:`repro.sweep.runner`) and the CLI are thin clients
+of this class; :func:`derive_graph` below is the one place that dispatches
+a ``(kind, target)`` configuration onto :mod:`repro.core.manipulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.api.errors import PredictError, StudyError
+from repro.core import whatif as whatif_mod
+from repro.core.breakdown import ExecutionBreakdown
+from repro.core.engine import SessionRun, SimulationSession, compile_graph
+from repro.core.graph import ExecutionGraph
+from repro.core.manipulation import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+    change_architecture,
+    scale_data_parallelism,
+    scale_pipeline_parallelism,
+)
+from repro.core.perf_model import KernelPerfModel
+from repro.core.replay import ReplayResult
+from repro.core.replay import replay as _replay_trace
+from repro.core.tasks import Task
+from repro.hardware.cluster import ClusterSpec
+from repro.trace.kineto import TraceBundle
+from repro.workload.model_config import ModelConfig, gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.core.graph_builder import GraphBuilderOptions
+    from repro.core.whatif import WhatIfResult
+    from repro.emulator.api import EmulationResult
+    from repro.emulator.noise import NoiseConfig
+    from repro.sweep.cache import SweepCache
+    from repro.sweep.runner import SweepResult
+    from repro.sweep.spec import SweepSpec, WhatIfSpec
+
+_DEFAULT_MODEL = "gpt3-15b"
+_DEFAULT_PARALLELISM = "2x2x4"
+
+
+def _resolve_model(model: ModelConfig | str,
+                   error: type[StudyError] = StudyError) -> ModelConfig:
+    if isinstance(model, ModelConfig):
+        return model
+    try:
+        return gpt3_model(model)
+    except KeyError as exc:
+        raise error(str(exc.args[0])) from exc
+
+
+def _resolve_parallelism(parallelism: ParallelismConfig | str,
+                         error: type[StudyError] = StudyError) -> ParallelismConfig:
+    if isinstance(parallelism, ParallelismConfig):
+        return parallelism
+    try:
+        return ParallelismConfig.parse(parallelism)
+    except ValueError as exc:
+        raise error(str(exc)) from exc
+
+
+def derive_graph(graph: ExecutionGraph, kind: str, target: str, *,
+                 base_model: ModelConfig, base_parallel: ParallelismConfig,
+                 training: TrainingConfig, perf_model: KernelPerfModel,
+                 cluster: ClusterSpec,
+                 target_model: ModelConfig | None = None) -> tuple[ExecutionGraph, int]:
+    """Derive the execution graph for one ``(kind, target)`` configuration.
+
+    This is the single manipulation-dispatch point of the library: the
+    :class:`Study` methods and the sweep runner both route through it.
+    Returns the derived graph and the target's world size; raises
+    :class:`PredictError` for unsupported targets (TP changes, unknown
+    models, malformed labels).  For architecture targets, ``target_model``
+    supplies a :class:`ModelConfig` that is not in the GPT-3 registry
+    (custom variants); ``target`` is resolved through the registry
+    otherwise.
+    """
+    if kind == KIND_BASELINE:
+        return graph, base_parallel.world_size
+    if kind == KIND_PARALLELISM:
+        parallel = _resolve_parallelism(target, error=PredictError)
+        if parallel.tp != base_parallel.tp:
+            raise PredictError.tp_mismatch(parallel.label(), base_parallel.tp, parallel.tp)
+        # The cluster must cover the base trace's ranks as well as the
+        # target's: perf-model rescaling evaluates the *old* collective
+        # groups too, so a down-scaled target cannot shrink the cluster.
+        derived_cluster = ClusterSpec.for_world_size(
+            max(base_parallel.world_size, parallel.world_size))
+        if parallel.pp == base_parallel.pp:
+            derived = scale_data_parallelism(graph, base_parallel, parallel.dp,
+                                             perf_model, cluster=derived_cluster)
+        else:
+            derived = scale_pipeline_parallelism(graph, base_model, base_parallel,
+                                                 training, parallel.pp, perf_model,
+                                                 new_data_parallel=parallel.dp,
+                                                 cluster=derived_cluster)
+        return derived, parallel.world_size
+    if kind == KIND_ARCHITECTURE:
+        if target_model is None:
+            target_model = _resolve_model(target, error=PredictError)
+        derived = change_architecture(graph, base_model, base_parallel, training,
+                                      target_model, perf_model, cluster=cluster)
+        return derived, base_parallel.world_size
+    raise PredictError(f"unknown configuration kind '{kind}'")
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Outcome of predicting one target configuration from a base trace."""
+
+    target: str
+    kind: str
+    world_size: int
+    base_time_us: float
+    result: ReplayResult
+
+    @property
+    def label(self) -> str:
+        return self.target
+
+    @property
+    def iteration_time_us(self) -> float:
+        return self.result.iteration_time_us
+
+    @property
+    def iteration_time_ms(self) -> float:
+        return self.result.iteration_time_ms
+
+    @property
+    def speedup_vs_base(self) -> float:
+        if self.iteration_time_us <= 0:
+            return float("inf")
+        return self.base_time_us / self.iteration_time_us
+
+    @property
+    def graph(self) -> ExecutionGraph:
+        return self.result.graph
+
+    def breakdown(self) -> ExecutionBreakdown:
+        return self.result.breakdown()
+
+
+class WhatIfBuilder:
+    """Fluent batch of what-if scenarios against one study configuration.
+
+    Builder methods queue scenarios and return ``self``; :meth:`run`
+    evaluates the whole batch against the study's memoized session for the
+    bound configuration — one compile, N duration-vector swaps::
+
+        results = (study.whatif()
+                   .kernel_class("gemm", 2.0)
+                   .communication(2.0, group="dp")
+                   .launch_overhead()
+                   .run())
+    """
+
+    def __init__(self, study: "Study", key: tuple[str, str]) -> None:
+        self._study = study
+        self._key = key
+        self._scenarios: list[Callable[..., "WhatIfResult"]] = []
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    # -- scenario vocabulary (mirrors repro.core.whatif) --------------------
+
+    def kernel_class(self, op_class: str, speedup: float = 2.0) -> "WhatIfBuilder":
+        """What if every kernel of one class (e.g. ``"gemm"``) were faster?"""
+        def evaluate(graph, *, baseline, session):
+            return whatif_mod.speed_up_kernel_class(graph, op_class, speedup,
+                                                    baseline=baseline, session=session)
+        self._scenarios.append(evaluate)
+        return self
+
+    def communication(self, speedup: float = 2.0, *,
+                      group: str | None = None) -> "WhatIfBuilder":
+        """What if communication kernels (optionally one group) were faster?"""
+        def evaluate(graph, *, baseline, session):
+            return whatif_mod.speed_up_communication(graph, speedup, group=group,
+                                                     baseline=baseline, session=session)
+        self._scenarios.append(evaluate)
+        return self
+
+    def launch_overhead(self) -> "WhatIfBuilder":
+        """What if CPU-side kernel-launch overhead were free?"""
+        def evaluate(graph, *, baseline, session):
+            return whatif_mod.remove_launch_overhead(graph, baseline=baseline,
+                                                     session=session)
+        self._scenarios.append(evaluate)
+        return self
+
+    def scenario(self, name: str, predicate: Callable[[Task], bool],
+                 speedup: float = 2.0) -> "WhatIfBuilder":
+        """A custom scenario: rescale every task matching ``predicate``."""
+        def evaluate(graph, *, baseline, session):
+            return whatif_mod.evaluate_scenario(graph, name, predicate, speedup,
+                                                baseline=baseline, session=session)
+        self._scenarios.append(evaluate)
+        return self
+
+    def apply(self, kind: str, *, op_class: str | None = None,
+              group: str | None = None, speedup: float = 2.0) -> "WhatIfBuilder":
+        """Queue a scenario by its declarative kind (see ``apply_speedup``)."""
+        def evaluate(graph, *, baseline, session):
+            return whatif_mod.apply_speedup(graph, kind, op_class=op_class,
+                                            group=group, speedup=speedup,
+                                            baseline=baseline, session=session)
+        self._scenarios.append(evaluate)
+        return self
+
+    # -- evaluation ---------------------------------------------------------
+
+    def run(self) -> "list[WhatIfResult]":
+        """Evaluate every queued scenario on one shared session."""
+        if not self._scenarios:
+            raise StudyError("no what-if scenarios queued; add one before run()")
+        kind, target = self._key
+        graph, _ = self._study.derived_graph(kind, target)
+        session, baseline = self._study.config_session(kind, target)
+        return [evaluate(graph, baseline=baseline, session=session)
+                for evaluate in self._scenarios]
+
+    def best(self) -> "WhatIfResult":
+        """Evaluate the batch and return the scenario with the lowest time."""
+        return min(self.run(), key=lambda result: result.scenario_time_us)
+
+
+class Study:
+    """Stateful facade over the replay / predict / what-if / sweep workflow.
+
+    Construct with :meth:`from_trace` (a saved or in-memory trace bundle)
+    or :meth:`from_emulation` (run the cluster emulator first).  All
+    expensive state is materialised lazily and memoized; see the module
+    docstring for exactly what is shared.
+
+    Instances pickle (the sweep runner ships one to its worker processes):
+    the trace bundle, emulation result, base replay and per-target session
+    caches stay behind, while the base graph, base iteration time and
+    calibrated perf model travel — call :meth:`prepare` before pickling.
+    """
+
+    def __init__(self, trace: TraceBundle | None = None, *,
+                 model: ModelConfig | str | None = None,
+                 parallelism: ParallelismConfig | str | None = None,
+                 training: TrainingConfig | None = None,
+                 cluster: ClusterSpec | None = None,
+                 options: "GraphBuilderOptions | None" = None) -> None:
+        metadata = trace.metadata if trace is not None else {}
+        # Explicit base configuration is resolved strictly; metadata is a
+        # hint (trace bundles are general Kineto containers) and falls
+        # back to the defaults when it is absent or unresolvable.  Replay
+        # and breakdowns never consult the base configuration, but graph
+        # manipulation does — so a guessed base marks the study and
+        # :meth:`derived_graph` refuses to manipulate on a guess.
+        self._base_guessed = False
+        if model is not None:
+            self.base_model = _resolve_model(model)
+        else:
+            try:
+                self.base_model = _resolve_model(str(metadata["model"]))
+            except (KeyError, StudyError):
+                self.base_model = _resolve_model(_DEFAULT_MODEL)
+                self._base_guessed = True
+        if parallelism is not None:
+            self.base_parallel = _resolve_parallelism(parallelism)
+        else:
+            try:
+                self.base_parallel = _resolve_parallelism(str(metadata["parallelism"]))
+            except (KeyError, StudyError):
+                self.base_parallel = _resolve_parallelism(_DEFAULT_PARALLELISM)
+                self._base_guessed = True
+        self.training = training or TrainingConfig()
+        self.calibrations = 0
+        self._bundle = trace
+        self._options = options
+        self._cluster = cluster
+        self._emulation: "EmulationResult | None" = None
+        self._replay: ReplayResult | None = None
+        self._base_graph: ExecutionGraph | None = None
+        self._base_time: float | None = None
+        self._perf_model: KernelPerfModel | None = None
+        #: Non-registry architecture targets by name (predict(model=<config>)).
+        #: Part of the picklable snapshot so pool workers can derive them.
+        self._custom_models: dict[str, ModelConfig] = {}
+        self._graphs: dict[tuple[str, str], tuple[ExecutionGraph, int]] = {}
+        self._sessions: dict[tuple[str, str], tuple[SimulationSession, SessionRun]] = {}
+        self._predictions: dict[tuple[str, str], Prediction] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: "TraceBundle | str | Path", *,
+                   model: ModelConfig | str | None = None,
+                   parallelism: ParallelismConfig | str | None = None,
+                   micro_batch_size: int = 2,
+                   num_microbatches: int | None = None,
+                   training: TrainingConfig | None = None,
+                   cluster: ClusterSpec | None = None,
+                   options: "GraphBuilderOptions | None" = None) -> "Study":
+        """Open a study over a profiled trace (a bundle or its directory).
+
+        The base model and parallelism default to what the bundle's
+        metadata records (the emulator writes both); pass them explicitly
+        for traces from other sources.
+        """
+        bundle = trace if isinstance(trace, TraceBundle) else TraceBundle.load(trace)
+        if training is None:
+            if num_microbatches is None:
+                num_microbatches = int(bundle.metadata.get("num_microbatches", 4))
+            training = TrainingConfig(micro_batch_size=micro_batch_size,
+                                      num_microbatches=num_microbatches)
+        return cls(bundle, model=model, parallelism=parallelism, training=training,
+                   cluster=cluster, options=options)
+
+    @classmethod
+    def from_emulation(cls, model: ModelConfig | str,
+                       parallelism: ParallelismConfig | str,
+                       training: TrainingConfig | None = None, *,
+                       iterations: int = 2, seed: int = 0,
+                       noise: "NoiseConfig | None" = None,
+                       cluster: ClusterSpec | None = None,
+                       options: "GraphBuilderOptions | None" = None) -> "Study":
+        """Emulate a training job and study its profiled iteration.
+
+        The full :class:`~repro.emulator.api.EmulationResult` stays
+        reachable through :attr:`emulation` (e.g. for validating
+        predictions against the independently-measured iteration).
+        """
+        from repro.emulator.api import emulate
+
+        base_model = _resolve_model(model)
+        base_parallel = _resolve_parallelism(parallelism)
+        training = training or TrainingConfig()
+        emulation = emulate(base_model, base_parallel, training, cluster=cluster,
+                            iterations=iterations, seed=seed, noise=noise)
+        study = cls(emulation.profiled, model=base_model, parallelism=base_parallel,
+                    training=training, cluster=emulation.cluster, options=options)
+        study._emulation = emulation
+        return study
+
+    # -- shared state (lazy, memoized) --------------------------------------
+
+    @property
+    def trace(self) -> TraceBundle:
+        """The profiled base trace bundle."""
+        if self._bundle is None:
+            raise StudyError("this study has no trace bundle "
+                             "(it was pickled for a worker process)")
+        return self._bundle
+
+    @property
+    def emulation(self) -> "EmulationResult":
+        """The emulation this study was built from (``from_emulation`` only)."""
+        if self._emulation is None:
+            raise StudyError("this study was not built by from_emulation")
+        return self._emulation
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The cluster hosting the base configuration."""
+        if self._cluster is None:
+            self._cluster = ClusterSpec.for_world_size(self.base_parallel.world_size)
+        return self._cluster
+
+    def replay(self) -> ReplayResult:
+        """The base replay — performed once, then served from memory."""
+        if self._replay is None:
+            self._replay = _replay_trace(self.trace, self._options)
+            self._base_graph = self._replay.graph
+            self._base_time = self._replay.iteration_time_us
+        return self._replay
+
+    @property
+    def base_graph(self) -> ExecutionGraph:
+        """The execution graph of the base replay."""
+        if self._base_graph is None:
+            self.replay()
+        return self._base_graph
+
+    @property
+    def base_time_us(self) -> float:
+        """Replayed base iteration time in microseconds."""
+        if self._base_time is None:
+            self.replay()
+        return self._base_time
+
+    @property
+    def base_time_ms(self) -> float:
+        """Replayed base iteration time in milliseconds."""
+        return self.base_time_us / 1000.0
+
+    @property
+    def perf_model(self) -> KernelPerfModel:
+        """The calibrated kernel perf model (calibrated on first use)."""
+        if self._perf_model is None:
+            self._perf_model = KernelPerfModel.calibrate(self.base_graph, self.cluster)
+            self.calibrations += 1
+        return self._perf_model
+
+    def breakdown(self) -> ExecutionBreakdown:
+        """Execution breakdown of the replayed base iteration."""
+        return self.replay().breakdown()
+
+    def prepare(self) -> "Study":
+        """Force-materialise the base replay and perf model; returns self.
+
+        Call before pickling (the picklable snapshot carries only the
+        materialised state) or to front-load the expensive work.
+        """
+        self.base_time_us
+        self.perf_model
+        return self
+
+    # -- configuration resolution and caches --------------------------------
+
+    def _config_key(self, target: ParallelismConfig | str | None = None, *,
+                    model: ModelConfig | str | None = None) -> tuple[str, str]:
+        """Map a user-facing target onto the memoization key ``(kind, target)``."""
+        if target is not None and model is not None:
+            raise PredictError("give either a target parallelism or a target "
+                               "model, not both")
+        if model is not None:
+            if isinstance(model, ModelConfig):
+                name = self._register_model(model)
+            else:
+                name = str(model)
+            if name == self.base_model.name:
+                return (KIND_BASELINE, self.base_parallel.label())
+            return (KIND_ARCHITECTURE, name)
+        if target is None:
+            return (KIND_BASELINE, self.base_parallel.label())
+        label = (target.label() if isinstance(target, ParallelismConfig)
+                 else str(target))
+        if label == self.base_parallel.label():
+            return (KIND_BASELINE, label)
+        return (KIND_PARALLELISM, label)
+
+    def _register_model(self, model: ModelConfig) -> str:
+        """Record a target ModelConfig under its name, refusing collisions.
+
+        Predictions are memoized by name, so two different architectures
+        sharing one name would silently serve each other's cached results
+        — reject the ambiguity instead.
+        """
+        name = model.name
+        if name == self.base_model.name and model != self.base_model:
+            raise PredictError(
+                f"custom model is named like the base model ({name!r}) but "
+                "differs from it; give the variant a distinct name")
+        previous = self._custom_models.get(name)
+        if previous is not None and previous != model:
+            raise PredictError(
+                f"a different model named {name!r} was already predicted by "
+                "this study; give the variant a distinct name")
+        try:
+            registered = gpt3_model(name)
+        except KeyError:
+            registered = None
+        if registered is not None and registered != model:
+            raise PredictError(
+                f"custom model {name!r} shadows the registry model of the "
+                "same name; give the variant a distinct name")
+        self._custom_models[name] = model
+        return name
+
+    def _derive(self, kind: str, target: str) -> tuple[ExecutionGraph, int]:
+        if self._base_guessed:
+            raise StudyError(
+                "the trace did not record its base model/parallelism, so graph "
+                "manipulation would run against a guessed base configuration; "
+                "pass model= and parallelism= explicitly when opening the study")
+        return derive_graph(
+            self.base_graph, kind, target,
+            base_model=self.base_model, base_parallel=self.base_parallel,
+            training=self.training, perf_model=self.perf_model,
+            cluster=self.cluster,
+            target_model=self._custom_models.get(target))
+
+    def derived_graph(self, kind: str, target: str) -> tuple[ExecutionGraph, int]:
+        """The (memoized) derived graph and world size for one configuration."""
+        if kind == KIND_BASELINE:
+            return self.base_graph, self.base_parallel.world_size
+        key = (kind, target)
+        if key not in self._graphs:
+            self._graphs[key] = self._derive(kind, target)
+        return self._graphs[key]
+
+    def config_session(self, kind: str, target: str) -> tuple[SimulationSession, SessionRun]:
+        """The (memoized) compiled session and its baseline run for one target."""
+        key = (kind, target)
+        if key not in self._sessions:
+            if kind == KIND_BASELINE:
+                if self._replay is not None or self._bundle is not None:
+                    # The replay already simulated the base durations —
+                    # reuse its compiled graph and its run.
+                    result = self.replay()
+                    session = result.session()
+                    run = result.base_run or session.run()
+                else:
+                    # Pickled for a worker process: rebuild from the base
+                    # graph carried in the snapshot.
+                    session = SimulationSession(compile_graph(self.base_graph))
+                    run = session.run()
+            else:
+                graph, _ = self.derived_graph(kind, target)
+                session = SimulationSession(compile_graph(graph))
+                run = session.run()
+            self._sessions[key] = (session, run)
+        return self._sessions[key]
+
+    def config_state(self, kind: str, target: str, *, retain: bool = True) \
+            -> tuple[ExecutionGraph, int, SimulationSession, SessionRun]:
+        """Derived graph, world size, session and baseline run for one target.
+
+        With ``retain=False`` nothing new is pinned in the study's caches
+        (cached state is still reused when present) — the sweep runner
+        uses this for throwaway studies and pool workers, whose groups are
+        each evaluated once, so per-group state should be freed with the
+        group instead of accumulating for the sweep's lifetime.  The
+        baseline configuration is always served from the memoized replay
+        (one bounded entry).
+        """
+        key = (kind, target)
+        if retain or kind == KIND_BASELINE or key in self._sessions:
+            graph, world_size = self.derived_graph(kind, target)
+            session, run = self.config_session(kind, target)
+            return graph, world_size, session, run
+        if key in self._graphs:
+            graph, world_size = self._graphs[key]
+        else:
+            graph, world_size = self._derive(kind, target)
+        session = SimulationSession(compile_graph(graph))
+        return graph, world_size, session, session.run()
+
+    def release(self) -> None:
+        """Drop the memoized per-target graphs, sessions and predictions.
+
+        The base replay and calibrated perf model stay; use this to bound
+        memory on long-lived studies that have visited many targets.
+        """
+        self._graphs.clear()
+        self._sessions.clear()
+        self._predictions.clear()
+
+    # -- the paper workflow -------------------------------------------------
+
+    def predict(self, target: ParallelismConfig | str | None = None, *,
+                model: ModelConfig | str | None = None) -> Prediction:
+        """Predict the iteration of a new parallelism or model architecture.
+
+        ``study.predict("2x4x4")`` scales the deployment (§3.4);
+        ``study.predict(model="gpt3-v1")`` changes the architecture
+        (§4.3.2).  Repeated predictions of the same target are served from
+        the study's caches.  Raises :class:`PredictError` for unsupported
+        targets — notably tensor-parallelism changes.
+        """
+        if target is None and model is None:
+            raise PredictError("predict requires a target parallelism or a "
+                               "target model")
+        kind, label = self._config_key(target, model=model)
+        key = (kind, label)
+        if key not in self._predictions:
+            graph, world_size = self.derived_graph(kind, label)
+            session, run = self.config_session(kind, label)
+            simulation = run.to_simulation_result()
+            result = ReplayResult(graph=graph, simulation=simulation,
+                                  replayed_trace=simulation.to_trace_bundle(),
+                                  compiled=session.compiled)
+            self._predictions[key] = Prediction(
+                target=label, kind=kind, world_size=world_size,
+                base_time_us=self.base_time_us, result=result)
+        return self._predictions[key]
+
+    def whatif(self, kind: str | None = None, *,
+               target: ParallelismConfig | str | None = None,
+               model: ModelConfig | str | None = None,
+               op_class: str | None = None, group: str | None = None,
+               speedup: float = 2.0) -> "WhatIfBuilder | WhatIfResult":
+        """What-if scenarios (§5) against the base or a predicted target.
+
+        With no ``kind``, returns a :class:`WhatIfBuilder` to queue several
+        scenarios fluently.  With a ``kind`` (``"kernel_class"``,
+        ``"communication"`` or ``"launch_overhead"``), evaluates that one
+        scenario immediately and returns its
+        :class:`~repro.core.whatif.WhatIfResult`.
+        """
+        builder = WhatIfBuilder(self, self._config_key(target, model=model))
+        if kind is None:
+            return builder
+        return builder.apply(kind, op_class=op_class, group=group,
+                             speedup=speedup).run()[0]
+
+    def sweep(self, spec: "SweepSpec | Mapping[str, Any] | str | Path | None" = None, *,
+              parallelism: Iterable[str] = (), models: Iterable[str] = (),
+              whatif: "Iterable[WhatIfSpec | str | Mapping[str, Any]]" = (),
+              include_baseline: bool = True, workers: int = 1,
+              cache: "SweepCache | None" = None,
+              cache_dir: "str | Path | None" = None,
+              force: bool = False) -> "SweepResult":
+        """Evaluate a scenario grid, reusing this study's calibrated state.
+
+        Pass a full :class:`~repro.sweep.spec.SweepSpec` (object, mapping
+        or spec-file path) whose base must match this study, or just the
+        axes (``parallelism`` / ``models`` / ``whatif`` — what-if entries
+        may be specs, mappings, or compact CLI strings like ``"gemm:2"``)
+        and the spec is built around the study's base configuration.
+        """
+        from pathlib import Path as _Path
+
+        from repro.sweep.cache import SweepCache as _SweepCache
+        from repro.sweep.runner import run_sweep
+        from repro.sweep.spec import SweepSpec as _SweepSpec
+        from repro.sweep.spec import WhatIfSpec as _WhatIfSpec
+
+        if spec is None:
+            def coerce_whatif(entry):
+                if isinstance(entry, _WhatIfSpec):
+                    return entry
+                if isinstance(entry, Mapping):
+                    return _WhatIfSpec.from_json(entry)
+                return _WhatIfSpec.parse(str(entry))
+
+            spec = _SweepSpec(
+                base_model=self.base_model.name,
+                base_parallelism=self.base_parallel.label(),
+                micro_batch_size=self.training.micro_batch_size,
+                num_microbatches=self.training.num_microbatches,
+                parallelism=tuple(parallelism), models=tuple(models),
+                whatif=tuple(coerce_whatif(entry) for entry in whatif),
+                include_baseline=include_baseline)
+        else:
+            if parallelism or models or whatif:
+                raise StudyError("pass either a full spec or inline axes, not both")
+            spec = _SweepSpec.coerce(spec)
+        self.ensure_matches(spec)
+        if cache is None and cache_dir is not None:
+            cache = _SweepCache(_Path(cache_dir))
+        return run_sweep(self.trace, spec, workers=workers, cache=cache,
+                         force=force, study=self)
+
+    def ensure_matches(self, spec: "SweepSpec") -> None:
+        """Reject a sweep spec whose base differs from this study's base."""
+        problems = []
+        if spec.base_model != self.base_model.name:
+            problems.append(f"model {spec.base_model!r} != {self.base_model.name!r}")
+        if _resolve_parallelism(spec.base_parallelism).label() != self.base_parallel.label():
+            problems.append(f"parallelism {spec.base_parallelism!r} != "
+                            f"{self.base_parallel.label()!r}")
+        if (spec.micro_batch_size != self.training.micro_batch_size
+                or spec.num_microbatches != self.training.num_microbatches):
+            problems.append(
+                f"batching {spec.micro_batch_size}x{spec.num_microbatches} != "
+                f"{self.training.micro_batch_size}x{self.training.num_microbatches}")
+        if problems:
+            raise StudyError("sweep spec base does not match this study: "
+                             + "; ".join(problems))
+
+    # -- pickling (worker-process transport) --------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        # The picklable snapshot is the calibrated core (base graph, base
+        # time, perf model, configs).  Caches and the bundle stay behind:
+        # workers rebuild sessions for their own scenario groups.
+        state["_bundle"] = None
+        state["_emulation"] = None
+        state["_replay"] = None
+        state["_graphs"] = {}
+        state["_sessions"] = {}
+        state["_predictions"] = {}
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:
+        status = "calibrated" if self._perf_model is not None else (
+            "replayed" if self._replay is not None else "lazy")
+        return (f"Study(model={self.base_model.name!r}, "
+                f"parallelism={self.base_parallel.label()!r}, {status})")
+
+
+def predict(trace: "TraceBundle | str | Path",
+            target: ParallelismConfig | str | None = None, *,
+            model: ModelConfig | str | None = None,
+            base_model: ModelConfig | str | None = None,
+            base_parallelism: ParallelismConfig | str | None = None,
+            micro_batch_size: int = 2,
+            num_microbatches: int | None = None,
+            training: TrainingConfig | None = None) -> Prediction:
+    """One-call prediction: open a throwaway :class:`Study` and predict.
+
+    Prefer a long-lived :class:`Study` when predicting several targets from
+    the same trace — it shares the replay and calibration across calls.
+    """
+    study = Study.from_trace(trace, model=base_model, parallelism=base_parallelism,
+                             micro_batch_size=micro_batch_size,
+                             num_microbatches=num_microbatches, training=training)
+    return study.predict(target, model=model)

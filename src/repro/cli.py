@@ -10,6 +10,11 @@
   parallelism configuration or model architecture;
 * ``sweep``    — evaluate a whole grid of what-if scenarios from one base
   trace, with a process pool and an on-disk result cache.
+
+Every subcommand is a thin presentation layer over :class:`repro.api.Study`
+— the library owns replay, calibration, manipulation and memoization; the
+CLI parses arguments, formats tables and maps typed errors (e.g.
+:class:`repro.api.PredictError` for unsupported targets) to exit code 2.
 """
 
 from __future__ import annotations
@@ -18,18 +23,11 @@ import argparse
 import sys
 
 from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
+from repro.api import Study, StudyError
 from repro.baselines.dpro import dpro_replay
 from repro.core.breakdown import compute_breakdown
-from repro.core.manipulation import (
-    change_architecture,
-    scale_data_parallelism,
-    scale_pipeline_parallelism,
-)
-from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import replay, simulate_graph
 from repro.emulator.api import emulate
-from repro.hardware.cluster import ClusterSpec
-from repro.sweep import SweepCache, SweepSpec, SweepSpecError, WhatIfSpec, run_sweep
+from repro.sweep import SweepSpec, SweepSpecError, WhatIfSpec
 from repro.sweep.analysis import format_report
 from repro.trace.kineto import TraceBundle
 from repro.version import __version__
@@ -51,6 +49,12 @@ def _training_from_args(args: argparse.Namespace) -> TrainingConfig:
                           num_microbatches=args.num_microbatches)
 
 
+def _study_from_args(args: argparse.Namespace) -> Study:
+    return Study.from_trace(args.trace, model=args.model,
+                            parallelism=args.parallelism,
+                            training=_training_from_args(args))
+
+
 def _cmd_emulate(args: argparse.Namespace) -> int:
     model = gpt3_model(args.model)
     parallel = ParallelismConfig.parse(args.parallelism)
@@ -65,7 +69,8 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     bundle = TraceBundle.load(args.trace)
-    result = dpro_replay(bundle) if args.baseline == "dpro" else replay(bundle)
+    result = dpro_replay(bundle) if args.baseline == "dpro" \
+        else Study.from_trace(bundle).replay()
     print(f"replayed iteration time: {result.iteration_time_ms:.1f} ms")
     rows = [format_breakdown_row("replayed", result.breakdown())]
     print(format_table(breakdown_headers(), rows))
@@ -81,46 +86,24 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    bundle = TraceBundle.load(args.trace)
-    base_model = gpt3_model(args.model)
-    base_parallel = ParallelismConfig.parse(args.parallelism)
-    training = _training_from_args(args)
-    base_replay = replay(bundle)
-    cluster = ClusterSpec.for_world_size(base_parallel.world_size)
-    perf_model = KernelPerfModel.calibrate(base_replay.graph, cluster)
-
-    if args.target_model:
-        target_model = gpt3_model(args.target_model)
-        graph = change_architecture(base_replay.graph, base_model, base_parallel, training,
-                                    target_model, perf_model, cluster=cluster)
-        label = target_model.name
-    elif args.target_parallelism:
-        target_parallel = ParallelismConfig.parse(args.target_parallelism)
-        if target_parallel.tp != base_parallel.tp:
-            print(f"error: target parallelism {target_parallel.label()} changes tensor "
-                  f"parallelism (base TP={base_parallel.tp}, target TP={target_parallel.tp}); "
-                  "graph manipulation does not support TP modifications",
-                  file=sys.stderr)
-            return 2
-        if target_parallel.pp == base_parallel.pp:
-            graph = scale_data_parallelism(base_replay.graph, base_parallel,
-                                           target_parallel.dp, perf_model)
-        else:
-            graph = scale_pipeline_parallelism(base_replay.graph, base_model, base_parallel,
-                                               training, target_parallel.pp, perf_model,
-                                               new_data_parallel=target_parallel.dp)
-        label = target_parallel.label()
-    else:
+    if not (args.target_model or args.target_parallelism):
         print("predict requires --target-parallelism or --target-model", file=sys.stderr)
         args.parser.print_usage(sys.stderr)
         return 2
-
-    predicted = simulate_graph(graph)
-    print(f"base replay: {base_replay.iteration_time_ms:.1f} ms")
-    print(f"predicted {label}: {predicted.iteration_time_ms:.1f} ms")
+    try:
+        study = _study_from_args(args)
+        if args.target_model:
+            prediction = study.predict(model=args.target_model)
+        else:
+            prediction = study.predict(args.target_parallelism)
+    except StudyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"base replay: {study.base_time_ms:.1f} ms")
+    print(f"predicted {prediction.label}: {prediction.iteration_time_ms:.1f} ms")
     rows = [
-        format_breakdown_row("base", base_replay.breakdown()),
-        format_breakdown_row(label, predicted.breakdown()),
+        format_breakdown_row("base", study.breakdown()),
+        format_breakdown_row(prediction.label, prediction.breakdown()),
     ]
     print(format_table(breakdown_headers(), rows))
     return 0
@@ -144,11 +127,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 models=tuple(m for m in (args.target_models or "").split(",") if m),
                 whatif=tuple(WhatIfSpec.parse(w) for w in args.whatif),
             )
-        bundle = TraceBundle.load(args.trace)
-        cache = SweepCache(args.cache_dir) if args.cache_dir else None
-        result = run_sweep(bundle, spec, workers=args.workers, cache=cache,
-                           force=args.force)
-    except (SweepSpecError, OSError) as error:
+        study = Study.from_trace(args.trace, model=spec.base_model,
+                                 parallelism=spec.base_parallelism,
+                                 training=spec.training())
+        result = study.sweep(spec, workers=args.workers, cache_dir=args.cache_dir,
+                             force=args.force)
+    except (SweepSpecError, StudyError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(format_report(result, top=args.top))

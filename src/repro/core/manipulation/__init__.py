@@ -28,7 +28,18 @@ from repro.core.manipulation.data_parallel import scale_data_parallelism
 from repro.core.manipulation.pipeline_parallel import scale_pipeline_parallelism
 from repro.core.manipulation.architecture import change_architecture
 
+#: The kinds of target configuration a manipulation can produce.  Shared
+#: vocabulary between the API facade (``repro.api``) and the sweep grid
+#: (``repro.sweep``): ``baseline`` is the unmodified base graph,
+#: ``parallelism`` a TPxPPxDP change, ``architecture`` a model change.
+KIND_BASELINE = "baseline"
+KIND_PARALLELISM = "parallelism"
+KIND_ARCHITECTURE = "architecture"
+
 __all__ = [
+    "KIND_ARCHITECTURE",
+    "KIND_BASELINE",
+    "KIND_PARALLELISM",
     "KernelTemplate",
     "CpuOverheads",
     "IterationTemplate",

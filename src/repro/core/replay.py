@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
-from repro.core.engine import CompiledGraph, SimulationSession, compile_graph
+from repro.core.engine import CompiledGraph, SessionRun, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions
 from repro.core.simulator import SimulationResult
@@ -29,6 +29,11 @@ class ReplayResult:
     #: it is kept for callers that re-simulate — what-if evaluation and
     #: sweeps open a session on it instead of recompiling).
     compiled: CompiledGraph | None = None
+    #: The session run that produced ``simulation`` (its arrays are
+    #: copies, so it stays valid however the session is reused).  Callers
+    #: that need the baseline timings — the ``Study`` facade's what-if
+    #: path — read it instead of re-simulating.
+    base_run: SessionRun | None = None
 
     @property
     def iteration_time_us(self) -> float:
@@ -50,7 +55,7 @@ class ReplayResult:
         return SimulationSession(compiled)
 
 
-def replay(traces: TraceBundle | KinetoTrace,
+def replay(traces: TraceBundle | KinetoTrace | None = None,
            options: GraphBuilderOptions | None = None,
            graph: ExecutionGraph | None = None) -> ReplayResult:
     """Replay a profiled trace (or a pre-built / manipulated graph).
@@ -58,8 +63,8 @@ def replay(traces: TraceBundle | KinetoTrace,
     Parameters
     ----------
     traces:
-        The profiled trace bundle (ignored when ``graph`` is given, except
-        that it is still accepted for signature uniformity).
+        The profiled trace bundle.  Optional when ``graph`` is given (and
+        ignored then); exactly one of ``traces`` / ``graph`` is required.
     options:
         Graph-builder options; the defaults are the full Lumos dependency
         model.
@@ -68,14 +73,17 @@ def replay(traces: TraceBundle | KinetoTrace,
         instead of building one from ``traces``.
     """
     if graph is None:
+        if traces is None:
+            raise ValueError("replay() requires traces or a pre-built graph")
         graph = GraphBuilder(options).build(traces)
     compiled = compile_graph(graph)
-    simulation = SimulationSession(compiled).run().to_simulation_result()
+    run = SimulationSession(compiled).run()
+    simulation = run.to_simulation_result()
     return ReplayResult(graph=graph, simulation=simulation,
                         replayed_trace=simulation.to_trace_bundle(),
-                        compiled=compiled)
+                        compiled=compiled, base_run=run)
 
 
 def simulate_graph(graph: ExecutionGraph) -> ReplayResult:
     """Simulate an execution graph that was built or manipulated separately."""
-    return replay(TraceBundle(), graph=graph)
+    return replay(graph=graph)

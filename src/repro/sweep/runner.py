@@ -1,11 +1,13 @@
 """Parallel sweep evaluation.
 
-The runner amortises the expensive, shared work of a what-if sweep: the
-base trace is replayed and the kernel performance model calibrated exactly
-once, after which every scenario of the expanded grid only needs graph
-manipulation plus one simulation.  Scenario evaluation is grouped by target
-configuration (all what-if variants of ``2x2x8`` share one derived graph)
-and the groups fan out over a ``ProcessPoolExecutor`` when ``workers > 1``.
+The runner amortises the expensive, shared work of a what-if sweep through
+a :class:`~repro.api.Study`: the base trace is replayed and the kernel
+performance model calibrated exactly once, after which every scenario of
+the expanded grid only needs graph manipulation plus one simulation.
+Scenario evaluation is grouped by target configuration (all what-if
+variants of ``2x2x8`` share one derived graph and one compiled session —
+both memoized on the study) and the groups fan out over a
+``ProcessPoolExecutor`` when ``workers > 1``.
 
 Determinism: graph manipulation and simulation are pure functions of the
 base graph, so serial and parallel runs produce identical results — results
@@ -19,32 +21,16 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from repro.core.graph import ExecutionGraph
-from repro.core.manipulation import (
-    change_architecture,
-    scale_data_parallelism,
-    scale_pipeline_parallelism,
-)
-from repro.core.engine import SessionRun, SimulationSession, compile_graph
-from repro.core.perf_model import KernelPerfModel
-from repro.core.replay import replay
+from repro.api.study import Study
 from repro.core.whatif import apply_speedup
-from repro.hardware.cluster import ClusterSpec
 from repro.sweep.cache import CacheStats, SweepCache
 from repro.sweep.hashing import hash_json, hash_trace_bundle
 from repro.sweep.spec import (
-    KIND_ARCHITECTURE,
-    KIND_BASELINE,
-    KIND_PARALLELISM,
     ScenarioSpec,
     SweepSpec,
-    SweepSpecError,
     scenario_cache_key,
 )
 from repro.trace.kineto import TraceBundle
-from repro.workload.model_config import ModelConfig, gpt3_model
-from repro.workload.parallelism import ParallelismConfig
-from repro.workload.training import TrainingConfig
 
 
 @dataclass(frozen=True)
@@ -133,87 +119,42 @@ class SweepResult:
 
 # -- per-worker state ---------------------------------------------------------
 
-@dataclass
-class _SweepState:
-    """Everything a worker needs to evaluate scenarios independently."""
-
-    graph: ExecutionGraph
-    perf_model: KernelPerfModel
-    cluster: ClusterSpec
-    base_model: ModelConfig
-    base_parallel: ParallelismConfig
-    training: TrainingConfig
-    base_time_us: float
+_WORKER_STUDY: Study | None = None
 
 
-_WORKER_STATE: _SweepState | None = None
-
-
-def _pool_initializer(state: _SweepState) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = state
+def _pool_initializer(study: Study) -> None:
+    global _WORKER_STUDY
+    _WORKER_STUDY = study
 
 
 def _pool_evaluate(item: tuple[str, str, list[dict[str, Any]]]) -> list[dict[str, Any]]:
-    assert _WORKER_STATE is not None, "worker pool used before initialisation"
+    assert _WORKER_STUDY is not None, "worker pool used before initialisation"
     kind, target, scenarios = item
-    return _evaluate_group(_WORKER_STATE, kind, target,
-                           [ScenarioSpec.from_json(s) for s in scenarios])
+    # retain=False: each group is evaluated once, so its derived graph and
+    # session are freed with the group instead of pinning in the worker.
+    return _evaluate_group(_WORKER_STUDY, kind, target,
+                           [ScenarioSpec.from_json(s) for s in scenarios],
+                           retain=False)
 
 
 # -- evaluation ---------------------------------------------------------------
 
-def _derive_graph(state: _SweepState, kind: str, target: str) -> tuple[ExecutionGraph, int]:
-    """Build the execution graph for one target configuration."""
-    if kind == KIND_BASELINE:
-        return state.graph, state.base_parallel.world_size
-    if kind == KIND_PARALLELISM:
-        parallel = ParallelismConfig.parse(target)
-        if parallel.tp != state.base_parallel.tp:
-            raise SweepSpecError(
-                f"target parallelism {target} changes tensor parallelism; "
-                "TP modifications are not supported")
-        # The cluster must cover the base trace's ranks as well as the
-        # target's: perf-model rescaling evaluates the *old* collective
-        # groups too, so a down-scaled target cannot shrink the cluster.
-        cluster = ClusterSpec.for_world_size(
-            max(state.base_parallel.world_size, parallel.world_size))
-        if parallel.pp == state.base_parallel.pp:
-            graph = scale_data_parallelism(state.graph, state.base_parallel,
-                                           parallel.dp, state.perf_model,
-                                           cluster=cluster)
-        else:
-            graph = scale_pipeline_parallelism(state.graph, state.base_model,
-                                               state.base_parallel, state.training,
-                                               parallel.pp, state.perf_model,
-                                               new_data_parallel=parallel.dp,
-                                               cluster=cluster)
-        return graph, parallel.world_size
-    if kind == KIND_ARCHITECTURE:
-        graph = change_architecture(state.graph, state.base_model, state.base_parallel,
-                                    state.training, gpt3_model(target), state.perf_model,
-                                    cluster=state.cluster)
-        return graph, state.base_parallel.world_size
-    raise SweepSpecError(f"unknown scenario kind '{kind}'")
-
-
-def _evaluate_group(state: _SweepState, kind: str, target: str,
-                    scenarios: list[ScenarioSpec]) -> list[dict[str, Any]]:
+def _evaluate_group(study: Study, kind: str, target: str,
+                    scenarios: list[ScenarioSpec], *,
+                    retain: bool = True) -> list[dict[str, Any]]:
     """Evaluate every scenario sharing one target configuration.
 
-    The derived graph is compiled exactly once into a reusable simulation
-    session; its plain simulation and every what-if variant are then just
+    The group's derived graph is compiled into one simulation session; its
+    plain simulation and every what-if variant are then just
     duration-vector swaps on that session — no graph clones, no per-run
-    scheduling-state rebuilds.
+    scheduling-state rebuilds.  ``retain`` memoizes the per-target state
+    on the study (reusing anything a prior ``predict`` already derived);
+    pass ``False`` for throwaway studies so groups free with the loop.
     """
-    graph, world_size = _derive_graph(state, kind, target)
-    session: SimulationSession | None = None
-    config_run: SessionRun | None = None
+    graph, world_size, session, config_run = study.config_state(kind, target,
+                                                                retain=retain)
     results: list[dict[str, Any]] = []
     for scenario in scenarios:
-        if session is None:
-            session = SimulationSession(compile_graph(graph))
-            config_run = session.run()
         if scenario.whatif is None:
             iteration_time = config_run.iteration_time_us
             affected = 0
@@ -233,32 +174,22 @@ def _evaluate_group(state: _SweepState, kind: str, target: str,
             whatif=scenario.whatif.describe() if scenario.whatif else None,
             world_size=world_size,
             iteration_time_us=iteration_time,
-            base_time_us=state.base_time_us,
+            base_time_us=study.base_time_us,
             affected_tasks=affected,
         ).to_json())
     return results
 
 
-def _prepare_state(bundle: TraceBundle, spec: SweepSpec) -> _SweepState:
-    """Replay and calibrate the base trace — the once-per-sweep shared work."""
-    base_model = gpt3_model(spec.base_model)
-    base_parallel = spec.base_parallel()
-    base_replay = replay(bundle)
-    cluster = ClusterSpec.for_world_size(base_parallel.world_size)
-    perf_model = KernelPerfModel.calibrate(base_replay.graph, cluster)
-    return _SweepState(
-        graph=base_replay.graph,
-        perf_model=perf_model,
-        cluster=cluster,
-        base_model=base_model,
-        base_parallel=base_parallel,
-        training=spec.training(),
-        base_time_us=base_replay.iteration_time_us,
-    )
+def _study_for(bundle: TraceBundle, spec: SweepSpec) -> Study:
+    """Open a study over the base trace — the once-per-sweep shared work."""
+    return Study.from_trace(bundle, model=spec.base_model,
+                            parallelism=spec.base_parallelism,
+                            training=spec.training())
 
 
 def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
-              cache: SweepCache | None = None, force: bool = False) -> SweepResult:
+              cache: SweepCache | None = None, force: bool = False,
+              study: Study | None = None) -> SweepResult:
     """Evaluate every scenario of ``spec`` against one base trace.
 
     Parameters
@@ -275,9 +206,16 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
         and a fully cached sweep skips base-trace replay and calibration.
     force:
         Re-evaluate every scenario even when cached (results are re-stored).
+    study:
+        An already-open :class:`~repro.api.Study` over ``bundle`` (what
+        ``Study.sweep`` passes).  Its memoized replay, calibration and
+        sessions are reused instead of re-deriving them; its base
+        configuration must match the spec's.
     """
     started = time.perf_counter()
     spec.validate()
+    if study is not None:
+        study.ensure_matches(spec)
     scenarios = spec.expand()
 
     # Content hashing walks the full trace bundle, so only pay for it when
@@ -297,7 +235,7 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
 
     missing = [scenario for scenario in scenarios if scenario not in collected]
     if missing:
-        state = _prepare_state(bundle, spec)
+        state = (study if study is not None else _study_for(bundle, spec)).prepare()
         groups: dict[tuple[str, str], list[ScenarioSpec]] = {}
         for scenario in missing:
             groups.setdefault((scenario.kind, scenario.target), []).append(scenario)
@@ -309,7 +247,11 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
                                      initargs=(state,)) as pool:
                 evaluated = list(pool.map(_pool_evaluate, items))
         else:
-            evaluated = [_evaluate_group(state, kind, target, group)
+            # Memoize per-target state only on a caller-owned study (the
+            # facade contract); a runner-private study is garbage after
+            # this call, so groups should free with the loop.
+            evaluated = [_evaluate_group(state, kind, target, group,
+                                         retain=study is not None)
                          for (kind, target), group in groups.items()]
         for (_, group), payloads in zip(groups.items(), evaluated):
             for scenario, payload in zip(group, payloads):

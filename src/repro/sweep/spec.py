@@ -32,6 +32,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+# The scenario kinds are shared vocabulary defined by the manipulation
+# layer (the one place that implements them); re-exported here for spec
+# authors.
+from repro.core.manipulation import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+)
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
@@ -58,11 +66,6 @@ def _parsed_label(label: str) -> "ParallelismConfig":
 
 
 _WHATIF_KINDS = ("kernel_class", "communication", "launch_overhead")
-
-#: Scenario kinds, in the order expansion emits them.
-KIND_BASELINE = "baseline"
-KIND_PARALLELISM = "parallelism"
-KIND_ARCHITECTURE = "architecture"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,87 @@
+"""Public-surface snapshot tests.
+
+These lock the exported names of ``repro``, ``repro.api`` and
+``repro.sweep``: CI's lint job runs this module, so accidentally widening
+or shrinking the public API fails fast and visibly.  When a change is
+intentional, update the snapshots here in the same commit.
+"""
+
+import repro
+import repro.api
+import repro.sweep
+
+REPRO_ALL = [
+    "PredictError",
+    "Prediction",
+    "Study",
+    "StudyError",
+    "SweepResult",
+    "SweepSpec",
+    "__version__",
+    "predict",
+    "replay",
+    "run_sweep",
+    "sweep",
+]
+
+REPRO_API_ALL = [
+    "KIND_ARCHITECTURE",
+    "KIND_BASELINE",
+    "KIND_PARALLELISM",
+    "PredictError",
+    "Prediction",
+    "Study",
+    "StudyError",
+    "WhatIfBuilder",
+    "derive_graph",
+    "predict",
+]
+
+REPRO_SWEEP_ALL = [
+    "CacheStats",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SweepCache",
+    "SweepResult",
+    "SweepSpec",
+    "SweepSpecError",
+    "WhatIfSpec",
+    "format_pareto_table",
+    "format_ranked_table",
+    "format_report",
+    "hash_json",
+    "hash_trace_bundle",
+    "pareto_frontier",
+    "rank_results",
+    "run_sweep",
+    "sweep",
+]
+
+
+class TestSurfaceSnapshots:
+    def test_repro_all(self):
+        assert sorted(repro.__all__) == REPRO_ALL
+
+    def test_repro_api_all(self):
+        assert sorted(repro.api.__all__) == REPRO_API_ALL
+
+    def test_repro_sweep_all(self):
+        assert sorted(repro.sweep.__all__) == REPRO_SWEEP_ALL
+
+
+class TestSurfaceResolves:
+    def test_every_exported_name_exists(self):
+        for module in (repro, repro.api, repro.sweep):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, f"{module.__name__}.{name}"
+
+    def test_facade_names_are_shared_objects(self):
+        # The top-level re-exports must be the same objects as the
+        # subpackage definitions (no parallel copies to drift apart).
+        assert repro.Study is repro.api.Study
+        assert repro.PredictError is repro.api.PredictError
+        assert repro.predict is repro.api.predict
+        assert repro.SweepSpec is repro.sweep.SweepSpec
+
+    def test_sweep_module_is_callable(self):
+        assert callable(repro.sweep)

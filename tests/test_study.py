@@ -1,0 +1,359 @@
+"""Tests for the ``repro.api`` Study facade.
+
+The acceptance-critical semantics live here: calibration runs exactly once
+per study, repeated predictions of one target reuse the derived graph and
+compiled session, the TP-mismatch rule is a typed library error, and
+``Study.sweep`` produces the same results as the standalone runner while
+skipping its private state preparation.
+"""
+
+import pickle
+
+import pytest
+
+from repro.api import (
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_PARALLELISM,
+    PredictError,
+    Study,
+    StudyError,
+    predict,
+)
+from repro.core.replay import replay
+from repro.core.whatif import WhatIfResult, apply_speedup
+from repro.emulator.api import emulate
+from repro.sweep import SweepSpec, WhatIfSpec, run_sweep
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+from repro.workload.training import TrainingConfig
+
+BASE_PARALLELISM = "2x1x2"
+TRAINING = TrainingConfig(micro_batch_size=1, num_microbatches=2)
+
+
+@pytest.fixture(scope="module")
+def emulation():
+    model = gpt3_model("gpt3-15b")
+    parallel = ParallelismConfig.parse(BASE_PARALLELISM)
+    return emulate(model, parallel, TRAINING, iterations=1, seed=11)
+
+
+@pytest.fixture(scope="module")
+def bundle(emulation):
+    return emulation.profiled
+
+
+@pytest.fixture(scope="module")
+def saved_bundle(emulation, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("study") / "bundle"
+    emulation.profiled.save(directory)
+    return directory
+
+
+@pytest.fixture()
+def study(bundle):
+    return Study.from_trace(bundle, model="gpt3-15b", parallelism=BASE_PARALLELISM,
+                            training=TRAINING)
+
+
+class TestConstruction:
+    def test_from_trace_path(self, saved_bundle):
+        study = Study.from_trace(saved_bundle, model="gpt3-15b",
+                                 parallelism=BASE_PARALLELISM, training=TRAINING)
+        assert study.base_parallel.label() == BASE_PARALLELISM
+        assert study.base_model.name == "gpt3-15b"
+
+    def test_from_trace_defaults_from_metadata(self, bundle):
+        study = Study.from_trace(bundle)
+        assert study.base_model.name == "gpt3-15b"
+        assert study.base_parallel.label() == BASE_PARALLELISM
+        assert study.training.num_microbatches == TRAINING.num_microbatches
+
+    def test_from_emulation(self):
+        study = Study.from_emulation("gpt3-15b", BASE_PARALLELISM, TRAINING,
+                                     iterations=1, seed=11)
+        assert study.emulation.profiled is study.trace
+        assert study.base_time_us > 0
+
+    def test_unknown_model_is_typed_error(self, bundle):
+        with pytest.raises(StudyError, match="unknown model"):
+            Study.from_trace(bundle, model="gpt9", training=TRAINING)
+
+    def test_malformed_parallelism_is_typed_error(self, bundle):
+        with pytest.raises(StudyError, match="TPxPPxDP"):
+            Study.from_trace(bundle, parallelism="2x2", training=TRAINING)
+
+    def test_unresolvable_metadata_falls_back_to_defaults(self, bundle):
+        # Trace bundles are general Kineto containers: metadata written by
+        # other profilers must not break replay-only workflows.
+        from repro.trace.kineto import TraceBundle
+        odd = TraceBundle(metadata={"model": "llama-405b", "parallelism": "weird"})
+        for trace in bundle.traces.values():
+            odd.add(trace)
+        study = Study.from_trace(odd)
+        assert study.base_model.name == "gpt3-15b"
+        assert study.base_time_us > 0
+        # ... but manipulation refuses to run against a guessed base.
+        with pytest.raises(StudyError, match="guessed base configuration"):
+            study.predict("2x1x4")
+
+
+class TestMemoization:
+    def test_replay_runs_once(self, study):
+        assert study.replay() is study.replay()
+
+    def test_replay_matches_core_replay(self, study, bundle):
+        assert study.base_time_us == replay(bundle).iteration_time_us
+
+    def test_calibration_is_lazy_and_runs_once(self, study):
+        study.replay()
+        assert study.calibrations == 0
+        study.predict("2x1x4")
+        assert study.calibrations == 1
+        study.predict("2x2x1")
+        study.predict(model="gpt3-v1")
+        assert study.calibrations == 1
+        assert study.perf_model is study.perf_model
+
+    def test_repeated_predict_reuses_graph_and_session(self, study):
+        first = study.predict("2x1x4")
+        second = study.predict("2x1x4")
+        assert first is second
+        graph, _ = study.derived_graph(KIND_PARALLELISM, "2x1x4")
+        assert graph is first.graph
+        session, run = study.config_session(KIND_PARALLELISM, "2x1x4")
+        session2, run2 = study.config_session(KIND_PARALLELISM, "2x1x4")
+        assert session is session2 and run is run2
+
+    def test_config_state_scratch_does_not_pin(self, study):
+        key = (KIND_PARALLELISM, "2x2x1")
+        graph, world_size, session, run = study.config_state(*key, retain=False)
+        assert world_size == 4 and run.iteration_time_us > 0
+        assert key not in study._graphs
+        assert key not in study._sessions
+        # ... but cached state from an earlier predict is still reused.
+        prediction = study.predict("2x1x4")
+        _, _, _, cached_run = study.config_state(KIND_PARALLELISM, "2x1x4",
+                                                 retain=False)
+        assert cached_run.iteration_time_us == \
+            pytest.approx(prediction.iteration_time_us)
+
+    def test_release_drops_target_caches_keeps_calibration(self, study):
+        study.predict("2x1x4")
+        assert study._sessions
+        study.release()
+        assert not study._graphs and not study._sessions and not study._predictions
+        assert study.calibrations == 1
+        assert study.predict("2x1x4").iteration_time_us > 0
+        assert study.calibrations == 1
+
+    def test_baseline_session_reuses_replay_run(self, study):
+        # The base replay already simulated the base durations; the
+        # baseline config session must not re-run Algorithm 1.
+        _, run = study.config_session(KIND_BASELINE, BASE_PARALLELISM)
+        assert run is study.replay().base_run
+
+    def test_whatif_reuses_predict_session(self, study):
+        study.predict("2x1x4")
+        session_before, _ = study.config_session(KIND_PARALLELISM, "2x1x4")
+        study.whatif("kernel_class", target="2x1x4", op_class="gemm")
+        session_after, _ = study.config_session(KIND_PARALLELISM, "2x1x4")
+        assert session_before is session_after
+
+
+class TestPredict:
+    def test_parallelism_target(self, study):
+        prediction = study.predict("2x1x4")
+        assert prediction.kind == KIND_PARALLELISM
+        assert prediction.world_size == 8
+        assert prediction.iteration_time_us > 0
+        assert prediction.base_time_us == study.base_time_us
+        assert prediction.breakdown().total > 0
+
+    def test_model_target(self, study):
+        prediction = study.predict(model="gpt3-v1")
+        assert prediction.kind == KIND_ARCHITECTURE
+        assert prediction.target == "gpt3-v1"
+        assert prediction.world_size == study.base_parallel.world_size
+
+    def test_custom_model_config_target(self, study):
+        # A variant outside the GPT-3 registry must work: the paper's
+        # Table-2 use case generalised to arbitrary architectures.
+        import dataclasses
+        custom = dataclasses.replace(gpt3_model("gpt3-15b"),
+                                     name="custom-52l", n_layers=52)
+        prediction = study.predict(model=custom)
+        assert prediction.target == "custom-52l"
+        assert prediction.iteration_time_us > study.base_time_us  # more layers
+
+    def test_custom_model_name_collisions_are_rejected(self, study):
+        # Predictions are memoized by name: ambiguous names would serve
+        # stale results for a different architecture.
+        import dataclasses
+        base = gpt3_model("gpt3-15b")
+        with pytest.raises(PredictError, match="shadows the registry"):
+            study.predict(model=dataclasses.replace(gpt3_model("gpt3-v1"),
+                                                    n_layers=128))
+        with pytest.raises(PredictError, match="named like the base model"):
+            study.predict(model=dataclasses.replace(base, n_layers=128))
+        study.predict(model=dataclasses.replace(base, name="coll", n_layers=50))
+        with pytest.raises(PredictError, match="already predicted"):
+            study.predict(model=dataclasses.replace(base, name="coll", n_layers=52))
+        # Re-predicting the identical config is fine (idempotent).
+        study.predict(model=dataclasses.replace(base, name="coll", n_layers=50))
+
+    def test_base_target_is_baseline(self, study):
+        prediction = study.predict(BASE_PARALLELISM)
+        assert prediction.kind == KIND_BASELINE
+        assert prediction.iteration_time_us == pytest.approx(study.base_time_us)
+
+    def test_tp_mismatch_raises_predict_error(self, study):
+        with pytest.raises(PredictError, match="tensor parallelism") as excinfo:
+            study.predict("4x1x2")
+        assert excinfo.value.base_tp == 2
+        assert excinfo.value.target_tp == 4
+        assert "4x1x2" in str(excinfo.value)
+
+    def test_unknown_target_model_raises_predict_error(self, study):
+        with pytest.raises(PredictError, match="unknown model"):
+            study.predict(model="gpt9")
+
+    def test_requires_exactly_one_target(self, study):
+        with pytest.raises(PredictError, match="requires"):
+            study.predict()
+        with pytest.raises(PredictError, match="not both"):
+            study.predict("2x1x4", model="gpt3-v1")
+
+    def test_one_call_predict_wrapper(self, bundle, study):
+        prediction = predict(bundle, "2x1x4", base_model="gpt3-15b",
+                             base_parallelism=BASE_PARALLELISM, training=TRAINING)
+        assert prediction.iteration_time_us == \
+            pytest.approx(study.predict("2x1x4").iteration_time_us)
+
+
+class TestWhatIf:
+    def test_single_scenario_matches_apply_speedup(self, study):
+        result = study.whatif("kernel_class", op_class="gemm", speedup=2.0)
+        assert isinstance(result, WhatIfResult)
+        direct = apply_speedup(study.base_graph, "kernel_class", op_class="gemm",
+                               speedup=2.0)
+        assert result.scenario_time_us == pytest.approx(direct.scenario_time_us)
+        assert result.affected_tasks == direct.affected_tasks
+
+    def test_builder_batch(self, study):
+        results = (study.whatif()
+                   .kernel_class("gemm", 2.0)
+                   .communication(2.0, group="dp")
+                   .launch_overhead()
+                   .scenario("everything x1.25", lambda task: True, 1.25)
+                   .run())
+        assert len(results) == 4
+        assert all(r.scenario_time_us <= study.base_time_us * 1.001 for r in results)
+        assert results[0].name == "gemm x2"
+
+    def test_builder_best(self, study):
+        best = (study.whatif().kernel_class("gemm", 2.0).launch_overhead().best())
+        assert best.scenario_time_us == min(
+            r.scenario_time_us for r in
+            study.whatif().kernel_class("gemm", 2.0).launch_overhead().run())
+
+    def test_empty_builder_refuses_to_run(self, study):
+        with pytest.raises(StudyError, match="no what-if scenarios"):
+            study.whatif().run()
+
+    def test_whatif_on_predicted_target(self, study):
+        result = study.whatif("launch_overhead", target="2x1x4")
+        target_time = study.predict("2x1x4").iteration_time_us
+        assert result.baseline_time_us == pytest.approx(target_time)
+        assert result.scenario_time_us <= target_time
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SweepSpec(
+            base_model="gpt3-15b",
+            base_parallelism=BASE_PARALLELISM,
+            micro_batch_size=TRAINING.micro_batch_size,
+            num_microbatches=TRAINING.num_microbatches,
+            parallelism=("2x1x4",),
+            models=("gpt3-v1",),
+            whatif=(WhatIfSpec(kind="kernel_class", op_class="gemm", speedup=2.0),),
+        )
+
+    def test_matches_standalone_runner(self, bundle, study, spec):
+        via_study = study.sweep(spec)
+        standalone = run_sweep(bundle, spec)
+        assert [(r.label, r.iteration_time_us) for r in via_study.results] == \
+            [(r.label, r.iteration_time_us) for r in standalone.results]
+
+    def test_reuses_study_state(self, bundle, spec):
+        study = Study.from_trace(bundle, model="gpt3-15b",
+                                 parallelism=BASE_PARALLELISM, training=TRAINING)
+        study.predict("2x1x4")
+        assert study.calibrations == 1
+        study.sweep(spec)
+        assert study.calibrations == 1  # the sweep did not recalibrate
+        # A caller-owned study keeps the sweep's per-target sessions for
+        # later predictions (the facade's memoization contract).
+        assert ("architecture", "gpt3-v1") in study._sessions
+
+    def test_inline_axes(self, study, spec):
+        inline = study.sweep(parallelism=["2x1x4"], models=["gpt3-v1"],
+                             whatif=["gemm:2"])
+        assert [(r.label, r.iteration_time_us) for r in inline.results] == \
+            [(r.label, r.iteration_time_us) for r in study.sweep(spec).results]
+
+    def test_spec_and_axes_are_exclusive(self, study, spec):
+        with pytest.raises(StudyError, match="not both"):
+            study.sweep(spec, parallelism=["2x1x4"])
+
+    def test_mismatched_base_is_rejected(self, study):
+        bad = SweepSpec(base_model="gpt3-15b", base_parallelism="2x2x4",
+                        parallelism=("2x2x8",))
+        with pytest.raises(StudyError, match="does not match"):
+            study.sweep(bad)
+
+
+class TestPickling:
+    def test_prepared_study_round_trips(self, study):
+        study.prepare()
+        clone = pickle.loads(pickle.dumps(study))
+        assert clone.calibrations == 1
+        assert clone.base_time_us == study.base_time_us
+        graph, world_size = clone.derived_graph(KIND_PARALLELISM, "2x1x4")
+        assert world_size == 8 and len(graph) > 0
+        assert clone.calibrations == 1  # the snapshot carried the perf model
+
+    def test_clone_has_no_bundle(self, study):
+        clone = pickle.loads(pickle.dumps(study.prepare()))
+        with pytest.raises(StudyError, match="no trace bundle"):
+            clone.trace
+
+    def test_clone_evaluates_baseline_without_bundle(self, study):
+        # What a pool worker does for the baseline scenario group under
+        # the spawn start method: the snapshot has no bundle and no
+        # replay, only the base graph — sessions must rebuild from it.
+        clone = pickle.loads(pickle.dumps(study.prepare()))
+        session, run = clone.config_session(KIND_BASELINE, BASE_PARALLELISM)
+        assert run.iteration_time_us == pytest.approx(study.base_time_us)
+
+    def test_custom_model_survives_pickling(self, study):
+        import dataclasses
+        custom = dataclasses.replace(gpt3_model("gpt3-15b"),
+                                     name="custom-pickled", n_layers=50)
+        study.predict(model=custom)
+        clone = pickle.loads(pickle.dumps(study.prepare()))
+        graph, _ = clone.derived_graph(KIND_ARCHITECTURE, "custom-pickled")
+        assert len(graph) > 0
+
+
+class TestReplaySignature:
+    def test_graph_only_replay(self, study):
+        again = replay(graph=study.base_graph)
+        assert again.iteration_time_us == pytest.approx(study.base_time_us)
+
+    def test_replay_without_input_raises(self):
+        with pytest.raises(ValueError, match="traces or a pre-built graph"):
+            replay()
