@@ -166,9 +166,11 @@ class Prediction:
 class WhatIfBuilder:
     """Fluent batch of what-if scenarios against one study configuration.
 
-    Builder methods queue scenarios and return ``self``; :meth:`run`
-    evaluates the whole batch against the study's memoized session for the
-    bound configuration — one compile, N duration-vector swaps::
+    Builder methods queue :class:`~repro.core.whatif.Scenario` objects and
+    return ``self``; :meth:`run` evaluates the whole batch against the
+    study's memoized session for the bound configuration — one compile,
+    one batched simulation of the stacked duration matrix (bit-identical
+    to evaluating each scenario alone)::
 
         results = (study.whatif()
                    .kernel_class("gemm", 2.0)
@@ -180,7 +182,7 @@ class WhatIfBuilder:
     def __init__(self, study: "Study", key: tuple[str, str]) -> None:
         self._study = study
         self._key = key
-        self._scenarios: list[Callable[..., "WhatIfResult"]] = []
+        self._scenarios: list[whatif_mod.Scenario] = []
 
     def __len__(self) -> int:
         return len(self._scenarios)
@@ -189,59 +191,42 @@ class WhatIfBuilder:
 
     def kernel_class(self, op_class: str, speedup: float = 2.0) -> "WhatIfBuilder":
         """What if every kernel of one class (e.g. ``"gemm"``) were faster?"""
-        def evaluate(graph, *, baseline, session):
-            return whatif_mod.speed_up_kernel_class(graph, op_class, speedup,
-                                                    baseline=baseline, session=session)
-        self._scenarios.append(evaluate)
-        return self
+        return self.apply("kernel_class", op_class=op_class, speedup=speedup)
 
     def communication(self, speedup: float = 2.0, *,
                       group: str | None = None) -> "WhatIfBuilder":
         """What if communication kernels (optionally one group) were faster?"""
-        def evaluate(graph, *, baseline, session):
-            return whatif_mod.speed_up_communication(graph, speedup, group=group,
-                                                     baseline=baseline, session=session)
-        self._scenarios.append(evaluate)
-        return self
+        return self.apply("communication", group=group, speedup=speedup)
 
     def launch_overhead(self) -> "WhatIfBuilder":
         """What if CPU-side kernel-launch overhead were free?"""
-        def evaluate(graph, *, baseline, session):
-            return whatif_mod.remove_launch_overhead(graph, baseline=baseline,
-                                                     session=session)
-        self._scenarios.append(evaluate)
-        return self
+        return self.apply("launch_overhead")
 
     def scenario(self, name: str, predicate: Callable[[Task], bool],
                  speedup: float = 2.0) -> "WhatIfBuilder":
         """A custom scenario: rescale every task matching ``predicate``."""
-        def evaluate(graph, *, baseline, session):
-            return whatif_mod.evaluate_scenario(graph, name, predicate, speedup,
-                                                baseline=baseline, session=session)
-        self._scenarios.append(evaluate)
+        self._scenarios.append(whatif_mod.Scenario(name=name, predicate=predicate,
+                                                   speedup=speedup))
         return self
 
     def apply(self, kind: str, *, op_class: str | None = None,
               group: str | None = None, speedup: float = 2.0) -> "WhatIfBuilder":
-        """Queue a scenario by its declarative kind (see ``apply_speedup``)."""
-        def evaluate(graph, *, baseline, session):
-            return whatif_mod.apply_speedup(graph, kind, op_class=op_class,
-                                            group=group, speedup=speedup,
-                                            baseline=baseline, session=session)
-        self._scenarios.append(evaluate)
+        """Queue a scenario by its declarative kind (see ``scenario_for``)."""
+        self._scenarios.append(whatif_mod.scenario_for(kind, op_class=op_class,
+                                                       group=group, speedup=speedup))
         return self
 
     # -- evaluation ---------------------------------------------------------
 
     def run(self) -> "list[WhatIfResult]":
-        """Evaluate every queued scenario on one shared session."""
+        """Evaluate every queued scenario in one batched simulation."""
         if not self._scenarios:
             raise StudyError("no what-if scenarios queued; add one before run()")
         kind, target = self._key
         graph, _ = self._study.derived_graph(kind, target)
         session, baseline = self._study.config_session(kind, target)
-        return [evaluate(graph, baseline=baseline, session=session)
-                for evaluate in self._scenarios]
+        return whatif_mod.evaluate_scenarios(graph, self._scenarios,
+                                             baseline=baseline, session=session)
 
     def best(self) -> "WhatIfResult":
         """Evaluate the batch and return the scenario with the lowest time."""

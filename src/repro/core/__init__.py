@@ -11,6 +11,11 @@ This package implements the paper's contribution:
   :class:`~repro.core.engine.CompiledGraph` precomputes immutable
   structure once, a :class:`~repro.core.engine.SimulationSession` replays
   it over preallocated numpy buffers;
+* :mod:`repro.core.batch` — the batched multi-scenario kernel: a
+  :class:`~repro.core.batch.BatchSession` simulates a ``(B, n_tasks)``
+  duration matrix in one vectorized sweep (bit-identical to B sequential
+  runs), with a sequential fallback for graphs whose schedule is not
+  provably duration-independent;
 * :mod:`repro.core.simulator` — the replay simulator (Algorithm 1) with
   fixed and runtime dependencies, now a thin wrapper over the engine;
 * :mod:`repro.core.replay` — the high-level replay API;
@@ -26,6 +31,13 @@ from repro.core.tasks import DependencyType, Task, TaskKind
 from repro.core.graph import ExecutionGraph
 from repro.core.graph_builder import GraphBuilder, GraphBuilderOptions, build_execution_graph
 from repro.core.engine import CompiledGraph, SessionRun, SimulationSession, compile_graph
+from repro.core.batch import (
+    BatchPlan,
+    BatchRun,
+    BatchSession,
+    UnbatchableGraphError,
+    compile_batch_plan,
+)
 from repro.core.simulator import SimulationResult, Simulator
 from repro.core.replay import ReplayResult, replay
 from repro.core.breakdown import ExecutionBreakdown, compute_breakdown
@@ -33,7 +45,13 @@ from repro.core.sm_utilization import sm_utilization_timeline
 from repro.core.perf_model import KernelPerfModel
 from repro.core.metrics import relative_error_percent, mean_absolute_percentage_error
 from repro.core.critical_path import critical_path, kernel_time_summary
-from repro.core.whatif import speed_up_communication, speed_up_kernel_class
+from repro.core.whatif import (
+    Scenario,
+    evaluate_scenarios,
+    scenario_for,
+    speed_up_communication,
+    speed_up_kernel_class,
+)
 
 __all__ = [
     "Task",
@@ -47,6 +65,11 @@ __all__ = [
     "SimulationSession",
     "SessionRun",
     "compile_graph",
+    "BatchPlan",
+    "BatchRun",
+    "BatchSession",
+    "UnbatchableGraphError",
+    "compile_batch_plan",
     "Simulator",
     "SimulationResult",
     "replay",
@@ -59,6 +82,9 @@ __all__ = [
     "mean_absolute_percentage_error",
     "critical_path",
     "kernel_time_summary",
+    "Scenario",
+    "evaluate_scenarios",
+    "scenario_for",
     "speed_up_communication",
     "speed_up_kernel_class",
 ]

@@ -298,6 +298,7 @@ class SimulationSession:
 
     def __init__(self, compiled: CompiledGraph) -> None:
         self.compiled = compiled
+        self._batch = None
         n = compiled.n_tasks
         self._ready = np.zeros(n, dtype=np.float64)
         self._starts = np.zeros(n, dtype=np.float64)
@@ -468,3 +469,28 @@ class SimulationSession:
         return SessionRun(compiled=compiled, start_time=start_time,
                           starts=starts.copy(), durations=duration.copy(),
                           finalize_order=order[:finalized].copy())
+
+    def batch_session(self):
+        """The (lazily built) batched runner over this session's graph.
+
+        See :mod:`repro.core.batch`: the returned
+        :class:`~repro.core.batch.BatchSession` simulates a whole
+        ``(B, n_tasks)`` duration matrix in one vectorized sweep when the
+        graph's schedule is provably duration-independent, and falls back
+        to per-scenario :meth:`run` calls on this session otherwise.
+        """
+        if self._batch is None:
+            from repro.core.batch import BatchSession
+
+            self._batch = BatchSession(self.compiled, fallback=self)
+        return self._batch
+
+    def run_batch(self, durations: "Sequence[Sequence[float]] | np.ndarray",
+                  start_time: float = 0.0):
+        """Simulate a batch of duration vectors (one scenario per row).
+
+        Returns a :class:`~repro.core.batch.BatchRun` whose rows are
+        bit-identical to ``[self.run(durations=row, start_time=start_time)
+        for row in durations]`` — every start time matches exactly.
+        """
+        return self.batch_session().run(durations, start_time=start_time)

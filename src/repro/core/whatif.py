@@ -7,12 +7,24 @@ module provides that capability as a first-class API: a scenario rescales a
 selected set of kernels, the modified graph is re-simulated, and the result
 reports the end-to-end effect (which is usually much smaller than the local
 speed-up because of overlap and critical-path effects).
+
+Scenarios are plain ``(name, predicate, speedup)`` descriptions
+(:class:`Scenario`); evaluating one is a duration-vector swap on a reusable
+:class:`~repro.core.engine.SimulationSession`, and evaluating a *batch*
+(:func:`evaluate_scenarios`) builds one ``(B, n_tasks)`` duration matrix
+and simulates every scenario in a single vectorized sweep through
+:meth:`~repro.core.engine.SimulationSession.run_batch` — with the engine's
+documented fallback to per-scenario sequential runs for graphs whose
+schedule is not provably duration-independent.  Both paths produce
+bit-identical times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.core.engine import SessionRun, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
@@ -52,6 +64,66 @@ class WhatIfResult:
         return self.saved_us / self.baseline_time_us * 100.0
 
 
+@dataclass(frozen=True)
+class Scenario:
+    """One what-if scenario: rescale matching tasks by ``1/speedup``.
+
+    A ``speedup`` of ``float("inf")`` removes the matching tasks from the
+    timeline entirely (their durations become zero).
+    """
+
+    name: str
+    predicate: TaskPredicate
+    speedup: float = 2.0
+
+
+def _communication_predicate(group: str | None) -> TaskPredicate:
+    def predicate(task: Task) -> bool:
+        if task.kind != TaskKind.GPU or not task.is_communication:
+            return False
+        return group is None or task.args.get("group") == group
+    return predicate
+
+
+def _kernel_class_predicate(op_class: str) -> TaskPredicate:
+    def predicate(task: Task) -> bool:
+        return task.kind == TaskKind.GPU and task.op_class == op_class
+    return predicate
+
+
+def _launch_overhead_predicate() -> TaskPredicate:
+    def predicate(task: Task) -> bool:
+        return task.kind == TaskKind.CPU and task.name == "cudaLaunchKernel"
+    return predicate
+
+
+def scenario_for(kind: str, *, op_class: str | None = None,
+                 group: str | None = None, speedup: float = 2.0) -> Scenario:
+    """Build the :class:`Scenario` for one declarative what-if kind.
+
+    ``kind`` selects the scenario family: ``"kernel_class"`` (requires
+    ``op_class``), ``"communication"`` (optionally one ``group``: tp/dp/pp)
+    or ``"launch_overhead"`` (ignores ``speedup``; launches are removed).
+    This is what the sweep runner and the :class:`~repro.api.WhatIfBuilder`
+    queue after expanding a declarative spec.
+    """
+    if kind == "kernel_class":
+        if not op_class:
+            raise ValueError("what-if kind 'kernel_class' requires op_class")
+        return Scenario(name=f"{op_class} x{speedup:g}",
+                        predicate=_kernel_class_predicate(op_class),
+                        speedup=speedup)
+    if kind == "communication":
+        return Scenario(name=f"{group or 'all'}-communication x{speedup:g}",
+                        predicate=_communication_predicate(group),
+                        speedup=speedup)
+    if kind == "launch_overhead":
+        return Scenario(name="zero launch overhead",
+                        predicate=_launch_overhead_predicate(),
+                        speedup=float("inf"))
+    raise ValueError(f"unknown what-if kind '{kind}'")
+
+
 def _clone_graph(graph: ExecutionGraph) -> ExecutionGraph:
     clone = ExecutionGraph(metadata=dict(graph.metadata))
     id_map: dict[int, int] = {}
@@ -70,6 +142,50 @@ def _baseline_time_us(baseline: Baseline) -> float:
     return baseline.iteration_time_us
 
 
+def evaluate_scenarios(graph: ExecutionGraph,
+                       scenarios: Sequence[Scenario], *,
+                       baseline: Baseline | None = None,
+                       session: SimulationSession | None = None) -> list[WhatIfResult]:
+    """Evaluate a batch of scenarios against one graph in a single sweep.
+
+    The graph is compiled once (or not at all when ``session`` — which
+    must have been compiled from ``graph`` — is supplied), the scenarios'
+    rescaled duration vectors are stacked into one ``(B, n_tasks)``
+    matrix, and the whole batch is simulated by one
+    :meth:`~repro.core.engine.SimulationSession.run_batch` call.  Results
+    are bit-identical to evaluating each scenario on its own.
+    """
+    if not scenarios:
+        return []
+    for scenario in scenarios:
+        if scenario.speedup <= 0:
+            raise ValueError("speedup must be positive")
+    if session is None:
+        session = SimulationSession(compile_graph(graph))
+    baseline_time = (_baseline_time_us(baseline) if baseline is not None
+                     else session.run().iteration_time_us)
+
+    compiled = session.compiled
+    matrix = np.empty((len(scenarios), compiled.n_tasks), dtype=np.float64)
+    affected: list[int] = []
+    for row, scenario in enumerate(scenarios):
+        durations, count = compiled.scaled_durations(scenario.predicate,
+                                                     scenario.speedup)
+        matrix[row] = durations
+        affected.append(count)
+
+    if len(scenarios) == 1:
+        times = [session.run(durations=matrix[0]).iteration_time_us]
+    else:
+        times = session.run_batch(matrix).iteration_times_us.tolist()
+
+    return [WhatIfResult(name=scenario.name,
+                         baseline_time_us=baseline_time,
+                         scenario_time_us=time,
+                         affected_tasks=count)
+            for scenario, time, count in zip(scenarios, times, affected)]
+
+
 def evaluate_scenario(graph: ExecutionGraph, name: str, predicate: TaskPredicate,
                       speedup: float,
                       baseline: Baseline | None = None,
@@ -84,23 +200,13 @@ def evaluate_scenario(graph: ExecutionGraph, name: str, predicate: TaskPredicate
     session: the graph is compiled once (or not at all when ``session`` —
     which must have been compiled from ``graph`` — is supplied) and only
     the rescaled durations are re-simulated.  Sweeps that evaluate many
-    scenarios against one graph should pass the same ``session`` (and a
-    precomputed ``baseline``) to every call.
+    scenarios against one graph should batch them through
+    :func:`evaluate_scenarios` instead (one vectorized simulation for the
+    whole batch).
     """
-    if speedup <= 0:
-        raise ValueError("speedup must be positive")
-    if session is None:
-        session = SimulationSession(compile_graph(graph))
-    baseline_time = (_baseline_time_us(baseline) if baseline is not None
-                     else session.run().iteration_time_us)
-    durations, affected = session.compiled.scaled_durations(predicate, speedup)
-    scenario_run = session.run(durations=durations)
-    return WhatIfResult(
-        name=name,
-        baseline_time_us=baseline_time,
-        scenario_time_us=scenario_run.iteration_time_us,
-        affected_tasks=affected,
-    )
+    return evaluate_scenarios(graph, [Scenario(name=name, predicate=predicate,
+                                               speedup=speedup)],
+                              baseline=baseline, session=session)[0]
 
 
 def speed_up_communication(graph: ExecutionGraph, speedup: float = 2.0,
@@ -108,36 +214,27 @@ def speed_up_communication(graph: ExecutionGraph, speedup: float = 2.0,
                            baseline: Baseline | None = None,
                            session: SimulationSession | None = None) -> WhatIfResult:
     """What if communication kernels (optionally one group: tp/dp/pp) were faster?"""
-    def predicate(task: Task) -> bool:
-        if task.kind != TaskKind.GPU or not task.is_communication:
-            return False
-        return group is None or task.args.get("group") == group
-
-    label = f"{group or 'all'}-communication x{speedup:g}"
-    return evaluate_scenario(graph, label, predicate, speedup, baseline=baseline,
-                             session=session)
+    scenario = scenario_for("communication", group=group, speedup=speedup)
+    return evaluate_scenarios(graph, [scenario], baseline=baseline,
+                              session=session)[0]
 
 
 def speed_up_kernel_class(graph: ExecutionGraph, op_class: str, speedup: float = 2.0,
                           baseline: Baseline | None = None,
                           session: SimulationSession | None = None) -> WhatIfResult:
     """What if every kernel of one class (e.g. ``"gemm"``) were faster?"""
-    def predicate(task: Task) -> bool:
-        return task.kind == TaskKind.GPU and task.op_class == op_class
-
-    return evaluate_scenario(graph, f"{op_class} x{speedup:g}", predicate, speedup,
-                             baseline=baseline, session=session)
+    scenario = scenario_for("kernel_class", op_class=op_class, speedup=speedup)
+    return evaluate_scenarios(graph, [scenario], baseline=baseline,
+                              session=session)[0]
 
 
 def remove_launch_overhead(graph: ExecutionGraph,
                            baseline: Baseline | None = None,
                            session: SimulationSession | None = None) -> WhatIfResult:
     """What if CPU-side launch overhead were free (CUDA-graph style launches)?"""
-    def predicate(task: Task) -> bool:
-        return task.kind == TaskKind.CPU and task.name == "cudaLaunchKernel"
-
-    return evaluate_scenario(graph, "zero launch overhead", predicate, float("inf"),
-                             baseline=baseline, session=session)
+    scenario = scenario_for("launch_overhead")
+    return evaluate_scenarios(graph, [scenario], baseline=baseline,
+                              session=session)[0]
 
 
 def apply_speedup(graph: ExecutionGraph, kind: str, *, op_class: str | None = None,
@@ -146,21 +243,12 @@ def apply_speedup(graph: ExecutionGraph, kind: str, *, op_class: str | None = No
                   session: SimulationSession | None = None) -> WhatIfResult:
     """Declarative entry point over the scenario helpers above.
 
-    ``kind`` selects the scenario family: ``"kernel_class"`` (requires
-    ``op_class``), ``"communication"`` (optionally one ``group``) or
-    ``"launch_overhead"`` (ignores ``speedup``; launches are removed).
-    This is what the sweep runner calls after expanding a declarative spec,
-    passing one reusable ``session`` so the whole scenario group shares a
-    single compiled graph.
+    ``kind`` selects the scenario family exactly like :func:`scenario_for`.
+    Sweep groups that evaluate several declarative scenarios against one
+    graph should build them with :func:`scenario_for` and submit the list
+    to :func:`evaluate_scenarios` so the whole group shares a single
+    batched simulation.
     """
-    if kind == "kernel_class":
-        if not op_class:
-            raise ValueError("what-if kind 'kernel_class' requires op_class")
-        return speed_up_kernel_class(graph, op_class, speedup, baseline=baseline,
-                                     session=session)
-    if kind == "communication":
-        return speed_up_communication(graph, speedup, group=group, baseline=baseline,
-                                      session=session)
-    if kind == "launch_overhead":
-        return remove_launch_overhead(graph, baseline=baseline, session=session)
-    raise ValueError(f"unknown what-if kind '{kind}'")
+    return evaluate_scenarios(graph, [scenario_for(kind, op_class=op_class,
+                                                   group=group, speedup=speedup)],
+                              baseline=baseline, session=session)[0]

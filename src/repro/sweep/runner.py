@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.api.study import Study
-from repro.core.whatif import apply_speedup
+from repro.core.whatif import evaluate_scenarios, scenario_for
 from repro.sweep.cache import CacheStats, SweepCache
 from repro.sweep.hashing import hash_json, hash_trace_bundle
 from repro.sweep.spec import (
@@ -144,27 +144,36 @@ def _evaluate_group(study: Study, kind: str, target: str,
                     retain: bool = True) -> list[dict[str, Any]]:
     """Evaluate every scenario sharing one target configuration.
 
-    The group's derived graph is compiled into one simulation session; its
-    plain simulation and every what-if variant are then just
-    duration-vector swaps on that session — no graph clones, no per-run
-    scheduling-state rebuilds.  ``retain`` memoizes the per-target state
-    on the study (reusing anything a prior ``predict`` already derived);
-    pass ``False`` for throwaway studies so groups free with the loop.
+    The group's derived graph is compiled into one simulation session,
+    the group's what-if variants are stacked into one duration matrix,
+    and the whole matrix is simulated by a single batched call
+    (:func:`~repro.core.whatif.evaluate_scenarios`, which vectorizes
+    across the batch axis and falls back to per-scenario sequential runs
+    only for graphs without a duration-independent schedule) — no graph
+    clones, no per-run scheduling-state rebuilds, one event-loop pass for
+    the group.  ``retain`` memoizes the per-target state on the study
+    (reusing anything a prior ``predict`` already derived); pass
+    ``False`` for throwaway studies so groups free with the loop.
     """
     graph, world_size, session, config_run = study.config_state(kind, target,
                                                                 retain=retain)
+    whatif_rows = [index for index, scenario in enumerate(scenarios)
+                   if scenario.whatif is not None]
+    batch = [scenario_for(scenarios[index].whatif.kind,
+                          op_class=scenarios[index].whatif.op_class,
+                          group=scenarios[index].whatif.group,
+                          speedup=scenarios[index].whatif.speedup)
+             for index in whatif_rows]
+    evaluated = dict(zip(whatif_rows, evaluate_scenarios(graph, batch,
+                                                         baseline=config_run,
+                                                         session=session)))
     results: list[dict[str, Any]] = []
-    for scenario in scenarios:
+    for index, scenario in enumerate(scenarios):
         if scenario.whatif is None:
             iteration_time = config_run.iteration_time_us
             affected = 0
         else:
-            whatif = apply_speedup(graph, scenario.whatif.kind,
-                                   op_class=scenario.whatif.op_class,
-                                   group=scenario.whatif.group,
-                                   speedup=scenario.whatif.speedup,
-                                   baseline=config_run,
-                                   session=session)
+            whatif = evaluated[index]
             iteration_time = whatif.scenario_time_us
             affected = whatif.affected_tasks
         results.append(ScenarioResult(

@@ -7,6 +7,9 @@ paper-scale models are exercised by the benchmark harness.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.core.graph_builder import GraphBuilder
@@ -16,6 +19,46 @@ from repro.hardware.cluster import ClusterSpec
 from repro.workload.model_config import ModelConfig
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
+
+
+GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the JSON snapshots under tests/goldens/ instead of "
+             "comparing against them")
+
+
+@pytest.fixture
+def golden_check(request: pytest.FixtureRequest):
+    """Compare a JSON-able payload against its committed golden snapshot.
+
+    ``golden_check(name, payload)`` asserts exact equality (floats round-
+    trip through ``json.dumps``/``loads``, so the comparison is bit-exact)
+    against ``tests/goldens/<name>.json``; run ``pytest --update-goldens``
+    to (re)write the snapshots after an intentional change.
+    """
+    update = request.config.getoption("--update-goldens")
+
+    def check(name: str, payload) -> None:
+        path = GOLDENS_DIR / f"{name}.json"
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if update:
+            GOLDENS_DIR.mkdir(parents=True, exist_ok=True)
+            path.write_text(rendered, encoding="utf-8")
+            return
+        assert path.exists(), (
+            f"golden snapshot {path} is missing; run "
+            f"pytest --update-goldens to create it")
+        expected = json.loads(path.read_text(encoding="utf-8"))
+        assert json.loads(rendered) == expected, (
+            f"output diverged from the committed golden {path.name}; if the "
+            f"change is intentional, rerun with --update-goldens and commit "
+            f"the diff")
+
+    return check
 
 
 def tiny_model(n_layers: int = 4, d_model: int = 1024, name: str = "tiny-gpt") -> ModelConfig:

@@ -1,0 +1,371 @@
+"""Differential testing of the batched simulation kernel.
+
+The contract of :mod:`repro.core.batch` is *bit-identical* batching:
+``run_batch`` on a ``(B, n_tasks)`` duration matrix must produce exactly
+the start/end times of B independent
+:meth:`~repro.core.engine.SimulationSession.run` calls — float equality,
+no tolerance — whether the vectorized kernel or the sequential fallback
+handled the batch.  Every test here asserts that differentially:
+
+* hand-built edge cases (heap tie-breaks, collective alignment, sync
+  drains, start-time offsets);
+* hypothesis-generated random DAGs, reusing the strategies of
+  ``tests/test_engine.py`` both raw (which mostly exercises the fallback,
+  because random graphs rarely order their processors) and with
+  per-processor chains added (which exercises the vectorized kernel the
+  way builder-produced graphs do);
+* the fallback itself: unordered processors fall back with a reason,
+  deadlocking graphs raise the sequential scheduler's ``RuntimeError``;
+* the what-if layer: a batched ``evaluate_scenarios`` call must equal the
+  per-scenario ``evaluate_scenario`` loop result for result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch import BatchSession, UnbatchableGraphError, compile_batch_plan
+from repro.core.engine import SimulationSession, compile_graph
+from repro.core.graph import ExecutionGraph
+from repro.core.tasks import DependencyType
+from repro.core.whatif import (
+    Scenario,
+    evaluate_scenario,
+    evaluate_scenarios,
+    scenario_for,
+)
+from tests.test_engine import cpu, gpu, random_graphs
+
+#: Duration-scaling factors applied per task to build scenario matrices;
+#: zero and identity are always included (they trigger heap tie-breaks
+#: and baseline replays inside one batch).
+_FACTORS = np.array([0.0, 0.25, 0.5, 1.0, 1.0, 2.0, 3.5])
+
+
+def scenario_matrix(compiled, batch: int, seed: int = 0) -> np.ndarray:
+    """A reproducible ``(batch, n_tasks)`` matrix of rescaled durations."""
+    rng = np.random.default_rng(seed)
+    factors = rng.choice(_FACTORS, size=(batch, compiled.n_tasks))
+    return compiled.durations[None, :] * factors
+
+
+def assert_batch_identical(graph: ExecutionGraph, matrix: np.ndarray,
+                           start_time: float = 0.0) -> "BatchSession":
+    """``run_batch`` must equal B independent sequential runs exactly."""
+    compiled = compile_graph(graph)
+    session = SimulationSession(compiled)
+    run = session.run_batch(matrix, start_time=start_time)
+    assert run.starts.shape == matrix.shape
+    for row in range(len(matrix)):
+        sequential = session.run(durations=matrix[row], start_time=start_time)
+        assert np.array_equal(run.starts[row], sequential.starts), (
+            f"scenario {row}: batched starts diverge from sequential")
+        assert np.array_equal(run.ends[row], sequential.ends)
+        assert run.iteration_times_us[row] == sequential.iteration_time_us
+        assert run.scenario_time_us(row) == sequential.iteration_time_us
+    return session.batch_session()
+
+
+def add_processor_chains(graph: ExecutionGraph) -> ExecutionGraph:
+    """Chain every processor's tasks with direct edges (builder invariant).
+
+    Mirrors what :class:`~repro.core.graph_builder.GraphBuilder` does for
+    CPU threads and CUDA streams, turning an arbitrary random DAG into one
+    the batched kernel can prove statically schedulable.  Edges follow
+    ascending task id, so they never create a cycle with the forward-only
+    random dependencies.
+    """
+    by_processor: dict[tuple, list[int]] = {}
+    for task in sorted(graph.tasks.values(), key=lambda t: t.task_id):
+        by_processor.setdefault(task.processor, []).append(task.task_id)
+    existing = {(dep.src, dep.dst) for dep in graph.dependencies}
+    for chain in by_processor.values():
+        for src, dst in zip(chain, chain[1:]):
+            if (src, dst) not in existing:
+                graph.add_dependency(src, dst, DependencyType.CPU_INTRA_THREAD)
+    return graph
+
+
+class TestBatchedPath:
+    def test_fixture_graph_is_batchable(self, small_graph):
+        plan = compile_batch_plan(compile_graph(small_graph))
+        assert plan.n_levels > 0
+
+    def test_fixture_graph_batch_matches_sequential(self, small_graph):
+        compiled = compile_graph(small_graph)
+        batch = assert_batch_identical(small_graph, scenario_matrix(compiled, 16))
+        assert batch.batchable
+        assert batch.fallback_reason is None
+
+    def test_base_duration_rows_replay_the_base_run(self, small_graph):
+        compiled = compile_graph(small_graph)
+        session = SimulationSession(compiled)
+        base = session.run()
+        matrix = np.tile(compiled.durations, (3, 1))
+        run = session.run_batch(matrix)
+        assert run.batched
+        for row in range(3):
+            assert np.array_equal(run.starts[row], base.starts)
+        assert (run.iteration_times_us == base.iteration_time_us).all()
+
+    def test_start_time_offset(self, small_graph):
+        compiled = compile_graph(small_graph)
+        assert_batch_identical(small_graph, scenario_matrix(compiled, 4),
+                               start_time=1234.5)
+
+    def test_heap_tie_breaks_with_zero_durations(self):
+        # Many tasks ready at t=0 on one stream: the sequential order is
+        # decided purely by heap tie-breaks; the chained graph pins the
+        # same order structurally and the times must agree exactly.
+        graph = ExecutionGraph()
+        for index in range(8):
+            gpu(graph, duration=0.0, ts=float(index))
+        for index in range(4):
+            gpu(graph, duration=1.0, ts=8.0 + index)
+        add_processor_chains(graph)
+        compiled = compile_graph(graph)
+        batch = assert_batch_identical(graph, scenario_matrix(compiled, 8))
+        assert batch.batchable
+
+    def test_collective_alignment_batches(self):
+        # The cross-rank pair graph from tests/test_engine.py: send/recv
+        # pairs must align on a common start in every scenario.
+        graph = ExecutionGraph()
+        slow = gpu(graph, rank=0, stream=7, duration=300.0)
+        send = gpu(graph, rank=0, stream=28, duration=20.0, ts=1.0, group="pair-0")
+        graph.add_dependency(slow.task_id, send.task_id, DependencyType.GPU_INTER_STREAM)
+        recv = gpu(graph, rank=1, stream=30, duration=20.0, ts=1.0, group="pair-0")
+        follow = gpu(graph, rank=1, stream=30, duration=5.0, ts=2.0, group="pair-1")
+        graph.add_dependency(recv.task_id, follow.task_id, DependencyType.GPU_INTRA_STREAM)
+        solo = gpu(graph, rank=0, stream=28, duration=5.0, ts=3.0, group="pair-1")
+        graph.add_dependency(send.task_id, solo.task_id, DependencyType.GPU_INTRA_STREAM)
+        compiled = compile_graph(graph)
+        batch = assert_batch_identical(graph, scenario_matrix(compiled, 12))
+        assert batch.batchable
+
+    def test_stream_drain_sync_batches(self):
+        # A sync must wait for the *last* kernel of its streams, whichever
+        # kernel that is in each scenario.
+        graph = ExecutionGraph()
+        launch = cpu(graph, duration=1.0, name="cudaLaunchKernel")
+        kernels = []
+        for index, stream in enumerate((7, 7, 20)):
+            kernel = gpu(graph, stream=stream, duration=10.0 * (index + 1),
+                         ts=float(index))
+            graph.add_dependency(launch.task_id, kernel.task_id,
+                                 DependencyType.CPU_TO_GPU)
+            kernels.append(kernel)
+        sync = cpu(graph, duration=2.0, ts=5.0, name="cudaDeviceSynchronize",
+                   sync_streams=(7, 20))
+        graph.add_dependency(launch.task_id, sync.task_id,
+                             DependencyType.CPU_INTRA_THREAD)
+        tail = cpu(graph, duration=3.0, ts=6.0)
+        graph.add_dependency(sync.task_id, tail.task_id,
+                             DependencyType.CPU_INTRA_THREAD)
+        add_processor_chains(graph)
+        compiled = compile_graph(graph)
+        batch = assert_batch_identical(graph, scenario_matrix(compiled, 16))
+        assert batch.batchable
+
+    def test_empty_graph(self):
+        graph = ExecutionGraph()
+        run = SimulationSession(compile_graph(graph)).run_batch(np.zeros((3, 0)))
+        assert run.batch_size == 3
+        assert (run.iteration_times_us == 0.0).all()
+
+    def test_single_scenario_batch(self, small_graph):
+        compiled = compile_graph(small_graph)
+        assert_batch_identical(small_graph, scenario_matrix(compiled, 1))
+
+    def test_empty_batch(self, small_graph):
+        run = SimulationSession(compile_graph(small_graph)).run_batch(
+            np.zeros((0, len(small_graph))))
+        assert run.batch_size == 0
+        assert len(run.iteration_times_us) == 0
+
+    def test_duration_matrix_shape_is_checked(self, small_graph):
+        session = SimulationSession(compile_graph(small_graph))
+        with pytest.raises(ValueError):
+            session.run_batch(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            session.run_batch(np.zeros(len(small_graph)))
+
+
+class TestFallbackPath:
+    def unordered_graph(self) -> ExecutionGraph:
+        """Two same-thread tasks with no dependency: heap order depends on
+        the durations, so no duration-independent schedule exists."""
+        graph = ExecutionGraph()
+        cpu(graph, duration=3.0)
+        cpu(graph, duration=5.0, ts=1.0)
+        gpu(graph, duration=2.0)
+        return graph
+
+    def test_unordered_processor_falls_back_with_reason(self):
+        graph = self.unordered_graph()
+        batch = BatchSession(compile_graph(graph))
+        assert not batch.batchable
+        assert "not dependency-ordered" in batch.fallback_reason
+        with pytest.raises(UnbatchableGraphError):
+            compile_batch_plan(compile_graph(graph))
+
+    def test_fallback_is_bit_identical_too(self):
+        graph = self.unordered_graph()
+        compiled = compile_graph(graph)
+        # The serialisation genuinely flips between these rows (3 vs 5 and
+        # 5 vs 3): the fallback must reproduce the sequential heap exactly.
+        matrix = np.array([[3.0, 5.0, 2.0],
+                           [5.0, 3.0, 2.0],
+                           [0.0, 0.0, 0.0]])
+        batch = assert_batch_identical(graph, matrix)
+        run = batch.run(matrix)
+        assert not run.batched
+
+    def test_fallback_reuses_the_sequential_session(self):
+        graph = self.unordered_graph()
+        session = SimulationSession(compile_graph(graph))
+        assert session.batch_session()._fallback is session
+
+    def test_deadlock_raises_like_sequential(self):
+        # A kernel behind its own stream's synchronisation: Algorithm 1
+        # deadlocks; the batched path must surface the same failure.
+        graph = ExecutionGraph()
+        sync = cpu(graph, duration=1.0, name="cudaStreamSynchronize",
+                   sync_streams=(7,))
+        kernel = gpu(graph, duration=5.0)
+        graph.add_dependency(sync.task_id, kernel.task_id, DependencyType.CPU_TO_GPU)
+        compiled = compile_graph(graph)
+        batch = BatchSession(compiled)
+        assert not batch.batchable
+        with pytest.raises(RuntimeError):
+            SimulationSession(compiled).run()
+        with pytest.raises(RuntimeError):
+            batch.run(np.zeros((2, 2)))
+
+    def test_group_internal_dependency_is_unbatchable(self):
+        graph = ExecutionGraph()
+        a = gpu(graph, rank=0, stream=7, duration=1.0, group="pair")
+        b = gpu(graph, rank=1, stream=7, duration=1.0, ts=1.0, group="pair")
+        graph.add_dependency(a.task_id, b.task_id, DependencyType.GPU_INTER_STREAM)
+        compiled = compile_graph(graph)
+        batch = BatchSession(compiled)
+        assert not batch.batchable
+        with pytest.raises(RuntimeError):
+            SimulationSession(compiled).run()
+        with pytest.raises(RuntimeError):
+            batch.run(np.zeros((1, 2)))
+
+
+# -- property-style differential tests ----------------------------------------
+
+
+def _matrices(compiled, data: st.DataObject, rows: int = 3) -> np.ndarray:
+    seed = data.draw(st.integers(min_value=0, max_value=2**16), label="seed")
+    return scenario_matrix(compiled, rows, seed=seed)
+
+
+class TestPropertyDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(random_graphs(), st.data())
+    def test_random_graphs_batch_like_sequential(self, graph, data):
+        """Raw random DAGs: mostly the fallback path, occasionally batched."""
+        compiled = compile_graph(graph)
+        session = SimulationSession(compiled)
+        matrix = _matrices(compiled, data)
+        try:
+            expected = [session.run(durations=row).starts.copy() for row in matrix]
+        except RuntimeError:
+            with pytest.raises(RuntimeError):
+                session.run_batch(matrix)
+            return
+        run = session.run_batch(matrix)
+        for row, starts in enumerate(expected):
+            assert np.array_equal(run.starts[row], starts)
+
+    @settings(max_examples=120, deadline=None)
+    @given(random_graphs(), st.data())
+    def test_chained_random_graphs_batch_like_sequential(self, graph, data):
+        """Chained random DAGs: the builder invariant, vectorized path."""
+        add_processor_chains(graph)
+        compiled = compile_graph(graph)
+        session = SimulationSession(compiled)
+        matrix = _matrices(compiled, data, rows=4)
+        try:
+            expected = [session.run(durations=row).starts.copy() for row in matrix]
+        except RuntimeError:
+            with pytest.raises(RuntimeError):
+                session.run_batch(matrix)
+            return
+        run = session.run_batch(matrix)
+        for row, starts in enumerate(expected):
+            assert np.array_equal(run.starts[row], starts)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs(),
+           st.floats(min_value=0.0, max_value=1e6,
+                     allow_nan=False, allow_infinity=False))
+    def test_chained_random_graphs_with_offset(self, graph, start_time):
+        add_processor_chains(graph)
+        compiled = compile_graph(graph)
+        session = SimulationSession(compiled)
+        matrix = np.tile(compiled.durations, (2, 1)) * np.array([[1.0], [0.5]])
+        try:
+            expected = [session.run(durations=row, start_time=start_time).starts.copy()
+                        for row in matrix]
+        except RuntimeError:
+            return
+        run = session.run_batch(matrix, start_time=start_time)
+        for row, starts in enumerate(expected):
+            assert np.array_equal(run.starts[row], starts)
+
+
+class TestWhatIfBatching:
+    SCENARIOS = (
+        scenario_for("kernel_class", op_class="gemm", speedup=2.0),
+        scenario_for("kernel_class", op_class="gemm", speedup=4.0),
+        scenario_for("communication", speedup=2.0),
+        scenario_for("communication", group="dp", speedup=3.0),
+        scenario_for("launch_overhead"),
+        Scenario(name="everything x1.25", predicate=lambda task: True, speedup=1.25),
+        Scenario(name="nothing", predicate=lambda task: False, speedup=2.0),
+    )
+
+    def test_batched_scenarios_match_individual_evaluation(self, small_graph):
+        batched = evaluate_scenarios(small_graph, list(self.SCENARIOS))
+        for scenario, result in zip(self.SCENARIOS, batched):
+            alone = evaluate_scenario(small_graph, scenario.name,
+                                      scenario.predicate, scenario.speedup)
+            assert result == alone
+
+    def test_shared_session_and_baseline(self, small_graph):
+        session = SimulationSession(compile_graph(small_graph))
+        baseline = session.run()
+        batched = evaluate_scenarios(small_graph, list(self.SCENARIOS),
+                                     baseline=baseline, session=session)
+        assert all(result.baseline_time_us == baseline.iteration_time_us
+                   for result in batched)
+
+    def test_empty_scenario_list(self, small_graph):
+        assert evaluate_scenarios(small_graph, []) == []
+
+    def test_invalid_speedup_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            evaluate_scenarios(small_graph,
+                               [Scenario("bad", lambda task: True, 0.0)])
+
+    def test_study_builder_uses_one_batched_run(self, profiled_bundle):
+        from repro.api import Study
+
+        study = Study.from_trace(profiled_bundle)
+        results = (study.whatif()
+                   .kernel_class("gemm", 2.0)
+                   .communication(2.0)
+                   .launch_overhead()
+                   .run())
+        singles = [study.whatif("kernel_class", op_class="gemm", speedup=2.0),
+                   study.whatif("communication", speedup=2.0),
+                   study.whatif("launch_overhead")]
+        assert results == singles
