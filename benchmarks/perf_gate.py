@@ -17,12 +17,23 @@ higher-is-better ones (speedups, throughput), so 1.0 means "exactly the
 baseline" and 2.0 means "twice as bad".  Metrics present in the baseline
 but missing from the current run fail the gate; extra current metrics are
 reported but never fail it.
+
+On GitHub runners the gate also appends a baseline-vs-current markdown
+table to the job's step summary (``$GITHUB_STEP_SUMMARY``; override or
+disable with ``--summary``).
+
+``--update-baseline`` refreshes the committed baseline from the current
+run instead of gating: existing metrics are replaced, new ones added, and
+the baseline's ``comment`` field is preserved.  See ``benchmarks/README.md``
+for the refresh procedure (run on an uncontended machine, then commit the
+diff).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -71,6 +82,50 @@ def check(baseline_metrics: dict[str, dict], current_metrics: dict[str, dict],
     return failures
 
 
+def summary_table(baseline_metrics: dict[str, dict], current_metrics: dict[str, dict],
+                  max_regression: float) -> str:
+    """Render the baseline-vs-current comparison as a markdown table."""
+    lines = [
+        "### Perf gate",
+        "",
+        f"Budget: {max_regression:g}x regression per metric.",
+        "",
+        "| metric | baseline | current | factor | status |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for name, baseline in sorted(baseline_metrics.items()):
+        unit = baseline.get("unit", "")
+        current = current_metrics.get(name)
+        if current is None:
+            lines.append(f"| {name} | {baseline['value']:.3f} {unit} | — | — "
+                         "| ❌ missing |")
+            continue
+        factor = regression_factor(baseline, current)
+        status = "✅ ok" if factor <= max_regression else "❌ regressed"
+        lines.append(f"| {name} | {baseline['value']:.3f} {unit} "
+                     f"| {current['value']:.3f} {unit} | {factor:.2f}x | {status} |")
+    for name in sorted(set(current_metrics) - set(baseline_metrics)):
+        current = current_metrics[name]
+        unit = current.get("unit", "")
+        lines.append(f"| {name} | — | {current['value']:.3f} {unit} | — "
+                     "| 🆕 not gated |")
+    return "\n".join(lines) + "\n"
+
+
+def update_baseline(current_path: Path, baseline_path: Path) -> None:
+    """Replace the baseline's metrics with the current run's, keeping the comment."""
+    current_metrics = load_metrics(current_path)
+    comment = None
+    if baseline_path.exists():
+        comment = json.loads(baseline_path.read_text(encoding="utf-8")).get("comment")
+    payload: dict = {"schema": 1}
+    if comment is not None:
+        payload["comment"] = comment
+    payload["metrics"] = current_metrics
+    baseline_path.parent.mkdir(parents=True, exist_ok=True)
+    baseline_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", type=Path, required=True,
@@ -79,10 +134,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="committed baseline JSON")
     parser.add_argument("--max-regression", type=float, default=2.0,
                         help="maximum allowed regression factor (default 2.0)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current run "
+                             "instead of gating (preserves the comment field)")
+    parser.add_argument("--summary", type=Path,
+                        default=os.environ.get("GITHUB_STEP_SUMMARY") or None,
+                        help="append a markdown comparison table to this file "
+                             "(defaults to $GITHUB_STEP_SUMMARY when set)")
     args = parser.parse_args(argv)
 
-    failures = check(load_metrics(args.baseline), load_metrics(args.current),
-                     args.max_regression)
+    if args.update_baseline:
+        update_baseline(args.current, args.baseline)
+        print(f"baseline {args.baseline} refreshed from {args.current}; "
+              "review and commit the diff")
+        return 0
+
+    baseline_metrics = load_metrics(args.baseline)
+    current_metrics = load_metrics(args.current)
+    failures = check(baseline_metrics, current_metrics, args.max_regression)
+    if args.summary is not None:
+        with open(args.summary, "a", encoding="utf-8") as handle:
+            handle.write(summary_table(baseline_metrics, current_metrics,
+                                       args.max_regression))
     if failures:
         print(f"\nperf gate FAILED (> {args.max_regression:g}x regression):",
               file=sys.stderr)

@@ -34,10 +34,16 @@ described in the paper together with the substrates it depends on:
     base trace, a process-pool runner, an on-disk result cache and Pareto
     analysis.  :func:`repro.sweep` is the one-call entry point.
 
+Two workload families share every layer: 3D-parallel **training**
+iterations and LLM **serving** episodes (prefill + autoregressive decode;
+see :mod:`repro.workload.inference`).
+
 The convenience surface re-exported here: :class:`Study` (open with
 ``Study.from_trace(...)`` / ``Study.from_emulation(...)``), the one-call
 :func:`predict` and :func:`replay` wrappers, the typed
-:class:`PredictError` / :class:`StudyError`, and the sweep names.
+:class:`PredictError` / :class:`StudyError`, the serving configuration
+types :class:`InferenceConfig` / :class:`ServingTarget`, and the sweep
+names.
 """
 
 from repro.version import __version__
@@ -47,11 +53,14 @@ from repro.version import __version__
 from repro.sweep import SweepResult, SweepSpec, run_sweep
 from repro.api import Prediction, PredictError, Study, StudyError, predict
 from repro.core.replay import replay
+from repro.workload.inference import InferenceConfig, ServingTarget
 
 __all__ = [
     "__version__",
+    "InferenceConfig",
     "Prediction",
     "PredictError",
+    "ServingTarget",
     "Study",
     "StudyError",
     "SweepResult",

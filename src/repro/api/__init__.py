@@ -20,6 +20,7 @@ from repro.api.study import (
     KIND_ARCHITECTURE,
     KIND_BASELINE,
     KIND_PARALLELISM,
+    KIND_SERVING,
     Prediction,
     Study,
     WhatIfBuilder,
@@ -31,6 +32,7 @@ __all__ = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
     "KIND_PARALLELISM",
+    "KIND_SERVING",
     "Prediction",
     "PredictError",
     "Study",

@@ -33,7 +33,9 @@ from repro.core.manipulation import (
     KIND_ARCHITECTURE,
     KIND_BASELINE,
     KIND_PARALLELISM,
+    KIND_SERVING,
     change_architecture,
+    rescale_serving_graph,
     scale_data_parallelism,
     scale_pipeline_parallelism,
 )
@@ -43,6 +45,12 @@ from repro.core.replay import replay as _replay_trace
 from repro.core.tasks import Task
 from repro.hardware.cluster import ClusterSpec
 from repro.trace.kineto import TraceBundle
+from repro.workload.inference import (
+    WORKLOAD_SERVING,
+    WORKLOAD_TRAINING,
+    InferenceConfig,
+    ServingTarget,
+)
 from repro.workload.model_config import ModelConfig, gpt3_model
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
@@ -86,7 +94,8 @@ def derive_graph(graph: ExecutionGraph, kind: str, target: str, *,
                  base_model: ModelConfig, base_parallel: ParallelismConfig,
                  training: TrainingConfig, perf_model: KernelPerfModel,
                  cluster: ClusterSpec,
-                 target_model: ModelConfig | None = None) -> tuple[ExecutionGraph, int]:
+                 target_model: ModelConfig | None = None,
+                 base_inference: InferenceConfig | None = None) -> tuple[ExecutionGraph, int]:
     """Derive the execution graph for one ``(kind, target)`` configuration.
 
     This is the single manipulation-dispatch point of the library: the
@@ -96,10 +105,35 @@ def derive_graph(graph: ExecutionGraph, kind: str, target: str, *,
     models, malformed labels).  For architecture targets, ``target_model``
     supplies a :class:`ModelConfig` that is not in the GPT-3 registry
     (custom variants); ``target`` is resolved through the registry
-    otherwise.
+    otherwise.  ``base_inference`` marks the base trace as a serving
+    episode: serving targets (``kind == "serving"``) require it, and the
+    training-iteration manipulations refuse to run against it.
     """
     if kind == KIND_BASELINE:
         return graph, base_parallel.world_size
+    if kind == KIND_SERVING:
+        if base_inference is None:
+            raise PredictError(
+                "the base trace is a training iteration; serving targets "
+                "(batch=/prompt=/tp=) require a study opened over an "
+                "emulated serving episode")
+        try:
+            serving = ServingTarget.parse(target)
+            derived = rescale_serving_graph(
+                graph, serving, base_model=base_model,
+                base_parallel=base_parallel, base_inference=base_inference,
+                perf_model=perf_model)
+        except ValueError as exc:
+            if isinstance(exc, PredictError):
+                raise
+            raise PredictError(str(exc)) from exc
+        _, target_parallel = serving.resolve(base_inference, base_parallel)
+        return derived, target_parallel.world_size
+    if base_inference is not None:
+        raise PredictError(
+            f"the base trace is a serving episode; "
+            f"'{kind}' targets apply to training iterations — use serving "
+            "targets (batch=/prompt=/tp=) instead")
     if kind == KIND_PARALLELISM:
         parallel = _resolve_parallelism(target, error=PredictError)
         if parallel.tp != base_parallel.tp:
@@ -252,7 +286,8 @@ class Study:
                  parallelism: ParallelismConfig | str | None = None,
                  training: TrainingConfig | None = None,
                  cluster: ClusterSpec | None = None,
-                 options: "GraphBuilderOptions | None" = None) -> None:
+                 options: "GraphBuilderOptions | None" = None,
+                 inference: InferenceConfig | None = None) -> None:
         metadata = trace.metadata if trace is not None else {}
         # Explicit base configuration is resolved strictly; metadata is a
         # hint (trace bundles are general Kineto containers) and falls
@@ -278,6 +313,30 @@ class Study:
                 self.base_parallel = _resolve_parallelism(_DEFAULT_PARALLELISM)
                 self._base_guessed = True
         self.training = training or TrainingConfig()
+        # A serving-episode base is recognised from the emulator's trace
+        # metadata unless the caller states it explicitly; inference-invalid
+        # parallelism degrees are rejected here, before any building runs.
+        if inference is None and metadata.get("workload") == WORKLOAD_SERVING:
+            payload = metadata.get("inference")
+            if not isinstance(payload, Mapping):
+                # Falling through to a training study would run training
+                # manipulations over the serving graph and report
+                # confident wrong predictions.
+                raise StudyError(
+                    "the trace metadata marks a serving episode but carries "
+                    "no inference configuration; pass inference= explicitly")
+            try:
+                inference = InferenceConfig.from_json(payload)
+            except (TypeError, ValueError) as exc:
+                raise StudyError(
+                    f"trace metadata carries a malformed inference "
+                    f"configuration: {exc}") from exc
+        self.inference = inference
+        if inference is not None:
+            try:
+                self.base_parallel.validate_for_inference()
+            except ValueError as exc:
+                raise StudyError(str(exc)) from exc
         self.calibrations = 0
         self._bundle = trace
         self._options = options
@@ -304,12 +363,14 @@ class Study:
                    num_microbatches: int | None = None,
                    training: TrainingConfig | None = None,
                    cluster: ClusterSpec | None = None,
-                   options: "GraphBuilderOptions | None" = None) -> "Study":
+                   options: "GraphBuilderOptions | None" = None,
+                   inference: InferenceConfig | None = None) -> "Study":
         """Open a study over a profiled trace (a bundle or its directory).
 
         The base model and parallelism default to what the bundle's
         metadata records (the emulator writes both); pass them explicitly
-        for traces from other sources.
+        for traces from other sources.  Serving-episode traces are
+        recognised from their metadata (``inference=`` overrides it).
         """
         bundle = trace if isinstance(trace, TraceBundle) else TraceBundle.load(trace)
         if training is None:
@@ -318,31 +379,50 @@ class Study:
             training = TrainingConfig(micro_batch_size=micro_batch_size,
                                       num_microbatches=num_microbatches)
         return cls(bundle, model=model, parallelism=parallelism, training=training,
-                   cluster=cluster, options=options)
+                   cluster=cluster, options=options, inference=inference)
 
     @classmethod
     def from_emulation(cls, model: ModelConfig | str,
                        parallelism: ParallelismConfig | str,
                        training: TrainingConfig | None = None, *,
+                       inference: InferenceConfig | None = None,
                        iterations: int = 2, seed: int = 0,
                        noise: "NoiseConfig | None" = None,
                        cluster: ClusterSpec | None = None,
                        options: "GraphBuilderOptions | None" = None) -> "Study":
-        """Emulate a training job and study its profiled iteration.
+        """Emulate a training job (or serving episode) and study its trace.
 
-        The full :class:`~repro.emulator.api.EmulationResult` stays
-        reachable through :attr:`emulation` (e.g. for validating
-        predictions against the independently-measured iteration).
+        Pass ``inference=`` to emulate a prefill + autoregressive-decode
+        serving episode instead of a training iteration (``training`` and
+        ``inference`` are mutually exclusive).  The full
+        :class:`~repro.emulator.api.EmulationResult` stays reachable
+        through :attr:`emulation` (e.g. for validating predictions against
+        the independently-measured iteration).
         """
         from repro.emulator.api import emulate
 
         base_model = _resolve_model(model)
         base_parallel = _resolve_parallelism(parallelism)
-        training = training or TrainingConfig()
-        emulation = emulate(base_model, base_parallel, training, cluster=cluster,
-                            iterations=iterations, seed=seed, noise=noise)
+        if inference is not None:
+            if training is not None:
+                raise StudyError("pass either a training or an inference "
+                                 "configuration, not both")
+            try:
+                base_parallel.validate_for_inference()
+                emulation = emulate(base_model, base_parallel, cluster=cluster,
+                                    iterations=iterations, seed=seed, noise=noise,
+                                    inference=inference)
+            except ValueError as exc:
+                # The builder's own validation (TP divisibility, cluster
+                # size) surfaces as the same typed error as PP rejection.
+                raise StudyError(str(exc)) from exc
+        else:
+            training = training or TrainingConfig()
+            emulation = emulate(base_model, base_parallel, training, cluster=cluster,
+                                iterations=iterations, seed=seed, noise=noise)
         study = cls(emulation.profiled, model=base_model, parallelism=base_parallel,
-                    training=training, cluster=emulation.cluster, options=options)
+                    training=training, cluster=emulation.cluster, options=options,
+                    inference=inference)
         study._emulation = emulation
         return study
 
@@ -421,12 +501,28 @@ class Study:
 
     # -- configuration resolution and caches --------------------------------
 
+    @property
+    def workload(self) -> str:
+        """Which workload family the base trace came from."""
+        return WORKLOAD_TRAINING if self.inference is None else WORKLOAD_SERVING
+
     def _config_key(self, target: ParallelismConfig | str | None = None, *,
-                    model: ModelConfig | str | None = None) -> tuple[str, str]:
+                    model: ModelConfig | str | None = None,
+                    serving: ServingTarget | str | None = None) -> tuple[str, str]:
         """Map a user-facing target onto the memoization key ``(kind, target)``."""
-        if target is not None and model is not None:
-            raise PredictError("give either a target parallelism or a target "
-                               "model, not both")
+        if sum(item is not None for item in (target, model, serving)) > 1:
+            raise PredictError("give exactly one of a target parallelism, a "
+                               "target model or a serving target")
+        if serving is not None:
+            if not isinstance(serving, ServingTarget):
+                try:
+                    serving = ServingTarget.parse(str(serving))
+                except ValueError as exc:
+                    raise PredictError(str(exc)) from exc
+            if (self.inference is not None
+                    and serving.is_noop(self.inference, self.base_parallel)):
+                return (KIND_BASELINE, self.base_parallel.label())
+            return (KIND_SERVING, serving.label())
         if model is not None:
             if isinstance(model, ModelConfig):
                 name = self._register_model(model)
@@ -482,7 +578,8 @@ class Study:
             base_model=self.base_model, base_parallel=self.base_parallel,
             training=self.training, perf_model=self.perf_model,
             cluster=self.cluster,
-            target_model=self._custom_models.get(target))
+            target_model=self._custom_models.get(target),
+            base_inference=self.inference)
 
     def derived_graph(self, kind: str, target: str) -> tuple[ExecutionGraph, int]:
         """The (memoized) derived graph and world size for one configuration."""
@@ -553,19 +650,22 @@ class Study:
     # -- the paper workflow -------------------------------------------------
 
     def predict(self, target: ParallelismConfig | str | None = None, *,
-                model: ModelConfig | str | None = None) -> Prediction:
-        """Predict the iteration of a new parallelism or model architecture.
+                model: ModelConfig | str | None = None,
+                serving: ServingTarget | str | None = None) -> Prediction:
+        """Predict the iteration of a new parallelism, model, or serving setup.
 
         ``study.predict("2x4x4")`` scales the deployment (§3.4);
         ``study.predict(model="gpt3-v1")`` changes the architecture
-        (§4.3.2).  Repeated predictions of the same target are served from
-        the study's caches.  Raises :class:`PredictError` for unsupported
-        targets — notably tensor-parallelism changes.
+        (§4.3.2); on a serving study, ``study.predict(serving="batch=16")``
+        rescales the episode's batch size, prompt length or TP degree.
+        Repeated predictions of the same target are served from the
+        study's caches.  Raises :class:`PredictError` for unsupported
+        targets — notably tensor-parallelism changes of training bases.
         """
-        if target is None and model is None:
-            raise PredictError("predict requires a target parallelism or a "
-                               "target model")
-        kind, label = self._config_key(target, model=model)
+        if target is None and model is None and serving is None:
+            raise PredictError("predict requires a target parallelism, a "
+                               "target model or a serving target")
+        kind, label = self._config_key(target, model=model, serving=serving)
         key = (kind, label)
         if key not in self._predictions:
             graph, world_size = self.derived_graph(kind, label)
@@ -582,6 +682,7 @@ class Study:
     def whatif(self, kind: str | None = None, *,
                target: ParallelismConfig | str | None = None,
                model: ModelConfig | str | None = None,
+               serving: ServingTarget | str | None = None,
                op_class: str | None = None, group: str | None = None,
                speedup: float = 2.0) -> "WhatIfBuilder | WhatIfResult":
         """What-if scenarios (§5) against the base or a predicted target.
@@ -592,7 +693,8 @@ class Study:
         scenario immediately and returns its
         :class:`~repro.core.whatif.WhatIfResult`.
         """
-        builder = WhatIfBuilder(self, self._config_key(target, model=model))
+        builder = WhatIfBuilder(self, self._config_key(target, model=model,
+                                                       serving=serving))
         if kind is None:
             return builder
         return builder.apply(kind, op_class=op_class, group=group,
@@ -600,6 +702,7 @@ class Study:
 
     def sweep(self, spec: "SweepSpec | Mapping[str, Any] | str | Path | None" = None, *,
               parallelism: Iterable[str] = (), models: Iterable[str] = (),
+              serving: Iterable[str] = (),
               whatif: "Iterable[WhatIfSpec | str | Mapping[str, Any]]" = (),
               include_baseline: bool = True, workers: int = 1,
               cache: "SweepCache | None" = None,
@@ -609,9 +712,11 @@ class Study:
 
         Pass a full :class:`~repro.sweep.spec.SweepSpec` (object, mapping
         or spec-file path) whose base must match this study, or just the
-        axes (``parallelism`` / ``models`` / ``whatif`` — what-if entries
-        may be specs, mappings, or compact CLI strings like ``"gemm:2"``)
-        and the spec is built around the study's base configuration.
+        axes (``parallelism`` / ``models`` / ``serving`` / ``whatif`` —
+        what-if entries may be specs, mappings, or compact CLI strings
+        like ``"gemm:2"``; serving entries are ``batch=/prompt=/tp=``
+        labels and require a serving-episode study) and the spec is built
+        around the study's base configuration.
         """
         from pathlib import Path as _Path
 
@@ -633,11 +738,13 @@ class Study:
                 base_parallelism=self.base_parallel.label(),
                 micro_batch_size=self.training.micro_batch_size,
                 num_microbatches=self.training.num_microbatches,
+                inference=self.inference,
                 parallelism=tuple(parallelism), models=tuple(models),
+                serving=tuple(serving),
                 whatif=tuple(coerce_whatif(entry) for entry in whatif),
                 include_baseline=include_baseline)
         else:
-            if parallelism or models or whatif:
+            if parallelism or models or serving or whatif:
                 raise StudyError("pass either a full spec or inline axes, not both")
             spec = _SweepSpec.coerce(spec)
         self.ensure_matches(spec)
@@ -654,11 +761,16 @@ class Study:
         if _resolve_parallelism(spec.base_parallelism).label() != self.base_parallel.label():
             problems.append(f"parallelism {spec.base_parallelism!r} != "
                             f"{self.base_parallel.label()!r}")
-        if (spec.micro_batch_size != self.training.micro_batch_size
+        if self.inference is None and (
+                spec.micro_batch_size != self.training.micro_batch_size
                 or spec.num_microbatches != self.training.num_microbatches):
+            # Serving bases ignore the training batching knobs: the episode
+            # shape lives in the inference configuration instead.
             problems.append(
                 f"batching {spec.micro_batch_size}x{spec.num_microbatches} != "
                 f"{self.training.micro_batch_size}x{self.training.num_microbatches}")
+        if spec.inference != self.inference:
+            problems.append(f"inference base {spec.inference!r} != {self.inference!r}")
         if problems:
             raise StudyError("sweep spec base does not match this study: "
                              + "; ".join(problems))
@@ -691,6 +803,7 @@ class Study:
 def predict(trace: "TraceBundle | str | Path",
             target: ParallelismConfig | str | None = None, *,
             model: ModelConfig | str | None = None,
+            serving: ServingTarget | str | None = None,
             base_model: ModelConfig | str | None = None,
             base_parallelism: ParallelismConfig | str | None = None,
             micro_batch_size: int = 2,
@@ -698,10 +811,13 @@ def predict(trace: "TraceBundle | str | Path",
             training: TrainingConfig | None = None) -> Prediction:
     """One-call prediction: open a throwaway :class:`Study` and predict.
 
-    Prefer a long-lived :class:`Study` when predicting several targets from
-    the same trace — it shares the replay and calibration across calls.
+    Serving-episode traces are recognised from their metadata, so
+    ``predict(trace, serving="batch=16")`` works directly on a bundle
+    saved by ``repro-lumos emulate --workload serving``.  Prefer a
+    long-lived :class:`Study` when predicting several targets from the
+    same trace — it shares the replay and calibration across calls.
     """
     study = Study.from_trace(trace, model=base_model, parallelism=base_parallelism,
                              micro_batch_size=micro_batch_size,
                              num_microbatches=num_microbatches, training=training)
-    return study.predict(target, model=model)
+    return study.predict(target, model=model, serving=serving)

@@ -3,11 +3,14 @@
 ``repro-lumos`` exposes the core workflow of the paper's Figure 2:
 
 * ``emulate``  — run the cluster emulator and save Kineto-style traces
-  (the substitute for profiling a real training job);
+  (the substitute for profiling a real training job); with
+  ``--workload serving`` it emulates an LLM inference episode
+  (prefill + autoregressive decode) instead of a training iteration;
 * ``replay``   — build the execution graph from saved traces and replay it;
 * ``breakdown`` — print the execution-time breakdown of saved traces;
 * ``predict``  — manipulate the graph of a base trace to estimate a new
-  parallelism configuration or model architecture;
+  parallelism configuration, model architecture, or (for serving traces)
+  a new ``--target-serving batch=/prompt=/tp=`` deployment;
 * ``sweep``    — evaluate a whole grid of what-if scenarios from one base
   trace, with a process pool and an on-disk result cache.
 
@@ -31,6 +34,7 @@ from repro.sweep import SweepSpec, SweepSpecError, WhatIfSpec
 from repro.sweep.analysis import format_report
 from repro.trace.kineto import TraceBundle
 from repro.version import __version__
+from repro.workload.inference import InferenceConfig
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
@@ -55,13 +59,36 @@ def _study_from_args(args: argparse.Namespace) -> Study:
                             training=_training_from_args(args))
 
 
+def _inference_from_args(args: argparse.Namespace) -> InferenceConfig:
+    return InferenceConfig(batch_size=args.requests,
+                           prompt_length=args.prompt_length,
+                           decode_length=args.decode_length,
+                           kv_dtype=args.kv_dtype)
+
+
 def _cmd_emulate(args: argparse.Namespace) -> int:
     model = gpt3_model(args.model)
     parallel = ParallelismConfig.parse(args.parallelism)
-    result = emulate(model, parallel, _training_from_args(args),
-                     iterations=args.iterations, seed=args.seed)
+    if args.workload == "serving":
+        # The builder itself validates too (TP divisibility, cluster
+        # size); every configuration error maps to exit 2, not a traceback.
+        try:
+            parallel.validate_for_inference()
+            inference = _inference_from_args(args)
+            result = emulate(model, parallel, iterations=args.iterations,
+                             seed=args.seed, inference=inference)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        label = (f"serving episode ({inference.batch_size} requests, "
+                 f"{inference.prompt_length}+{inference.decode_length} tokens)")
+    else:
+        result = emulate(model, parallel, _training_from_args(args),
+                         iterations=args.iterations, seed=args.seed)
+        label = "training job"
     result.profiled.save(args.output)
-    print(f"saved profiled trace of {model.name} {parallel.label()} to {args.output}")
+    print(f"saved profiled trace of {model.name} {parallel.label()} "
+          f"{label} to {args.output}")
     for index in range(args.iterations):
         print(f"iteration {index}: {result.iteration_time(index) / 1000:.1f} ms")
     return 0
@@ -86,13 +113,18 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    if not (args.target_model or args.target_parallelism):
-        print("predict requires --target-parallelism or --target-model", file=sys.stderr)
+    targets = [t for t in (args.target_parallelism, args.target_model,
+                           args.target_serving) if t]
+    if len(targets) != 1:
+        print("predict requires exactly one of --target-parallelism, "
+              "--target-model or --target-serving", file=sys.stderr)
         args.parser.print_usage(sys.stderr)
         return 2
     try:
         study = _study_from_args(args)
-        if args.target_model:
+        if args.target_serving:
+            prediction = study.predict(serving=args.target_serving)
+        elif args.target_model:
             prediction = study.predict(model=args.target_model)
         else:
             prediction = study.predict(args.target_parallelism)
@@ -113,25 +145,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         if args.spec:
             spec = SweepSpec.load(args.spec)
+            study = Study.from_trace(args.trace, model=spec.base_model,
+                                     parallelism=spec.base_parallelism,
+                                     training=spec.training(),
+                                     inference=spec.inference)
+            result = study.sweep(spec, workers=args.workers,
+                                 cache_dir=args.cache_dir, force=args.force)
         else:
-            if not (args.targets or args.target_models):
-                print("sweep requires --spec, --targets or --target-models", file=sys.stderr)
+            if not (args.targets or args.target_models or args.serving):
+                print("sweep requires --spec, --targets, --target-models or "
+                      "--serving", file=sys.stderr)
                 args.parser.print_usage(sys.stderr)
                 return 2
-            spec = SweepSpec(
-                base_model=args.model,
-                base_parallelism=args.parallelism,
-                micro_batch_size=args.micro_batch_size,
-                num_microbatches=args.num_microbatches,
+            # The study recovers a serving base from the trace metadata, so
+            # inline --serving axes need no spec-side inference block.
+            study = Study.from_trace(args.trace, model=args.model,
+                                     parallelism=args.parallelism,
+                                     training=_training_from_args(args))
+            result = study.sweep(
                 parallelism=tuple(p for p in (args.targets or "").split(",") if p),
                 models=tuple(m for m in (args.target_models or "").split(",") if m),
+                serving=tuple(args.serving),
                 whatif=tuple(WhatIfSpec.parse(w) for w in args.whatif),
-            )
-        study = Study.from_trace(args.trace, model=spec.base_model,
-                                 parallelism=spec.base_parallelism,
-                                 training=spec.training())
-        result = study.sweep(spec, workers=args.workers, cache_dir=args.cache_dir,
-                             force=args.force)
+                workers=args.workers, cache_dir=args.cache_dir, force=args.force)
     except (SweepSpecError, StudyError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -145,10 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    emulate_parser = subparsers.add_parser("emulate", help="emulate a training job and save traces")
+    emulate_parser = subparsers.add_parser(
+        "emulate", help="emulate a training job or serving episode and save traces")
     _add_workload_arguments(emulate_parser)
     emulate_parser.add_argument("--iterations", type=int, default=2)
     emulate_parser.add_argument("--output", required=True, help="directory for the trace bundle")
+    emulate_parser.add_argument("--workload", choices=["training", "serving"],
+                                default="training",
+                                help="emulate a training iteration (default) or an "
+                                     "LLM inference episode (prefill + decode)")
+    emulate_parser.add_argument("--requests", type=int, default=8,
+                                help="serving: concurrent requests per decode batch")
+    emulate_parser.add_argument("--prompt-length", type=int, default=512,
+                                help="serving: prompt tokens per request")
+    emulate_parser.add_argument("--decode-length", type=int, default=64,
+                                help="serving: generated tokens per request")
+    emulate_parser.add_argument("--kv-dtype", default="bf16",
+                                choices=["bf16", "fp16", "fp32", "fp8"],
+                                help="serving: KV-cache storage datatype")
     emulate_parser.set_defaults(func=_cmd_emulate)
 
     replay_parser = subparsers.add_parser("replay", help="replay a saved trace bundle")
@@ -167,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict_parser.add_argument("--trace", required=True, help="base trace bundle directory")
     predict_parser.add_argument("--target-parallelism", help="target TPxPPxDP label")
     predict_parser.add_argument("--target-model", help="target model name (Table 2 variants)")
+    predict_parser.add_argument("--target-serving",
+                                help="serving target 'batch=N,prompt=N,tp=N' "
+                                     "(requires a serving-episode trace)")
     predict_parser.set_defaults(func=_cmd_predict, parser=predict_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -178,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated target TPxPPxDP labels (inline axis)")
     sweep_parser.add_argument("--target-models",
                               help="comma-separated target model names (inline axis)")
+    sweep_parser.add_argument("--serving", action="append", default=[],
+                              help="serving target 'batch=N,prompt=N,tp=N' "
+                                   "(repeatable; requires a serving-episode trace)")
     sweep_parser.add_argument("--whatif", action="append", default=[],
                               help="what-if scenario: 'launch', 'comm[:group]:S' or "
                                    "'CLASS:S' (repeatable)")

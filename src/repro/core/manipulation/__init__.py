@@ -27,19 +27,23 @@ from repro.core.manipulation.synthesize import GraphSynthesizer, synthesize_grap
 from repro.core.manipulation.data_parallel import scale_data_parallelism
 from repro.core.manipulation.pipeline_parallel import scale_pipeline_parallelism
 from repro.core.manipulation.architecture import change_architecture
+from repro.core.manipulation.serving import rescale_serving_graph
 
 #: The kinds of target configuration a manipulation can produce.  Shared
 #: vocabulary between the API facade (``repro.api``) and the sweep grid
 #: (``repro.sweep``): ``baseline`` is the unmodified base graph,
-#: ``parallelism`` a TPxPPxDP change, ``architecture`` a model change.
+#: ``parallelism`` a TPxPPxDP change, ``architecture`` a model change,
+#: ``serving`` a batch/prompt/TP change of an inference episode.
 KIND_BASELINE = "baseline"
 KIND_PARALLELISM = "parallelism"
 KIND_ARCHITECTURE = "architecture"
+KIND_SERVING = "serving"
 
 __all__ = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
     "KIND_PARALLELISM",
+    "KIND_SERVING",
     "KernelTemplate",
     "CpuOverheads",
     "IterationTemplate",
@@ -49,4 +53,5 @@ __all__ = [
     "scale_data_parallelism",
     "scale_pipeline_parallelism",
     "change_architecture",
+    "rescale_serving_graph",
 ]

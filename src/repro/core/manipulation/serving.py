@@ -1,0 +1,211 @@
+"""Serving (inference) graph manipulation.
+
+A serving episode's task graph is *topology-invariant* under the three
+what-if knobs the inference workload family exposes — request batch size,
+prompt length and tensor-parallel degree: the same kernels run in the same
+order, only their shapes (and the TP communicator) change.  Deriving the
+graph for a serving target is therefore a pure re-timing pass: every GPU
+task is matched back to its operator (the emulator records ``op_name``,
+``phase`` and the decode-step index in the event args), the operator's
+shape is regenerated for the base and the target configuration from the
+same decomposition the emulator used
+(:mod:`repro.workload.inference`), and the observed duration is rescaled
+by the analytical ratio — the paper's §3.4 recipe, where systematic model
+error cancels in the ratio.
+
+Knobs that would change the topology are rejected up front with
+:class:`ValueError` (callers map it onto the typed
+:class:`~repro.api.errors.PredictError`): changing ``decode_length`` adds
+or removes whole decode steps, and resharding a TP=1 base *up* would have
+to invent collective tasks that the base trace never contained.
+"""
+
+from __future__ import annotations
+
+from repro.core.graph import ExecutionGraph
+from repro.core.perf_model import KernelPerfModel
+from repro.core.tasks import Task, TaskKind
+from repro.hardware.cluster import ClusterSpec
+from repro.workload.inference import (
+    InferenceConfig,
+    ServingTarget,
+    decode_embedding_ops,
+    decode_head_ops,
+    decode_layer_ops,
+    prefill_embedding_ops,
+    prefill_head_ops,
+    prefill_layer_ops,
+    validate_tp_for_model,
+)
+from repro.workload.model_config import ModelConfig
+from repro.workload.operators import OpClass, OpSpec
+from repro.workload.parallelism import ParallelismConfig
+
+#: Lookup key of one operator instance: (phase, op_name, decode step).
+_OpKey = tuple[str, str, int | None]
+
+
+def _op_table(model: ModelConfig, parallel: ParallelismConfig,
+              config: InferenceConfig) -> dict[_OpKey, OpSpec]:
+    """Regenerate the serving episode's operators, keyed like trace tasks.
+
+    Prefill ops key on step ``None``; decode ops key on their step index
+    (shapes depend on the step through the KV-cache context length).
+    Layers are architecturally identical, so the layer index is not part
+    of the key.
+    """
+    table: dict[_OpKey, OpSpec] = {}
+    for op in (prefill_embedding_ops(model, parallel, config)
+               + prefill_layer_ops(model, parallel, config)
+               + prefill_head_ops(model, parallel, config)):
+        table[("prefill", op.name, None)] = op
+    for step in range(config.decode_length):
+        for op in (decode_embedding_ops(model, parallel, config, step)
+                   + decode_layer_ops(model, parallel, config, step)
+                   + decode_head_ops(model, parallel, config, step)):
+            table[("decode", op.name, step)] = op
+    return table
+
+
+def _task_key(task: Task) -> _OpKey | None:
+    phase = task.args.get("phase")
+    op_name = task.args.get("op_name")
+    if phase not in ("prefill", "decode") or not op_name:
+        return None
+    step = task.args.get("microbatch") if phase == "decode" else None
+    return (str(phase), str(op_name), step)
+
+
+def rescale_serving_graph(graph: ExecutionGraph, target: ServingTarget, *,
+                          base_model: ModelConfig,
+                          base_parallel: ParallelismConfig,
+                          base_inference: InferenceConfig,
+                          perf_model: KernelPerfModel,
+                          cluster: ClusterSpec | None = None) -> ExecutionGraph:
+    """Derive the execution graph for a new serving configuration.
+
+    Parameters
+    ----------
+    graph:
+        Execution graph built from the base serving episode's trace.
+    target:
+        The batch / prompt / TP knobs to change.
+    base_model, base_parallel, base_inference:
+        The configuration the base trace was collected with.
+    perf_model:
+        Kernel performance model calibrated from the base trace; supplies
+        the analytical ratios (its cluster is replaced by ``cluster`` for
+        re-timing collectives on the target deployment).
+    cluster:
+        Cluster hosting the target; defaults to a cluster sized for the
+        larger of the base and target world sizes (perf-model rescaling
+        evaluates the old collective groups too).
+    """
+    new_inference, new_parallel = target.resolve(base_inference, base_parallel)
+    new_parallel.validate_for_inference()
+    validate_tp_for_model(base_model, new_parallel.tp)
+    if new_parallel.tp > base_parallel.tp == 1:
+        raise ValueError(
+            "cannot reshard a TP=1 serving base to "
+            f"TP={new_parallel.tp}: the base trace contains no tensor-parallel "
+            "collectives to rescale; emulate a TP>1 base episode instead")
+    if cluster is None:
+        cluster = ClusterSpec.for_world_size(
+            max(base_parallel.world_size, new_parallel.world_size))
+    scaled_model = KernelPerfModel(cluster=cluster, dtype_bytes=perf_model.dtype_bytes,
+                                   calibration=dict(perf_model.calibration))
+
+    old_ops = _op_table(base_model, base_parallel, base_inference)
+    new_ops = _op_table(base_model, new_parallel, new_inference)
+    new_tp_ranks = new_parallel.groups().tp_group(0).ranks
+
+    new_graph = ExecutionGraph(metadata={
+        **graph.metadata,
+        "manipulated": "serving",
+        "parallelism": new_parallel.label(),
+        "inference": new_inference.to_json(),
+    })
+    id_map: dict[int, int] = {}
+    gpu_tasks = matched = 0
+    for task in graph.task_list():
+        clone = task.copy()
+        clone.task_id = -1
+        if clone.kind == TaskKind.GPU:
+            gpu_tasks += 1
+            key = _task_key(clone)
+            old_op = old_ops.get(key) if key is not None else None
+            new_op = new_ops.get(key) if key is not None else None
+            if old_op is not None and new_op is not None:
+                matched += 1
+                clone.duration = _rescale(task, old_op, new_op, scaled_model,
+                                          new_tp_ranks)
+                _update_args(clone, new_op, new_tp_ranks)
+            elif (old_op is not None and old_op.is_communication
+                    and new_parallel.tp == 1):
+                # The TP=1 decomposition emits no collectives at all, so
+                # the lookup misses; the observed collective degenerates
+                # to a rank-local no-op.  Keeping the (empty) task
+                # preserves the graph topology.
+                matched += 1
+                clone.duration = 0.0
+                clone.args["group_ranks"] = list(new_tp_ranks)
+                clone.args["group_size"] = 1
+        id_map[task.task_id] = new_graph.add_task(clone).task_id
+    if gpu_tasks and not matched:
+        # Every lookup missed: the trace is not a serving episode of this
+        # configuration (e.g. an inference= override forced onto a
+        # training trace).  Returning the unmodified graph would report
+        # the base time as a confident "prediction" — refuse instead.
+        raise ValueError(
+            "no GPU task of the trace matched the serving operator "
+            "decomposition; the base trace does not look like a serving "
+            "episode of this model/parallelism/inference configuration")
+
+    for dependency in graph.dependencies:
+        new_graph.add_dependency(id_map[dependency.src], id_map[dependency.dst],
+                                 dependency.dep_type)
+    return new_graph
+
+
+def _rescale(task: Task, old_op: OpSpec, new_op: OpSpec,
+             perf_model: KernelPerfModel, new_tp_ranks: tuple[int, ...]) -> float:
+    """Observed duration × analytical(new) / analytical(old) per op class."""
+    observed = task.duration
+    if old_op == new_op:
+        # Unchanged shape — keep the observed duration bit-exact instead
+        # of multiplying by a ratio that is 1.0 only up to rounding.
+        return observed
+    if old_op.is_communication:
+        assert new_op.collective is not None and old_op.collective is not None
+        old_ranks = tuple(task.args.get("group_ranks", ()))
+        if not old_ranks:
+            return observed
+        return perf_model.scale_collective(
+            observed, kind=old_op.collective.kind,
+            old_size=old_op.collective.size_bytes, old_ranks=old_ranks,
+            new_size=new_op.collective.size_bytes, new_ranks=new_tp_ranks)
+    if old_op.op_class == OpClass.GEMM:
+        return perf_model.scale_gemm(observed, (old_op.m, old_op.n, old_op.k),
+                                     (new_op.m, new_op.n, new_op.k))
+    if old_op.op_class == OpClass.DECODE_ATTENTION:
+        return perf_model.scale_decode_attention(
+            observed, old_op.flops, old_op.bytes_accessed,
+            new_op.flops, new_op.bytes_accessed)
+    if old_op.op_class == OpClass.ATTENTION:
+        return perf_model.scale_flops_bound(observed, old_op.flops, new_op.flops)
+    return perf_model.scale_memory_bound(observed, old_op.bytes_accessed,
+                                         new_op.bytes_accessed)
+
+
+def _update_args(clone: Task, new_op: OpSpec, new_tp_ranks: tuple[int, ...]) -> None:
+    """Refresh the shape-describing args so breakdowns stay meaningful."""
+    if new_op.is_communication:
+        clone.args["group_ranks"] = list(new_tp_ranks)
+        clone.args["group_size"] = len(new_tp_ranks)
+        assert new_op.collective is not None
+        clone.args["size_bytes"] = new_op.collective.size_bytes
+    else:
+        if clone.args.get("flops"):
+            clone.args["flops"] = new_op.flops
+        if clone.args.get("bytes_accessed"):
+            clone.args["bytes_accessed"] = new_op.bytes_accessed

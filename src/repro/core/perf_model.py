@@ -29,9 +29,10 @@ from repro.core.graph import ExecutionGraph
 from repro.core.tasks import TaskKind
 from repro.hardware.cluster import ClusterSpec
 from repro.kernels.collectives import collective_time_us, point_to_point_time_us
+from repro.kernels.decode import decode_attention_time_us
 from repro.kernels.gemm import gemm_time_us
 from repro.kernels.memory_bound import memory_bound_time_us
-from repro.workload.operators import CollectiveKind
+from repro.workload.operators import CollectiveKind, OpClass
 
 _GEMM_SHAPE_RE = re.compile(r"_m(\d+)_n(\d+)_k(\d+)")
 
@@ -65,6 +66,16 @@ class KernelPerfModel:
                 continue
             if task.is_communication:
                 key, analytical = model._analyse_communication(task.args)
+            elif task.op_class == OpClass.DECODE_ATTENTION:
+                # Decode-attention shapes are not in the kernel name; the
+                # serving emulator carries the analytical inputs in the
+                # event args instead (flops / bytes of KV traffic).
+                flops = float(task.args.get("flops", 0.0))
+                bytes_accessed = float(task.args.get("bytes_accessed", 0.0))
+                if bytes_accessed <= 0:
+                    continue
+                key = "decode_attention"
+                analytical = decode_attention_time_us(flops, bytes_accessed, cluster.gpu)
             else:
                 shape = parse_gemm_shape(task.name)
                 if shape is None:
@@ -130,6 +141,11 @@ class KernelPerfModel:
         """Predict the duration of a bandwidth-bound kernel."""
         return memory_bound_time_us(bytes_accessed, self.cluster.gpu, op_class=op_class)
 
+    def predict_decode_attention_us(self, flops: float, bytes_accessed: float) -> float:
+        """Predict the duration of a decode-attention KV-cache sweep."""
+        analytical = decode_attention_time_us(flops, bytes_accessed, self.cluster.gpu)
+        return analytical * self.calibration_factor("decode_attention")
+
     # -- ratio-based rescaling ---------------------------------------------------------
 
     def scale_gemm(self, observed_us: float, old_shape: tuple[int, int, int],
@@ -160,6 +176,16 @@ class KernelPerfModel:
                     if fixed_overhead_us is None else fixed_overhead_us)
         variable = max(observed_us - overhead, 0.0)
         return overhead + variable * (new_bytes / old_bytes)
+
+    def scale_decode_attention(self, observed_us: float,
+                               old_flops: float, old_bytes: float,
+                               new_flops: float, new_bytes: float) -> float:
+        """Rescale an observed decode-attention duration to a new KV sweep."""
+        old = decode_attention_time_us(old_flops, old_bytes, self.cluster.gpu)
+        new = decode_attention_time_us(new_flops, new_bytes, self.cluster.gpu)
+        if old <= 0:
+            return observed_us
+        return observed_us * new / old
 
     def scale_flops_bound(self, observed_us: float, old_flops: float, new_flops: float,
                           fixed_overhead_us: float | None = None) -> float:

@@ -26,10 +26,17 @@ from repro.emulator.program import (
     Streams,
     Threads,
 )
-from repro.emulator.program_builder import ProgramBuilder
+from repro.emulator.program_builder import ProgramBuilder, ProgramEmitter
+from repro.emulator.inference_builder import InferenceProgramBuilder
 from repro.emulator.noise import NoiseModel
 from repro.emulator.executor import ExecutedTask, ProgramExecutor
-from repro.emulator.api import ClusterEmulator, EmulationResult, emulate
+from repro.emulator.api import (
+    WORKLOAD_SERVING,
+    WORKLOAD_TRAINING,
+    ClusterEmulator,
+    EmulationResult,
+    emulate,
+)
 
 __all__ = [
     "Streams",
@@ -44,10 +51,14 @@ __all__ = [
     "DeviceSync",
     "RankProgram",
     "ProgramBuilder",
+    "ProgramEmitter",
+    "InferenceProgramBuilder",
     "NoiseModel",
     "ProgramExecutor",
     "ExecutedTask",
     "ClusterEmulator",
     "EmulationResult",
     "emulate",
+    "WORKLOAD_SERVING",
+    "WORKLOAD_TRAINING",
 ]

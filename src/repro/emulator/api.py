@@ -1,11 +1,16 @@
 """High-level emulation API.
 
-:func:`emulate` plays the role of "run the training job on the cluster and
-profile it": it returns Kineto-style traces for a profiled iteration plus
+:func:`emulate` plays the role of "run the job on the cluster and profile
+it": it returns Kineto-style traces for a profiled iteration plus
 independently-perturbed traces for a measured iteration, which the
 evaluation compares Lumos's replay against (mirroring how the paper
 validates replay against real measurements rather than against the very
 iteration that was profiled).
+
+Two workload families share this entry point: 3D-parallel **training**
+iterations (the default) and LLM **serving** episodes (pass
+``inference=``), which emit prefill + autoregressive-decode traces through
+the same executor and trace schema.
 """
 
 from __future__ import annotations
@@ -14,11 +19,17 @@ from dataclasses import dataclass, field
 
 from repro.emulator.emit import tasks_to_trace
 from repro.emulator.executor import ProgramExecutor
+from repro.emulator.inference_builder import InferenceProgramBuilder
 from repro.emulator.noise import NoiseConfig, NoiseModel
 from repro.emulator.program import RankProgram
 from repro.emulator.program_builder import ProgramBuilder
 from repro.hardware.cluster import ClusterSpec
 from repro.trace.kineto import DistributedInfo, TraceBundle
+from repro.workload.inference import (
+    WORKLOAD_SERVING,
+    WORKLOAD_TRAINING,
+    InferenceConfig,
+)
 from repro.workload.model_config import ModelConfig
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
@@ -28,13 +39,19 @@ _ITERATION_START_US = 1000.0
 
 @dataclass
 class EmulationResult:
-    """Traces produced by one emulated training run."""
+    """Traces produced by one emulated training run or serving episode."""
 
     model: ModelConfig
     parallel: ParallelismConfig
     training: TrainingConfig
     cluster: ClusterSpec
+    inference: InferenceConfig | None = None
     iterations: list[TraceBundle] = field(default_factory=list)
+
+    @property
+    def workload(self) -> str:
+        """Which workload family produced the traces."""
+        return WORKLOAD_TRAINING if self.inference is None else WORKLOAD_SERVING
 
     @property
     def profiled(self) -> TraceBundle:
@@ -56,18 +73,27 @@ class EmulationResult:
 
 
 class ClusterEmulator:
-    """Emulates a 3D-parallel training job on a modelled cluster."""
+    """Emulates a 3D-parallel training job (or serving episode) on a cluster."""
 
     def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
                  training: TrainingConfig | None = None,
                  cluster: ClusterSpec | None = None,
-                 seed: int = 0, noise: NoiseConfig | None = None) -> None:
+                 seed: int = 0, noise: NoiseConfig | None = None,
+                 inference: InferenceConfig | None = None) -> None:
+        if inference is not None and training is not None:
+            raise ValueError("pass either a training or an inference "
+                             "configuration, not both")
         self.model = model
         self.parallel = parallel
         self.training = training or TrainingConfig()
+        self.inference = inference
         self.cluster = cluster or ClusterSpec.for_world_size(parallel.world_size)
         self.noise_model = NoiseModel(seed=seed, config=noise)
-        self._builder = ProgramBuilder(model, parallel, self.training, self.cluster)
+        if inference is not None:
+            self._builder = InferenceProgramBuilder(model, parallel, inference,
+                                                    self.cluster)
+        else:
+            self._builder = ProgramBuilder(model, parallel, self.training, self.cluster)
         self._programs: dict[int, RankProgram] | None = None
 
     def programs(self) -> dict[int, RankProgram]:
@@ -82,7 +108,8 @@ class ClusterEmulator:
             raise ValueError("iterations must be >= 1")
         programs = self.programs()
         result = EmulationResult(model=self.model, parallel=self.parallel,
-                                 training=self.training, cluster=self.cluster)
+                                 training=self.training, cluster=self.cluster,
+                                 inference=self.inference)
         for iteration in range(iterations):
             result.iterations.append(self._run_iteration(programs, iteration))
         return result
@@ -93,12 +120,17 @@ class ClusterEmulator:
         }
         executor = ProgramExecutor(noise_streams=noise_streams)
         executed = executor.execute(programs, start_time=_ITERATION_START_US)
-        bundle = TraceBundle(metadata={
+        metadata = {
             "model": self.model.name,
             "parallelism": self.parallel.label(),
             "iteration": iteration,
-            "num_microbatches": self.training.num_microbatches,
-        })
+        }
+        if self.inference is not None:
+            metadata["workload"] = WORKLOAD_SERVING
+            metadata["inference"] = self.inference.to_json()
+        else:
+            metadata["num_microbatches"] = self.training.num_microbatches
+        bundle = TraceBundle(metadata=metadata)
         for rank, tasks in executed.items():
             distributed = DistributedInfo(
                 rank=rank, world_size=self.parallel.world_size,
@@ -112,8 +144,10 @@ class ClusterEmulator:
 def emulate(model: ModelConfig, parallel: ParallelismConfig,
             training: TrainingConfig | None = None, cluster: ClusterSpec | None = None,
             iterations: int = 2, seed: int = 0,
-            noise: NoiseConfig | None = None) -> EmulationResult:
-    """Emulate a training job and return its per-iteration traces."""
+            noise: NoiseConfig | None = None,
+            inference: InferenceConfig | None = None) -> EmulationResult:
+    """Emulate a training job (or, with ``inference=``, a serving episode)."""
     emulator = ClusterEmulator(model=model, parallel=parallel, training=training,
-                               cluster=cluster, seed=seed, noise=noise)
+                               cluster=cluster, seed=seed, noise=noise,
+                               inference=inference)
     return emulator.run(iterations=iterations)

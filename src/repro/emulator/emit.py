@@ -35,6 +35,10 @@ def _kernel_args(task: ExecutedTask) -> dict:
         args["group_size"] = len(intent.group_ranks)
         args["group_ranks"] = list(intent.group_ranks)
         args["size_bytes"] = intent.size_bytes
+    if intent.flops:
+        args["flops"] = intent.flops
+    if intent.bytes_accessed:
+        args["bytes_accessed"] = intent.bytes_accessed
     if intent.comm_key is not None:
         args["comm_id"] = intent.comm_key
     if intent.op_name is not None:

@@ -1,0 +1,147 @@
+"""Builds per-rank serving programs from an inference workload description.
+
+The builder expands a (model, parallelism, inference) configuration into
+the instruction stream of one *serving episode* on one representative rank
+(tensor-parallel peers execute mirrored work whose cost is captured
+through communicator group sizes; data-parallel replicas serve independent
+request batches and never communicate):
+
+* a **prefill** phase runs the whole prompt batch through every layer —
+  the same large compute kernels as a training forward pass — and samples
+  the first token;
+* ``decode_length`` **decode steps** each run one token per request
+  through every layer: skinny GEMMs, a memory-bound KV-cache attention
+  sweep, and (under TP) a per-step all-reduce after the attention and MLP
+  blocks, fenced against compute exactly like training TP collectives.
+
+The emulated serving loop launches ahead, async-engine style: sampled
+tokens stay on-device and feed the next step through compute-stream
+ordering, and the host only blocks on a final device synchronisation
+before detokenising the responses.  (Mid-episode ``cudaStreamSynchronize``
+calls would also break the replay engine's full-drain synchronisation
+invariant — a blocking sync must be the last consumer of its streams.)
+Everything runs on the main thread (no autograd thread, no pipeline
+streams), so the emitted graphs keep the per-processor dependency chains
+that make the batched simulation kernel's fast path provable.
+"""
+
+from __future__ import annotations
+
+from repro.emulator.program import (
+    CpuCompute,
+    DeviceSync,
+    RankProgram,
+    Threads,
+)
+from repro.emulator.program_builder import (
+    _DATA_LOADER_US,
+    _ITERATION_END_US,
+    ProgramEmitter,
+    _RankContext,
+)
+from repro.hardware.cluster import ClusterSpec
+from repro.kernels.registry import KernelCostModel
+from repro.workload.inference import (
+    InferenceConfig,
+    decode_embedding_ops,
+    decode_head_ops,
+    decode_layer_ops,
+    prefill_embedding_ops,
+    prefill_head_ops,
+    prefill_layer_ops,
+    validate_tp_for_model,
+)
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+
+_TOKENIZE_US = 350.0
+_PREFILL_PYTHON_US = 80.0
+_DECODE_PYTHON_US = 45.0
+
+
+class InferenceProgramBuilder(ProgramEmitter):
+    """Expands an inference workload configuration into per-rank programs."""
+
+    # Decode is launch-bound, so the wrapper-op / runtime-call split must
+    # survive the graph builder's wrapper-dropping (see ProgramEmitter):
+    # fold the whole launch cost into the runtime call.
+    launch_op_us = 0.0
+    launch_call_us = ProgramEmitter.launch_op_us + ProgramEmitter.launch_call_us
+
+    def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
+                 inference: InferenceConfig, cluster: ClusterSpec | None = None,
+                 cost_model: KernelCostModel | None = None) -> None:
+        parallel.validate_for_inference()
+        validate_tp_for_model(model, parallel.tp)
+        if cluster is None:
+            cluster = ClusterSpec.for_world_size(parallel.world_size)
+        if parallel.world_size > cluster.num_gpus:
+            raise ValueError(
+                f"configuration {parallel.label()} needs {parallel.world_size} GPUs "
+                f"but the cluster has {cluster.num_gpus}"
+            )
+        self.model = model
+        self.parallel = parallel
+        self.inference = inference
+        self.cluster = cluster
+        self.cost = cost_model or KernelCostModel(cluster)
+        self.groups = parallel.groups()
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.inference.dtype_bytes
+
+    # -- public API -----------------------------------------------------------
+
+    def build(self) -> dict[int, RankProgram]:
+        """Build the program of the one representative serving rank."""
+        return {0: self._build_rank(0)}
+
+    # -- per-rank construction ------------------------------------------------
+
+    def _build_rank(self, rank: int) -> RankProgram:
+        context = _RankContext(rank=rank, stage=0,
+                               program=RankProgram(rank=rank, stage=0))
+        program = context.program
+        program.append(CpuCompute(thread=Threads.MAIN, name="request_batch_next",
+                                  duration_us=_DATA_LOADER_US, phase="other"))
+        program.append(CpuCompute(thread=Threads.MAIN, name="tokenize_prompts",
+                                  duration_us=_TOKENIZE_US, phase="other"))
+        self._emit_prefill(context)
+        for step in range(self.inference.decode_length):
+            self._emit_decode_step(context, step)
+        program.append(DeviceSync(thread=Threads.MAIN))
+        program.append(CpuCompute(thread=Threads.MAIN, name="detokenize_responses",
+                                  duration_us=_ITERATION_END_US, phase="other"))
+        return program
+
+    def _emit_prefill(self, context: _RankContext) -> None:
+        program = context.program
+        program.append(CpuCompute(thread=Threads.MAIN, name="python_prefill_step",
+                                  duration_us=_PREFILL_PYTHON_US, phase="prefill"))
+        for op in prefill_embedding_ops(self.model, self.parallel, self.inference):
+            self._launch_compute(context, op, layer=None, microbatch=0,
+                                 thread=Threads.MAIN)
+        for layer in range(self.model.n_layers):
+            for op in prefill_layer_ops(self.model, self.parallel, self.inference):
+                self._launch_op(context, op, layer=layer, microbatch=0,
+                                thread=Threads.MAIN)
+        for op in prefill_head_ops(self.model, self.parallel, self.inference):
+            self._launch_op(context, op, layer=None, microbatch=0,
+                            thread=Threads.MAIN)
+
+    def _emit_decode_step(self, context: _RankContext, step: int) -> None:
+        """One autoregressive step; ``microbatch`` carries the step index."""
+        program = context.program
+        program.append(CpuCompute(thread=Threads.MAIN, name="python_decode_step",
+                                  duration_us=_DECODE_PYTHON_US, phase="decode"))
+        for op in decode_embedding_ops(self.model, self.parallel, self.inference, step):
+            self._launch_compute(context, op, layer=None, microbatch=step,
+                                 thread=Threads.MAIN)
+        for layer in range(self.model.n_layers):
+            for op in decode_layer_ops(self.model, self.parallel, self.inference, step):
+                self._launch_op(context, op, layer=layer, microbatch=step,
+                                thread=Threads.MAIN)
+        for op in decode_head_ops(self.model, self.parallel, self.inference, step):
+            self._launch_op(context, op, layer=None, microbatch=step,
+                            thread=Threads.MAIN)

@@ -42,7 +42,10 @@ class KernelIntent:
     ``duration_us`` is the jitter-free base duration from the kernel cost
     model; the executor applies the noise model on top.  ``comm_key``
     identifies cross-rank collective instances (point-to-point pairs) that
-    the executor must align in time.
+    the executor must align in time.  ``flops`` / ``bytes_accessed`` carry
+    the analytical inputs of kernels whose shape is not recoverable from
+    the kernel name (decode attention), so trace-driven calibration can
+    re-predict them.
     """
 
     name: str
@@ -54,6 +57,8 @@ class KernelIntent:
     group_ranks: tuple[int, ...] = ()
     comm_key: str | None = None
     size_bytes: float = 0.0
+    flops: float = 0.0
+    bytes_accessed: float = 0.0
     layer: int | None = None
     microbatch: int | None = None
     phase: str | None = None

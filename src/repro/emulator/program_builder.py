@@ -80,7 +80,111 @@ class _RankContext:
         return self.next_event_id
 
 
-class ProgramBuilder:
+class ProgramEmitter:
+    """Shared kernel-launch emission for workload program builders.
+
+    Subclasses (the training :class:`ProgramBuilder` and the serving
+    :class:`~repro.emulator.inference_builder.InferenceProgramBuilder`)
+    provide ``self.cost`` (a kernel cost model), ``self.groups``
+    (communicator groups) and :attr:`dtype_bytes`; the emitter turns
+    :class:`~repro.workload.operators.OpSpec` lists into launch
+    instructions with the tensor-parallel fencing both workloads share.
+    """
+
+    cost: KernelCostModel
+    groups: object  # CommunicatorGroups
+
+    #: How each launch's CPU cost is split between the framework operator
+    #: and the ``cudaLaunchKernel`` runtime call.  The graph builder keeps
+    #: only the runtime event (dropping the wrapper op, as real Kineto
+    #: consumers must to avoid double-counting), so launch-bound workloads
+    #: (autoregressive decode) fold the whole cost into the runtime call
+    #: to keep the trace representation lossless.
+    launch_op_us = _CPU_OP_US
+    launch_call_us = _CPU_LAUNCH_US
+
+    @property
+    def dtype_bytes(self) -> int:
+        raise NotImplementedError
+
+    def _launch_op(self, context: _RankContext, op: OpSpec, layer: int | None,
+                   microbatch: int | None, thread: int) -> None:
+        """Launch a compute or tensor-parallel communication op."""
+        if op.is_communication:
+            self._launch_tp_comm(context, op, layer=layer, microbatch=microbatch, thread=thread)
+        else:
+            self._launch_compute(context, op, layer=layer, microbatch=microbatch, thread=thread)
+
+    def _launch_compute(self, context: _RankContext, op: OpSpec, layer: int | None,
+                        microbatch: int | None, thread: int) -> None:
+        duration = self.cost.duration_us(op, dtype_bytes=self.dtype_bytes)
+        # Decode-attention shapes are not recoverable from the kernel name
+        # (unlike GEMM m/n/k), so carry the analytical inputs on the intent
+        # for trace-driven calibration.
+        carry_shape = op.op_class == OpClass.DECODE_ATTENTION
+        kernel = KernelIntent(
+            name=self._kernel_name(op),
+            stream=Streams.COMPUTE,
+            duration_us=duration,
+            op_class=op.op_class,
+            flops=op.flops if carry_shape else 0.0,
+            bytes_accessed=op.bytes_accessed if carry_shape else 0.0,
+            layer=layer,
+            microbatch=microbatch,
+            phase=op.metadata.get("phase"),
+            op_name=op.name,
+        )
+        context.program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                            op_duration_us=self.launch_op_us,
+                                            launch_duration_us=self.launch_call_us))
+
+    def _launch_tp_comm(self, context: _RankContext, op: OpSpec, layer: int | None,
+                        microbatch: int | None, thread: int) -> None:
+        """Tensor-parallel collective: fenced against compute in both directions."""
+        assert op.collective is not None
+        group_ranks = self.groups.tp_group(context.rank).ranks
+        duration = self.cost.duration_us(op, dtype_bytes=self.dtype_bytes,
+                                         group_ranks=group_ranks)
+        kernel = KernelIntent(
+            name=self._kernel_name(op),
+            stream=Streams.TP_COMM,
+            duration_us=duration,
+            op_class=OpClass.COMM,
+            collective=op.collective.kind,
+            group="tp",
+            group_ranks=group_ranks,
+            size_bytes=op.collective.size_bytes,
+            layer=layer,
+            microbatch=microbatch,
+            phase=op.metadata.get("phase"),
+            op_name=op.name,
+        )
+        program = context.program
+        produce = context.new_event()
+        program.append(EventRecord(thread=thread, stream=Streams.COMPUTE, event_id=produce))
+        program.append(StreamWaitEvent(thread=thread, stream=Streams.TP_COMM, event_id=produce))
+        program.append(LaunchKernel(thread=thread, kernel=kernel,
+                                    op_duration_us=self.launch_op_us,
+                                    launch_duration_us=self.launch_call_us))
+        consume = context.new_event()
+        program.append(EventRecord(thread=thread, stream=Streams.TP_COMM, event_id=consume))
+        program.append(StreamWaitEvent(thread=thread, stream=Streams.COMPUTE, event_id=consume))
+
+    def _kernel_name(self, op: OpSpec) -> str:
+        if op.is_communication:
+            assert op.collective is not None
+            return (f"ncclDevKernel_{op.collective.kind.title().replace('_', '')}"
+                    f"_Sum_bf16_RING({op.collective.group}:{op.name})")
+        if op.op_class == OpClass.GEMM:
+            return f"sm90_xmma_gemm_bf16_{op.name}_m{op.m}_n{op.n}_k{op.k}"
+        if op.op_class == OpClass.ATTENTION:
+            return f"flash::{op.name}"
+        if op.op_class == OpClass.DECODE_ATTENTION:
+            return f"flash_decoding::{op.name}_ctx{op.n}"
+        return f"vectorized_{op.op_class}_kernel({op.name})"
+
+
+class ProgramBuilder(ProgramEmitter):
     """Expands a workload configuration into per-rank programs."""
 
     def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
@@ -100,6 +204,10 @@ class ProgramBuilder:
         self.cluster = cluster
         self.cost = cost_model or KernelCostModel(cluster)
         self.groups = parallel.groups()
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.training.dtype_bytes
 
     # -- public API -----------------------------------------------------------
 
@@ -236,63 +344,7 @@ class ProgramBuilder:
                                   duration_us=_ITERATION_END_US, phase="other"))
 
     # -- instruction helpers ---------------------------------------------------
-
-    def _launch_op(self, context: _RankContext, op: OpSpec, layer: int | None,
-                   microbatch: int | None, thread: int) -> None:
-        """Launch a compute or tensor-parallel communication op."""
-        if op.is_communication:
-            self._launch_tp_comm(context, op, layer=layer, microbatch=microbatch, thread=thread)
-        else:
-            self._launch_compute(context, op, layer=layer, microbatch=microbatch, thread=thread)
-
-    def _launch_compute(self, context: _RankContext, op: OpSpec, layer: int | None,
-                        microbatch: int | None, thread: int) -> None:
-        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes)
-        kernel = KernelIntent(
-            name=self._kernel_name(op),
-            stream=Streams.COMPUTE,
-            duration_us=duration,
-            op_class=op.op_class,
-            layer=layer,
-            microbatch=microbatch,
-            phase=op.metadata.get("phase"),
-            op_name=op.name,
-        )
-        context.program.append(LaunchKernel(thread=thread, kernel=kernel,
-                                            op_duration_us=_CPU_OP_US,
-                                            launch_duration_us=_CPU_LAUNCH_US))
-
-    def _launch_tp_comm(self, context: _RankContext, op: OpSpec, layer: int | None,
-                        microbatch: int | None, thread: int) -> None:
-        """Tensor-parallel collective: fenced against compute in both directions."""
-        assert op.collective is not None
-        group_ranks = self.groups.tp_group(context.rank).ranks
-        duration = self.cost.duration_us(op, dtype_bytes=self.training.dtype_bytes,
-                                         group_ranks=group_ranks)
-        kernel = KernelIntent(
-            name=self._kernel_name(op),
-            stream=Streams.TP_COMM,
-            duration_us=duration,
-            op_class=OpClass.COMM,
-            collective=op.collective.kind,
-            group="tp",
-            group_ranks=group_ranks,
-            size_bytes=op.collective.size_bytes,
-            layer=layer,
-            microbatch=microbatch,
-            phase=op.metadata.get("phase"),
-            op_name=op.name,
-        )
-        program = context.program
-        produce = context.new_event()
-        program.append(EventRecord(thread=thread, stream=Streams.COMPUTE, event_id=produce))
-        program.append(StreamWaitEvent(thread=thread, stream=Streams.TP_COMM, event_id=produce))
-        program.append(LaunchKernel(thread=thread, kernel=kernel,
-                                    op_duration_us=_CPU_OP_US,
-                                    launch_duration_us=_CPU_LAUNCH_US))
-        consume = context.new_event()
-        program.append(EventRecord(thread=thread, stream=Streams.TP_COMM, event_id=consume))
-        program.append(StreamWaitEvent(thread=thread, stream=Streams.COMPUTE, event_id=consume))
+    # (_launch_op / _launch_compute / _launch_tp_comm come from ProgramEmitter)
 
     def _emit_dp_bucket(self, context: _RankContext, bucket_index: int, size_bytes: float,
                         thread: int) -> None:
@@ -375,15 +427,3 @@ class ProgramBuilder:
             program.append(EventRecord(thread=thread, stream=stream, event_id=consume))
             program.append(StreamWaitEvent(thread=thread, stream=Streams.COMPUTE, event_id=consume))
 
-    # -- naming -----------------------------------------------------------------
-
-    def _kernel_name(self, op: OpSpec) -> str:
-        if op.is_communication:
-            assert op.collective is not None
-            return (f"ncclDevKernel_{op.collective.kind.title().replace('_', '')}"
-                    f"_Sum_bf16_RING({op.collective.group}:{op.name})")
-        if op.op_class == OpClass.GEMM:
-            return f"sm90_xmma_gemm_bf16_{op.name}_m{op.m}_n{op.n}_k{op.k}"
-        if op.op_class == OpClass.ATTENTION:
-            return f"flash::{op.name}"
-        return f"vectorized_{op.op_class}_kernel({op.name})"

@@ -10,6 +10,7 @@ introduced by graph manipulation.
 
 from repro.kernels.gemm import gemm_time_us
 from repro.kernels.attention import attention_time_us
+from repro.kernels.decode import decode_attention_time_us
 from repro.kernels.memory_bound import memory_bound_time_us
 from repro.kernels.collectives import collective_time_us, point_to_point_time_us
 from repro.kernels.registry import KernelCostModel
@@ -17,6 +18,7 @@ from repro.kernels.registry import KernelCostModel
 __all__ = [
     "gemm_time_us",
     "attention_time_us",
+    "decode_attention_time_us",
     "memory_bound_time_us",
     "collective_time_us",
     "point_to_point_time_us",

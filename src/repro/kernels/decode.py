@@ -1,0 +1,31 @@
+"""Cost model for autoregressive decode-attention kernels.
+
+During decode each request contributes a single query token that attends
+over its accumulated KV cache, so the kernel's work is dominated by
+*streaming the cache out of HBM once* — a flash-decoding style sweep —
+rather than by tensor-core math.  The model is a roofline over the
+kernel's KV traffic at a high achievable bandwidth fraction (the cache is
+read contiguously) and its FLOPs at a low compute efficiency (batch-of-one
+matrix-vector products cannot fill the tensor cores).
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gpu import GPUSpec
+
+#: Fraction of peak HBM bandwidth a contiguous KV-cache sweep achieves.
+KV_BANDWIDTH_EFFICIENCY = 0.80
+
+#: Fraction of peak tensor-core throughput the skinny attention math achieves.
+DECODE_COMPUTE_EFFICIENCY = 0.25
+
+
+def decode_attention_time_us(flops: float, bytes_accessed: float, gpu: GPUSpec,
+                             bandwidth_efficiency: float = KV_BANDWIDTH_EFFICIENCY,
+                             compute_efficiency: float = DECODE_COMPUTE_EFFICIENCY) -> float:
+    """Duration of a decode-attention kernel over ``bytes_accessed`` of KV traffic."""
+    if flops < 0 or bytes_accessed < 0:
+        raise ValueError("flops and bytes_accessed must be non-negative")
+    memory_us = bytes_accessed / (gpu.memory_bytes_per_us * bandwidth_efficiency)
+    compute_us = flops / (gpu.bf16_flops_per_us * compute_efficiency)
+    return max(memory_us, compute_us) + gpu.kernel_fixed_overhead_us

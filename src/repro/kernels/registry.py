@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.hardware.cluster import ClusterSpec
 from repro.kernels.attention import attention_time_us
 from repro.kernels.collectives import collective_time_us, point_to_point_time_us
+from repro.kernels.decode import decode_attention_time_us
 from repro.kernels.gemm import gemm_time_us
 from repro.kernels.memory_bound import memory_bound_time_us
 from repro.workload.operators import CollectiveKind, OpClass, OpSpec
@@ -24,11 +25,15 @@ class KernelCostModel:
         Achievable fraction of peak tensor-core throughput for large GEMMs.
     attention_efficiency:
         Achievable fraction of peak for fused attention kernels.
+    decode_bandwidth_efficiency:
+        Achievable fraction of peak HBM bandwidth for decode-attention
+        KV-cache sweeps.
     """
 
     cluster: ClusterSpec
     gemm_peak_efficiency: float = 0.62
     attention_efficiency: float = 0.45
+    decode_bandwidth_efficiency: float = 0.80
 
     def duration_us(self, op: OpSpec, dtype_bytes: int = 2,
                     group_ranks: tuple[int, ...] | None = None) -> float:
@@ -56,6 +61,10 @@ class KernelCostModel:
         if op.op_class == OpClass.ATTENTION:
             return attention_time_us(op.flops, op.bytes_accessed, gpu,
                                      efficiency=self.attention_efficiency)
+        if op.op_class == OpClass.DECODE_ATTENTION:
+            return decode_attention_time_us(
+                op.flops, op.bytes_accessed, gpu,
+                bandwidth_efficiency=self.decode_bandwidth_efficiency)
         if op.op_class in OpClass.COMPUTE_CLASSES:
             return memory_bound_time_us(op.bytes_accessed, gpu, op_class=op.op_class)
         raise ValueError(f"unknown op class '{op.op_class}' for op '{op.name}'")

@@ -28,9 +28,11 @@ from repro.sweep.hashing import hash_json, hash_trace_bundle
 from repro.sweep.spec import (
     ScenarioSpec,
     SweepSpec,
+    SweepSpecError,
     scenario_cache_key,
 )
 from repro.trace.kineto import TraceBundle
+from repro.workload.model_config import gpt3_model
 
 
 @dataclass(frozen=True)
@@ -193,7 +195,8 @@ def _study_for(bundle: TraceBundle, spec: SweepSpec) -> Study:
     """Open a study over the base trace — the once-per-sweep shared work."""
     return Study.from_trace(bundle, model=spec.base_model,
                             parallelism=spec.base_parallelism,
-                            training=spec.training())
+                            training=spec.training(),
+                            inference=spec.inference)
 
 
 def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
@@ -225,6 +228,18 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
     spec.validate()
     if study is not None:
         study.ensure_matches(spec)
+    elif spec.inference is not None:
+        # A serving base may use a non-registry model when a caller-owned
+        # study supplies the ModelConfig; standalone the runner can only
+        # rebuild registry models, so fail here with the cause instead of
+        # deep inside Study.from_trace.
+        try:
+            gpt3_model(spec.base_model)
+        except KeyError as exc:
+            raise SweepSpecError(
+                f"serving base model '{spec.base_model}' is not in the GPT-3 "
+                "registry; run this spec through Study.sweep on a study "
+                "opened with the custom ModelConfig") from exc
     scenarios = spec.expand()
 
     # Content hashing walks the full trace bundle, so only pay for it when

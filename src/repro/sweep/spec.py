@@ -20,8 +20,22 @@ Specs are plain JSON on disk::
       "include_baseline": true
     }
 
-Tensor-parallelism targets are rejected up front: the paper (and
-``repro.core.manipulation``) does not support modifying TP.
+Tensor-parallelism targets of training bases are rejected up front: the
+paper (and ``repro.core.manipulation``) does not support modifying TP of a
+training iteration.
+
+A spec whose base records an ``inference`` configuration sweeps a
+*serving* episode instead; its configuration axis is ``serving`` (compact
+``batch=/prompt=/tp=`` labels — serving TP resharding *is* supported,
+because the serving graph is topology-invariant under it)::
+
+    {
+      "base": {"model": "gpt3-15b", "parallelism": "4x1x1",
+               "inference": {"batch_size": 8, "prompt_length": 512,
+                             "decode_length": 64}},
+      "serving": ["batch=16", "batch=32", "tp=2,batch=16"],
+      "whatif": [{"kind": "kernel_class", "op_class": "decode_attention"}]
+    }
 """
 
 from __future__ import annotations
@@ -39,6 +53,12 @@ from repro.core.manipulation import (
     KIND_ARCHITECTURE,
     KIND_BASELINE,
     KIND_PARALLELISM,
+    KIND_SERVING,
+)
+from repro.workload.inference import (
+    InferenceConfig,
+    ServingTarget,
+    validate_tp_for_model,
 )
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
@@ -175,10 +195,18 @@ class SweepSpec:
     base_parallelism: str = "2x2x4"
     micro_batch_size: int = 2
     num_microbatches: int = 4
+    #: A serving-episode base; set to sweep ``serving`` targets instead of
+    #: training manipulations.
+    inference: InferenceConfig | None = None
     parallelism: tuple[str, ...] = ()
     models: tuple[str, ...] = ()
+    serving: tuple[str, ...] = ()
     whatif: tuple[WhatIfSpec, ...] = ()
     include_baseline: bool = True
+
+    @property
+    def workload(self) -> str:
+        return "training" if self.inference is None else "serving"
 
     # -- construction -------------------------------------------------------
 
@@ -187,14 +215,24 @@ class SweepSpec:
         base = payload.get("base", {})
         if not isinstance(base, Mapping):
             raise SweepSpecError("'base' must be an object")
+        inference = base.get("inference")
+        if inference is not None and not isinstance(inference, InferenceConfig):
+            if not isinstance(inference, Mapping):
+                raise SweepSpecError("'base.inference' must be an object")
+            try:
+                inference = InferenceConfig.from_json(inference)
+            except (TypeError, ValueError) as error:
+                raise SweepSpecError(f"malformed inference base: {error}") from error
         try:
             return cls(
                 base_model=str(base.get("model", cls.base_model)),
                 base_parallelism=str(base.get("parallelism", cls.base_parallelism)),
                 micro_batch_size=int(base.get("micro_batch_size", cls.micro_batch_size)),
                 num_microbatches=int(base.get("num_microbatches", cls.num_microbatches)),
+                inference=inference,
                 parallelism=tuple(str(p) for p in payload.get("parallelism", ())),
                 models=tuple(str(m) for m in payload.get("models", ())),
+                serving=tuple(str(s) for s in payload.get("serving", ())),
                 whatif=tuple(WhatIfSpec.from_json(w) for w in payload.get("whatif", ())),
                 include_baseline=bool(payload.get("include_baseline", True)),
             )
@@ -226,21 +264,29 @@ class SweepSpec:
     # -- serialisation ------------------------------------------------------
 
     def base_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "model": self.base_model,
             "parallelism": self.base_parallelism,
             "micro_batch_size": self.micro_batch_size,
             "num_microbatches": self.num_microbatches,
         }
+        # Only serving bases carry the extra key, so training cache keys
+        # (hashes of this payload) are unchanged by the workload family.
+        if self.inference is not None:
+            payload["inference"] = self.inference.to_json()
+        return payload
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "base": self.base_json(),
             "parallelism": list(self.parallelism),
             "models": list(self.models),
             "whatif": [w.to_json() for w in self.whatif],
             "include_baseline": self.include_baseline,
         }
+        if self.serving:
+            payload["serving"] = list(self.serving)
+        return payload
 
     def save(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps(self.to_json(), indent=2), encoding="utf-8")
@@ -258,21 +304,61 @@ class SweepSpec:
 
     def validate(self) -> None:
         """Reject unsupported or inconsistent specs before any work happens."""
-        base_model = _known_model(self.base_model)
         base_parallel = _parsed_label(self.base_parallelism)
-        for label in self.parallelism:
-            target = _parsed_label(label)
-            if target.tp != base_parallel.tp:
+        if self.inference is not None:
+            # Serving manipulation regenerates operators from the study's
+            # own ModelConfig, so the base model need not be in the GPT-3
+            # registry (tiny test models, custom deployments).
+            if self.parallelism or self.models:
                 raise SweepSpecError(
-                    f"target parallelism {label} changes tensor parallelism "
-                    f"(base TP={base_parallel.tp}); TP modifications are not "
-                    "supported by graph manipulation")
+                    "a serving-base spec sweeps 'serving' targets; the "
+                    "'parallelism' and 'models' axes apply to training bases")
             try:
-                target.validate_for_model(base_model.n_layers)
+                base_parallel.validate_for_inference()
             except ValueError as error:
                 raise SweepSpecError(str(error)) from error
-        for name in self.models:
-            _known_model(name)
+            try:
+                # Resolvable base models get their TP targets checked up
+                # front; custom models (only reachable through Study.sweep)
+                # are checked at evaluation time against the study's own
+                # ModelConfig.
+                serving_base_model = gpt3_model(self.base_model)
+            except KeyError:
+                serving_base_model = None
+            for label in self.serving:
+                try:
+                    target = ServingTarget.parse(label)
+                except ValueError as error:
+                    raise SweepSpecError(str(error)) from error
+                tp = target.tensor_parallel
+                if tp is not None and tp > base_parallel.tp == 1:
+                    raise SweepSpecError(
+                        f"serving target '{label}' reshards a TP=1 base to "
+                        f"TP={tp}; emulate a TP>1 base episode instead")
+                if tp is not None and serving_base_model is not None:
+                    try:
+                        validate_tp_for_model(serving_base_model, tp)
+                    except ValueError as error:
+                        raise SweepSpecError(str(error)) from error
+        else:
+            if self.serving:
+                raise SweepSpecError(
+                    "the 'serving' axis requires an inference base "
+                    "(set base.inference in the spec)")
+            base_model = _known_model(self.base_model)
+            for label in self.parallelism:
+                target = _parsed_label(label)
+                if target.tp != base_parallel.tp:
+                    raise SweepSpecError(
+                        f"target parallelism {label} changes tensor parallelism "
+                        f"(base TP={base_parallel.tp}); TP modifications are not "
+                        "supported by graph manipulation")
+                try:
+                    target.validate_for_model(base_model.n_layers)
+                except ValueError as error:
+                    raise SweepSpecError(str(error)) from error
+            for name in self.models:
+                _known_model(name)
         if not self.expand():
             raise SweepSpecError("sweep spec expands to zero scenarios")
 
@@ -285,6 +371,8 @@ class SweepSpec:
             configs.append((KIND_PARALLELISM, label))
         for name in self.models:
             configs.append((KIND_ARCHITECTURE, name))
+        for label in self.serving:
+            configs.append((KIND_SERVING, ServingTarget.parse(label).label()))
         seen: set[tuple[str, str]] = set()
         unique = []
         for config in configs:

@@ -8,6 +8,16 @@ from repro.workload.model_config import (
 )
 from repro.workload.parallelism import ParallelismConfig
 from repro.workload.training import TrainingConfig
+from repro.workload.inference import (
+    InferenceConfig,
+    ServingTarget,
+    decode_embedding_ops,
+    decode_head_ops,
+    decode_layer_ops,
+    prefill_embedding_ops,
+    prefill_head_ops,
+    prefill_layer_ops,
+)
 from repro.workload.operators import (
     CollectiveSpec,
     OpSpec,
@@ -35,6 +45,14 @@ __all__ = [
     "gpt3_model",
     "ParallelismConfig",
     "TrainingConfig",
+    "InferenceConfig",
+    "ServingTarget",
+    "prefill_embedding_ops",
+    "prefill_layer_ops",
+    "prefill_head_ops",
+    "decode_embedding_ops",
+    "decode_layer_ops",
+    "decode_head_ops",
     "OpSpec",
     "CollectiveSpec",
     "layer_forward_ops",

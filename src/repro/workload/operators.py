@@ -28,6 +28,7 @@ class OpClass:
 
     GEMM = "gemm"
     ATTENTION = "attention"
+    DECODE_ATTENTION = "decode_attention"
     LAYERNORM = "layernorm"
     ELEMENTWISE = "elementwise"
     GELU = "gelu"
@@ -39,8 +40,8 @@ class OpClass:
     COMM = "comm"
 
     COMPUTE_CLASSES = frozenset({
-        GEMM, ATTENTION, LAYERNORM, ELEMENTWISE, GELU, DROPOUT, SOFTMAX,
-        EMBEDDING, CROSS_ENTROPY, OPTIMIZER,
+        GEMM, ATTENTION, DECODE_ATTENTION, LAYERNORM, ELEMENTWISE, GELU,
+        DROPOUT, SOFTMAX, EMBEDDING, CROSS_ENTROPY, OPTIMIZER,
     })
 
 

@@ -74,3 +74,18 @@ class ParallelismConfig:
             raise ValueError(
                 f"pipeline parallelism {self.pp} exceeds the number of layers {n_layers}"
             )
+
+    def validate_for_inference(self) -> None:
+        """Check the configuration is usable for autoregressive serving.
+
+        Decode generates one token at a time, so pipeline stages would
+        serialise on the token loop and leave ``pp - 1`` stages idle per
+        step; the inference workload family therefore supports only
+        tensor parallelism (plus independent data-parallel replicas).
+        """
+        if self.pp > 1:
+            raise ValueError(
+                f"pipeline parallelism {self.pp} is not supported for inference: "
+                "autoregressive decode serialises pipeline stages on the token "
+                "loop; use tensor parallelism (TPx1xDP) instead"
+            )

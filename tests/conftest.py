@@ -8,6 +8,7 @@ paper-scale models are exercised by the benchmark harness.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,18 @@ from repro.workload.training import TrainingConfig
 
 
 GOLDENS_DIR = Path(__file__).parent / "goldens"
+
+#: Hypothesis example-budget multipliers per profile.  Property tests pass
+#: their per-test budget through :func:`hyp_max_examples`, so the nightly
+#: workflow (``REPRO_HYPOTHESIS_PROFILE=nightly``) runs every strategy
+#: several times harder without touching the fast default runs.
+_HYPOTHESIS_PROFILES = {"ci": 1, "nightly": 5}
+
+
+def hyp_max_examples(n: int) -> int:
+    """``max_examples`` for one property test under the active profile."""
+    profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE", "ci")
+    return n * _HYPOTHESIS_PROFILES.get(profile, 1)
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:

@@ -37,6 +37,7 @@ from repro.core.whatif import (
     evaluate_scenarios,
     scenario_for,
 )
+from tests.conftest import hyp_max_examples
 from tests.test_engine import cpu, gpu, random_graphs
 
 #: Duration-scaling factors applied per task to build scenario matrices;
@@ -268,7 +269,7 @@ def _matrices(compiled, data: st.DataObject, rows: int = 3) -> np.ndarray:
 
 
 class TestPropertyDifferential:
-    @settings(max_examples=120, deadline=None)
+    @settings(max_examples=hyp_max_examples(120), deadline=None)
     @given(random_graphs(), st.data())
     def test_random_graphs_batch_like_sequential(self, graph, data):
         """Raw random DAGs: mostly the fallback path, occasionally batched."""
@@ -285,7 +286,7 @@ class TestPropertyDifferential:
         for row, starts in enumerate(expected):
             assert np.array_equal(run.starts[row], starts)
 
-    @settings(max_examples=120, deadline=None)
+    @settings(max_examples=hyp_max_examples(120), deadline=None)
     @given(random_graphs(), st.data())
     def test_chained_random_graphs_batch_like_sequential(self, graph, data):
         """Chained random DAGs: the builder invariant, vectorized path."""
@@ -303,7 +304,7 @@ class TestPropertyDifferential:
         for row, starts in enumerate(expected):
             assert np.array_equal(run.starts[row], starts)
 
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     @given(random_graphs(),
            st.floats(min_value=0.0, max_value=1e6,
                      allow_nan=False, allow_infinity=False))
@@ -320,6 +321,62 @@ class TestPropertyDifferential:
         run = session.run_batch(matrix, start_time=start_time)
         for row, starts in enumerate(expected):
             assert np.array_equal(run.starts[row], starts)
+
+
+class TestServingGraphBatching:
+    """Decode-step graphs must take the vectorized fast path, bit-identically.
+
+    This is the proof the sweep runner relies on: serving sweep groups are
+    evaluated through ``run_batch``, so the inference builder's graphs must
+    be *provably* duration-independent (per-processor chains, no mid-episode
+    partial syncs) and the batched times must equal sequential replays
+    exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def serving_graph(self):
+        from repro.core.graph_builder import GraphBuilder
+        from repro.emulator.api import emulate
+        from repro.workload.inference import InferenceConfig
+        from repro.workload.parallelism import ParallelismConfig
+        from tests.conftest import tiny_model
+
+        result = emulate(tiny_model(), ParallelismConfig(tensor_parallel=2),
+                         inference=InferenceConfig(batch_size=4, prompt_length=128,
+                                                   decode_length=3),
+                         iterations=1, seed=13)
+        return GraphBuilder().build(result.profiled)
+
+    def test_decode_graph_is_provably_batchable(self, serving_graph):
+        plan = compile_batch_plan(compile_graph(serving_graph))
+        assert plan.n_levels > 0
+
+    def test_decode_graph_batches_bit_identically(self, serving_graph):
+        compiled = compile_graph(serving_graph)
+        batch = assert_batch_identical(serving_graph, scenario_matrix(compiled, 16))
+        assert batch.batchable
+        assert batch.fallback_reason is None
+
+    def test_decode_batch_run_takes_the_fast_path(self, serving_graph):
+        compiled = compile_graph(serving_graph)
+        session = SimulationSession(compiled)
+        run = session.run_batch(scenario_matrix(compiled, 8))
+        assert run.batched
+
+    def test_serving_whatif_scenarios_match_individual_evaluation(self, serving_graph):
+        scenarios = [
+            scenario_for("kernel_class", op_class="decode_attention", speedup=2.0),
+            scenario_for("kernel_class", op_class="gemm", speedup=2.0),
+            scenario_for("communication", group="tp", speedup=3.0),
+            scenario_for("launch_overhead"),
+        ]
+        batched = evaluate_scenarios(serving_graph, scenarios)
+        for scenario, result in zip(scenarios, batched):
+            alone = evaluate_scenario(serving_graph, scenario.name,
+                                      scenario.predicate, scenario.speedup)
+            assert result == alone
+        decode_attn = batched[0]
+        assert decode_attn.affected_tasks > 0
 
 
 class TestWhatIfBatching:

@@ -114,7 +114,8 @@ class TestCommands:
             "--parallelism", "2x2x2",
         ])
         err = capsys.readouterr().err
-        assert "predict requires --target-parallelism or --target-model" in err
+        assert ("predict requires exactly one of --target-parallelism, "
+                "--target-model or --target-serving") in err
         assert "usage:" in err
 
     def test_predict_rejects_tensor_parallelism_change(self, trace_directory, capsys):
@@ -169,7 +170,7 @@ class TestCommands:
     def test_sweep_without_axes_errors(self, trace_directory, capsys):
         assert main(["sweep", "--trace", str(trace_directory)]) == 2
         err = capsys.readouterr().err
-        assert "sweep requires --spec, --targets or --target-models" in err
+        assert "sweep requires --spec, --targets, --target-models or --serving" in err
         assert "usage:" in err
 
     def test_sweep_reports_bad_whatif_cleanly(self, trace_directory, capsys):
@@ -209,3 +210,92 @@ class TestCommands:
         ])
         assert code == 2
         assert "tensor parallelism" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def serving_trace_directory(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("serving") / "bundle"
+    exit_code = main([
+        "emulate", "--workload", "serving", "--model", "gpt3-15b",
+        "--parallelism", "2x1x1", "--requests", "2", "--prompt-length", "64",
+        "--decode-length", "2", "--iterations", "1", "--output", str(directory),
+    ])
+    assert exit_code == 0
+    return directory
+
+
+class TestServingCommands:
+    def test_emulate_serving_writes_bundle(self, serving_trace_directory, capsys):
+        assert (serving_trace_directory / "manifest.json").exists()
+
+    def test_emulate_serving_rejects_pipeline_parallelism(self, tmp_path, capsys):
+        code = main(["emulate", "--workload", "serving", "--parallelism", "2x2x1",
+                     "--output", str(tmp_path / "x")])
+        assert code == 2
+        assert "pipeline parallelism" in capsys.readouterr().err
+
+    def test_emulate_serving_rejects_non_dividing_tp(self, tmp_path, capsys):
+        # Raised inside the builder, not the pre-check: still exit 2.
+        code = main(["emulate", "--workload", "serving", "--parallelism", "3x1x1",
+                     "--output", str(tmp_path / "x")])
+        assert code == 2
+        assert "does not divide" in capsys.readouterr().err
+
+    def test_predict_serving_target(self, serving_trace_directory, capsys):
+        code = main(["predict", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target-serving", "batch=4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted batch=4" in out
+        assert "base replay" in out
+
+    def test_predict_rejects_two_targets(self, serving_trace_directory, capsys):
+        code = main(["predict", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target-serving", "batch=4", "--target-model", "gpt3-v1"])
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_predict_serving_on_training_trace_errors(self, trace_directory, capsys):
+        code = main(["predict", "--trace", str(trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x2x2",
+                     "--micro-batch-size", "1", "--num-microbatches", "2",
+                     "--target-serving", "batch=4"])
+        assert code == 2
+        assert "training iteration" in capsys.readouterr().err
+
+    def test_predict_parallelism_on_serving_trace_errors(self, serving_trace_directory,
+                                                         capsys):
+        code = main(["predict", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target-parallelism", "2x1x2"])
+        assert code == 2
+        assert "serving episode" in capsys.readouterr().err
+
+    def test_predict_malformed_serving_target_errors(self, serving_trace_directory,
+                                                     capsys):
+        code = main(["predict", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target-serving", "decode=4"])
+        assert code == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_sweep_serving_axis(self, serving_trace_directory, capsys):
+        code = main(["sweep", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--serving", "batch=4", "--serving", "tp=1",
+                     "--whatif", "decode_attention:2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch=4" in out
+        assert "tp=1" in out
+        assert "decode_attention x2" in out
+
+    def test_sweep_serving_axis_on_training_trace_errors(self, trace_directory, capsys):
+        code = main(["sweep", "--trace", str(trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x2x2",
+                     "--micro-batch-size", "1", "--num-microbatches", "2",
+                     "--serving", "batch=4"])
+        assert code == 2
+        assert "inference base" in capsys.readouterr().err

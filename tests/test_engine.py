@@ -21,6 +21,7 @@ from repro.core.replay import simulate_graph
 from repro.core.simulator import Simulator
 from repro.core.tasks import DependencyType, Task, TaskKind
 from repro.core.whatif import evaluate_scenario
+from tests.conftest import hyp_max_examples
 from tests.reference_simulator import reference_run
 
 
@@ -199,7 +200,7 @@ def random_graphs(draw):
 
 
 class TestPropertyEquivalence:
-    @settings(max_examples=200, deadline=None)
+    @settings(max_examples=hyp_max_examples(200), deadline=None)
     @given(random_graphs())
     def test_random_graphs_match_seed(self, graph):
         # Random sync/group placement can make a schedule unsatisfiable
@@ -218,7 +219,7 @@ class TestPropertyEquivalence:
             assert run.starts[index] == start
             assert run.durations[index] == duration
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=hyp_max_examples(50), deadline=None)
     @given(random_graphs(), st.floats(min_value=0.0, max_value=1e6,
                                       allow_nan=False, allow_infinity=False))
     def test_random_graphs_match_seed_with_offset(self, graph, start_time):

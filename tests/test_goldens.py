@@ -20,10 +20,13 @@ from __future__ import annotations
 import pytest
 
 from repro.api import Study
+from repro.workload.inference import InferenceConfig
 from repro.workload.training import TrainingConfig
 from tests.conftest import tiny_model
 
-#: The two canned traces: name -> (emulation inputs, prediction targets).
+#: The canned traces: name -> (emulation inputs, prediction targets).
+#: Training cases predict parallelism labels; the serving case predicts
+#: ``batch=/prompt=/tp=`` targets from an emulated inference episode.
 _CASES = {
     "study_tiny_2x2x2": dict(
         model=tiny_model(),
@@ -41,6 +44,14 @@ _CASES = {
         seed=9,
         predict_targets=("1x2x4",),
     ),
+    "study_tiny_serving_2x1x1": dict(
+        model=tiny_model(),
+        parallelism="2x1x1",
+        inference=InferenceConfig(batch_size=8, prompt_length=512,
+                                  decode_length=4),
+        seed=11,
+        serving_targets=("batch=16", "prompt=1024", "tp=1"),
+    ),
 }
 
 
@@ -48,8 +59,9 @@ _CASES = {
 def canned_study(request):
     case = _CASES[request.param]
     study = Study.from_emulation(case["model"], case["parallelism"],
-                                 case["training"], iterations=1,
-                                 seed=case["seed"])
+                                 case.get("training"),
+                                 inference=case.get("inference"),
+                                 iterations=1, seed=case["seed"])
     return request.param, case, study
 
 
@@ -65,8 +77,15 @@ def _snapshot(case: dict, study: Study) -> dict:
         "predict": {},
         "whatif": {},
     }
-    for target in case["predict_targets"]:
+    for target in case.get("predict_targets", ()):
         prediction = study.predict(target)
+        payload["predict"][target] = {
+            "iteration_time_us": prediction.iteration_time_us,
+            "world_size": prediction.world_size,
+            "speedup_vs_base": prediction.speedup_vs_base,
+        }
+    for target in case.get("serving_targets", ()):
+        prediction = study.predict(serving=target)
         payload["predict"][target] = {
             "iteration_time_us": prediction.iteration_time_us,
             "world_size": prediction.world_size,

@@ -71,3 +71,71 @@ class TestMain:
         path = self.write(tmp_path / "empty.json", {})
         with pytest.raises(ValueError):
             load_metrics(path)
+
+
+class TestSummary:
+    def write(self, path, metrics):
+        path.write_text(json.dumps({"schema": 1, "metrics": metrics}),
+                        encoding="utf-8")
+        return path
+
+    def test_table_covers_all_metric_states(self):
+        from benchmarks.perf_gate import summary_table
+        baseline = {"lat": metric(10.0), "gone": metric(3.0),
+                    "speed": metric(30.0, True, "x")}
+        current = {"lat": metric(50.0), "speed": metric(29.0, True, "x"),
+                   "fresh": metric(1.0)}
+        table = summary_table(baseline, current, max_regression=2.0)
+        assert "| lat | 10.000 ms | 50.000 ms | 5.00x | ❌ regressed |" in table
+        assert "| gone | 3.000 ms | — | — | ❌ missing |" in table
+        assert "| speed | 30.000 x | 29.000 x | 1.03x | ✅ ok |" in table
+        assert "| fresh | — | 1.000 ms | — | 🆕 not gated |" in table
+
+    def test_main_appends_summary_even_on_failure(self, tmp_path):
+        baseline = self.write(tmp_path / "baseline.json", {"m": metric(10.0)})
+        bad = self.write(tmp_path / "bad.json", {"m": metric(100.0)})
+        summary = tmp_path / "summary.md"
+        code = main(["--current", str(bad), "--baseline", str(baseline),
+                     "--summary", str(summary)])
+        assert code == 1
+        text = summary.read_text(encoding="utf-8")
+        assert "### Perf gate" in text
+        assert "❌ regressed" in text
+
+    def test_summary_defaults_to_github_step_summary(self, tmp_path, monkeypatch):
+        baseline = self.write(tmp_path / "baseline.json", {"m": metric(10.0)})
+        good = self.write(tmp_path / "good.json", {"m": metric(10.0)})
+        summary = tmp_path / "step.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert main(["--current", str(good), "--baseline", str(baseline)]) == 0
+        assert "✅ ok" in summary.read_text(encoding="utf-8")
+
+
+class TestUpdateBaseline:
+    def write(self, path, payload):
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_refresh_replaces_metrics_and_keeps_comment(self, tmp_path):
+        baseline = self.write(tmp_path / "baseline.json", {
+            "schema": 1, "comment": "recorded on machine X",
+            "metrics": {"m": metric(10.0)}})
+        current = self.write(tmp_path / "current.json", {
+            "schema": 1, "metrics": {"m": metric(4.0), "new": metric(1.0)}})
+        assert main(["--current", str(current), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["comment"] == "recorded on machine X"
+        assert payload["metrics"]["m"]["value"] == 4.0
+        assert "new" in payload["metrics"]
+        # The refreshed file must pass its own gate exactly.
+        assert main(["--current", str(current), "--baseline", str(baseline)]) == 0
+
+    def test_refresh_creates_a_missing_baseline(self, tmp_path):
+        current = self.write(tmp_path / "current.json", {
+            "schema": 1, "metrics": {"m": metric(4.0)}})
+        baseline = tmp_path / "baselines" / "new.json"
+        assert main(["--current", str(current), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert json.loads(baseline.read_text(encoding="utf-8"))["metrics"]["m"][
+            "value"] == 4.0

@@ -18,6 +18,7 @@ from repro.kernels.gemm import gemm_time_us
 from repro.trace.events import Category, TraceEvent
 from repro.trace.kineto import KinetoTrace
 from repro.workload.pipeline import one_f_one_b_schedule, stage_layers
+from tests.conftest import hyp_max_examples
 
 # --------------------------------------------------------------------------------------
 # Strategies
@@ -48,7 +49,7 @@ def _trace_from_intervals(intervals) -> KinetoTrace:
 
 class TestBreakdownProperties:
     @given(st.lists(kernel_interval, max_size=20))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_components_non_negative_and_sum_to_window(self, intervals):
         breakdown = rank_breakdown(_trace_from_intervals(intervals))
         for value in breakdown.as_dict().values():
@@ -58,7 +59,7 @@ class TestBreakdownProperties:
         assert busy <= 1000.0 + 1e-6
 
     @given(st.lists(kernel_interval, max_size=20))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_overlap_bounded_by_each_class(self, intervals):
         breakdown = rank_breakdown(_trace_from_intervals(intervals))
         compute_total = breakdown.exposed_compute + breakdown.overlapped
@@ -68,7 +69,7 @@ class TestBreakdownProperties:
 
     @given(st.lists(kernel_interval, max_size=15),
            st.floats(min_value=10.0, max_value=500.0))
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_sm_utilization_bounded(self, intervals, bin_us):
         timeline = sm_utilization_timeline(_trace_from_intervals(intervals), bin_us=bin_us)
         assert np.all(timeline >= 0.0)
@@ -82,7 +83,7 @@ class TestBreakdownProperties:
 
 class TestPipelineProperties:
     @given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=16))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=hyp_max_examples(100), deadline=None)
     def test_schedule_is_a_permutation_of_forward_and_backward(self, microbatches, pp):
         for stage in range(pp):
             schedule = one_f_one_b_schedule(microbatches, pp, stage)
@@ -99,7 +100,7 @@ class TestPipelineProperties:
                     assert action.microbatch in seen
 
     @given(st.integers(min_value=1, max_value=128), st.integers(min_value=1, max_value=16))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=hyp_max_examples(100), deadline=None)
     def test_stage_layers_partition_the_model(self, n_layers, pp):
         if pp > n_layers:
             return
@@ -117,7 +118,7 @@ class TestPipelineProperties:
 class TestCommunicatorProperties:
     @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8),
            st.integers(min_value=1, max_value=8))
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=hyp_max_examples(80), deadline=None)
     def test_groups_partition_the_world(self, tp, pp, dp):
         groups = CommunicatorGroups(tp, pp, dp)
         for collection in (groups.all_tp_groups(), groups.all_dp_groups(), groups.all_pp_groups()):
@@ -126,7 +127,7 @@ class TestCommunicatorProperties:
 
     @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8),
            st.integers(min_value=1, max_value=8), st.data())
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=hyp_max_examples(80), deadline=None)
     def test_coordinates_roundtrip(self, tp, pp, dp, data):
         groups = CommunicatorGroups(tp, pp, dp)
         rank = data.draw(st.integers(min_value=0, max_value=groups.world_size - 1))
@@ -142,7 +143,7 @@ class TestCommunicatorProperties:
 class TestCostModelProperties:
     @given(st.integers(min_value=1, max_value=8192), st.integers(min_value=1, max_value=8192),
            st.integers(min_value=1, max_value=8192))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=hyp_max_examples(100), deadline=None)
     def test_gemm_time_positive_and_monotone_in_k(self, m, n, k):
         base = gemm_time_us(m, n, k, 2, H100_SXM)
         double = gemm_time_us(m, n, 2 * k, 2, H100_SXM)
@@ -151,7 +152,7 @@ class TestCostModelProperties:
 
     @given(st.floats(min_value=1.0, max_value=1e10),
            st.integers(min_value=2, max_value=64))
-    @settings(max_examples=100, deadline=None)
+    @settings(max_examples=hyp_max_examples(100), deadline=None)
     def test_collective_time_monotone_in_size(self, size_bytes, group_size):
         cluster = ClusterSpec(num_gpus=64, gpus_per_node=8)
         ranks = tuple(range(group_size))
@@ -194,7 +195,7 @@ def random_task_graph(draw):
 
 class TestSimulatorProperties:
     @given(random_task_graph())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_all_tasks_scheduled_and_dependencies_respected(self, graph):
         result = Simulator(graph).run()
         assert len(result.tasks) == len(graph)
@@ -202,7 +203,7 @@ class TestSimulatorProperties:
             assert result.tasks[dependency.dst].start >= result.tasks[dependency.src].end - 1e-6
 
     @given(random_task_graph())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_processors_never_oversubscribed(self, graph):
         result = Simulator(graph).run()
         by_processor = {}
@@ -214,7 +215,7 @@ class TestSimulatorProperties:
                 assert current.start >= previous.end - 1e-6
 
     @given(random_task_graph())
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=hyp_max_examples(60), deadline=None)
     def test_makespan_bounds(self, graph):
         result = Simulator(graph).run()
         total = result.total_time()

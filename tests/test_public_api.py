@@ -11,8 +11,10 @@ import repro.api
 import repro.sweep
 
 REPRO_ALL = [
+    "InferenceConfig",
     "PredictError",
     "Prediction",
+    "ServingTarget",
     "Study",
     "StudyError",
     "SweepResult",
@@ -28,6 +30,7 @@ REPRO_API_ALL = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
     "KIND_PARALLELISM",
+    "KIND_SERVING",
     "PredictError",
     "Prediction",
     "Study",

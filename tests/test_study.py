@@ -222,7 +222,7 @@ class TestPredict:
     def test_requires_exactly_one_target(self, study):
         with pytest.raises(PredictError, match="requires"):
             study.predict()
-        with pytest.raises(PredictError, match="not both"):
+        with pytest.raises(PredictError, match="exactly one"):
             study.predict("2x1x4", model="gpt3-v1")
 
     def test_one_call_predict_wrapper(self, bundle, study):

@@ -180,3 +180,78 @@ class TestSerialisation:
         key_a = scenario_cache_key(SweepSpec(base_parallelism="2x2x2"), scenario)
         key_b = scenario_cache_key(SweepSpec(base_parallelism="2x2x4"), scenario)
         assert key_a != key_b
+
+
+class TestServingSpecs:
+    def _serving_spec(self, **overrides):
+        from repro.workload.inference import InferenceConfig
+        base = dict(base_model="gpt3-15b", base_parallelism="2x1x1",
+                    inference=InferenceConfig(batch_size=8, prompt_length=512,
+                                              decode_length=16),
+                    serving=("batch=16", "tp=4,prompt=1024"))
+        base.update(overrides)
+        return SweepSpec(**base)
+
+    def test_serving_spec_roundtrips_through_json(self, tmp_path):
+        spec = self._serving_spec()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        path = tmp_path / "serving.json"
+        spec.save(path)
+        assert SweepSpec.load(path) == spec
+
+    def test_serving_configurations_use_canonical_labels(self):
+        from repro.core.manipulation import KIND_SERVING
+        configs = self._serving_spec().configurations()
+        assert (KIND_SERVING, "batch=16") in configs
+        # Keys are re-ordered canonically so equal targets memoize together.
+        assert (KIND_SERVING, "prompt=1024,tp=4") in configs
+
+    def test_serving_axis_requires_inference_base(self):
+        with pytest.raises(SweepSpecError, match="inference base"):
+            SweepSpec(serving=("batch=16",)).validate()
+
+    def test_training_axes_rejected_on_serving_base(self):
+        with pytest.raises(SweepSpecError, match="training bases"):
+            self._serving_spec(parallelism=("2x1x2",), serving=()).validate()
+
+    def test_serving_base_needs_no_registry_model(self):
+        self._serving_spec(base_model="custom-llm").validate()
+
+    def test_pp_base_rejected(self):
+        with pytest.raises(SweepSpecError, match="pipeline parallelism"):
+            self._serving_spec(base_parallelism="2x2x1").validate()
+
+    def test_tp1_base_cannot_reshard_up(self):
+        with pytest.raises(SweepSpecError, match="TP=1 base"):
+            self._serving_spec(base_parallelism="1x1x1",
+                               serving=("tp=2",)).validate()
+
+    def test_malformed_serving_target_rejected(self):
+        with pytest.raises(SweepSpecError, match="topology"):
+            self._serving_spec(serving=("decode=32",)).validate()
+
+    def test_non_dividing_tp_target_rejected_up_front(self):
+        # gpt3-15b has 48 heads / 51200 vocab: tp=3 truncates the shards,
+        # and validate() must say so before any replay/calibration work.
+        with pytest.raises(SweepSpecError, match="does not divide"):
+            self._serving_spec(serving=("tp=3",)).validate()
+        # Custom base models can only be resolved by the owning study, so
+        # the same target defers to evaluation-time validation there.
+        self._serving_spec(base_model="custom-llm", serving=("tp=3",)).validate()
+
+    def test_cache_key_depends_on_inference_base(self):
+        from repro.core.manipulation import KIND_SERVING
+        from repro.workload.inference import InferenceConfig
+        scenario = ScenarioSpec(kind=KIND_SERVING, target="batch=16")
+        key_a = scenario_cache_key(self._serving_spec(), scenario)
+        key_b = scenario_cache_key(
+            self._serving_spec(inference=InferenceConfig(batch_size=4)), scenario)
+        assert key_a != key_b
+
+    def test_training_base_json_is_unchanged_by_the_serving_fields(self):
+        # Training cache keys must not move: the serving keys only appear
+        # in serving-base payloads.
+        payload = SweepSpec().base_json()
+        assert "inference" not in payload
+        assert set(payload) == {"model", "parallelism", "micro_batch_size",
+                                "num_microbatches"}
