@@ -12,9 +12,9 @@ The metrics prove two things at scale:
   fallback) and beat the per-scenario session loop.
 
 Metrics append to the same machine-readable JSON as the engine benchmarks
-(``REPRO_PERF_JSON``).  They are recorded but not yet gated (no committed
-baseline); promote them to ``benchmarks/baselines/`` once a few CI runs
-establish headroom — see ``benchmarks/README.md``.
+(``REPRO_PERF_JSON``) and are gated in CI against
+``benchmarks/baselines/inference.json`` — see ``benchmarks/README.md``
+for the baseline-refresh procedure.
 """
 
 from __future__ import annotations

@@ -33,6 +33,10 @@ described in the paper together with the substrates it depends on:
     The parallel what-if sweep engine: declarative scenario grids over one
     base trace, a process-pool runner, an on-disk result cache and Pareto
     analysis.  :func:`repro.sweep` is the one-call entry point.
+``repro.observability``
+    Pipeline tracing (spans, metrics, structured run reports; strictly
+    no-op unless a profile is active) and chrome-trace / Perfetto export
+    of simulated timelines and pipeline profiles.
 
 Two workload families share every layer: 3D-parallel **training**
 iterations and LLM **serving** episodes (prefill + autoregressive decode;

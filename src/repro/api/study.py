@@ -42,6 +42,7 @@ from repro.core.manipulation import (
 from repro.core.perf_model import KernelPerfModel
 from repro.core.replay import ReplayResult
 from repro.core.replay import replay as _replay_trace
+from repro.observability import tracing as observability
 from repro.core.tasks import Task
 from repro.hardware.cluster import ClusterSpec
 from repro.trace.kineto import TraceBundle
@@ -257,10 +258,14 @@ class WhatIfBuilder:
         if not self._scenarios:
             raise StudyError("no what-if scenarios queued; add one before run()")
         kind, target = self._key
-        graph, _ = self._study.derived_graph(kind, target)
-        session, baseline = self._study.config_session(kind, target)
-        return whatif_mod.evaluate_scenarios(graph, self._scenarios,
-                                             baseline=baseline, session=session)
+        with observability.trace_span("study.whatif", kind=kind, target=target,
+                                      scenarios=len(self._scenarios)):
+            graph, _ = self._study.derived_graph(kind, target)
+            session, baseline = self._study.config_session(kind, target)
+            results = whatif_mod.evaluate_scenarios(graph, self._scenarios,
+                                                    baseline=baseline, session=session)
+        observability.count("study.whatif_scenarios", len(results))
+        return results
 
     def best(self) -> "WhatIfResult":
         """Evaluate the batch and return the scenario with the lowest time."""
@@ -453,7 +458,10 @@ class Study:
     def replay(self) -> ReplayResult:
         """The base replay — performed once, then served from memory."""
         if self._replay is None:
-            self._replay = _replay_trace(self.trace, self._options)
+            with observability.trace_span("study.replay",
+                                          workload=self.workload) as span:
+                self._replay = _replay_trace(self.trace, self._options)
+                span.set(tasks=len(self._replay.graph))
             self._base_graph = self._replay.graph
             self._base_time = self._replay.iteration_time_us
         return self._replay
@@ -481,8 +489,11 @@ class Study:
     def perf_model(self) -> KernelPerfModel:
         """The calibrated kernel perf model (calibrated on first use)."""
         if self._perf_model is None:
-            self._perf_model = KernelPerfModel.calibrate(self.base_graph, self.cluster)
+            with observability.trace_span("study.calibrate"):
+                self._perf_model = KernelPerfModel.calibrate(self.base_graph,
+                                                             self.cluster)
             self.calibrations += 1
+            observability.count("study.calibrations")
         return self._perf_model
 
     def breakdown(self) -> ExecutionBreakdown:
@@ -573,13 +584,17 @@ class Study:
                 "the trace did not record its base model/parallelism, so graph "
                 "manipulation would run against a guessed base configuration; "
                 "pass model= and parallelism= explicitly when opening the study")
-        return derive_graph(
-            self.base_graph, kind, target,
-            base_model=self.base_model, base_parallel=self.base_parallel,
-            training=self.training, perf_model=self.perf_model,
-            cluster=self.cluster,
-            target_model=self._custom_models.get(target),
-            base_inference=self.inference)
+        with observability.trace_span("study.derive_graph", kind=kind,
+                                      target=target) as span:
+            derived = derive_graph(
+                self.base_graph, kind, target,
+                base_model=self.base_model, base_parallel=self.base_parallel,
+                training=self.training, perf_model=self.perf_model,
+                cluster=self.cluster,
+                target_model=self._custom_models.get(target),
+                base_inference=self.inference)
+            span.set(tasks=len(derived[0]))
+        return derived
 
     def derived_graph(self, kind: str, target: str) -> tuple[ExecutionGraph, int]:
         """The (memoized) derived graph and world size for one configuration."""
@@ -604,11 +619,15 @@ class Study:
                 else:
                     # Pickled for a worker process: rebuild from the base
                     # graph carried in the snapshot.
-                    session = SimulationSession(compile_graph(self.base_graph))
+                    with observability.trace_span("study.compile", kind=kind,
+                                                  target=target):
+                        session = SimulationSession(compile_graph(self.base_graph))
                     run = session.run()
             else:
                 graph, _ = self.derived_graph(kind, target)
-                session = SimulationSession(compile_graph(graph))
+                with observability.trace_span("study.compile", kind=kind,
+                                              target=target):
+                    session = SimulationSession(compile_graph(graph))
                 run = session.run()
             self._sessions[key] = (session, run)
         return self._sessions[key]
@@ -634,7 +653,8 @@ class Study:
             graph, world_size = self._graphs[key]
         else:
             graph, world_size = self._derive(kind, target)
-        session = SimulationSession(compile_graph(graph))
+        with observability.trace_span("study.compile", kind=kind, target=target):
+            session = SimulationSession(compile_graph(graph))
         return graph, world_size, session, session.run()
 
     def release(self) -> None:
@@ -668,15 +688,18 @@ class Study:
         kind, label = self._config_key(target, model=model, serving=serving)
         key = (kind, label)
         if key not in self._predictions:
-            graph, world_size = self.derived_graph(kind, label)
-            session, run = self.config_session(kind, label)
-            simulation = run.to_simulation_result()
-            result = ReplayResult(graph=graph, simulation=simulation,
-                                  replayed_trace=simulation.to_trace_bundle(),
-                                  compiled=session.compiled)
-            self._predictions[key] = Prediction(
-                target=label, kind=kind, world_size=world_size,
-                base_time_us=self.base_time_us, result=result)
+            with observability.trace_span("study.predict", kind=kind,
+                                          target=label):
+                graph, world_size = self.derived_graph(kind, label)
+                session, run = self.config_session(kind, label)
+                simulation = run.to_simulation_result()
+                result = ReplayResult(graph=graph, simulation=simulation,
+                                      replayed_trace=simulation.to_trace_bundle(),
+                                      compiled=session.compiled)
+                self._predictions[key] = Prediction(
+                    target=label, kind=kind, world_size=world_size,
+                    base_time_us=self.base_time_us, result=result)
+            observability.count("study.predictions")
         return self._predictions[key]
 
     def whatif(self, kind: str | None = None, *,
@@ -750,8 +773,21 @@ class Study:
         self.ensure_matches(spec)
         if cache is None and cache_dir is not None:
             cache = _SweepCache(_Path(cache_dir))
-        return run_sweep(self.trace, spec, workers=workers, cache=cache,
-                         force=force, study=self)
+        with observability.trace_span("study.sweep", workers=workers):
+            return run_sweep(self.trace, spec, workers=workers, cache=cache,
+                             force=force, study=self)
+
+    def report(self) -> dict[str, Any]:
+        """The structured run report of the active-or-last pipeline profile.
+
+        A thin window onto :func:`repro.observability.report`: per-stage
+        wall times, the metrics registry snapshot (cache hit rate, batch
+        fast-path vs. fallback counts, calibration residuals ...) and the
+        span tree collected while a profile was active.  When no profile
+        has ever been active the report carries ``"enabled": False`` and
+        empty sections — instrumentation stays a strict no-op.
+        """
+        return observability.report()
 
     def ensure_matches(self, spec: "SweepSpec") -> None:
         """Reject a sweep spec whose base differs from this study's base."""

@@ -12,7 +12,13 @@
   parallelism configuration, model architecture, or (for serving traces)
   a new ``--target-serving batch=/prompt=/tp=`` deployment;
 * ``sweep``    — evaluate a whole grid of what-if scenarios from one base
-  trace, with a process pool and an on-disk result cache.
+  trace, with a process pool and an on-disk result cache;
+* ``export-timeline`` — render a trace's profiled, replayed and predicted
+  schedules as chrome-trace JSON for Perfetto / ``chrome://tracing``.
+
+Every subcommand accepts ``--profile out.json`` to collect the pipeline's
+own spans and metrics (:mod:`repro.observability`) and write the
+structured run report next to the command's normal output.
 
 Every subcommand is a thin presentation layer over :class:`repro.api.Study`
 — the library owns replay, calibration, manipulation and memoization; the
@@ -23,6 +29,7 @@ CLI parses arguments, formats tables and maps typed errors (e.g.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
@@ -30,6 +37,8 @@ from repro.api import Study, StudyError
 from repro.baselines.dpro import dpro_replay
 from repro.core.breakdown import compute_breakdown
 from repro.emulator.api import emulate
+from repro.observability import export_timeline
+from repro.observability import tracing as observability
 from repro.sweep import SweepSpec, SweepSpecError, WhatIfSpec
 from repro.sweep.analysis import format_report
 from repro.trace.kineto import TraceBundle
@@ -141,6 +150,33 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export_timeline(args: argparse.Namespace) -> int:
+    try:
+        bundle = TraceBundle.load(args.trace)
+        study = Study.from_trace(bundle, model=args.model,
+                                 parallelism=args.parallelism,
+                                 training=_training_from_args(args))
+        sections = [("profiled", bundle), ("replayed", study.replay())]
+        if args.target_serving:
+            sections.append((args.target_serving,
+                             study.predict(serving=args.target_serving)))
+        if args.target_model:
+            sections.append((args.target_model,
+                             study.predict(model=args.target_model)))
+        if args.target_parallelism:
+            sections.append((args.target_parallelism,
+                             study.predict(args.target_parallelism)))
+        payload = export_timeline(sections, args.output)
+    except (StudyError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    labels = ", ".join(payload["otherData"]["sections"])
+    print(f"wrote {len(payload['traceEvents'])} chrome-trace events "
+          f"({labels}) to {args.output}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         if args.spec:
@@ -173,6 +209,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     print(format_report(result, top=args.top))
     return 0
+
+
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", metavar="PATH",
+                        help="collect pipeline spans/metrics during this "
+                             "command and write the JSON run report to PATH")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +287,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--top", type=int, default=None,
                               help="only print the best N scenarios")
     sweep_parser.set_defaults(func=_cmd_sweep, parser=sweep_parser)
+
+    timeline_parser = subparsers.add_parser(
+        "export-timeline",
+        help="export profiled/replayed/predicted schedules as chrome-trace JSON")
+    _add_workload_arguments(timeline_parser)
+    timeline_parser.add_argument("--trace", required=True,
+                                 help="trace bundle directory")
+    timeline_parser.add_argument("--output", required=True,
+                                 help="chrome-trace JSON output path")
+    timeline_parser.add_argument("--target-parallelism",
+                                 help="also export the predicted schedule of "
+                                      "this TPxPPxDP target")
+    timeline_parser.add_argument("--target-model",
+                                 help="also export the predicted schedule of "
+                                      "this model architecture")
+    timeline_parser.add_argument("--target-serving",
+                                 help="also export the predicted schedule of a "
+                                      "serving target 'batch=N,prompt=N,tp=N'")
+    timeline_parser.set_defaults(func=_cmd_export_timeline)
+
+    for subparser in subparsers.choices.values():
+        _add_profile_argument(subparser)
     return parser
 
 
@@ -252,7 +316,18 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``repro-lumos`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if not getattr(args, "profile", None):
+        return args.func(args)
+    with observability.profile(label=args.command) as collecting:
+        status = args.func(args)
+    try:
+        with open(args.profile, "w", encoding="utf-8") as sink:
+            json.dump(collecting.report(), sink, indent=2, sort_keys=True)
+    except OSError as error:
+        print(f"error: cannot write pipeline profile: {error}", file=sys.stderr)
+        return status or 2
+    print(f"wrote pipeline profile to {args.profile}")
+    return status
 
 
 if __name__ == "__main__":

@@ -56,6 +56,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.core.engine import CompiledGraph
+from repro.observability import tracing as observability
 
 if TYPE_CHECKING:
     from repro.core.engine import SimulationSession
@@ -66,14 +67,27 @@ if TYPE_CHECKING:
 #: check already failed, which builder-produced graphs never do).
 _ANCESTRY_TABLE_LIMIT = 64_000_000
 
+#: Machine-readable refusal codes, one per way the duration-independence
+#: proof can fail (:attr:`UnbatchableGraphError.code`).
+FALLBACK_UNORDERED_TASKS = "unordered-processor-tasks"
+FALLBACK_ANCESTRY_OVERFLOW = "ancestry-table-overflow"
+FALLBACK_COLLECTIVE_DEPENDENCY = "collective-internal-dependency"
+FALLBACK_SYNC_CYCLE = "sync-cycle"
+
 
 class UnbatchableGraphError(RuntimeError):
     """The compiled graph has no duration-independent schedule.
 
     Raised by :func:`compile_batch_plan` when the static-schedulability
     proof fails; :class:`BatchSession` catches it and records the reason
-    (see :attr:`BatchSession.fallback_reason`).
+    (see :attr:`BatchSession.fallback_reason`).  :attr:`code` carries the
+    machine-readable refusal class (one of the ``FALLBACK_*`` constants),
+    while the message describes the offending tasks.
     """
+
+    def __init__(self, message: str, code: str = "unbatchable") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 @dataclass(frozen=True)
@@ -178,7 +192,8 @@ def _chain_predecessors(compiled: CompiledGraph, topo_pos: np.ndarray,
     if n * max(compiled.n_procs, 1) > _ANCESTRY_TABLE_LIMIT:
         raise UnbatchableGraphError(
             "graph is too large for ancestry verification and has "
-            "same-processor tasks without direct chain edges")
+            "same-processor tasks without direct chain edges",
+            code=FALLBACK_ANCESTRY_OVERFLOW)
 
     # Latest same-processor ancestor, per processor, in topo order.
     latest = np.full((n, compiled.n_procs), -1, dtype=np.int64)
@@ -195,7 +210,8 @@ def _chain_predecessors(compiled: CompiledGraph, topo_pos: np.ndarray,
             raise UnbatchableGraphError(
                 f"tasks '{a.name}' and '{b.name}' share processor "
                 f"{a.processor} but are not dependency-ordered; their "
-                f"serialisation depends on the durations")
+                f"serialisation depends on the durations",
+                code=FALLBACK_UNORDERED_TASKS)
     return chain_pred
 
 
@@ -261,7 +277,8 @@ def compile_batch_plan(compiled: CompiledGraph) -> BatchPlan:
             raise UnbatchableGraphError(
                 f"self-referential scheduling constraint among tasks "
                 f"{members_desc}: a collective group with internal "
-                f"dependencies deadlocks Algorithm 1")
+                f"dependencies deadlocks Algorithm 1",
+                code=FALLBACK_COLLECTIVE_DEPENDENCY)
         node_operands.append(operands)
         node_pred_nodes.append(pred_nodes)
     for slot in drained_slots:
@@ -297,7 +314,7 @@ def compile_batch_plan(compiled: CompiledGraph) -> BatchPlan:
     if visited != n_nodes:
         raise UnbatchableGraphError(
             "synchronisation constraints form a cycle; Algorithm 1 would "
-            "deadlock on this graph")
+            "deadlock on this graph", code=FALLBACK_SYNC_CYCLE)
 
     levels: list[_Level] = []
     for level in sorted(by_level):
@@ -343,7 +360,8 @@ class BatchRun:
     ``starts``/``durations`` are ``(batch, n_tasks)`` arrays in dense task
     order; every row is bit-identical to the corresponding sequential
     :meth:`~repro.core.engine.SimulationSession.run`.  ``batched`` records
-    whether the vectorized kernel ran or the sequential fallback did.
+    whether the vectorized kernel ran or the sequential fallback did;
+    on the fallback path ``fallback_reason`` carries why the proof failed.
     """
 
     compiled: CompiledGraph
@@ -351,6 +369,7 @@ class BatchRun:
     starts: np.ndarray
     durations: np.ndarray
     batched: bool
+    fallback_reason: str | None = None
 
     @property
     def batch_size(self) -> int:
@@ -380,8 +399,9 @@ class BatchSession:
 
     Builds the :class:`BatchPlan` once; when the graph is unbatchable the
     session transparently falls back to per-scenario sequential runs on a
-    :class:`~repro.core.engine.SimulationSession` (:attr:`batchable` and
-    :attr:`fallback_reason` report which path is live).
+    :class:`~repro.core.engine.SimulationSession` (:attr:`batchable`,
+    :attr:`fallback_reason` and :attr:`fallback_code` report which path is
+    live and why).
     """
 
     def __init__(self, compiled: CompiledGraph,
@@ -390,10 +410,17 @@ class BatchSession:
         self._fallback = fallback
         self.plan: BatchPlan | None = None
         self.fallback_reason: str | None = None
-        try:
-            self.plan = compile_batch_plan(compiled)
-        except UnbatchableGraphError as error:
-            self.fallback_reason = str(error)
+        self.fallback_code: str | None = None
+        with observability.trace_span("batch.compile_plan",
+                                      tasks=compiled.n_tasks) as span:
+            try:
+                self.plan = compile_batch_plan(compiled)
+            except UnbatchableGraphError as error:
+                self.fallback_reason = str(error)
+                self.fallback_code = error.code
+                span.set(fallback=error.code)
+        if self.plan is None:
+            observability.count(f"batch.unbatchable.{self.fallback_code}")
 
     @property
     def batchable(self) -> bool:
@@ -413,9 +440,13 @@ class BatchSession:
         """Simulate every row of ``durations`` against the compiled graph."""
         matrix = self._coerce_matrix(durations)
         if self.plan is not None:
+            observability.count("batch.runs.fast_path")
+            observability.count("batch.scenarios.fast_path", len(matrix))
             starts = self.plan.execute(matrix, start_time)
             return BatchRun(compiled=self.compiled, start_time=start_time,
                             starts=starts, durations=matrix.copy(), batched=True)
+        observability.count("batch.runs.fallback")
+        observability.count("batch.scenarios.fallback", len(matrix))
         return self._run_fallback(matrix, start_time)
 
     def _run_fallback(self, matrix: np.ndarray, start_time: float) -> BatchRun:
@@ -428,4 +459,5 @@ class BatchSession:
             starts[row] = self._fallback.run(durations=matrix[row],
                                              start_time=start_time).starts
         return BatchRun(compiled=self.compiled, start_time=start_time,
-                        starts=starts, durations=matrix.copy(), batched=False)
+                        starts=starts, durations=matrix.copy(), batched=False,
+                        fallback_reason=self.fallback_reason)

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.graph import ExecutionGraph
 from repro.core.tasks import Task, TaskKind
+from repro.observability import tracing as observability
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,11 @@ def compile_graph(graph: ExecutionGraph) -> CompiledGraph:
     (the seed scheduler reported this at run time; compiling surfaces it
     up front via the topological sort).
     """
+    with observability.trace_span("engine.compile_graph", tasks=len(graph.tasks)):
+        return _compile_graph(graph)
+
+
+def _compile_graph(graph: ExecutionGraph) -> CompiledGraph:
     task_ids = sorted(graph.tasks)
     tasks = tuple(graph.tasks[task_id] for task_id in task_ids)
     index_of = {task_id: index for index, task_id in enumerate(task_ids)}

@@ -32,6 +32,7 @@ from repro.kernels.collectives import collective_time_us, point_to_point_time_us
 from repro.kernels.decode import decode_attention_time_us
 from repro.kernels.gemm import gemm_time_us
 from repro.kernels.memory_bound import memory_bound_time_us
+from repro.observability import tracing as observability
 from repro.workload.operators import CollectiveKind, OpClass
 
 _GEMM_SHAPE_RE = re.compile(r"_m(\d+)_n(\d+)_k(\d+)")
@@ -86,6 +87,17 @@ class KernelPerfModel:
                 continue
             ratios.setdefault(key, []).append(task.duration / analytical)
         model.calibration = {key: float(median(values)) for key, values in ratios.items()}
+        if observability.tracing_enabled():
+            # Residuals are what remains after the per-class factor: how far
+            # each observed kernel sits from the fitted median, as a
+            # fraction.  Only recorded under an active profile — the loop
+            # re-walks every observation.
+            for key, values in ratios.items():
+                factor = model.calibration[key]
+                observability.gauge(f"calibration.factor.{key}", factor)
+                for value in values:
+                    observability.observe(f"calibration.residual.{key}",
+                                          value / factor - 1.0)
         return model
 
     def _analyse_communication(self, args: dict) -> tuple[str, float | None]:

@@ -24,6 +24,7 @@ from repro.emulator.noise import NoiseConfig, NoiseModel
 from repro.emulator.program import RankProgram
 from repro.emulator.program_builder import ProgramBuilder
 from repro.hardware.cluster import ClusterSpec
+from repro.observability import tracing as observability
 from repro.trace.kineto import DistributedInfo, TraceBundle
 from repro.workload.inference import (
     WORKLOAD_SERVING,
@@ -99,8 +100,16 @@ class ClusterEmulator:
     def programs(self) -> dict[int, RankProgram]:
         """The per-rank programs of one iteration (built lazily, cached)."""
         if self._programs is None:
-            self._programs = self._builder.build()
+            with observability.trace_span("emulate.build_programs",
+                                          workload=self.workload,
+                                          ranks=self.parallel.world_size):
+                self._programs = self._builder.build()
         return self._programs
+
+    @property
+    def workload(self) -> str:
+        """Which workload family this emulator builds."""
+        return WORKLOAD_TRAINING if self.inference is None else WORKLOAD_SERVING
 
     def run(self, iterations: int = 2) -> EmulationResult:
         """Emulate ``iterations`` training iterations and return their traces."""
@@ -119,7 +128,8 @@ class ClusterEmulator:
             rank: self.noise_model.rank_stream(iteration, rank) for rank in programs
         }
         executor = ProgramExecutor(noise_streams=noise_streams)
-        executed = executor.execute(programs, start_time=_ITERATION_START_US)
+        with observability.trace_span("emulate.iteration", iteration=iteration):
+            executed = executor.execute(programs, start_time=_ITERATION_START_US)
         metadata = {
             "model": self.model.name,
             "parallelism": self.parallel.label(),

@@ -1,0 +1,59 @@
+"""Pipeline observability: spans, metrics, run reports and timeline export.
+
+See :mod:`repro.observability.tracing` for the span API (strictly no-op
+unless a profile is active), :mod:`repro.observability.metrics` for the
+registry snapshotted into run reports, and
+:mod:`repro.observability.timeline` for chrome-trace / Perfetto export of
+simulated timelines and pipeline profiles.
+"""
+
+from repro.observability.metrics import HistogramSummary, MetricsRegistry
+from repro.observability.timeline import (
+    coerce_bundle,
+    export_timeline,
+    pipeline_profile_json,
+    timeline_json,
+    validate_chrome_trace,
+)
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    PipelineProfile,
+    SpanRecord,
+    active_profile,
+    count,
+    empty_report,
+    gauge,
+    last_profile,
+    observe,
+    profile,
+    report,
+    start_profiling,
+    stop_profiling,
+    trace_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "PipelineProfile",
+    "SpanRecord",
+    "active_profile",
+    "coerce_bundle",
+    "count",
+    "empty_report",
+    "export_timeline",
+    "gauge",
+    "last_profile",
+    "observe",
+    "pipeline_profile_json",
+    "profile",
+    "report",
+    "start_profiling",
+    "stop_profiling",
+    "timeline_json",
+    "trace_span",
+    "tracing_enabled",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,322 @@
+"""Zero-dependency pipeline tracing: spans, profiles and run reports.
+
+The prediction pipeline — replay, calibrate, derive-graph, compile,
+simulate, sweep — is itself a system whose time has to go somewhere, and
+:func:`trace_span` is the one primitive every layer uses to account for
+it::
+
+    with trace_span("study.replay", workload="training"):
+        ...
+
+Spans nest (the active span is the parent of any span opened inside it),
+record monotonic wall time (:func:`time.perf_counter`), and carry
+free-form attributes, either at creation or later via ``span.set(...)``
+(e.g. the batch kernel records *why* it fell back after the fact).
+
+**Tracing is strictly off by default.**  When no profile is active,
+:func:`trace_span` returns one shared no-op singleton — no span object,
+no timestamp read, no list append — so instrumented code paths are
+bit-identical and allocation-free compared to uninstrumented ones
+(``tests/test_observability.py`` locks this down).  Profiles are enabled
+per run::
+
+    with profile(label="sweep") as prof:
+        study.sweep(...)
+    prof.report()          # structured JSON: spans, stages, metrics
+
+The CLI's ``--profile out.json`` flag and :meth:`repro.api.Study.report`
+are thin wrappers over this module.  Profiles are process-local: sweep
+worker processes run with tracing disabled unless they enable it
+themselves, so the parent's report accounts pool time as one
+``sweep.pool`` span rather than double-counting worker-side spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.observability.metrics import MetricsRegistry
+
+_REPORT_SCHEMA = 1
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: name, interval, tree position and attributes.
+
+    ``start_us``/``duration_us`` are relative to the profile's start, in
+    microseconds of monotonic wall time.  ``parent`` is the ``span_id`` of
+    the enclosing span (``-1`` for roots); records are appended in
+    *completion* order, so a parent's record follows its children's.
+    """
+
+    span_id: int
+    name: str
+    start_us: float
+    duration_us: float
+    depth: int
+    parent: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+#: The singleton every disabled :func:`trace_span` call returns.
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """A live span bound to one profile (created by :func:`trace_span`)."""
+
+    __slots__ = ("_profile", "name", "attrs", "_start", "_span_id", "_depth", "_parent")
+
+    def __init__(self, profile: "PipelineProfile", name: str,
+                 attrs: dict[str, Any]) -> None:
+        self._profile = profile
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes to the span (inside or outside the ``with``)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        profile = self._profile
+        stack = profile._stack()
+        self._parent = stack[-1] if stack else -1
+        self._depth = len(stack)
+        self._span_id = profile._next_id()
+        stack.append(self._span_id)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        profile = self._profile
+        stack = profile._stack()
+        if stack and stack[-1] == self._span_id:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        profile._record(SpanRecord(
+            span_id=self._span_id,
+            name=self.name,
+            start_us=(self._start - profile.origin) * 1e6,
+            duration_us=(end - self._start) * 1e6,
+            depth=self._depth,
+            parent=self._parent,
+            attrs=self.attrs,
+        ))
+        return False
+
+
+class PipelineProfile:
+    """Everything one profiled run recorded: spans plus the metrics registry."""
+
+    def __init__(self, label: str | None = None) -> None:
+        self.label = label
+        self.spans: list[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self.origin = time.perf_counter()
+        self.started_unix = time.time()
+        self.wall_time_us: float | None = None
+        self._lock = threading.Lock()
+        self._ids = 0
+        self._local = threading.local()
+
+    # -- recording (called from _Span) --------------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            span_id = self._ids
+            self._ids += 1
+        return span_id
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def finish(self) -> None:
+        """Freeze the profile's wall time (idempotent)."""
+        if self.wall_time_us is None:
+            self.wall_time_us = (time.perf_counter() - self.origin) * 1e6
+
+    # -- reporting -----------------------------------------------------------
+
+    def stages(self) -> dict[str, dict[str, float]]:
+        """Per-stage wall-time aggregation: spans grouped by name.
+
+        ``total_us`` sums every span of the name (nested spans of the same
+        name each count, like an inclusive-time flame-graph rollup).
+        """
+        stages: dict[str, dict[str, float]] = {}
+        for span in self.spans:
+            stage = stages.get(span.name)
+            if stage is None:
+                stage = stages[span.name] = {
+                    "count": 0, "total_us": 0.0, "max_us": 0.0}
+            stage["count"] += 1
+            stage["total_us"] += span.duration_us
+            if span.duration_us > stage["max_us"]:
+                stage["max_us"] = span.duration_us
+        for stage in stages.values():
+            stage["mean_us"] = stage["total_us"] / stage["count"]
+        return {name: stages[name] for name in sorted(stages)}
+
+    def report(self) -> dict[str, Any]:
+        """The structured JSON run report (spans, stages, metrics)."""
+        self.finish()
+        ordered = sorted(self.spans, key=lambda span: (span.start_us, span.span_id))
+        return {
+            "schema": _REPORT_SCHEMA,
+            "enabled": True,
+            "label": self.label,
+            "started_unix": self.started_unix,
+            "wall_time_us": self.wall_time_us,
+            "stages": self.stages(),
+            "metrics": self.metrics.snapshot(),
+            "spans": [span.to_json() for span in ordered],
+        }
+
+
+def empty_report() -> dict[str, Any]:
+    """The report shape served when no profile was ever active."""
+    return {
+        "schema": _REPORT_SCHEMA,
+        "enabled": False,
+        "label": None,
+        "started_unix": None,
+        "wall_time_us": None,
+        "stages": {},
+        "metrics": MetricsRegistry().snapshot(),
+        "spans": [],
+    }
+
+
+# -- module state (process-local) --------------------------------------------
+
+_ACTIVE: PipelineProfile | None = None
+_LAST: PipelineProfile | None = None
+
+
+def tracing_enabled() -> bool:
+    """True while a pipeline profile is collecting."""
+    return _ACTIVE is not None
+
+
+def active_profile() -> PipelineProfile | None:
+    """The currently collecting profile, if any."""
+    return _ACTIVE
+
+
+def last_profile() -> PipelineProfile | None:
+    """The collecting profile, or the most recently finished one."""
+    return _ACTIVE if _ACTIVE is not None else _LAST
+
+
+def report() -> dict[str, Any]:
+    """Run report of the active-or-last profile (disabled marker when none)."""
+    profile = last_profile()
+    if profile is None:
+        return empty_report()
+    return profile.report()
+
+
+def trace_span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
+    """A context-manager span named ``name`` (the shared no-op when disabled)."""
+    profile = _ACTIVE
+    if profile is None:
+        return NOOP_SPAN
+    return _Span(profile, name, attrs)
+
+
+def count(name: str, n: float = 1.0) -> None:
+    """Increment a counter on the active profile (no-op when disabled)."""
+    profile = _ACTIVE
+    if profile is not None:
+        profile.metrics.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active profile (no-op when disabled)."""
+    profile = _ACTIVE
+    if profile is not None:
+        profile.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active profile (no-op when disabled)."""
+    profile = _ACTIVE
+    if profile is not None:
+        profile.metrics.observe(name, value)
+
+
+def start_profiling(label: str | None = None) -> PipelineProfile:
+    """Begin collecting spans and metrics; returns the new profile.
+
+    Raises ``RuntimeError`` when a profile is already active — nested
+    profiles would silently split one run's spans across two reports.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("pipeline profiling is already active; "
+                           "stop the current profile first")
+    _ACTIVE = PipelineProfile(label)
+    return _ACTIVE
+
+
+def stop_profiling() -> PipelineProfile:
+    """Stop collecting and return the finished profile."""
+    global _ACTIVE, _LAST
+    if _ACTIVE is None:
+        raise RuntimeError("no pipeline profile is active")
+    finished = _ACTIVE
+    finished.finish()
+    _ACTIVE = None
+    _LAST = finished
+    return finished
+
+
+@contextmanager
+def profile(label: str | None = None) -> Iterator[PipelineProfile]:
+    """Collect spans and metrics for the duration of the ``with`` block."""
+    collecting = start_profiling(label)
+    try:
+        yield collecting
+    finally:
+        stop_profiling()

@@ -66,7 +66,8 @@ def format_report(sweep: SweepResult, top: int | None = None) -> str:
         f"base iteration time: {sweep.base_time_us / 1000.0:.1f} ms",
         f"evaluated {len(sweep)} scenarios in {sweep.elapsed_seconds:.2f} s "
         f"({sweep.scenarios_per_second:.1f} scenarios/s, workers={sweep.workers}, "
-        f"cache hits={sweep.cache_stats.hits} misses={sweep.cache_stats.misses})",
+        f"cache hits={sweep.cache_stats.hits} misses={sweep.cache_stats.misses} "
+        f"hit-rate={sweep.cache_stats.hit_rate:.0%})",
         "",
         "ranked scenarios" + (f" (top {top})" if top is not None else ""),
         format_ranked_table(sweep.results, top=top),

@@ -23,6 +23,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.api.study import Study
 from repro.core.whatif import evaluate_scenarios, scenario_for
+from repro.observability import tracing as observability
 from repro.sweep.cache import CacheStats, SweepCache
 from repro.sweep.hashing import hash_json, hash_trace_bundle
 from repro.sweep.spec import (
@@ -157,18 +158,20 @@ def _evaluate_group(study: Study, kind: str, target: str,
     (reusing anything a prior ``predict`` already derived); pass
     ``False`` for throwaway studies so groups free with the loop.
     """
-    graph, world_size, session, config_run = study.config_state(kind, target,
-                                                                retain=retain)
-    whatif_rows = [index for index, scenario in enumerate(scenarios)
-                   if scenario.whatif is not None]
-    batch = [scenario_for(scenarios[index].whatif.kind,
-                          op_class=scenarios[index].whatif.op_class,
-                          group=scenarios[index].whatif.group,
-                          speedup=scenarios[index].whatif.speedup)
-             for index in whatif_rows]
-    evaluated = dict(zip(whatif_rows, evaluate_scenarios(graph, batch,
-                                                         baseline=config_run,
-                                                         session=session)))
+    with observability.trace_span("sweep.group", kind=kind, target=target,
+                                  scenarios=len(scenarios)):
+        graph, world_size, session, config_run = study.config_state(kind, target,
+                                                                    retain=retain)
+        whatif_rows = [index for index, scenario in enumerate(scenarios)
+                       if scenario.whatif is not None]
+        batch = [scenario_for(scenarios[index].whatif.kind,
+                              op_class=scenarios[index].whatif.op_class,
+                              group=scenarios[index].whatif.group,
+                              speedup=scenarios[index].whatif.speedup)
+                 for index in whatif_rows]
+        evaluated = dict(zip(whatif_rows, evaluate_scenarios(graph, batch,
+                                                             baseline=config_run,
+                                                             session=session)))
     results: list[dict[str, Any]] = []
     for index, scenario in enumerate(scenarios):
         if scenario.whatif is None:
@@ -241,6 +244,7 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
                 "registry; run this spec through Study.sweep on a study "
                 "opened with the custom ModelConfig") from exc
     scenarios = spec.expand()
+    observability.count("sweep.scenarios.total", len(scenarios))
 
     # Content hashing walks the full trace bundle, so only pay for it when
     # there is a cache to key.
@@ -248,27 +252,37 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
     scenario_hashes: dict[ScenarioSpec, str] = {}
     collected: dict[ScenarioSpec, ScenarioResult] = {}
     if cache is not None:
-        bundle_hash = hash_trace_bundle(bundle)
-        scenario_hashes = {scenario: hash_json(scenario_cache_key(spec, scenario))
-                           for scenario in scenarios}
+        with observability.trace_span("sweep.hash", scenarios=len(scenarios)):
+            bundle_hash = hash_trace_bundle(bundle)
+            scenario_hashes = {scenario: hash_json(scenario_cache_key(spec, scenario))
+                               for scenario in scenarios}
         if not force:
-            for scenario in scenarios:
-                payload = cache.lookup(bundle_hash, scenario_hashes[scenario])
-                if payload is not None:
-                    collected[scenario] = ScenarioResult.from_json(payload, from_cache=True)
+            with observability.trace_span("sweep.cache.lookup"):
+                for scenario in scenarios:
+                    payload = cache.lookup(bundle_hash, scenario_hashes[scenario])
+                    if payload is not None:
+                        collected[scenario] = ScenarioResult.from_json(
+                            payload, from_cache=True)
+    observability.count("sweep.scenarios.cached", len(collected))
 
     missing = [scenario for scenario in scenarios if scenario not in collected]
+    observability.count("sweep.scenarios.evaluated", len(missing))
     if missing:
-        state = (study if study is not None else _study_for(bundle, spec)).prepare()
+        with observability.trace_span("sweep.prepare"):
+            state = (study if study is not None else _study_for(bundle, spec)).prepare()
         groups: dict[tuple[str, str], list[ScenarioSpec]] = {}
         for scenario in missing:
             groups.setdefault((scenario.kind, scenario.target), []).append(scenario)
         items = [(kind, target, [s.to_json() for s in group])
                  for (kind, target), group in groups.items()]
         if workers > 1 and len(items) > 1:
-            with ProcessPoolExecutor(max_workers=min(workers, len(items)),
-                                     initializer=_pool_initializer,
-                                     initargs=(state,)) as pool:
+            # Worker processes run with tracing disabled, so the parent
+            # accounts pool time as one span instead of per-worker spans.
+            with observability.trace_span("sweep.pool", groups=len(items),
+                                          workers=min(workers, len(items))), \
+                    ProcessPoolExecutor(max_workers=min(workers, len(items)),
+                                        initializer=_pool_initializer,
+                                        initargs=(state,)) as pool:
                 evaluated = list(pool.map(_pool_evaluate, items))
         else:
             # Memoize per-target state only on a caller-owned study (the
@@ -288,7 +302,7 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
         base_time_us = next(iter(collected.values())).base_time_us
 
     results = [collected[scenario] for scenario in scenarios]
-    return SweepResult(
+    swept = SweepResult(
         spec=spec,
         results=results,
         base_time_us=base_time_us,
@@ -296,3 +310,9 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
         workers=workers,
         cache_stats=cache.stats if cache is not None else CacheStats(),
     )
+    if observability.tracing_enabled():
+        observability.gauge("sweep.cache.hits", swept.cache_stats.hits)
+        observability.gauge("sweep.cache.misses", swept.cache_stats.misses)
+        observability.gauge("sweep.cache.hit_rate", swept.cache_stats.hit_rate)
+        observability.gauge("sweep.scenarios_per_sec", swept.scenarios_per_second)
+    return swept

@@ -27,7 +27,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.batch import BatchSession, UnbatchableGraphError, compile_batch_plan
+from repro.core.batch import (
+    FALLBACK_ANCESTRY_OVERFLOW,
+    FALLBACK_COLLECTIVE_DEPENDENCY,
+    FALLBACK_SYNC_CYCLE,
+    FALLBACK_UNORDERED_TASKS,
+    BatchSession,
+    UnbatchableGraphError,
+    compile_batch_plan,
+)
 from repro.core.engine import SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.tasks import DependencyType
@@ -258,6 +266,82 @@ class TestFallbackPath:
             SimulationSession(compiled).run()
         with pytest.raises(RuntimeError):
             batch.run(np.zeros((1, 2)))
+
+
+class TestFallbackReasonCodes:
+    """One test per way the duration-independence proof can refuse.
+
+    Every :class:`UnbatchableGraphError` must carry its machine-readable
+    ``code`` and the :class:`BatchSession` must expose it as
+    ``fallback_code`` (the human-readable message stays in
+    ``fallback_reason``).
+    """
+
+    def unordered_graph(self) -> ExecutionGraph:
+        graph = ExecutionGraph()
+        cpu(graph, duration=3.0)
+        cpu(graph, duration=5.0, ts=1.0)
+        gpu(graph, duration=2.0)
+        return graph
+
+    def test_unordered_processor_tasks_code(self):
+        compiled = compile_graph(self.unordered_graph())
+        with pytest.raises(UnbatchableGraphError) as excinfo:
+            compile_batch_plan(compiled)
+        assert excinfo.value.code == FALLBACK_UNORDERED_TASKS
+        batch = BatchSession(compiled)
+        assert batch.fallback_code == FALLBACK_UNORDERED_TASKS
+
+    def test_ancestry_table_overflow_code(self, monkeypatch):
+        # Same-thread tasks ordered only transitively (through the GPU
+        # kernel) force the ancestry table; a zero budget refuses it.
+        graph = ExecutionGraph()
+        first = cpu(graph, duration=1.0)
+        kernel = gpu(graph, duration=2.0)
+        second = cpu(graph, duration=1.0, ts=1.0)
+        graph.add_dependency(first.task_id, kernel.task_id, DependencyType.CPU_TO_GPU)
+        graph.add_dependency(kernel.task_id, second.task_id, DependencyType.GPU_TO_CPU)
+        compiled = compile_graph(graph)
+        assert compile_batch_plan(compiled).n_levels > 0
+        monkeypatch.setattr("repro.core.batch._ANCESTRY_TABLE_LIMIT", 0)
+        with pytest.raises(UnbatchableGraphError) as excinfo:
+            compile_batch_plan(compiled)
+        assert excinfo.value.code == FALLBACK_ANCESTRY_OVERFLOW
+        batch = BatchSession(compiled)
+        assert batch.fallback_code == FALLBACK_ANCESTRY_OVERFLOW
+
+    def test_collective_internal_dependency_code(self):
+        graph = ExecutionGraph()
+        a = gpu(graph, rank=0, stream=7, duration=1.0, group="pair")
+        b = gpu(graph, rank=1, stream=7, duration=1.0, ts=1.0, group="pair")
+        graph.add_dependency(a.task_id, b.task_id, DependencyType.GPU_INTER_STREAM)
+        compiled = compile_graph(graph)
+        with pytest.raises(UnbatchableGraphError) as excinfo:
+            compile_batch_plan(compiled)
+        assert excinfo.value.code == FALLBACK_COLLECTIVE_DEPENDENCY
+        assert BatchSession(compiled).fallback_code == FALLBACK_COLLECTIVE_DEPENDENCY
+
+    def test_sync_cycle_code(self):
+        graph = ExecutionGraph()
+        sync = cpu(graph, duration=1.0, name="cudaStreamSynchronize",
+                   sync_streams=(7,))
+        kernel = gpu(graph, duration=5.0)
+        graph.add_dependency(sync.task_id, kernel.task_id, DependencyType.CPU_TO_GPU)
+        compiled = compile_graph(graph)
+        with pytest.raises(UnbatchableGraphError) as excinfo:
+            compile_batch_plan(compiled)
+        assert excinfo.value.code == FALLBACK_SYNC_CYCLE
+        assert BatchSession(compiled).fallback_code == FALLBACK_SYNC_CYCLE
+
+    def test_batch_run_carries_the_fallback_reason(self, small_graph):
+        fast = BatchSession(compile_graph(small_graph))
+        run = fast.run(np.zeros((2, len(small_graph))))
+        assert run.batched and run.fallback_reason is None
+        slow = BatchSession(compile_graph(self.unordered_graph()))
+        run = slow.run(np.zeros((2, 3)))
+        assert not run.batched
+        assert run.fallback_reason == slow.fallback_reason
+        assert "not dependency-ordered" in run.fallback_reason
 
 
 # -- property-style differential tests ----------------------------------------

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.observability import validate_chrome_trace
 
 
 @pytest.fixture(scope="module")
@@ -152,7 +155,7 @@ class TestCommands:
         assert "pareto frontier" in output
         # A repeated invocation is served entirely from the cache.
         assert main(argv) == 0
-        assert "cache hits=4 misses=0" in capsys.readouterr().out
+        assert "cache hits=4 misses=0 hit-rate=100%" in capsys.readouterr().out
 
     def test_sweep_with_spec_file(self, trace_directory, tmp_path, capsys):
         spec = tmp_path / "spec.json"
@@ -299,3 +302,68 @@ class TestServingCommands:
                      "--serving", "batch=4"])
         assert code == 2
         assert "inference base" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_profile_flag_writes_a_run_report(self, trace_directory, tmp_path, capsys):
+        report_path = tmp_path / "profile.json"
+        assert main(["replay", "--trace", str(trace_directory),
+                     "--profile", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote pipeline profile to {report_path}" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["schema"] == 1
+        assert report["enabled"] is True
+        assert report["label"] == "replay"
+        assert "study.replay" in report["stages"]
+        assert "engine.compile_graph" in report["stages"]
+        assert report["wall_time_us"] > 0
+
+    def test_profile_flag_preserves_failure_exit_codes(self, trace_directory,
+                                                       tmp_path, capsys):
+        report_path = tmp_path / "failed.json"
+        code = main(["sweep", "--trace", str(trace_directory),
+                     "--profile", str(report_path)])
+        assert code == 2  # sweep without axes still fails
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["label"] == "sweep"
+
+    def test_profile_flag_reports_unwritable_path(self, trace_directory,
+                                                  tmp_path, capsys):
+        code = main(["replay", "--trace", str(trace_directory),
+                     "--profile", str(tmp_path / "missing-dir" / "p.json")])
+        assert code == 2
+        assert "cannot write pipeline profile" in capsys.readouterr().err
+
+    def test_export_timeline_writes_valid_chrome_trace(self, trace_directory,
+                                                       tmp_path, capsys):
+        output = tmp_path / "timeline.json"
+        code = main(["export-timeline", "--trace", str(trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x2x2",
+                     "--micro-batch-size", "1", "--num-microbatches", "2",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chrome-trace events" in out
+        assert "perfetto" in out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["sections"] == ["profiled", "replayed"]
+
+    def test_export_timeline_with_serving_target(self, serving_trace_directory,
+                                                 tmp_path, capsys):
+        output = tmp_path / "serving.json"
+        code = main(["export-timeline", "--trace", str(serving_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target-serving", "batch=4", "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["sections"] == ["profiled", "replayed",
+                                                    "batch=4"]
+
+    def test_export_timeline_reports_missing_trace_cleanly(self, tmp_path, capsys):
+        code = main(["export-timeline", "--trace", str(tmp_path / "nope"),
+                     "--output", str(tmp_path / "out.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

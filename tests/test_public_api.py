@@ -1,13 +1,15 @@
 """Public-surface snapshot tests.
 
-These lock the exported names of ``repro``, ``repro.api`` and
-``repro.sweep``: CI's lint job runs this module, so accidentally widening
-or shrinking the public API fails fast and visibly.  When a change is
-intentional, update the snapshots here in the same commit.
+These lock the exported names of ``repro``, ``repro.api``,
+``repro.sweep`` and ``repro.observability``: CI's lint job runs this
+module, so accidentally widening or shrinking the public API fails fast
+and visibly.  When a change is intentional, update the snapshots here in
+the same commit.
 """
 
 import repro
 import repro.api
+import repro.observability
 import repro.sweep
 
 REPRO_ALL = [
@@ -38,6 +40,31 @@ REPRO_API_ALL = [
     "WhatIfBuilder",
     "derive_graph",
     "predict",
+]
+
+REPRO_OBSERVABILITY_ALL = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "PipelineProfile",
+    "SpanRecord",
+    "active_profile",
+    "coerce_bundle",
+    "count",
+    "empty_report",
+    "export_timeline",
+    "gauge",
+    "last_profile",
+    "observe",
+    "pipeline_profile_json",
+    "profile",
+    "report",
+    "start_profiling",
+    "stop_profiling",
+    "timeline_json",
+    "trace_span",
+    "tracing_enabled",
+    "validate_chrome_trace",
 ]
 
 REPRO_SWEEP_ALL = [
@@ -71,10 +98,13 @@ class TestSurfaceSnapshots:
     def test_repro_sweep_all(self):
         assert sorted(repro.sweep.__all__) == REPRO_SWEEP_ALL
 
+    def test_repro_observability_all(self):
+        assert sorted(repro.observability.__all__) == REPRO_OBSERVABILITY_ALL
+
 
 class TestSurfaceResolves:
     def test_every_exported_name_exists(self):
-        for module in (repro, repro.api, repro.sweep):
+        for module in (repro, repro.api, repro.sweep, repro.observability):
             for name in module.__all__:
                 assert getattr(module, name) is not None, f"{module.__name__}.{name}"
 
