@@ -1,0 +1,111 @@
+"""Continuous-batching stream benchmarks: serving realism at paper scale.
+
+One GPT-3 15B serving *stream* — Poisson arrivals admitted under a batch
+cap, chunked prefills, varying decode membership — is emulated, replayed
+and explored end-to-end, mirroring ``examples/serving_slo.py`` and the
+``repro-lumos`` serving-stream CLI flow.  The metrics prove two things:
+
+* predicting SLO metrics (TTFT/latency percentiles, goodput) for a set
+  of deployment targets from one profiled stream has usable latency; and
+* the varying-batch stream graph still takes the batched fast path — the
+  64-scenario what-if group must go through ``run_batch`` (not the
+  sequential fallback) and beat the per-scenario session loop.
+
+Metrics append to the same machine-readable JSON as the engine benchmarks
+(``REPRO_PERF_JSON``) and are gated in CI against
+``benchmarks/baselines/serving_stream.json`` — see ``benchmarks/README.md``
+for the baseline-refresh procedure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.test_perf_engine import _under_xdist, record_metric
+from repro.api import Study
+from repro.core.engine import SimulationSession, compile_graph
+from repro.core.whatif import Scenario
+from repro.experiments.settings import _fast_mode
+from repro.workload.arrivals import parse_arrival
+from repro.workload.inference import InferenceConfig
+
+BATCH = 64
+STREAM_TARGETS = ("serving:prompt=1024", "serving:tp=1", "serving:tp=4")
+
+
+@pytest.fixture(scope="module")
+def stream_study():
+    decode = 4 if _fast_mode() else 8
+    requests = 8 if _fast_mode() else 16
+    inference = InferenceConfig(
+        batch_size=4, prompt_length=512, decode_length=decode,
+        arrival=parse_arrival(f"poisson:rate=400,n={requests},seed=3"))
+    return Study.from_emulation("gpt3-15b", "2x1x1", inference=inference,
+                                iterations=1, seed=17)
+
+
+def test_benchmark_stream_slo_exploration(benchmark, stream_study):
+    """Replay + calibrate + SLO metrics for every target from one stream."""
+
+    def explore():
+        stream_study.release()
+        rows = [stream_study.base_serving_metrics()]
+        rows += [stream_study.predict(target).serving_metrics()
+                 for target in STREAM_TARGETS]
+        return rows
+
+    started = time.perf_counter()
+    rows = benchmark.pedantic(explore, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+
+    assert len(rows) == len(STREAM_TARGETS) + 1
+    assert all(m is not None and m.latency_p99_ms > 0 for m in rows)
+    print(f"\nstream SLO exploration: base + {len(STREAM_TARGETS)} targets in "
+          f"{elapsed:.2f} s (base goodput {rows[0].goodput_rps:.1f} req/s)")
+    record_metric("stream_targets_per_sec", len(STREAM_TARGETS) / elapsed,
+                  higher_is_better=True, unit="targets/s")
+
+
+def test_benchmark_stream_batch_vs_session_loop(benchmark, stream_study):
+    """A stream sweep group's 64 what-ifs must take the batched fast path."""
+    graph = stream_study.base_graph
+    compiled = compile_graph(graph)
+    session = SimulationSession(compiled)
+    session.run()
+    ladders = [
+        ("decode_attention", lambda task: task.op_class == "decode_attention"),
+        ("gemm", lambda task: task.op_class == "gemm"),
+        ("comm", lambda task: task.is_communication),
+        ("launch", lambda task: task.name == "cudaLaunchKernel"),
+    ]
+    scenarios = [Scenario(name=f"{name} x{1.1 + 0.15 * step:g}",
+                          predicate=predicate, speedup=1.1 + 0.15 * step)
+                 for name, predicate in ladders
+                 for step in range(BATCH // len(ladders))]
+    matrix = np.empty((BATCH, compiled.n_tasks), dtype=np.float64)
+    for row, scenario in enumerate(scenarios):
+        matrix[row] = compiled.scaled_durations(scenario.predicate,
+                                                scenario.speedup)[0]
+
+    started = time.perf_counter()
+    loop_times = [session.run(durations=matrix[row]).iteration_time_us
+                  for row in range(BATCH)]
+    loop_seconds = time.perf_counter() - started
+
+    session.batch_session()  # build the plan outside the timed window
+    started = time.perf_counter()
+    run = benchmark.pedantic(session.run_batch, args=(matrix,),
+                             rounds=1, iterations=1)
+    batch_seconds = time.perf_counter() - started
+
+    assert run.batched, "stream graphs must take the vectorized fast path"
+    assert run.iteration_times_us.tolist() == loop_times
+    speedup = loop_seconds / batch_seconds
+    print(f"\nstream batch ({compiled.n_tasks} tasks): loop {loop_seconds:.2f} s "
+          f"vs batch {batch_seconds:.3f} s -> {speedup:.1f}x")
+    record_metric("stream_batch_vs_loop_speedup_64", speedup,
+                  higher_is_better=True, unit="x")
+    assert speedup >= (1.5 if _under_xdist() else 3.0)

@@ -45,9 +45,11 @@ see :mod:`repro.workload.inference`).
 The convenience surface re-exported here: :class:`Study` (open with
 ``Study.from_trace(...)`` / ``Study.from_emulation(...)``), the one-call
 :func:`predict` and :func:`replay` wrappers, the typed
-:class:`PredictError` / :class:`StudyError`, the serving configuration
-types :class:`InferenceConfig` / :class:`ServingTarget`, and the sweep
-names.
+:class:`PredictError` / :class:`StudyError`, the unified prediction
+target (:class:`Target` / :func:`parse_target`), the serving
+configuration types :class:`InferenceConfig` / :class:`ServingTarget` /
+:class:`ArrivalConfig` / :func:`parse_arrival`, the per-request
+:class:`ServingMetrics`, and the sweep names.
 """
 
 from repro.version import __version__
@@ -55,20 +57,27 @@ from repro.version import __version__
 # ``from repro import sweep; sweep(trace, spec)`` runs a sweep while
 # ``repro.sweep.SweepSpec`` keeps ordinary module access working.
 from repro.sweep import SweepResult, SweepSpec, run_sweep
-from repro.api import Prediction, PredictError, Study, StudyError, predict
+from repro.api import Prediction, PredictError, Study, StudyError, Target, parse_target, predict
 from repro.core.replay import replay
+from repro.core.serving_metrics import ServingMetrics
+from repro.workload.arrivals import ArrivalConfig, parse_arrival
 from repro.workload.inference import InferenceConfig, ServingTarget
 
 __all__ = [
     "__version__",
+    "ArrivalConfig",
     "InferenceConfig",
     "Prediction",
     "PredictError",
+    "ServingMetrics",
     "ServingTarget",
     "Study",
     "StudyError",
     "SweepResult",
     "SweepSpec",
+    "Target",
+    "parse_arrival",
+    "parse_target",
     "predict",
     "replay",
     "run_sweep",

@@ -49,3 +49,19 @@ def format_sweep_row(rank: int, label: str, kind: str, world_size: int,
 def sweep_headers() -> list[str]:
     """Column headers matching :func:`format_sweep_row`."""
     return ["rank", "scenario", "kind", "gpus", "time_ms", "vs_base", "cached"]
+
+
+def format_serving_sweep_row(rank: int, label: str, kind: str,
+                             ttft_p99_ms: float, latency_p99_ms: float,
+                             tokens_per_s: float, slo_attainment: float,
+                             goodput_rps: float, cached: bool) -> list[str]:
+    """One row of a continuous-batching (serving) sweep ranking table."""
+    return [str(rank), label, kind, f"{ttft_p99_ms:.2f}", f"{latency_p99_ms:.2f}",
+            f"{tokens_per_s:.0f}", f"{slo_attainment:.0%}", f"{goodput_rps:.1f}",
+            "yes" if cached else "no"]
+
+
+def serving_sweep_headers() -> list[str]:
+    """Column headers matching :func:`format_serving_sweep_row`."""
+    return ["rank", "scenario", "kind", "ttft_p99_ms", "latency_p99_ms",
+            "tokens_per_s", "slo_met", "goodput_rps", "cached"]

@@ -7,6 +7,10 @@ predict loop behind one stateful object:
     :class:`Study` (the facade), :class:`Prediction`,
     :class:`WhatIfBuilder`, the shared :func:`derive_graph` manipulation
     dispatcher and the one-call :func:`predict` convenience wrapper.
+``repro.api.target``
+    :class:`Target` and :func:`parse_target` — the unified prediction-
+    target type every study method accepts (parallelism, model and
+    serving targets behind one ``target=`` parameter).
 ``repro.api.errors``
     :class:`StudyError` and :class:`PredictError` — the typed errors the
     facade raises instead of printing to stderr.
@@ -27,6 +31,7 @@ from repro.api.study import (
     derive_graph,
     predict,
 )
+from repro.api.target import Target, parse_target
 
 __all__ = [
     "KIND_ARCHITECTURE",
@@ -37,7 +42,9 @@ __all__ = [
     "PredictError",
     "Study",
     "StudyError",
+    "Target",
     "WhatIfBuilder",
     "derive_graph",
+    "parse_target",
     "predict",
 ]

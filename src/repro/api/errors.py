@@ -20,13 +20,17 @@ class PredictError(StudyError):
     changes rewrite per-kernel shapes throughout the graph, so manipulation
     refuses them.  :attr:`base_tp` / :attr:`target_tp` carry the offending
     degrees when the error is a TP mismatch (both are ``None`` otherwise).
+    :attr:`code` carries a machine-readable refusal code when the
+    underlying manipulation provided one (e.g. the serving manipulation's
+    ``batch=``-on-a-stream refusal), else ``None``.
     """
 
     def __init__(self, message: str, *, base_tp: int | None = None,
-                 target_tp: int | None = None) -> None:
+                 target_tp: int | None = None, code: str | None = None) -> None:
         super().__init__(message)
         self.base_tp = base_tp
         self.target_tp = target_tp
+        self.code = code
 
     @classmethod
     def tp_mismatch(cls, target_label: str, base_tp: int, target_tp: int) -> "PredictError":

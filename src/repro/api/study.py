@@ -21,10 +21,12 @@ a ``(kind, target)`` configuration onto :mod:`repro.core.manipulation`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.api.errors import PredictError, StudyError
+from repro.api.target import Target, parse_target
 from repro.core import whatif as whatif_mod
 from repro.core.breakdown import ExecutionBreakdown
 from repro.core.engine import SessionRun, SimulationSession, compile_graph
@@ -42,6 +44,12 @@ from repro.core.manipulation import (
 from repro.core.perf_model import KernelPerfModel
 from repro.core.replay import ReplayResult
 from repro.core.replay import replay as _replay_trace
+from repro.core.serving_metrics import (
+    ServingMetrics,
+    compute_serving_metrics,
+    metrics_from_task_times,
+    stream_plan_of,
+)
 from repro.observability import tracing as observability
 from repro.core.tasks import Task
 from repro.hardware.cluster import ClusterSpec
@@ -127,7 +135,8 @@ def derive_graph(graph: ExecutionGraph, kind: str, target: str, *,
         except ValueError as exc:
             if isinstance(exc, PredictError):
                 raise
-            raise PredictError(str(exc)) from exc
+            raise PredictError(str(exc),
+                               code=getattr(exc, "code", None)) from exc
         _, target_parallel = serving.resolve(base_inference, base_parallel)
         return derived, target_parallel.world_size
     if base_inference is not None:
@@ -197,6 +206,25 @@ class Prediction:
     def breakdown(self) -> ExecutionBreakdown:
         return self.result.breakdown()
 
+    @property
+    def is_stream(self) -> bool:
+        """Whether the predicted graph is a continuous-batching episode."""
+        return stream_plan_of(self.result.graph.metadata) is not None
+
+    def serving_metrics(self, deadline_ms: float | None = None) -> ServingMetrics | None:
+        """Per-request serving metrics of the predicted episode.
+
+        ``None`` for targets whose graph carries no continuous-batching
+        stream plan (training iterations and fixed-batch serving
+        episodes).  ``deadline_ms`` sets the SLO-attainment deadline
+        (default :data:`~repro.core.serving_metrics.DEFAULT_SLO_MS`).
+        """
+        plan = stream_plan_of(self.result.graph.metadata)
+        if plan is None:
+            return None
+        return compute_serving_metrics(self.result.simulation, plan,
+                                       deadline_ms=deadline_ms)
+
 
 class WhatIfBuilder:
     """Fluent batch of what-if scenarios against one study configuration.
@@ -254,7 +282,13 @@ class WhatIfBuilder:
     # -- evaluation ---------------------------------------------------------
 
     def run(self) -> "list[WhatIfResult]":
-        """Evaluate every queued scenario in one batched simulation."""
+        """Evaluate every queued scenario in one batched simulation.
+
+        On a continuous-batching serving study every result also carries
+        the scenario's own :class:`~repro.core.serving_metrics.
+        ServingMetrics` (computed from the same batched simulation, no
+        extra run) in :attr:`~repro.core.whatif.WhatIfResult.serving`.
+        """
         if not self._scenarios:
             raise StudyError("no what-if scenarios queued; add one before run()")
         kind, target = self._key
@@ -262,8 +296,23 @@ class WhatIfBuilder:
                                       scenarios=len(self._scenarios)):
             graph, _ = self._study.derived_graph(kind, target)
             session, baseline = self._study.config_session(kind, target)
+            plan = stream_plan_of(graph.metadata)
+            collected: dict[int, ServingMetrics] = {}
+            collect = None
+            if plan is not None:
+                tasks = session.compiled.tasks
+
+                def collect(row: int, starts, durations) -> None:
+                    collected[row] = metrics_from_task_times(
+                        tasks, starts, durations, plan)
+
             results = whatif_mod.evaluate_scenarios(graph, self._scenarios,
-                                                    baseline=baseline, session=session)
+                                                    baseline=baseline,
+                                                    session=session,
+                                                    collect=collect)
+            if collected:
+                results = [replace(result, serving=collected.get(row))
+                           for row, result in enumerate(results)]
         observability.count("study.whatif_scenarios", len(results))
         return results
 
@@ -500,6 +549,27 @@ class Study:
         """Execution breakdown of the replayed base iteration."""
         return self.replay().breakdown()
 
+    @property
+    def stream_plan(self):
+        """The base episode's continuous-batching plan, or ``None``.
+
+        Present exactly when the study was opened over a serving episode
+        emulated with an arrival process (``InferenceConfig.arrival``).
+        """
+        return stream_plan_of(self.base_graph.metadata)
+
+    def base_serving_metrics(self, deadline_ms: float | None = None) -> ServingMetrics | None:
+        """Per-request serving metrics of the replayed base episode.
+
+        ``None`` unless the base trace is a continuous-batching serving
+        episode (see :attr:`stream_plan`).
+        """
+        plan = self.stream_plan
+        if plan is None:
+            return None
+        return compute_serving_metrics(self.replay().simulation, plan,
+                                       deadline_ms=deadline_ms)
+
     def prepare(self) -> "Study":
         """Force-materialise the base replay and perf model; returns self.
 
@@ -517,38 +587,57 @@ class Study:
         """Which workload family the base trace came from."""
         return WORKLOAD_TRAINING if self.inference is None else WORKLOAD_SERVING
 
-    def _config_key(self, target: ParallelismConfig | str | None = None, *,
+    def _config_key(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None, *,
                     model: ModelConfig | str | None = None,
                     serving: ServingTarget | str | None = None) -> tuple[str, str]:
-        """Map a user-facing target onto the memoization key ``(kind, target)``."""
+        """Map a user-facing target onto the memoization key ``(kind, target)``.
+
+        ``target`` is the unified entry point — any form
+        :func:`~repro.api.target.parse_target` accepts.  The ``model=``
+        and ``serving=`` keywords are the pre-Target spelling; they keep
+        working (routed through the same parser) but warn.
+        """
         if sum(item is not None for item in (target, model, serving)) > 1:
             raise PredictError("give exactly one of a target parallelism, a "
                                "target model or a serving target")
-        if serving is not None:
-            if not isinstance(serving, ServingTarget):
-                try:
-                    serving = ServingTarget.parse(str(serving))
-                except ValueError as exc:
-                    raise PredictError(str(exc)) from exc
+        if model is not None:
+            warnings.warn("model= is deprecated; pass target=<model> (or a "
+                          "'model:<name>' string) instead",
+                          DeprecationWarning, stacklevel=3)
+            target = (model if isinstance(model, ModelConfig)
+                      else f"model:{model}")
+        elif serving is not None:
+            warnings.warn("serving= is deprecated; pass target=<serving "
+                          "target> (or a 'serving:batch=...' string) instead",
+                          DeprecationWarning, stacklevel=3)
+            target = (serving if isinstance(serving, ServingTarget)
+                      else f"serving:{serving}")
+        if target is None:
+            return (KIND_BASELINE, self.base_parallel.label())
+        return self._key_for(parse_target(target))
+
+    def _key_for(self, resolved: Target) -> tuple[str, str]:
+        """Collapse a parsed :class:`Target` onto the memoization key.
+
+        Targets equal to the study's base configuration fold onto the
+        baseline key so they share the base replay instead of deriving a
+        no-op graph.
+        """
+        if resolved.kind == KIND_SERVING:
+            serving = ServingTarget.parse(resolved.label)
             if (self.inference is not None
                     and serving.is_noop(self.inference, self.base_parallel)):
                 return (KIND_BASELINE, self.base_parallel.label())
             return (KIND_SERVING, serving.label())
-        if model is not None:
-            if isinstance(model, ModelConfig):
-                name = self._register_model(model)
-            else:
-                name = str(model)
+        if resolved.kind == KIND_ARCHITECTURE:
+            name = (self._register_model(resolved.model)
+                    if resolved.model is not None else resolved.label)
             if name == self.base_model.name:
                 return (KIND_BASELINE, self.base_parallel.label())
             return (KIND_ARCHITECTURE, name)
-        if target is None:
-            return (KIND_BASELINE, self.base_parallel.label())
-        label = (target.label() if isinstance(target, ParallelismConfig)
-                 else str(target))
-        if label == self.base_parallel.label():
-            return (KIND_BASELINE, label)
-        return (KIND_PARALLELISM, label)
+        if resolved.label == self.base_parallel.label():
+            return (KIND_BASELINE, resolved.label)
+        return (KIND_PARALLELISM, resolved.label)
 
     def _register_model(self, model: ModelConfig) -> str:
         """Record a target ModelConfig under its name, refusing collisions.
@@ -669,15 +758,20 @@ class Study:
 
     # -- the paper workflow -------------------------------------------------
 
-    def predict(self, target: ParallelismConfig | str | None = None, *,
+    def predict(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None, *,
                 model: ModelConfig | str | None = None,
                 serving: ServingTarget | str | None = None) -> Prediction:
         """Predict the iteration of a new parallelism, model, or serving setup.
 
-        ``study.predict("2x4x4")`` scales the deployment (§3.4);
-        ``study.predict(model="gpt3-v1")`` changes the architecture
-        (§4.3.2); on a serving study, ``study.predict(serving="batch=16")``
-        rescales the episode's batch size, prompt length or TP degree.
+        ``target`` takes any form :func:`~repro.api.target.parse_target`
+        accepts: ``study.predict("2x4x4")`` scales the deployment (§3.4),
+        ``study.predict("model:gpt3-v1")`` (or a :class:`ModelConfig`)
+        changes the architecture (§4.3.2), and on a serving study
+        ``study.predict("serving:batch=16")`` (or a
+        :class:`ServingTarget`; bare ``"batch=16"`` auto-detects) rescales
+        the episode's batch size, prompt length or TP degree.  The
+        ``model=`` / ``serving=`` keywords are the deprecated pre-Target
+        spelling and keep working with a :class:`DeprecationWarning`.
         Repeated predictions of the same target are served from the
         study's caches.  Raises :class:`PredictError` for unsupported
         targets — notably tensor-parallelism changes of training bases.
@@ -703,7 +797,7 @@ class Study:
         return self._predictions[key]
 
     def whatif(self, kind: str | None = None, *,
-               target: ParallelismConfig | str | None = None,
+               target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None,
                model: ModelConfig | str | None = None,
                serving: ServingTarget | str | None = None,
                op_class: str | None = None, group: str | None = None,
@@ -727,6 +821,7 @@ class Study:
               parallelism: Iterable[str] = (), models: Iterable[str] = (),
               serving: Iterable[str] = (),
               whatif: "Iterable[WhatIfSpec | str | Mapping[str, Any]]" = (),
+              slo_ms: float | None = None,
               include_baseline: bool = True, workers: int = 1,
               cache: "SweepCache | None" = None,
               cache_dir: "str | Path | None" = None,
@@ -739,7 +834,9 @@ class Study:
         what-if entries may be specs, mappings, or compact CLI strings
         like ``"gemm:2"``; serving entries are ``batch=/prompt=/tp=``
         labels and require a serving-episode study) and the spec is built
-        around the study's base configuration.
+        around the study's base configuration.  ``slo_ms`` sets the
+        latency deadline of the per-request serving metrics attached to
+        continuous-batching scenario results (goodput ranking).
         """
         from pathlib import Path as _Path
 
@@ -762,12 +859,13 @@ class Study:
                 micro_batch_size=self.training.micro_batch_size,
                 num_microbatches=self.training.num_microbatches,
                 inference=self.inference,
+                slo_ms=slo_ms,
                 parallelism=tuple(parallelism), models=tuple(models),
                 serving=tuple(serving),
                 whatif=tuple(coerce_whatif(entry) for entry in whatif),
                 include_baseline=include_baseline)
         else:
-            if parallelism or models or serving or whatif:
+            if parallelism or models or serving or whatif or slo_ms is not None:
                 raise StudyError("pass either a full spec or inline axes, not both")
             spec = _SweepSpec.coerce(spec)
         self.ensure_matches(spec)

@@ -1,0 +1,131 @@
+"""The unified prediction-target type and its parser.
+
+Every way a study can be pointed at a configuration — a parallelism
+label, a model architecture, a serving knob set — is one :class:`Target`:
+a ``(kind, label)`` pair using the shared manipulation vocabulary
+(``KIND_PARALLELISM`` / ``KIND_ARCHITECTURE`` / ``KIND_SERVING``), plus
+an optional :class:`~repro.workload.model_config.ModelConfig` payload for
+architecture targets that are not in the registry.
+
+:func:`parse_target` is the single coercion point: it accepts a
+:class:`Target`, the typed configuration objects
+(:class:`~repro.workload.parallelism.ParallelismConfig`,
+:class:`~repro.workload.model_config.ModelConfig`,
+:class:`~repro.workload.inference.ServingTarget`), or a string.  Strings
+may carry an explicit kind prefix (``parallelism:2x2x4``,
+``serving:batch=16``, ``model:gpt3-xl`` — ``architecture:`` is accepted
+as an alias) or rely on auto-detection: ``NxNxN`` is a parallelism
+label, anything containing ``=`` is a serving knob set, and everything
+else names a model architecture.  Malformed targets raise
+:class:`~repro.api.errors.PredictError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.api.errors import PredictError
+from repro.core.manipulation import (
+    KIND_ARCHITECTURE,
+    KIND_PARALLELISM,
+    KIND_SERVING,
+)
+from repro.workload.inference import ServingTarget
+from repro.workload.model_config import ModelConfig
+from repro.workload.parallelism import ParallelismConfig
+
+__all__ = ["Target", "parse_target"]
+
+_PARALLELISM_RE = re.compile(r"^\d+x\d+x\d+$")
+
+#: Explicit kind prefixes a target string may carry.
+_PREFIXES = {
+    "parallelism": KIND_PARALLELISM,
+    "serving": KIND_SERVING,
+    "model": KIND_ARCHITECTURE,
+    "architecture": KIND_ARCHITECTURE,
+}
+
+
+@dataclass(frozen=True)
+class Target:
+    """One prediction target: a manipulation kind and its canonical label.
+
+    ``model`` carries the :class:`ModelConfig` payload of an architecture
+    target built from a config object (registry-name targets leave it
+    ``None``); the other kinds never set it.
+    """
+
+    kind: str
+    label: str
+    model: ModelConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_PARALLELISM, KIND_ARCHITECTURE, KIND_SERVING):
+            raise PredictError(f"unknown target kind '{self.kind}'")
+        if self.model is not None and self.kind != KIND_ARCHITECTURE:
+            raise PredictError(
+                f"a ModelConfig payload only belongs on an architecture "
+                f"target, not kind '{self.kind}'")
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.label}"
+
+
+def _parallelism_target(text: str) -> Target:
+    try:
+        label = ParallelismConfig.parse(text).label()
+    except ValueError as exc:
+        raise PredictError(str(exc)) from exc
+    return Target(KIND_PARALLELISM, label)
+
+
+def _serving_target(text: str) -> Target:
+    try:
+        label = ServingTarget.parse(text).label()
+    except ValueError as exc:
+        raise PredictError(str(exc)) from exc
+    return Target(KIND_SERVING, label)
+
+
+def parse_target(value: "Target | ParallelismConfig | ModelConfig | ServingTarget | str") -> Target:
+    """Coerce any supported target form into a canonical :class:`Target`.
+
+    Typed objects map directly onto their kind; strings are parsed with
+    an optional explicit ``kind:`` prefix or auto-detected (``NxNxN`` →
+    parallelism, contains ``=`` → serving, else a model name).  Labels
+    are canonicalised through the same parsers the manipulations use, so
+    equal targets memoize under one key.
+    """
+    if isinstance(value, Target):
+        return value
+    if isinstance(value, ParallelismConfig):
+        return Target(KIND_PARALLELISM, value.label())
+    if isinstance(value, ModelConfig):
+        return Target(KIND_ARCHITECTURE, value.name, model=value)
+    if isinstance(value, ServingTarget):
+        return Target(KIND_SERVING, value.label())
+    if not isinstance(value, str):
+        raise PredictError(
+            f"cannot interpret {value!r} as a prediction target; give a "
+            "Target, ParallelismConfig, ModelConfig, ServingTarget or string")
+    text = value.strip()
+    if not text:
+        raise PredictError("empty prediction target")
+    prefix, sep, rest = text.partition(":")
+    kind = _PREFIXES.get(prefix.strip().lower()) if sep else None
+    if kind is not None:
+        rest = rest.strip()
+        if not rest:
+            raise PredictError(f"target '{text}' has a kind prefix but no value")
+        if kind == KIND_PARALLELISM:
+            return _parallelism_target(rest)
+        if kind == KIND_SERVING:
+            return _serving_target(rest)
+        return Target(KIND_ARCHITECTURE, rest)
+    if _PARALLELISM_RE.match(text):
+        return _parallelism_target(text)
+    if "=" in text:
+        return _serving_target(text)
+    return Target(KIND_ARCHITECTURE, text)

@@ -9,12 +9,25 @@
 * ``replay``   — build the execution graph from saved traces and replay it;
 * ``breakdown`` — print the execution-time breakdown of saved traces;
 * ``predict``  — manipulate the graph of a base trace to estimate a new
-  parallelism configuration, model architecture, or (for serving traces)
-  a new ``--target-serving batch=/prompt=/tp=`` deployment;
+  ``--target`` (a TPxPPxDP parallelism label, a model name, or serving
+  knobs ``batch=/prompt=/tp=`` — the kind is auto-detected, or forced
+  with a ``parallelism:`` / ``model:`` / ``serving:`` prefix); for
+  continuous-batching traces the report includes TTFT, latency
+  percentiles, tokens/s and SLO goodput at ``--slo-ms``;
 * ``sweep``    — evaluate a whole grid of what-if scenarios from one base
-  trace, with a process pool and an on-disk result cache;
+  trace, with a process pool and an on-disk result cache; repeatable
+  ``--target`` flags populate the axes the same way;
 * ``export-timeline`` — render a trace's profiled, replayed and predicted
-  schedules as chrome-trace JSON for Perfetto / ``chrome://tracing``.
+  schedules as chrome-trace JSON for Perfetto / ``chrome://tracing``;
+  continuous-batching episodes add one per-request Gantt track block.
+
+``emulate --workload serving --arrival poisson:rate=100,n=16,seed=3``
+emulates a continuous-batching *stream* (Poisson / bursty / trace
+arrivals) instead of one fixed batch.
+
+The pre-unification target flags (``--target-parallelism``,
+``--target-model``, ``--target-serving``; sweep's ``--targets`` /
+``--target-models`` / ``--serving``) keep working as hidden aliases.
 
 Every subcommand accepts ``--profile out.json`` to collect the pipeline's
 own spans and metrics (:mod:`repro.observability`) and write the
@@ -32,8 +45,10 @@ import argparse
 import json
 import sys
 
+from dataclasses import replace
+
 from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
-from repro.api import Study, StudyError
+from repro.api import KIND_PARALLELISM, KIND_SERVING, Study, StudyError, parse_target
 from repro.baselines.dpro import dpro_replay
 from repro.core.breakdown import compute_breakdown
 from repro.emulator.api import emulate
@@ -43,6 +58,7 @@ from repro.sweep import SweepSpec, SweepSpecError, WhatIfSpec
 from repro.sweep.analysis import format_report
 from repro.trace.kineto import TraceBundle
 from repro.version import __version__
+from repro.workload.arrivals import parse_arrival
 from repro.workload.inference import InferenceConfig
 from repro.workload.model_config import gpt3_model
 from repro.workload.parallelism import ParallelismConfig
@@ -69,10 +85,65 @@ def _study_from_args(args: argparse.Namespace) -> Study:
 
 
 def _inference_from_args(args: argparse.Namespace) -> InferenceConfig:
+    arrival = parse_arrival(args.arrival) if getattr(args, "arrival", None) else None
     return InferenceConfig(batch_size=args.requests,
                            prompt_length=args.prompt_length,
                            decode_length=args.decode_length,
-                           kv_dtype=args.kv_dtype)
+                           kv_dtype=args.kv_dtype,
+                           arrival=arrival)
+
+
+def _target_parent() -> argparse.ArgumentParser:
+    """Shared ``--target`` options for predict / sweep / export-timeline."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--target", action="append", default=[],
+                        metavar="[KIND:]TARGET",
+                        help="prediction target (repeatable): a TPxPPxDP "
+                             "label, a model name, or serving knobs "
+                             "'batch=N,prompt=N,tp=N'; the kind is "
+                             "auto-detected, or forced with a "
+                             "'parallelism:'/'model:'/'serving:' prefix")
+    # Pre-unification spellings, kept as working hidden aliases.
+    parent.add_argument("--target-parallelism", help=argparse.SUPPRESS)
+    parent.add_argument("--target-model", help=argparse.SUPPRESS)
+    parent.add_argument("--target-serving", help=argparse.SUPPRESS)
+    return parent
+
+
+def _collect_targets(args: argparse.Namespace) -> list[str]:
+    """Merge ``--target`` entries with the legacy per-kind flags.
+
+    Legacy flags come last, prefixed so the unified parser cannot
+    misclassify them, in the serving → model → parallelism order the
+    pre-unification ``export-timeline`` appended its sections.
+    """
+    targets = list(args.target)
+    if args.target_serving:
+        targets.append(f"serving:{args.target_serving}")
+    if args.target_model:
+        targets.append(f"model:{args.target_model}")
+    if args.target_parallelism:
+        targets.append(f"parallelism:{args.target_parallelism}")
+    return targets
+
+
+def _split_csv(values: list[str] | None) -> list[str]:
+    parts: list[str] = []
+    for value in values or []:
+        parts.extend(part for part in value.split(",") if part)
+    return parts
+
+
+def _serving_metrics_lines(rows: list[tuple[str, object]]) -> list[str]:
+    lines = []
+    for label, m in rows:
+        lines.append(f"  {label}: ttft p50/p99 {m.ttft_p50_ms:.2f}/"
+                     f"{m.ttft_p99_ms:.2f} ms, latency p50/p99 "
+                     f"{m.latency_p50_ms:.2f}/{m.latency_p99_ms:.2f} ms, "
+                     f"{m.tokens_per_s:.0f} tokens/s, goodput "
+                     f"{m.goodput_rps:.1f} req/s "
+                     f"({m.slo_attainment:.0%} within SLO)")
+    return lines
 
 
 def _cmd_emulate(args: argparse.Namespace) -> int:
@@ -89,8 +160,13 @@ def _cmd_emulate(args: argparse.Namespace) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
-        label = (f"serving episode ({inference.batch_size} requests, "
-                 f"{inference.prompt_length}+{inference.decode_length} tokens)")
+        if inference.arrival is not None:
+            label = (f"serving stream ({inference.arrival.label()}, "
+                     f"batch cap {inference.batch_size}, "
+                     f"{inference.prompt_length}+{inference.decode_length} tokens)")
+        else:
+            label = (f"serving episode ({inference.batch_size} requests, "
+                     f"{inference.prompt_length}+{inference.decode_length} tokens)")
     else:
         result = emulate(model, parallel, _training_from_args(args),
                          iterations=args.iterations, seed=args.seed)
@@ -122,21 +198,19 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    targets = [t for t in (args.target_parallelism, args.target_model,
-                           args.target_serving) if t]
+    targets = _collect_targets(args)
     if len(targets) != 1:
-        print("predict requires exactly one of --target-parallelism, "
-              "--target-model or --target-serving", file=sys.stderr)
+        print("predict requires a single --target (or exactly one of "
+              "--target-parallelism, --target-model or --target-serving)",
+              file=sys.stderr)
         args.parser.print_usage(sys.stderr)
         return 2
     try:
         study = _study_from_args(args)
-        if args.target_serving:
-            prediction = study.predict(serving=args.target_serving)
-        elif args.target_model:
-            prediction = study.predict(model=args.target_model)
-        else:
-            prediction = study.predict(args.target_parallelism)
+        prediction = study.predict(targets[0])
+        metrics = prediction.serving_metrics(deadline_ms=args.slo_ms)
+        base_metrics = (study.base_serving_metrics(deadline_ms=args.slo_ms)
+                        if metrics is not None else None)
     except StudyError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -147,6 +221,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         format_breakdown_row(prediction.label, prediction.breakdown()),
     ]
     print(format_table(breakdown_headers(), rows))
+    if metrics is not None:
+        print(f"serving metrics (SLO {metrics.deadline_ms:g} ms):")
+        serving_rows = [(prediction.label, metrics)]
+        if base_metrics is not None:
+            serving_rows.insert(0, ("base", base_metrics))
+        for line in _serving_metrics_lines(serving_rows):
+            print(line)
     return 0
 
 
@@ -157,22 +238,26 @@ def _cmd_export_timeline(args: argparse.Namespace) -> int:
                                  parallelism=args.parallelism,
                                  training=_training_from_args(args))
         sections = [("profiled", bundle), ("replayed", study.replay())]
-        if args.target_serving:
-            sections.append((args.target_serving,
-                             study.predict(serving=args.target_serving)))
-        if args.target_model:
-            sections.append((args.target_model,
-                             study.predict(model=args.target_model)))
-        if args.target_parallelism:
-            sections.append((args.target_parallelism,
-                             study.predict(args.target_parallelism)))
-        payload = export_timeline(sections, args.output)
+        serving_tracks = []
+        base_metrics = study.base_serving_metrics()
+        if base_metrics is not None:
+            serving_tracks.append(("replayed", base_metrics))
+        for target in _collect_targets(args):
+            prediction = study.predict(target)
+            sections.append((prediction.label, prediction))
+            metrics = prediction.serving_metrics()
+            if metrics is not None:
+                serving_tracks.append((prediction.label, metrics))
+        payload = export_timeline(sections, args.output, serving=serving_tracks)
     except (StudyError, OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     labels = ", ".join(payload["otherData"]["sections"])
     print(f"wrote {len(payload['traceEvents'])} chrome-trace events "
           f"({labels}) to {args.output}")
+    if payload["otherData"].get("request_tracks"):
+        print(f"per-request tracks: "
+              f"{', '.join(payload['otherData']['request_tracks'])}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
@@ -181,6 +266,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         if args.spec:
             spec = SweepSpec.load(args.spec)
+            if args.slo_ms is not None:
+                spec = replace(spec, slo_ms=args.slo_ms)
             study = Study.from_trace(args.trace, model=spec.base_model,
                                      parallelism=spec.base_parallelism,
                                      training=spec.training(),
@@ -188,9 +275,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             result = study.sweep(spec, workers=args.workers,
                                  cache_dir=args.cache_dir, force=args.force)
         else:
-            if not (args.targets or args.target_models or args.serving):
-                print("sweep requires --spec, --targets, --target-models or "
-                      "--serving", file=sys.stderr)
+            # The legacy axis flags map straight onto their axis; unified
+            # --target entries are classified by parse_target's kind.
+            parallelism_axis = _split_csv(args.targets)
+            models_axis = _split_csv(args.target_models)
+            serving_axis = list(args.serving)
+            for text in _collect_targets(args):
+                resolved = parse_target(text)
+                if resolved.kind == KIND_PARALLELISM:
+                    parallelism_axis.append(resolved.label)
+                elif resolved.kind == KIND_SERVING:
+                    serving_axis.append(resolved.label)
+                else:
+                    models_axis.append(resolved.label)
+            if not (parallelism_axis or models_axis or serving_axis):
+                print("sweep requires --spec, --target, --targets, "
+                      "--target-models or --serving", file=sys.stderr)
                 args.parser.print_usage(sys.stderr)
                 return 2
             # The study recovers a serving base from the trace metadata, so
@@ -199,10 +299,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                      parallelism=args.parallelism,
                                      training=_training_from_args(args))
             result = study.sweep(
-                parallelism=tuple(p for p in (args.targets or "").split(",") if p),
-                models=tuple(m for m in (args.target_models or "").split(",") if m),
-                serving=tuple(args.serving),
+                parallelism=tuple(parallelism_axis),
+                models=tuple(models_axis),
+                serving=tuple(serving_axis),
                 whatif=tuple(WhatIfSpec.parse(w) for w in args.whatif),
+                slo_ms=args.slo_ms,
                 workers=args.workers, cache_dir=args.cache_dir, force=args.force)
     except (SweepSpecError, StudyError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -241,6 +342,13 @@ def build_parser() -> argparse.ArgumentParser:
     emulate_parser.add_argument("--kv-dtype", default="bf16",
                                 choices=["bf16", "fp16", "fp32", "fp8"],
                                 help="serving: KV-cache storage datatype")
+    emulate_parser.add_argument("--arrival", metavar="KIND:KNOBS",
+                                help="serving: request-arrival process for a "
+                                     "continuous-batching stream, e.g. "
+                                     "'poisson:rate=100,n=16,seed=3', "
+                                     "'bursty:rate=100,cv=4,n=16' or "
+                                     "'trace:0,2.5,7.25' (offsets in ms); "
+                                     "--requests caps the decode batch")
     emulate_parser.set_defaults(func=_cmd_emulate)
 
     replay_parser = subparsers.add_parser("replay", help="replay a saved trace bundle")
@@ -253,32 +361,38 @@ def build_parser() -> argparse.ArgumentParser:
     breakdown_parser.add_argument("--trace", required=True, help="trace bundle directory")
     breakdown_parser.set_defaults(func=_cmd_breakdown)
 
-    predict_parser = subparsers.add_parser("predict",
-                                           help="estimate a new configuration from a base trace")
+    target_parent = _target_parent()
+
+    predict_parser = subparsers.add_parser(
+        "predict", parents=[target_parent],
+        help="estimate a new configuration from a base trace")
     _add_workload_arguments(predict_parser)
     predict_parser.add_argument("--trace", required=True, help="base trace bundle directory")
-    predict_parser.add_argument("--target-parallelism", help="target TPxPPxDP label")
-    predict_parser.add_argument("--target-model", help="target model name (Table 2 variants)")
-    predict_parser.add_argument("--target-serving",
-                                help="serving target 'batch=N,prompt=N,tp=N' "
-                                     "(requires a serving-episode trace)")
+    predict_parser.add_argument("--slo-ms", type=float, default=None,
+                                help="per-request latency deadline for SLO "
+                                     "attainment / goodput (continuous-"
+                                     "batching traces; default 500 ms)")
     predict_parser.set_defaults(func=_cmd_predict, parser=predict_parser)
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="evaluate a grid of what-if scenarios from a base trace")
+        "sweep", parents=[target_parent],
+        help="evaluate a grid of what-if scenarios from a base trace")
     _add_workload_arguments(sweep_parser)
     sweep_parser.add_argument("--trace", required=True, help="base trace bundle directory")
     sweep_parser.add_argument("--spec", help="sweep spec JSON file (overrides inline axes)")
-    sweep_parser.add_argument("--targets",
-                              help="comma-separated target TPxPPxDP labels (inline axis)")
-    sweep_parser.add_argument("--target-models",
-                              help="comma-separated target model names (inline axis)")
+    # Pre-unification axis flags; --target entries append to the same axes.
+    sweep_parser.add_argument("--targets", action="append",
+                              help=argparse.SUPPRESS)
+    sweep_parser.add_argument("--target-models", action="append",
+                              help=argparse.SUPPRESS)
     sweep_parser.add_argument("--serving", action="append", default=[],
-                              help="serving target 'batch=N,prompt=N,tp=N' "
-                                   "(repeatable; requires a serving-episode trace)")
+                              help=argparse.SUPPRESS)
     sweep_parser.add_argument("--whatif", action="append", default=[],
                               help="what-if scenario: 'launch', 'comm[:group]:S' or "
                                    "'CLASS:S' (repeatable)")
+    sweep_parser.add_argument("--slo-ms", type=float, default=None,
+                              help="per-request latency deadline for serving "
+                                   "axes (ranked by goodput; default 500 ms)")
     sweep_parser.add_argument("--workers", type=int, default=1,
                               help="process count for scenario evaluation")
     sweep_parser.add_argument("--cache-dir", help="on-disk result cache directory")
@@ -289,22 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.set_defaults(func=_cmd_sweep, parser=sweep_parser)
 
     timeline_parser = subparsers.add_parser(
-        "export-timeline",
+        "export-timeline", parents=[target_parent],
         help="export profiled/replayed/predicted schedules as chrome-trace JSON")
     _add_workload_arguments(timeline_parser)
     timeline_parser.add_argument("--trace", required=True,
                                  help="trace bundle directory")
     timeline_parser.add_argument("--output", required=True,
                                  help="chrome-trace JSON output path")
-    timeline_parser.add_argument("--target-parallelism",
-                                 help="also export the predicted schedule of "
-                                      "this TPxPPxDP target")
-    timeline_parser.add_argument("--target-model",
-                                 help="also export the predicted schedule of "
-                                      "this model architecture")
-    timeline_parser.add_argument("--target-serving",
-                                 help="also export the predicted schedule of a "
-                                      "serving target 'batch=N,prompt=N,tp=N'")
     timeline_parser.set_defaults(func=_cmd_export_timeline)
 
     for subparser in subparsers.choices.values():

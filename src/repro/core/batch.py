@@ -73,6 +73,11 @@ FALLBACK_UNORDERED_TASKS = "unordered-processor-tasks"
 FALLBACK_ANCESTRY_OVERFLOW = "ancestry-table-overflow"
 FALLBACK_COLLECTIVE_DEPENDENCY = "collective-internal-dependency"
 FALLBACK_SYNC_CYCLE = "sync-cycle"
+#: A continuous-batching serving graph failed the proof.  Builder-emitted
+#: stream episodes batch fine (one final drain, chained streams), so this
+#: code marks hand-modified stream graphs — distinct so serving sweeps
+#: can tell "stream graph went sequential" from the generic causes.
+FALLBACK_SERVING_STREAM = "serving-stream-schedule"
 
 
 class UnbatchableGraphError(RuntimeError):
@@ -418,7 +423,15 @@ class BatchSession:
             except UnbatchableGraphError as error:
                 self.fallback_reason = str(error)
                 self.fallback_code = error.code
-                span.set(fallback=error.code)
+                if compiled.graph.metadata.get("serving_stream") is not None:
+                    # A continuous-batching episode lost its fast path —
+                    # report the serving-specific code (the generic cause
+                    # stays in the reason text).
+                    self.fallback_code = FALLBACK_SERVING_STREAM
+                    self.fallback_reason = (
+                        f"continuous-batching stream graph is not batchable "
+                        f"({error.code}): {error}")
+                span.set(fallback=self.fallback_code)
         if self.plan is None:
             observability.count(f"batch.unbatchable.{self.fallback_code}")
 

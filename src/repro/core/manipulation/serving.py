@@ -26,6 +26,7 @@ from repro.core.graph import ExecutionGraph
 from repro.core.perf_model import KernelPerfModel
 from repro.core.tasks import Task, TaskKind
 from repro.hardware.cluster import ClusterSpec
+from repro.workload.arrivals import STREAM_METADATA_KEY, StreamPlan
 from repro.workload.inference import (
     InferenceConfig,
     ServingTarget,
@@ -35,6 +36,12 @@ from repro.workload.inference import (
     prefill_embedding_ops,
     prefill_head_ops,
     prefill_layer_ops,
+    stream_decode_embedding_ops,
+    stream_decode_head_ops,
+    stream_decode_layer_ops,
+    stream_prefill_embedding_ops,
+    stream_prefill_head_ops,
+    stream_prefill_layer_ops,
     validate_tp_for_model,
 )
 from repro.workload.model_config import ModelConfig
@@ -43,6 +50,24 @@ from repro.workload.parallelism import ParallelismConfig
 
 #: Lookup key of one operator instance: (phase, op_name, decode step).
 _OpKey = tuple[str, str, int | None]
+
+#: Machine-readable refusal code: ``batch=`` targets on a continuous-
+#: batching stream base (the cap drives the admission schedule, so the
+#: derived program's topology would change).
+REFUSE_STREAM_BATCH = "serving-stream-batch-policy"
+
+
+class ServingManipulationError(ValueError):
+    """A typed serving-manipulation refusal carrying a machine code.
+
+    Callers that map manipulation errors onto
+    :class:`~repro.api.errors.PredictError` propagate :attr:`code` so
+    tools can branch on the refusal reason without parsing messages.
+    """
+
+    def __init__(self, message: str, *, code: str) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def _op_table(model: ModelConfig, parallel: ParallelismConfig,
@@ -67,12 +92,40 @@ def _op_table(model: ModelConfig, parallel: ParallelismConfig,
     return table
 
 
-def _task_key(task: Task) -> _OpKey | None:
+def _stream_op_table(model: ModelConfig, parallel: ParallelismConfig,
+                     config: InferenceConfig,
+                     plan: StreamPlan) -> dict[_OpKey, OpSpec]:
+    """Regenerate a continuous-batching episode's operators.
+
+    The admission schedule is held fixed (it lives in the plan), so the
+    same chunks and steps are regenerated at the target shapes: prefill
+    ops key on their chunk index, decode ops on their global step index
+    — matching the ``microbatch`` the stream builder recorded.
+    """
+    table: dict[_OpKey, OpSpec] = {}
+    for chunk, admitted in enumerate(plan.chunk_requests):
+        batch = len(admitted)
+        for op in (stream_prefill_embedding_ops(model, parallel, config, batch)
+                   + stream_prefill_layer_ops(model, parallel, config, batch)
+                   + stream_prefill_head_ops(model, parallel, config, batch)):
+            table[("prefill", op.name, chunk)] = op
+    for step in range(plan.num_steps):
+        contexts = plan.step_contexts(config.prompt_length, step)
+        for op in (stream_decode_embedding_ops(model, parallel, config, contexts)
+                   + stream_decode_layer_ops(model, parallel, config, contexts)
+                   + stream_decode_head_ops(model, parallel, config, contexts)):
+            table[("decode", op.name, step)] = op
+    return table
+
+
+def _task_key(task: Task, stream: bool = False) -> _OpKey | None:
     phase = task.args.get("phase")
     op_name = task.args.get("op_name")
     if phase not in ("prefill", "decode") or not op_name:
         return None
-    step = task.args.get("microbatch") if phase == "decode" else None
+    # Fixed episodes have one prefill (step None); stream episodes key
+    # prefill ops on their chunk index, carried in ``microbatch``.
+    step = task.args.get("microbatch") if (phase == "decode" or stream) else None
     return (str(phase), str(op_name), step)
 
 
@@ -109,14 +162,30 @@ def rescale_serving_graph(graph: ExecutionGraph, target: ServingTarget, *,
             "cannot reshard a TP=1 serving base to "
             f"TP={new_parallel.tp}: the base trace contains no tensor-parallel "
             "collectives to rescale; emulate a TP>1 base episode instead")
+    stream_payload = graph.metadata.get(STREAM_METADATA_KEY)
+    plan = None if stream_payload is None else StreamPlan.from_json(stream_payload)
+    if plan is not None and target.batch_size is not None:
+        raise ServingManipulationError(
+            "cannot change 'batch' on a continuous-batching stream base: the "
+            "batch-size cap drives the admission schedule, so the derived "
+            "program's topology would change; re-emulate with the new cap "
+            "instead", code=REFUSE_STREAM_BATCH)
     if cluster is None:
         cluster = ClusterSpec.for_world_size(
             max(base_parallel.world_size, new_parallel.world_size))
     scaled_model = KernelPerfModel(cluster=cluster, dtype_bytes=perf_model.dtype_bytes,
                                    calibration=dict(perf_model.calibration))
 
-    old_ops = _op_table(base_model, base_parallel, base_inference)
-    new_ops = _op_table(base_model, new_parallel, new_inference)
+    if plan is not None:
+        # Stream re-timing holds the admission schedule fixed: the same
+        # chunks and steps run at the target shapes/topology.  (A target
+        # that made the engine schedule differently is exactly the
+        # ``batch=`` refusal above.)
+        old_ops = _stream_op_table(base_model, base_parallel, base_inference, plan)
+        new_ops = _stream_op_table(base_model, new_parallel, new_inference, plan)
+    else:
+        old_ops = _op_table(base_model, base_parallel, base_inference)
+        new_ops = _op_table(base_model, new_parallel, new_inference)
     new_tp_ranks = new_parallel.groups().tp_group(0).ranks
 
     new_graph = ExecutionGraph(metadata={
@@ -132,7 +201,7 @@ def rescale_serving_graph(graph: ExecutionGraph, target: ServingTarget, *,
         clone.task_id = -1
         if clone.kind == TaskKind.GPU:
             gpu_tasks += 1
-            key = _task_key(clone)
+            key = _task_key(clone, stream=plan is not None)
             old_op = old_ops.get(key) if key is not None else None
             new_op = new_ops.get(key) if key is not None else None
             if old_op is not None and new_op is not None:

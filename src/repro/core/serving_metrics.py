@@ -1,0 +1,249 @@
+"""Per-request serving metrics for continuous-batching episodes.
+
+A continuous-batching serving graph carries its :class:`StreamPlan` in
+graph metadata (key ``"serving_stream"``); any simulation of that graph
+— the base replay, a what-if duration swap, a serving re-timing — yields
+per-request timings by reading the simulated end of each phase's
+``sample_token`` kernel:
+
+* a request's **first token** is sampled at the end of its prefill
+  chunk's head (TTFT = that end minus the request's arrival);
+* its **completion** is the sampled token of its last decode step.
+
+Arrival offsets are anchored at the simulation's earliest task start, so
+host-side setup (request batching, tokenisation) counts toward the first
+batch's TTFT — deliberately: that latency is real.
+
+From the per-request (arrival, first token, completion) triples,
+:class:`ServingMetrics` derives the serving numbers engineers rank
+deployments by: TTFT and end-to-end latency p50/p99, generation
+throughput (tokens/s), and SLO attainment / goodput at a configurable
+latency deadline.  Quantiles use deterministic linear interpolation so
+golden snapshots are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.tasks import Task
+from repro.observability import tracing as observability
+from repro.workload.arrivals import STREAM_METADATA_KEY, StreamPlan
+
+__all__ = [
+    "DEFAULT_SLO_MS",
+    "RequestMetrics",
+    "ServingMetrics",
+    "compute_serving_metrics",
+    "metrics_from_task_times",
+    "stream_plan_of",
+]
+
+#: Default per-request end-to-end latency deadline for SLO attainment.
+DEFAULT_SLO_MS = 500.0
+
+_US_PER_MS = 1000.0
+_US_PER_S = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class RequestMetrics:
+    """One request's simulated lifecycle (absolute simulation timestamps)."""
+
+    request: int
+    arrival_us: float
+    first_token_us: float
+    completion_us: float
+    #: Tokens this request generated (its prefill token + one per decode step).
+    tokens: int
+
+    @property
+    def ttft_us(self) -> float:
+        """Time to first token: arrival until the prefill samples a token."""
+        return self.first_token_us - self.arrival_us
+
+    @property
+    def ttft_ms(self) -> float:
+        return self.ttft_us / _US_PER_MS
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end request latency: arrival until the last token."""
+        return self.completion_us - self.arrival_us
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_us / _US_PER_MS
+
+
+def _percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile (deterministic, numpy-free)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (pct / 100.0) * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Aggregate serving quality of one simulated episode."""
+
+    requests: tuple[RequestMetrics, ...]
+    deadline_ms: float = DEFAULT_SLO_MS
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("serving metrics need at least one request")
+        if self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def tokens_generated(self) -> int:
+        return sum(r.tokens for r in self.requests)
+
+    @property
+    def episode_us(self) -> float:
+        """First arrival until last completion."""
+        return (max(r.completion_us for r in self.requests)
+                - min(r.arrival_us for r in self.requests))
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.tokens_generated / (self.episode_us / _US_PER_S)
+
+    @property
+    def request_throughput_rps(self) -> float:
+        return self.num_requests / (self.episode_us / _US_PER_S)
+
+    @property
+    def ttft_p50_ms(self) -> float:
+        return _percentile([r.ttft_ms for r in self.requests], 50.0)
+
+    @property
+    def ttft_p99_ms(self) -> float:
+        return _percentile([r.ttft_ms for r in self.requests], 99.0)
+
+    @property
+    def latency_p50_ms(self) -> float:
+        return _percentile([r.latency_ms for r in self.requests], 50.0)
+
+    @property
+    def latency_p99_ms(self) -> float:
+        return _percentile([r.latency_ms for r in self.requests], 99.0)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests whose end-to-end latency met the deadline."""
+        met = sum(1 for r in self.requests if r.latency_ms <= self.deadline_ms)
+        return met / self.num_requests
+
+    @property
+    def goodput_rps(self) -> float:
+        """Deadline-meeting requests per second (the SLO-weighted throughput)."""
+        return self.request_throughput_rps * self.slo_attainment
+
+    def to_json(self) -> dict[str, Any]:
+        """The summary payload sweeps cache and CLI reports print."""
+        return {
+            "num_requests": self.num_requests,
+            "tokens_generated": self.tokens_generated,
+            "deadline_ms": self.deadline_ms,
+            "episode_us": self.episode_us,
+            "ttft_p50_ms": self.ttft_p50_ms,
+            "ttft_p99_ms": self.ttft_p99_ms,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "tokens_per_s": self.tokens_per_s,
+            "request_throughput_rps": self.request_throughput_rps,
+            "slo_attainment": self.slo_attainment,
+            "goodput_rps": self.goodput_rps,
+        }
+
+
+def stream_plan_of(metadata: Mapping[str, Any]) -> StreamPlan | None:
+    """Decode the continuous-batching plan from trace/graph metadata."""
+    payload = metadata.get(STREAM_METADATA_KEY)
+    if payload is None:
+        return None
+    return StreamPlan.from_json(payload)
+
+
+def _metrics_from_events(events: Iterator[tuple[Task, float, float]],
+                         plan: StreamPlan,
+                         deadline_ms: float | None) -> ServingMetrics:
+    """Core computation over (task, start, end) timing triples."""
+    anchor: float | None = None
+    sample_ends: dict[tuple[str, int], float] = {}
+    for task, start, end in events:
+        if anchor is None or start < anchor:
+            anchor = start
+        args = task.args
+        if args.get("op_name") != "sample_token":
+            continue
+        phase = args.get("phase")
+        if phase not in ("prefill", "decode"):
+            continue
+        key = (phase, int(args.get("microbatch", 0)))
+        known = sample_ends.get(key)
+        if known is None or end > known:
+            sample_ends[key] = end
+    if anchor is None:
+        raise ValueError("serving metrics need a non-empty simulation")
+
+    requests = []
+    for schedule in plan.requests:
+        try:
+            first = sample_ends[("prefill", schedule.prefill_chunk)]
+            completion = sample_ends[("decode", schedule.last_step)]
+        except KeyError as missing:
+            raise ValueError(
+                f"simulation has no sample_token task for {missing.args[0]!r}; "
+                "the graph does not match the stream plan") from None
+        requests.append(RequestMetrics(
+            request=schedule.request,
+            arrival_us=anchor + schedule.arrival_us,
+            first_token_us=first,
+            completion_us=completion,
+            tokens=schedule.num_decode_steps + 1,
+        ))
+    metrics = ServingMetrics(
+        requests=tuple(requests),
+        deadline_ms=DEFAULT_SLO_MS if deadline_ms is None else float(deadline_ms))
+    if observability.tracing_enabled():
+        for request in metrics.requests:
+            observability.observe("serving.ttft_ms", request.ttft_ms)
+            observability.observe("serving.latency_ms", request.latency_ms)
+        observability.gauge("serving.slo_attainment", metrics.slo_attainment)
+        observability.gauge("serving.goodput_rps", metrics.goodput_rps)
+    return metrics
+
+
+def compute_serving_metrics(simulation, plan: StreamPlan, *,
+                            deadline_ms: float | None = None) -> ServingMetrics:
+    """Score a :class:`SimulationResult` against a stream plan."""
+    events = ((t.task, t.start, t.end) for t in simulation.tasks.values())
+    return _metrics_from_events(events, plan, deadline_ms)
+
+
+def metrics_from_task_times(tasks: Sequence[Task], starts: Iterable[float],
+                            durations: Iterable[float], plan: StreamPlan, *,
+                            deadline_ms: float | None = None) -> ServingMetrics:
+    """Score dense-ordered task timing arrays (the batched what-if path).
+
+    ``tasks`` is ``CompiledGraph.tasks`` and ``starts``/``durations`` one
+    row of a (batched) session run, all in dense task order.
+    """
+    events = ((task, start, start + duration)
+              for task, start, duration in zip(tasks, starts, durations))
+    return _metrics_from_events(events, plan, deadline_ms)

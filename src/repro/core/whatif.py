@@ -22,7 +22,7 @@ bit-identical times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -30,6 +30,9 @@ from repro.core.engine import SessionRun, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.replay import ReplayResult
 from repro.core.tasks import Task, TaskKind
+
+if TYPE_CHECKING:
+    from repro.core.serving_metrics import ServingMetrics
 
 TaskPredicate = Callable[[Task], bool]
 
@@ -46,6 +49,10 @@ class WhatIfResult:
     baseline_time_us: float
     scenario_time_us: float
     affected_tasks: int
+    #: Per-request serving metrics of the scenario's own simulation — set
+    #: by callers that evaluate over a continuous-batching episode (the
+    #: :class:`~repro.api.WhatIfBuilder`), ``None`` everywhere else.
+    serving: "ServingMetrics | None" = None
 
     @property
     def saved_us(self) -> float:
@@ -142,10 +149,18 @@ def _baseline_time_us(baseline: Baseline) -> float:
     return baseline.iteration_time_us
 
 
+#: Per-scenario timing observer for :func:`evaluate_scenarios`: called as
+#: ``collect(row, starts, durations)`` with dense-ordered arrays (one row
+#: of the batched simulation).  Serving studies use it to derive
+#: per-request metrics from the same simulation that timed the scenario.
+ScenarioCollector = Callable[[int, np.ndarray, np.ndarray], None]
+
+
 def evaluate_scenarios(graph: ExecutionGraph,
                        scenarios: Sequence[Scenario], *,
                        baseline: Baseline | None = None,
-                       session: SimulationSession | None = None) -> list[WhatIfResult]:
+                       session: SimulationSession | None = None,
+                       collect: ScenarioCollector | None = None) -> list[WhatIfResult]:
     """Evaluate a batch of scenarios against one graph in a single sweep.
 
     The graph is compiled once (or not at all when ``session`` — which
@@ -154,6 +169,10 @@ def evaluate_scenarios(graph: ExecutionGraph,
     matrix, and the whole batch is simulated by one
     :meth:`~repro.core.engine.SimulationSession.run_batch` call.  Results
     are bit-identical to evaluating each scenario on its own.
+
+    ``collect`` (when given) observes every scenario's full timing row —
+    ``collect(row, starts, durations)`` in dense task order — without a
+    second simulation.
     """
     if not scenarios:
         return []
@@ -175,9 +194,16 @@ def evaluate_scenarios(graph: ExecutionGraph,
         affected.append(count)
 
     if len(scenarios) == 1:
-        times = [session.run(durations=matrix[0]).iteration_time_us]
+        run = session.run(durations=matrix[0])
+        times = [run.iteration_time_us]
+        if collect is not None:
+            collect(0, run.starts, matrix[0])
     else:
-        times = session.run_batch(matrix).iteration_times_us.tolist()
+        batch = session.run_batch(matrix)
+        times = batch.iteration_times_us.tolist()
+        if collect is not None:
+            for row in range(len(scenarios)):
+                collect(row, batch.starts[row], matrix[row])
 
     return [WhatIfResult(name=scenario.name,
                          baseline_time_us=baseline_time,

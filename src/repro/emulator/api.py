@@ -26,6 +26,7 @@ from repro.emulator.program_builder import ProgramBuilder
 from repro.hardware.cluster import ClusterSpec
 from repro.observability import tracing as observability
 from repro.trace.kineto import DistributedInfo, TraceBundle
+from repro.workload.arrivals import STREAM_METADATA_KEY
 from repro.workload.inference import (
     WORKLOAD_SERVING,
     WORKLOAD_TRAINING,
@@ -138,6 +139,9 @@ class ClusterEmulator:
         if self.inference is not None:
             metadata["workload"] = WORKLOAD_SERVING
             metadata["inference"] = self.inference.to_json()
+            stream_plan = getattr(self._builder, "stream_plan", None)
+            if stream_plan is not None:
+                metadata[STREAM_METADATA_KEY] = stream_plan.to_json()
         else:
             metadata["num_microbatches"] = self.training.num_microbatches
         bundle = TraceBundle(metadata=metadata)

@@ -41,6 +41,8 @@ from repro.emulator.program_builder import (
 )
 from repro.hardware.cluster import ClusterSpec
 from repro.kernels.registry import KernelCostModel
+from repro.observability import tracing as observability
+from repro.workload.arrivals import RequestSchedule, StreamPlan
 from repro.workload.inference import (
     InferenceConfig,
     decode_embedding_ops,
@@ -49,14 +51,148 @@ from repro.workload.inference import (
     prefill_embedding_ops,
     prefill_head_ops,
     prefill_layer_ops,
+    stream_decode_embedding_ops,
+    stream_decode_head_ops,
+    stream_decode_layer_ops,
+    stream_prefill_embedding_ops,
+    stream_prefill_head_ops,
+    stream_prefill_layer_ops,
     validate_tp_for_model,
 )
 from repro.workload.model_config import ModelConfig
 from repro.workload.parallelism import ParallelismConfig
 
 _TOKENIZE_US = 350.0
+_TOKENIZE_PER_REQUEST_US = 45.0
 _PREFILL_PYTHON_US = 80.0
 _DECODE_PYTHON_US = 45.0
+
+
+class ContinuousBatchingPlanner:
+    """Deterministic FCFS continuous-batching scheduler.
+
+    Plays the engine's admission policy forward over the (seeded,
+    deterministic) arrival schedule using the analytical kernel cost
+    model as the clock:
+
+    * whenever at least one request has arrived and the decode batch has
+      a free slot, the earliest arrivals are admitted (up to
+      ``batch_size``) as one *prefill chunk*;
+    * otherwise, if any request is in flight, one decode step runs with
+      the current batch (each request at its own KV context length);
+    * otherwise the host idles until the next arrival (a ``wait`` item).
+
+    A request leaves the batch at its decode horizon
+    (``decode_length`` steps after its prefill).  The output
+    :class:`StreamPlan` fixes the program structure; the simulated
+    timings later come from replay/calibration, so the cost model here
+    only decides *scheduling order*, never the reported latencies.
+    """
+
+    def __init__(self, model: ModelConfig, parallel: ParallelismConfig,
+                 config: InferenceConfig, cost: KernelCostModel,
+                 groups) -> None:
+        if config.arrival is None:
+            raise ValueError("continuous batching needs an arrival process "
+                             "(InferenceConfig.arrival)")
+        self.model = model
+        self.parallel = parallel
+        self.config = config
+        self.cost = cost
+        self._tp_ranks = groups.tp_group(0).ranks
+
+    def _op_us(self, op) -> float:
+        if op.is_communication:
+            return self.cost.duration_us(op, dtype_bytes=self.config.dtype_bytes,
+                                         group_ranks=self._tp_ranks)
+        return self.cost.duration_us(op, dtype_bytes=self.config.dtype_bytes)
+
+    def _ops_us(self, ops) -> float:
+        return sum(self._op_us(op) + InferenceProgramBuilder.launch_call_us
+                   for op in ops)
+
+    def _prefill_us(self, batch: int) -> float:
+        total = _TOKENIZE_PER_REQUEST_US * batch + _PREFILL_PYTHON_US
+        total += self._ops_us(stream_prefill_embedding_ops(
+            self.model, self.parallel, self.config, batch))
+        total += self.model.n_layers * self._ops_us(stream_prefill_layer_ops(
+            self.model, self.parallel, self.config, batch))
+        total += self._ops_us(stream_prefill_head_ops(
+            self.model, self.parallel, self.config, batch))
+        return total
+
+    def _decode_us(self, contexts: tuple[int, ...]) -> float:
+        total = _DECODE_PYTHON_US
+        total += self._ops_us(stream_decode_embedding_ops(
+            self.model, self.parallel, self.config, contexts))
+        total += self.model.n_layers * self._ops_us(stream_decode_layer_ops(
+            self.model, self.parallel, self.config, contexts))
+        total += self._ops_us(stream_decode_head_ops(
+            self.model, self.parallel, self.config, contexts))
+        return total
+
+    def plan(self) -> StreamPlan:
+        config = self.config
+        arrivals = config.arrival.arrival_times_us()
+        cap = config.batch_size
+        n = len(arrivals)
+        pending = list(range(n))  # arrivals are non-decreasing, so FCFS order
+        active: dict[int, int] = {}  # request -> decode steps completed
+        first_step: dict[int, int] = {}
+        last_step: dict[int, int] = {}
+        chunk_of: dict[int, int] = {}
+        chunks: list[tuple[int, ...]] = []
+        steps: list[tuple[int, ...]] = []
+        items: list[tuple[str, int]] = []
+        waits: list[float] = []
+        clock = 0.0
+        max_queue = 0
+
+        while pending or active:
+            arrived = [r for r in pending if arrivals[r] <= clock]
+            max_queue = max(max_queue, len(arrived))
+            free = cap - len(active)
+            if arrived and free > 0:
+                admitted = arrived[:free]
+                for request in admitted:
+                    pending.remove(request)
+                    chunk_of[request] = len(chunks)
+                    first_step[request] = len(steps)
+                    active[request] = 0
+                items.append(("prefill", len(chunks)))
+                chunks.append(tuple(admitted))
+                clock += self._prefill_us(len(admitted))
+                continue
+            if not active:
+                next_arrival = min(arrivals[r] for r in pending)
+                wait = next_arrival - clock
+                if wait > 0:
+                    items.append(("wait", len(waits)))
+                    waits.append(wait)
+                clock = next_arrival
+                continue
+            step = len(steps)
+            participants = tuple(sorted(active))
+            contexts = tuple(config.prompt_length + (step - first_step[r])
+                             for r in participants)
+            items.append(("decode", step))
+            steps.append(participants)
+            clock += self._decode_us(contexts)
+            for request in participants:
+                active[request] += 1
+                if active[request] >= config.decode_length:
+                    last_step[request] = step
+                    del active[request]
+
+        requests = tuple(
+            RequestSchedule(request=r, arrival_us=arrivals[r],
+                            prefill_chunk=chunk_of[r], first_step=first_step[r],
+                            last_step=last_step[r])
+            for r in range(n))
+        return StreamPlan(arrival=config.arrival, requests=requests,
+                          chunk_requests=tuple(chunks), step_requests=tuple(steps),
+                          items=tuple(items), waits_us=tuple(waits),
+                          max_queue_depth=max_queue)
 
 
 class InferenceProgramBuilder(ProgramEmitter):
@@ -86,6 +222,20 @@ class InferenceProgramBuilder(ProgramEmitter):
         self.cluster = cluster
         self.cost = cost_model or KernelCostModel(cluster)
         self.groups = parallel.groups()
+        #: The continuous-batching schedule (None for fixed episodes).  The
+        #: emulator serialises it into trace metadata so replayed graphs can
+        #: be scored with per-request serving metrics.
+        self.stream_plan: StreamPlan | None = None
+        if inference.arrival is not None:
+            planner = ContinuousBatchingPlanner(model, parallel, inference,
+                                                self.cost, self.groups)
+            self.stream_plan = planner.plan()
+            plan = self.stream_plan
+            observability.gauge("serving.requests", plan.num_requests)
+            observability.gauge("serving.prefill_chunks", plan.num_chunks)
+            observability.gauge("serving.decode_steps", plan.num_steps)
+            observability.gauge("serving.max_queue_depth", plan.max_queue_depth)
+            observability.gauge("serving.max_step_batch", plan.max_step_batch)
 
     @property
     def dtype_bytes(self) -> int:
@@ -100,6 +250,8 @@ class InferenceProgramBuilder(ProgramEmitter):
     # -- per-rank construction ------------------------------------------------
 
     def _build_rank(self, rank: int) -> RankProgram:
+        if self.stream_plan is not None:
+            return self._build_stream_rank(rank, self.stream_plan)
         context = _RankContext(rank=rank, stage=0,
                                program=RankProgram(rank=rank, stage=0))
         program = context.program
@@ -143,5 +295,76 @@ class InferenceProgramBuilder(ProgramEmitter):
                 self._launch_op(context, op, layer=layer, microbatch=step,
                                 thread=Threads.MAIN)
         for op in decode_head_ops(self.model, self.parallel, self.inference, step):
+            self._launch_op(context, op, layer=None, microbatch=step,
+                            thread=Threads.MAIN)
+
+    # -- continuous-batching stream construction -------------------------------
+    # Prefill chunks carry their chunk index in ``microbatch`` and decode
+    # steps their global step index (phase disambiguates, exactly like the
+    # fixed episode).  The structure keeps the batched-kernel fast path
+    # provable: all kernels chain on the compute stream, TP collectives
+    # stay event-fenced, waits are plain host compute, and the only
+    # blocking sync is the final full drain.
+
+    def _build_stream_rank(self, rank: int, plan: StreamPlan) -> RankProgram:
+        context = _RankContext(rank=rank, stage=0,
+                               program=RankProgram(rank=rank, stage=0))
+        program = context.program
+        program.append(CpuCompute(thread=Threads.MAIN, name="request_batch_next",
+                                  duration_us=_DATA_LOADER_US, phase="other"))
+        for kind, index in plan.items:
+            if kind == "wait":
+                program.append(CpuCompute(thread=Threads.MAIN, name="await_requests",
+                                          duration_us=plan.waits_us[index],
+                                          phase="other"))
+            elif kind == "prefill":
+                self._emit_stream_prefill(context, plan, index)
+            else:
+                self._emit_stream_decode(context, plan, index)
+        program.append(DeviceSync(thread=Threads.MAIN))
+        program.append(CpuCompute(thread=Threads.MAIN, name="detokenize_responses",
+                                  duration_us=_ITERATION_END_US, phase="other"))
+        return program
+
+    def _emit_stream_prefill(self, context: _RankContext, plan: StreamPlan,
+                             chunk: int) -> None:
+        program = context.program
+        batch = len(plan.chunk_requests[chunk])
+        program.append(CpuCompute(thread=Threads.MAIN, name="tokenize_prompts",
+                                  duration_us=_TOKENIZE_PER_REQUEST_US * batch,
+                                  phase="other"))
+        program.append(CpuCompute(thread=Threads.MAIN, name="python_prefill_step",
+                                  duration_us=_PREFILL_PYTHON_US, phase="prefill"))
+        for op in stream_prefill_embedding_ops(self.model, self.parallel,
+                                               self.inference, batch):
+            self._launch_compute(context, op, layer=None, microbatch=chunk,
+                                 thread=Threads.MAIN)
+        for layer in range(self.model.n_layers):
+            for op in stream_prefill_layer_ops(self.model, self.parallel,
+                                               self.inference, batch):
+                self._launch_op(context, op, layer=layer, microbatch=chunk,
+                                thread=Threads.MAIN)
+        for op in stream_prefill_head_ops(self.model, self.parallel,
+                                          self.inference, batch):
+            self._launch_op(context, op, layer=None, microbatch=chunk,
+                            thread=Threads.MAIN)
+
+    def _emit_stream_decode(self, context: _RankContext, plan: StreamPlan,
+                            step: int) -> None:
+        program = context.program
+        contexts = plan.step_contexts(self.inference.prompt_length, step)
+        program.append(CpuCompute(thread=Threads.MAIN, name="python_decode_step",
+                                  duration_us=_DECODE_PYTHON_US, phase="decode"))
+        for op in stream_decode_embedding_ops(self.model, self.parallel,
+                                              self.inference, contexts):
+            self._launch_compute(context, op, layer=None, microbatch=step,
+                                 thread=Threads.MAIN)
+        for layer in range(self.model.n_layers):
+            for op in stream_decode_layer_ops(self.model, self.parallel,
+                                              self.inference, contexts):
+                self._launch_op(context, op, layer=layer, microbatch=step,
+                                thread=Threads.MAIN)
+        for op in stream_decode_head_ops(self.model, self.parallel,
+                                         self.inference, contexts):
             self._launch_op(context, op, layer=None, microbatch=step,
                             thread=Threads.MAIN)

@@ -12,6 +12,7 @@ from repro.observability.timeline import (
     coerce_bundle,
     export_timeline,
     pipeline_profile_json,
+    serving_request_events,
     timeline_json,
     validate_chrome_trace,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "pipeline_profile_json",
     "profile",
     "report",
+    "serving_request_events",
     "start_profiling",
     "stop_profiling",
     "timeline_json",

@@ -114,8 +114,45 @@ def bundle_events(bundle: TraceBundle, *, label: str,
     return events
 
 
+def serving_request_events(metrics: Any, *, label: str,
+                           pid_base: int = 0) -> list[dict[str, Any]]:
+    """Per-request lifecycle tracks of one serving episode.
+
+    ``metrics`` is a :class:`repro.core.serving_metrics.ServingMetrics`
+    (duck-typed through its ``requests`` tuple — the import would point
+    against the dependency order).  Each request gets its own track with
+    two complete events: ``queue+prefill`` (arrival until the first
+    sampled token — the TTFT span) and ``decode`` (first token until the
+    last), so a continuous-batching schedule reads as a per-request Gantt
+    chart next to the rank/stream timelines.
+    """
+    pid = pid_base
+    events = [_metadata_event("process_name", pid, 0, f"{label} · requests"),
+              _metadata_event("process_sort_index", pid, 0, pid)]
+    for request in metrics.requests:
+        tid = int(request.request)
+        events.append(_metadata_event("thread_name", pid, tid, f"request {tid}"))
+        events.append(_metadata_event("thread_sort_index", pid, tid, tid))
+        events.append({
+            "name": "queue+prefill", "cat": "serving-request", "ph": "X",
+            "ts": float(request.arrival_us), "dur": float(request.ttft_us),
+            "pid": pid, "tid": tid,
+            "args": {"request": tid, "ttft_ms": request.ttft_ms},
+        })
+        events.append({
+            "name": "decode", "cat": "serving-request", "ph": "X",
+            "ts": float(request.first_token_us),
+            "dur": float(request.completion_us - request.first_token_us),
+            "pid": pid, "tid": tid,
+            "args": {"request": tid, "latency_ms": request.latency_ms,
+                     "tokens": request.tokens},
+        })
+    return events
+
+
 def timeline_json(sections: Sequence[tuple[str, Any]],
-                  metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+                  metadata: dict[str, Any] | None = None, *,
+                  serving: Sequence[tuple[str, Any]] = ()) -> dict[str, Any]:
     """Render labelled timeline sections as one chrome-trace JSON object.
 
     ``sections`` is ``[(label, source), ...]`` — typically the profiled
@@ -123,6 +160,11 @@ def timeline_json(sections: Sequence[tuple[str, Any]],
     it.  Every section's ranks get their own process-id block and
     ``"<label> · rank <r>"`` process names, so Perfetto shows the
     schedules stacked and aligned on one time axis.
+
+    ``serving`` is ``[(label, ServingMetrics), ...]``: each entry adds a
+    per-request track block (:func:`serving_request_events`) after the
+    schedule sections; the labels are recorded under
+    ``otherData["request_tracks"]``.
     """
     if not sections:
         raise ValueError("timeline export needs at least one (label, source) section")
@@ -133,18 +175,24 @@ def timeline_json(sections: Sequence[tuple[str, Any]],
         events.extend(bundle_events(bundle, label=str(label),
                                     pid_base=index * _PID_STRIDE))
         rendered.append(str(label))
-    return {
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-        "otherData": {"tool": "repro-lumos", "sections": rendered,
-                      **(metadata or {})},
-    }
+    request_tracks: list[str] = []
+    for offset, (label, metrics) in enumerate(serving):
+        events.extend(serving_request_events(
+            metrics, label=str(label),
+            pid_base=(len(sections) + offset) * _PID_STRIDE))
+        request_tracks.append(str(label))
+    other: dict[str, Any] = {"tool": "repro-lumos", "sections": rendered}
+    if request_tracks:
+        other["request_tracks"] = request_tracks
+    other.update(metadata or {})
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
 
 
 def export_timeline(sections: Sequence[tuple[str, Any]], path: str | Path,
-                    metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+                    metadata: dict[str, Any] | None = None, *,
+                    serving: Sequence[tuple[str, Any]] = ()) -> dict[str, Any]:
     """Write :func:`timeline_json` output to ``path`` and return the payload."""
-    payload = timeline_json(sections, metadata=metadata)
+    payload = timeline_json(sections, metadata=metadata, serving=serving)
     Path(path).write_text(json.dumps(payload), encoding="utf-8")
     return payload
 

@@ -12,11 +12,21 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.analysis.reporting import format_sweep_row, format_table, sweep_headers
+from repro.analysis.reporting import (
+    format_serving_sweep_row,
+    format_sweep_row,
+    format_table,
+    serving_sweep_headers,
+    sweep_headers,
+)
 from repro.sweep.runner import ScenarioResult, SweepResult, rank_results
 
 __all__ = ["rank_results", "pareto_frontier", "format_ranked_table",
            "format_pareto_table", "format_report"]
+
+
+def _all_serving(results: Sequence[ScenarioResult]) -> bool:
+    return bool(results) and all(r.serving is not None for r in results)
 
 
 def pareto_frontier(results: Iterable[ScenarioResult]) -> list[ScenarioResult]:
@@ -47,11 +57,32 @@ def _rows(results: Sequence[ScenarioResult]) -> list[list[str]]:
             for position, result in enumerate(results)]
 
 
+def _serving_rows(results: Sequence[ScenarioResult]) -> list[list[str]]:
+    rows = []
+    for position, result in enumerate(results):
+        serving = result.serving
+        assert serving is not None
+        rows.append(format_serving_sweep_row(
+            position + 1, result.label, result.kind,
+            float(serving["ttft_p99_ms"]), float(serving["latency_p99_ms"]),
+            float(serving["tokens_per_s"]), float(serving["slo_attainment"]),
+            float(serving["goodput_rps"]), result.from_cache))
+    return rows
+
+
 def format_ranked_table(results: Iterable[ScenarioResult], top: int | None = None) -> str:
-    """Render the ranked scenario table (optionally truncated to ``top`` rows)."""
+    """Render the ranked scenario table (optionally truncated to ``top`` rows).
+
+    Continuous-batching sweeps (every result carries serving metrics) are
+    ranked by goodput and rendered with the serving columns — TTFT p99,
+    latency p99, tokens/s, SLO attainment, goodput — instead of the
+    iteration-time columns.
+    """
     ranked = rank_results(results)
     if top is not None:
         ranked = ranked[:top]
+    if _all_serving(ranked):
+        return format_table(serving_sweep_headers(), _serving_rows(ranked))
     return format_table(sweep_headers(), _rows(ranked))
 
 

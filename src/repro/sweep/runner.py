@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.api.study import Study
+from repro.core.serving_metrics import metrics_from_task_times, stream_plan_of
 from repro.core.whatif import evaluate_scenarios, scenario_for
 from repro.observability import tracing as observability
 from repro.sweep.cache import CacheStats, SweepCache
@@ -49,6 +50,10 @@ class ScenarioResult:
     base_time_us: float
     affected_tasks: int = 0
     from_cache: bool = False
+    #: Per-request serving metrics summary (the
+    #: :meth:`~repro.core.serving_metrics.ServingMetrics.to_json` payload)
+    #: for continuous-batching episodes; ``None`` everywhere else.
+    serving: Mapping[str, Any] | None = None
 
     @property
     def iteration_time_ms(self) -> float:
@@ -60,8 +65,15 @@ class ScenarioResult:
             return float("inf")
         return self.base_time_us / self.iteration_time_us
 
+    @property
+    def goodput_rps(self) -> float | None:
+        """SLO-meeting requests per second, when serving metrics exist."""
+        if self.serving is None:
+            return None
+        return float(self.serving["goodput_rps"])
+
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "label": self.label,
             "kind": self.kind,
             "target": self.target,
@@ -71,6 +83,11 @@ class ScenarioResult:
             "base_time_us": self.base_time_us,
             "affected_tasks": self.affected_tasks,
         }
+        # Omitted when absent so pre-serving cache entries parse back
+        # byte-identically.
+        if self.serving is not None:
+            payload["serving"] = dict(self.serving)
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any], from_cache: bool = False) -> "ScenarioResult":
@@ -84,12 +101,25 @@ class ScenarioResult:
             base_time_us=float(payload["base_time_us"]),
             affected_tasks=int(payload.get("affected_tasks", 0)),
             from_cache=from_cache,
+            serving=payload.get("serving"),
         )
 
 
 def rank_results(results: Iterable[ScenarioResult]) -> list[ScenarioResult]:
-    """Order results fastest-first; ties break on the scenario label."""
-    return sorted(results, key=lambda r: (r.iteration_time_us, r.label))
+    """Order results best-first.
+
+    Training sweeps (and fixed-batch serving sweeps) rank fastest-first.
+    When every result carries serving metrics the sweep is a continuous-
+    batching one, and deployments are ranked the way serving engineers
+    pick them: highest goodput first, p99 latency breaking ties.
+    """
+    ordered = list(results)
+    if ordered and all(r.serving is not None for r in ordered):
+        return sorted(ordered,
+                      key=lambda r: (-r.goodput_rps,
+                                     float(r.serving["latency_p99_ms"]),
+                                     r.label))
+    return sorted(ordered, key=lambda r: (r.iteration_time_us, r.label))
 
 
 @dataclass
@@ -130,21 +160,22 @@ def _pool_initializer(study: Study) -> None:
     _WORKER_STUDY = study
 
 
-def _pool_evaluate(item: tuple[str, str, list[dict[str, Any]]]) -> list[dict[str, Any]]:
+def _pool_evaluate(item: tuple[str, str, list[dict[str, Any]], float | None]) -> list[dict[str, Any]]:
     assert _WORKER_STUDY is not None, "worker pool used before initialisation"
-    kind, target, scenarios = item
+    kind, target, scenarios, slo_ms = item
     # retain=False: each group is evaluated once, so its derived graph and
     # session are freed with the group instead of pinning in the worker.
     return _evaluate_group(_WORKER_STUDY, kind, target,
                            [ScenarioSpec.from_json(s) for s in scenarios],
-                           retain=False)
+                           retain=False, slo_ms=slo_ms)
 
 
 # -- evaluation ---------------------------------------------------------------
 
 def _evaluate_group(study: Study, kind: str, target: str,
                     scenarios: list[ScenarioSpec], *,
-                    retain: bool = True) -> list[dict[str, Any]]:
+                    retain: bool = True,
+                    slo_ms: float | None = None) -> list[dict[str, Any]]:
     """Evaluate every scenario sharing one target configuration.
 
     The group's derived graph is compiled into one simulation session,
@@ -162,6 +193,7 @@ def _evaluate_group(study: Study, kind: str, target: str,
                                   scenarios=len(scenarios)):
         graph, world_size, session, config_run = study.config_state(kind, target,
                                                                     retain=retain)
+        plan = stream_plan_of(graph.metadata)
         whatif_rows = [index for index, scenario in enumerate(scenarios)
                        if scenario.whatif is not None]
         batch = [scenario_for(scenarios[index].whatif.kind,
@@ -169,18 +201,38 @@ def _evaluate_group(study: Study, kind: str, target: str,
                               group=scenarios[index].whatif.group,
                               speedup=scenarios[index].whatif.speedup)
                  for index in whatif_rows]
+        # Continuous-batching groups score every scenario's own simulation
+        # (same timing arrays, no extra run) for per-request metrics.
+        serving_rows: dict[int, dict[str, Any]] = {}
+        collect = None
+        if plan is not None:
+            tasks = session.compiled.tasks
+
+            def collect(row: int, starts, durations) -> None:
+                serving_rows[whatif_rows[row]] = metrics_from_task_times(
+                    tasks, starts, durations, plan,
+                    deadline_ms=slo_ms).to_json()
+
         evaluated = dict(zip(whatif_rows, evaluate_scenarios(graph, batch,
                                                              baseline=config_run,
-                                                             session=session)))
+                                                             session=session,
+                                                             collect=collect)))
+        config_serving: dict[str, Any] | None = None
+        if plan is not None:
+            config_serving = metrics_from_task_times(
+                session.compiled.tasks, config_run.starts,
+                config_run.durations, plan, deadline_ms=slo_ms).to_json()
     results: list[dict[str, Any]] = []
     for index, scenario in enumerate(scenarios):
         if scenario.whatif is None:
             iteration_time = config_run.iteration_time_us
             affected = 0
+            serving = config_serving
         else:
             whatif = evaluated[index]
             iteration_time = whatif.scenario_time_us
             affected = whatif.affected_tasks
+            serving = serving_rows.get(index)
         results.append(ScenarioResult(
             label=scenario.label,
             kind=scenario.kind,
@@ -190,6 +242,7 @@ def _evaluate_group(study: Study, kind: str, target: str,
             iteration_time_us=iteration_time,
             base_time_us=study.base_time_us,
             affected_tasks=affected,
+            serving=serving,
         ).to_json())
     return results
 
@@ -273,7 +326,7 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
         groups: dict[tuple[str, str], list[ScenarioSpec]] = {}
         for scenario in missing:
             groups.setdefault((scenario.kind, scenario.target), []).append(scenario)
-        items = [(kind, target, [s.to_json() for s in group])
+        items = [(kind, target, [s.to_json() for s in group], spec.slo_ms)
                  for (kind, target), group in groups.items()]
         if workers > 1 and len(items) > 1:
             # Worker processes run with tracing disabled, so the parent
@@ -289,7 +342,8 @@ def run_sweep(bundle: TraceBundle, spec: SweepSpec, *, workers: int = 1,
             # facade contract); a runner-private study is garbage after
             # this call, so groups should free with the loop.
             evaluated = [_evaluate_group(state, kind, target, group,
-                                         retain=study is not None)
+                                         retain=study is not None,
+                                         slo_ms=spec.slo_ms)
                          for (kind, target), group in groups.items()]
         for (_, group), payloads in zip(groups.items(), evaluated):
             for scenario, payload in zip(group, payloads):

@@ -198,6 +198,10 @@ class SweepSpec:
     #: A serving-episode base; set to sweep ``serving`` targets instead of
     #: training manipulations.
     inference: InferenceConfig | None = None
+    #: SLO deadline (ms) for the per-request serving metrics attached to
+    #: continuous-batching scenario results; ``None`` keeps the default
+    #: deadline and (like pre-serving specs) stays out of cache keys.
+    slo_ms: float | None = None
     parallelism: tuple[str, ...] = ()
     models: tuple[str, ...] = ()
     serving: tuple[str, ...] = ()
@@ -230,6 +234,8 @@ class SweepSpec:
                 micro_batch_size=int(base.get("micro_batch_size", cls.micro_batch_size)),
                 num_microbatches=int(base.get("num_microbatches", cls.num_microbatches)),
                 inference=inference,
+                slo_ms=(None if base.get("slo_ms") is None
+                        else float(base["slo_ms"])),
                 parallelism=tuple(str(p) for p in payload.get("parallelism", ())),
                 models=tuple(str(m) for m in payload.get("models", ())),
                 serving=tuple(str(s) for s in payload.get("serving", ())),
@@ -270,10 +276,13 @@ class SweepSpec:
             "micro_batch_size": self.micro_batch_size,
             "num_microbatches": self.num_microbatches,
         }
-        # Only serving bases carry the extra key, so training cache keys
-        # (hashes of this payload) are unchanged by the workload family.
+        # Only serving bases carry the extra keys, so training cache keys
+        # (hashes of this payload) are unchanged by the workload family —
+        # and a default-deadline serving spec hashes like a pre-SLO one.
         if self.inference is not None:
             payload["inference"] = self.inference.to_json()
+        if self.slo_ms is not None:
+            payload["slo_ms"] = self.slo_ms
         return payload
 
     def to_json(self) -> dict[str, Any]:
@@ -305,6 +314,8 @@ class SweepSpec:
     def validate(self) -> None:
         """Reject unsupported or inconsistent specs before any work happens."""
         base_parallel = _parsed_label(self.base_parallelism)
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise SweepSpecError("slo_ms must be positive")
         if self.inference is not None:
             # Serving manipulation regenerates operators from the study's
             # own ModelConfig, so the base model need not be in the GPT-3

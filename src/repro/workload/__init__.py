@@ -1,5 +1,11 @@
 """Workload models: GPT-3 configurations, 3D parallelism, operators, schedules."""
 
+from repro.workload.arrivals import (
+    ArrivalConfig,
+    RequestSchedule,
+    StreamPlan,
+    parse_arrival,
+)
 from repro.workload.model_config import (
     GPT3_MODELS,
     GPT3_VARIANTS,
@@ -47,6 +53,10 @@ __all__ = [
     "TrainingConfig",
     "InferenceConfig",
     "ServingTarget",
+    "ArrivalConfig",
+    "RequestSchedule",
+    "StreamPlan",
+    "parse_arrival",
     "prefill_embedding_ops",
     "prefill_layer_ops",
     "prefill_head_ops",

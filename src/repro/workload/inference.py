@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
+from repro.workload.arrivals import ArrivalConfig
 from repro.workload.model_config import ModelConfig
 from repro.workload.operators import (
     CollectiveKind,
@@ -69,6 +70,13 @@ class InferenceConfig:
         Activation/weight datatype ("bf16", "fp16" or "fp32").
     kv_dtype:
         KV-cache storage datatype; "fp8" models quantised caches.
+    arrival:
+        Optional request-arrival process.  When set, the episode is a
+        *continuous-batching stream*: ``arrival.num_requests`` requests
+        arrive over time, ``batch_size`` caps the concurrent decode
+        batch, and each request runs ``decode_length`` decode steps
+        after its prefill.  When ``None`` (the default) the episode is
+        the fixed single-batch prefill+decode of PR 5.
     """
 
     batch_size: int = 8
@@ -76,6 +84,7 @@ class InferenceConfig:
     decode_length: int = 64
     dtype: str = "bf16"
     kv_dtype: str = "bf16"
+    arrival: ArrivalConfig | None = None
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
@@ -98,6 +107,11 @@ class InferenceConfig:
     @property
     def kv_dtype_bytes(self) -> int:
         return _KV_DTYPE_BYTES[self.kv_dtype]
+
+    @property
+    def is_stream(self) -> bool:
+        """True for continuous-batching stream episodes (arrival process set)."""
+        return self.arrival is not None
 
     # -- token accounting ----------------------------------------------------
 
@@ -175,22 +189,29 @@ class InferenceConfig:
                               sequence_length=self.prompt_length, dtype=self.dtype)
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        payload = {
             "batch_size": self.batch_size,
             "prompt_length": self.prompt_length,
             "decode_length": self.decode_length,
             "dtype": self.dtype,
             "kv_dtype": self.kv_dtype,
         }
+        # Omitted when unset so pre-stream serving traces (and their golden
+        # snapshots / cache keys) serialise byte-identically.
+        if self.arrival is not None:
+            payload["arrival"] = self.arrival.to_json()
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "InferenceConfig":
+        arrival = payload.get("arrival")
         return cls(
             batch_size=int(payload.get("batch_size", cls.batch_size)),
             prompt_length=int(payload.get("prompt_length", cls.prompt_length)),
             decode_length=int(payload.get("decode_length", cls.decode_length)),
             dtype=str(payload.get("dtype", cls.dtype)),
             kv_dtype=str(payload.get("kv_dtype", cls.kv_dtype)),
+            arrival=None if arrival is None else ArrivalConfig.from_json(arrival),
         )
 
 
@@ -368,15 +389,17 @@ def prefill_layer_ops(model: ModelConfig, parallel: ParallelismConfig,
 
 
 def _head_ops(model: ModelConfig, parallel: ParallelismConfig,
-              config: InferenceConfig, norm_bytes: float, phase: str) -> list[OpSpec]:
+              config: InferenceConfig, norm_bytes: float, phase: str,
+              batch: int | None = None) -> list[OpSpec]:
     """Final norm, next-token logits and sampling — shared by both phases.
 
     Serving only needs logits for each request's *last* position
     (``m = batch_size``); only the final layer norm's traffic differs
     (the whole prompt batch after prefill, one token per request in
-    decode).
+    decode).  ``batch`` overrides the config batch size for stream
+    episodes whose per-step batch varies.
     """
-    b = config.batch_size
+    b = config.batch_size if batch is None else batch
     tp = parallel.tp
     dtype = config.dtype_bytes
     vocab_local = model.vocab_size // tp
@@ -453,3 +476,120 @@ def decode_head_ops(model: ModelConfig, parallel: ParallelismConfig,
     """Final norm, next-token logits and sampling of one decode step."""
     act = _activation_bytes(model, config, config.batch_size)
     return _head_ops(model, parallel, config, norm_bytes=2 * act, phase="decode")
+
+
+# -- continuous-batching stream decomposition ----------------------------------
+# Stream episodes reuse the fixed-episode op shapes but with a *varying*
+# batch: prefill chunks admit however many requests arrived (<= batch_size),
+# decode steps process whichever requests are in flight, each at its own KV
+# context length.  The prefill side simply re-batches the config (the op
+# set is identical); decode gets explicit `contexts` variants.  With a
+# uniform context vector the stream ops equal the fixed decode ops exactly
+# (tested), so the cost accounting has one source of truth.
+
+
+def _with_batch(config: InferenceConfig, batch: int) -> InferenceConfig:
+    return config.with_changes(batch_size=batch)
+
+
+def stream_prefill_embedding_ops(model: ModelConfig, parallel: ParallelismConfig,
+                                 config: InferenceConfig, batch: int) -> list[OpSpec]:
+    """Embedding lookup for a prefill chunk of ``batch`` admitted requests."""
+    return prefill_embedding_ops(model, parallel, _with_batch(config, batch))
+
+
+def stream_prefill_layer_ops(model: ModelConfig, parallel: ParallelismConfig,
+                             config: InferenceConfig, batch: int) -> list[OpSpec]:
+    """One transformer layer of a ``batch``-request prefill chunk."""
+    return prefill_layer_ops(model, parallel, _with_batch(config, batch))
+
+
+def stream_prefill_head_ops(model: ModelConfig, parallel: ParallelismConfig,
+                            config: InferenceConfig, batch: int) -> list[OpSpec]:
+    """Head ops of a prefill chunk: each admitted request's first token."""
+    return prefill_head_ops(model, parallel, _with_batch(config, batch))
+
+
+def _decode_attention_stream(model: ModelConfig, parallel: ParallelismConfig,
+                             config: InferenceConfig,
+                             contexts: tuple[int, ...]) -> OpSpec:
+    """KV-cache attention over a mixed-context decode batch.
+
+    Each in-flight request attends over its own accumulated cache, so the
+    KV traffic (the dominant, bandwidth-bound cost) is the *sum* of the
+    per-request context lengths; the kernel's tile shape is reported at
+    the longest context.
+    """
+    b = len(contexts)
+    total = sum(contexts)
+    longest = max(contexts)
+    heads_local = max(1, model.n_heads // parallel.tp)
+    a_local = heads_local * model.d_head
+    kv_read = total * 2.0 * a_local * config.kv_dtype_bytes
+    kv_append = b * 2.0 * a_local * config.kv_dtype_bytes
+    qo_bytes = 4.0 * b * a_local * config.dtype_bytes
+    flops = 4.0 * heads_local * model.d_head * total
+    return OpSpec(name="decode_attention", op_class=OpClass.DECODE_ATTENTION,
+                  flops=flops, bytes_accessed=kv_read + kv_append + qo_bytes,
+                  m=b * heads_local, n=longest, k=model.d_head,
+                  metadata={"context": longest})
+
+
+def stream_decode_embedding_ops(model: ModelConfig, parallel: ParallelismConfig,
+                                config: InferenceConfig,
+                                contexts: tuple[int, ...]) -> list[OpSpec]:
+    """Embedding lookup for the in-flight requests' new tokens."""
+    act = _activation_bytes(model, config, len(contexts))
+    return _tagged([_memory_bound("token_embedding", OpClass.EMBEDDING, 2 * act)],
+                   phase="decode")
+
+
+def stream_decode_layer_ops(model: ModelConfig, parallel: ParallelismConfig,
+                            config: InferenceConfig,
+                            contexts: tuple[int, ...]) -> list[OpSpec]:
+    """One transformer layer of a varying-batch decode step.
+
+    ``contexts[i]`` is the KV context length of the i-th in-flight
+    request (see :meth:`StreamPlan.step_contexts`); the GEMM batch is
+    ``len(contexts)``.
+    """
+    if not contexts:
+        raise ValueError("stream decode step needs at least one in-flight request")
+    b = len(contexts)
+    h, f = model.d_model, model.d_ff
+    a = model.attention_dim
+    tp = parallel.tp
+    dtype = config.dtype_bytes
+    act = _activation_bytes(model, config, b)
+
+    ops: list[OpSpec] = [
+        _memory_bound("layer_norm_in", OpClass.LAYERNORM, 2 * act),
+        _gemm("attn_qkv", m=b, n=3 * a // tp, k=h, dtype_bytes=dtype),
+        _decode_attention_stream(model, parallel, config, contexts),
+        _gemm("attn_proj", m=b, n=h, k=a // tp, dtype_bytes=dtype),
+    ]
+    if tp > 1:
+        ops.append(_tp_collective("tp_all_reduce_attn_decode",
+                                  CollectiveKind.ALL_REDUCE, act))
+    ops.extend([
+        _memory_bound("residual_attn", OpClass.ELEMENTWISE, 3 * act),
+        _memory_bound("layer_norm_post_attn", OpClass.LAYERNORM, 2 * act),
+        _gemm("mlp_fc1", m=b, n=f // tp, k=h, dtype_bytes=dtype),
+        _memory_bound("gelu", OpClass.GELU, 2.0 * b * (f // tp) * dtype),
+        _gemm("mlp_fc2", m=b, n=h, k=f // tp, dtype_bytes=dtype),
+    ])
+    if tp > 1:
+        ops.append(_tp_collective("tp_all_reduce_mlp_decode",
+                                  CollectiveKind.ALL_REDUCE, act))
+    ops.append(_memory_bound("residual_mlp", OpClass.ELEMENTWISE, 3 * act))
+    return _tagged(ops, phase="decode")
+
+
+def stream_decode_head_ops(model: ModelConfig, parallel: ParallelismConfig,
+                           config: InferenceConfig,
+                           contexts: tuple[int, ...]) -> list[OpSpec]:
+    """Final norm, logits and sampling for the in-flight requests."""
+    b = len(contexts)
+    act = _activation_bytes(model, config, b)
+    return _head_ops(model, parallel, config, norm_bytes=2 * act, phase="decode",
+                     batch=b)

@@ -1,0 +1,150 @@
+"""Tests for request-arrival processes and stream plans.
+
+Covers :class:`ArrivalConfig` (determinism, validation, JSON and label
+round-trips), :func:`parse_arrival`, and the :class:`StreamPlan` /
+:class:`RequestSchedule` invariants produced by the continuous-batching
+planner (see ``tests/test_serving_stream.py`` for the end-to-end path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.arrivals import (
+    ARRIVAL_BURSTY,
+    ARRIVAL_POISSON,
+    ARRIVAL_TRACE,
+    ArrivalConfig,
+    StreamPlan,
+    parse_arrival,
+)
+
+
+class TestArrivalConfig:
+    def test_first_arrival_is_at_zero(self):
+        for config in (ArrivalConfig(), ArrivalConfig(kind=ARRIVAL_BURSTY),
+                       ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(3.0, 5.0))):
+            assert config.arrival_times_us()[0] == 0.0
+
+    def test_same_seed_same_schedule(self):
+        a = ArrivalConfig(rate_per_s=250.0, num_requests=16, seed=7)
+        b = ArrivalConfig(rate_per_s=250.0, num_requests=16, seed=7)
+        assert a.arrival_times_us() == b.arrival_times_us()
+
+    def test_different_seed_different_schedule(self):
+        a = ArrivalConfig(rate_per_s=250.0, num_requests=16, seed=7)
+        b = ArrivalConfig(rate_per_s=250.0, num_requests=16, seed=8)
+        assert a.arrival_times_us() != b.arrival_times_us()
+
+    def test_times_are_nondecreasing(self):
+        for kind in (ARRIVAL_POISSON, ARRIVAL_BURSTY):
+            times = ArrivalConfig(kind=kind, num_requests=32,
+                                  seed=3).arrival_times_us()
+            assert len(times) == 32
+            assert all(t0 <= t1 for t0, t1 in zip(times, times[1:]))
+
+    def test_poisson_mean_gap_tracks_rate(self):
+        # 1/rate mean gap; with 2000 samples the sample mean is within 10%.
+        times = ArrivalConfig(rate_per_s=100.0, num_requests=2001,
+                              seed=0).arrival_times_us()
+        mean_gap_s = (times[-1] / 1_000_000.0) / 2000
+        assert mean_gap_s == pytest.approx(0.01, rel=0.1)
+
+    def test_trace_offsets_are_sorted_and_normalised(self):
+        config = ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(7.0, 2.0, 4.5))
+        assert config.num_requests == 3
+        assert config.arrival_times_us() == (0.0, 2500.0, 5000.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kind="weibull"),
+        dict(num_requests=0),
+        dict(rate_per_s=0.0),
+        dict(kind=ARRIVAL_BURSTY, cv=0.0),
+        dict(kind=ARRIVAL_TRACE),                      # no times
+        dict(kind=ARRIVAL_TRACE, times_ms=(-1.0,)),    # negative offset
+        dict(times_ms=(1.0,)),                         # times on poisson
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ArrivalConfig(**kwargs)
+
+    @pytest.mark.parametrize("config", [
+        ArrivalConfig(rate_per_s=80.0, num_requests=12, seed=5),
+        ArrivalConfig(kind=ARRIVAL_BURSTY, rate_per_s=80.0, cv=4.0,
+                      num_requests=12, seed=5),
+        ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(0.0, 2.5, 7.25)),
+    ])
+    def test_json_round_trip(self, config):
+        assert ArrivalConfig.from_json(config.to_json()) == config
+
+    @pytest.mark.parametrize("config", [
+        ArrivalConfig(rate_per_s=80.0, num_requests=12, seed=5),
+        ArrivalConfig(kind=ARRIVAL_BURSTY, rate_per_s=80.0, cv=4.0,
+                      num_requests=12, seed=5),
+        ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(0.0, 2.5, 7.25)),
+    ])
+    def test_label_round_trip(self, config):
+        assert parse_arrival(config.label()) == config
+
+
+class TestParseArrival:
+    def test_bare_kind_uses_defaults(self):
+        assert parse_arrival("poisson") == ArrivalConfig()
+
+    def test_full_poisson_spec(self):
+        config = parse_arrival("poisson:rate=2000,n=6,seed=3")
+        assert (config.kind, config.rate_per_s, config.num_requests,
+                config.seed) == (ARRIVAL_POISSON, 2000.0, 6, 3)
+
+    def test_bursty_spec_with_cv(self):
+        config = parse_arrival("bursty:rate=100,cv=4,n=16")
+        assert config.kind == ARRIVAL_BURSTY
+        assert config.cv == 4.0
+
+    def test_trace_spec(self):
+        config = parse_arrival("trace:0,2.5,7.25")
+        assert config.times_ms == (0.0, 2.5, 7.25)
+
+    @pytest.mark.parametrize("text", [
+        "", "weibull:rate=10", "poisson:rate", "poisson:speed=10",
+        "poisson:rate=10,rate=20", "poisson:cv=4", "trace:", "trace:a,b",
+    ])
+    def test_malformed_specs_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_arrival(text)
+
+
+class TestStreamPlanJson:
+    def test_round_trip_preserves_plan(self):
+        # A small hand-built plan: 2 requests, one prefill chunk each.
+        from repro.workload.arrivals import RequestSchedule
+        plan = StreamPlan(
+            arrival=ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(0.0, 3.0)),
+            requests=(RequestSchedule(0, 0.0, 0, 0, 1),
+                      RequestSchedule(1, 3000.0, 1, 1, 2)),
+            chunk_requests=((0,), (1,)),
+            step_requests=((0,), (0, 1), (1,)),
+            items=(("prefill", 0), ("decode", 0), ("prefill", 1),
+                   ("decode", 1), ("decode", 2)),
+            waits_us=(),
+            max_queue_depth=1,
+        )
+        restored = StreamPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.num_requests == 2
+        assert restored.max_step_batch == 2
+        assert restored.schedule_for(1).num_decode_steps == 2
+
+    def test_step_contexts_grow_with_step(self):
+        from repro.workload.arrivals import RequestSchedule
+        plan = StreamPlan(
+            arrival=ArrivalConfig(kind=ARRIVAL_TRACE, times_ms=(0.0, 1.0)),
+            requests=(RequestSchedule(0, 0.0, 0, 0, 2),
+                      RequestSchedule(1, 1000.0, 0, 0, 2)),
+            chunk_requests=((0, 1),),
+            step_requests=((0, 1), (0, 1), (0, 1)),
+            items=(("prefill", 0), ("decode", 0), ("decode", 1), ("decode", 2)),
+            waits_us=(),
+        )
+        assert plan.step_contexts(64, 0) == (64, 64)
+        assert plan.step_contexts(64, 2) == (66, 66)

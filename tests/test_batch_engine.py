@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 from repro.core.batch import (
     FALLBACK_ANCESTRY_OVERFLOW,
     FALLBACK_COLLECTIVE_DEPENDENCY,
+    FALLBACK_SERVING_STREAM,
     FALLBACK_SYNC_CYCLE,
     FALLBACK_UNORDERED_TASKS,
     BatchSession,
@@ -461,6 +462,71 @@ class TestServingGraphBatching:
             assert result == alone
         decode_attn = batched[0]
         assert decode_attn.affected_tasks > 0
+
+
+class TestStreamGraphBatching:
+    """Continuous-batching stream graphs through the batched kernel.
+
+    Unlike the fixed episode, the stream's decode batch varies step to
+    step (requests join and leave), so the scenario matrix exercises
+    levels of genuinely different widths — the differential contract is
+    the same: bit-identical to sequential replays.
+    """
+
+    @pytest.fixture(scope="class")
+    def stream_graph(self):
+        from repro.core.graph_builder import GraphBuilder
+        from repro.emulator.api import emulate
+        from repro.workload.arrivals import parse_arrival
+        from repro.workload.inference import InferenceConfig
+        from repro.workload.parallelism import ParallelismConfig
+        from tests.conftest import tiny_model
+
+        inference = InferenceConfig(
+            batch_size=4, prompt_length=128, decode_length=2,
+            arrival=parse_arrival("poisson:rate=600,n=6,seed=3"))
+        result = emulate(tiny_model(), ParallelismConfig(tensor_parallel=2),
+                         inference=inference, iterations=1, seed=13)
+        return GraphBuilder().build(result.profiled)
+
+    def test_stream_has_varying_step_batches(self, stream_graph):
+        from repro.core.serving_metrics import stream_plan_of
+
+        plan = stream_plan_of(stream_graph.metadata)
+        assert plan is not None
+        assert len({len(step) for step in plan.step_requests}) > 1
+
+    def test_stream_graph_is_provably_batchable(self, stream_graph):
+        plan = compile_batch_plan(compile_graph(stream_graph))
+        assert plan.n_levels > 0
+
+    def test_stream_graph_batches_bit_identically(self, stream_graph):
+        batch = assert_batch_identical(
+            stream_graph, scenario_matrix(compile_graph(stream_graph), 16))
+        assert batch.batchable
+        assert batch.fallback_code is None
+
+    def test_unbatchable_stream_graph_reports_serving_code(self):
+        # When the proof fails on a graph that carries a stream plan, the
+        # fallback is re-coded so serving sweeps can report "sequential
+        # because stream" distinctly from generic refusals.
+        graph = ExecutionGraph(metadata={"serving_stream": {"requests": []}})
+        cpu(graph, duration=3.0)
+        cpu(graph, duration=5.0, ts=1.0)
+        gpu(graph, duration=2.0)
+        batch = BatchSession(compile_graph(graph))
+        assert not batch.batchable
+        assert batch.fallback_code == FALLBACK_SERVING_STREAM
+        assert FALLBACK_UNORDERED_TASKS in batch.fallback_reason
+
+    def test_unbatchable_stream_graph_still_bit_identical(self):
+        graph = ExecutionGraph(metadata={"serving_stream": {"requests": []}})
+        cpu(graph, duration=3.0)
+        cpu(graph, duration=5.0, ts=1.0)
+        gpu(graph, duration=2.0)
+        matrix = np.array([[3.0, 5.0, 2.0], [5.0, 3.0, 2.0]])
+        batch = assert_batch_identical(graph, matrix)
+        assert batch.fallback_code == FALLBACK_SERVING_STREAM
 
 
 class TestWhatIfBatching:

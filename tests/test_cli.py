@@ -117,8 +117,8 @@ class TestCommands:
             "--parallelism", "2x2x2",
         ])
         err = capsys.readouterr().err
-        assert ("predict requires exactly one of --target-parallelism, "
-                "--target-model or --target-serving") in err
+        assert ("predict requires a single --target (or exactly one of "
+                "--target-parallelism, --target-model or --target-serving)") in err
         assert "usage:" in err
 
     def test_predict_rejects_tensor_parallelism_change(self, trace_directory, capsys):
@@ -173,7 +173,8 @@ class TestCommands:
     def test_sweep_without_axes_errors(self, trace_directory, capsys):
         assert main(["sweep", "--trace", str(trace_directory)]) == 2
         err = capsys.readouterr().err
-        assert "sweep requires --spec, --targets, --target-models or --serving" in err
+        assert ("sweep requires --spec, --target, --targets, "
+                "--target-models or --serving") in err
         assert "usage:" in err
 
     def test_sweep_reports_bad_whatif_cleanly(self, trace_directory, capsys):
@@ -302,6 +303,112 @@ class TestServingCommands:
                      "--serving", "batch=4"])
         assert code == 2
         assert "inference base" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def stream_trace_directory(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("stream") / "bundle"
+    exit_code = main([
+        "emulate", "--workload", "serving", "--model", "gpt3-15b",
+        "--parallelism", "2x1x1", "--requests", "4", "--prompt-length", "64",
+        "--decode-length", "2", "--arrival", "poisson:rate=600,n=6,seed=3",
+        "--iterations", "1", "--output", str(directory),
+    ])
+    assert exit_code == 0
+    return directory
+
+
+class TestStreamCommands:
+    def test_emulate_stream_reports_arrival(self, tmp_path, capsys):
+        code = main([
+            "emulate", "--workload", "serving", "--model", "gpt3-15b",
+            "--parallelism", "2x1x1", "--requests", "2", "--prompt-length", "64",
+            "--decode-length", "2", "--arrival", "trace:0,1.5,4",
+            "--iterations", "1", "--output", str(tmp_path / "bundle"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving stream (trace:0,1.5,4, batch cap 2, 64+2 tokens)" in out
+
+    def test_emulate_rejects_malformed_arrival(self, tmp_path, capsys):
+        code = main([
+            "emulate", "--workload", "serving", "--parallelism", "2x1x1",
+            "--arrival", "weibull:rate=10", "--output", str(tmp_path / "x"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_predict_prints_serving_metrics(self, stream_trace_directory, capsys):
+        code = main(["predict", "--trace", str(stream_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target", "serving:prompt=128", "--slo-ms", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted prompt=128" in out
+        assert "serving metrics (SLO 40 ms):" in out
+        # Both the base stream and the predicted target get a metrics row.
+        assert "  base: ttft p50/p99" in out
+        assert "  prompt=128: ttft p50/p99" in out
+        assert "goodput" in out
+        assert "within SLO" in out
+
+    def test_predict_unified_target_auto_detects_parallelism(self, trace_directory,
+                                                             capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--target", "2x2x8",
+        ])
+        assert code == 0
+        assert "predicted 2x2x8" in capsys.readouterr().out
+
+    def test_predict_rejects_two_unified_targets(self, stream_trace_directory,
+                                                 capsys):
+        code = main(["predict", "--trace", str(stream_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target", "batch=2", "--target", "serving:prompt=128"])
+        assert code == 2
+        assert "a single --target" in capsys.readouterr().err
+
+    def test_predict_mixing_target_and_legacy_flag_errors(self, stream_trace_directory,
+                                                          capsys):
+        code = main(["predict", "--trace", str(stream_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target", "batch=2", "--target-serving", "prompt=128"])
+        assert code == 2
+        assert "a single --target" in capsys.readouterr().err
+
+    def test_sweep_unified_targets_rank_by_goodput(self, stream_trace_directory,
+                                                   capsys):
+        code = main(["sweep", "--trace", str(stream_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target", "serving:prompt=32",
+                     "--target", "serving:prompt=128", "--slo-ms", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput_rps" in out
+        assert "ttft_p99_ms" in out
+        assert "prompt=32" in out
+        assert "prompt=128" in out
+
+    def test_export_timeline_emits_request_tracks(self, stream_trace_directory,
+                                                  tmp_path, capsys):
+        output = tmp_path / "stream.json"
+        code = main(["export-timeline", "--trace", str(stream_trace_directory),
+                     "--model", "gpt3-15b", "--parallelism", "2x1x1",
+                     "--target", "serving:prompt=128", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-request tracks:" in out
+        payload = json.loads(output.read_text(encoding="utf-8"))
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["sections"] == ["profiled", "replayed",
+                                                    "prompt=128"]
+        assert payload["otherData"]["request_tracks"] == ["replayed",
+                                                          "prompt=128"]
+        request_events = [e for e in payload["traceEvents"]
+                          if e.get("cat") == "serving-request"]
+        assert len(request_events) == 2 * 6 * 2  # 2 spans x 6 requests x 2 tracks
 
 
 class TestObservabilityCommands:

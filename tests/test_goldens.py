@@ -20,6 +20,7 @@ from __future__ import annotations
 import pytest
 
 from repro.api import Study
+from repro.workload.arrivals import parse_arrival
 from repro.workload.inference import InferenceConfig
 from repro.workload.training import TrainingConfig
 from tests.conftest import tiny_model
@@ -52,6 +53,16 @@ _CASES = {
         seed=11,
         serving_targets=("batch=16", "prompt=1024", "tp=1"),
     ),
+    "study_tiny_stream_2x1x1": dict(
+        model=tiny_model(n_layers=2, d_model=4096, name="tiny-stream"),
+        parallelism="2x1x1",
+        inference=InferenceConfig(
+            batch_size=4, prompt_length=512, decode_length=2,
+            arrival=parse_arrival("poisson:rate=600,n=6,seed=3")),
+        seed=7,
+        predict_targets=("serving:prompt=1024",),
+        serving_metrics=True,
+    ),
 }
 
 
@@ -77,6 +88,8 @@ def _snapshot(case: dict, study: Study) -> dict:
         "predict": {},
         "whatif": {},
     }
+    if case.get("serving_metrics"):
+        payload["serving"] = study.base_serving_metrics().to_json()
     for target in case.get("predict_targets", ()):
         prediction = study.predict(target)
         payload["predict"][target] = {
@@ -84,6 +97,9 @@ def _snapshot(case: dict, study: Study) -> dict:
             "world_size": prediction.world_size,
             "speedup_vs_base": prediction.speedup_vs_base,
         }
+        if case.get("serving_metrics") and prediction.is_stream:
+            payload["predict"][target]["serving"] = \
+                prediction.serving_metrics().to_json()
     for target in case.get("serving_targets", ()):
         prediction = study.predict(serving=target)
         payload["predict"][target] = {

@@ -13,15 +13,20 @@ import repro.observability
 import repro.sweep
 
 REPRO_ALL = [
+    "ArrivalConfig",
     "InferenceConfig",
     "PredictError",
     "Prediction",
+    "ServingMetrics",
     "ServingTarget",
     "Study",
     "StudyError",
     "SweepResult",
     "SweepSpec",
+    "Target",
     "__version__",
+    "parse_arrival",
+    "parse_target",
     "predict",
     "replay",
     "run_sweep",
@@ -37,8 +42,10 @@ REPRO_API_ALL = [
     "Prediction",
     "Study",
     "StudyError",
+    "Target",
     "WhatIfBuilder",
     "derive_graph",
+    "parse_target",
     "predict",
 ]
 
@@ -59,6 +66,7 @@ REPRO_OBSERVABILITY_ALL = [
     "pipeline_profile_json",
     "profile",
     "report",
+    "serving_request_events",
     "start_profiling",
     "stop_profiling",
     "timeline_json",

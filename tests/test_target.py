@@ -1,0 +1,129 @@
+"""Tests for the unified prediction-target type.
+
+:func:`repro.parse_target` is the single coercion point every
+``Study.predict/whatif/sweep`` target routes through; these tests lock
+its auto-detection, prefix handling and canonicalisation, plus the
+deprecation path for the pre-unification ``model=`` / ``serving=``
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ServingTarget, Study, Target, parse_target
+from repro.api import (
+    KIND_ARCHITECTURE,
+    KIND_PARALLELISM,
+    KIND_SERVING,
+    PredictError,
+)
+from repro.workload.inference import InferenceConfig
+from repro.workload.parallelism import ParallelismConfig
+from tests.conftest import tiny_model
+
+
+class TestParseTarget:
+    def test_parallelism_auto_detected(self):
+        target = parse_target("2x2x4")
+        assert target == Target(KIND_PARALLELISM, "2x2x4")
+
+    def test_serving_auto_detected_by_equals(self):
+        target = parse_target("batch=16,prompt=256")
+        assert target.kind == KIND_SERVING
+
+    def test_model_name_is_the_fallback(self):
+        target = parse_target("gpt3-44b")
+        assert target == Target(KIND_ARCHITECTURE, "gpt3-44b")
+
+    @pytest.mark.parametrize("text,kind", [
+        ("parallelism:2x2x4", KIND_PARALLELISM),
+        ("serving:batch=16", KIND_SERVING),
+        ("model:gpt3-44b", KIND_ARCHITECTURE),
+        ("architecture:gpt3-44b", KIND_ARCHITECTURE),
+    ])
+    def test_explicit_prefixes(self, text, kind):
+        assert parse_target(text).kind == kind
+
+    def test_prefix_overrides_auto_detection(self):
+        # A model whose name looks nothing like NxNxN still routes by prefix.
+        assert parse_target("model:2x2x4").kind == KIND_ARCHITECTURE
+
+    def test_serving_label_is_canonicalised(self):
+        # Knob order must not create distinct memoization keys.
+        a = parse_target("serving:tp=2,batch=16")
+        b = parse_target("serving:batch=16,tp=2")
+        assert a == b
+
+    def test_typed_objects_map_to_their_kind(self):
+        assert parse_target(ParallelismConfig.parse("2x2x4")) == \
+            Target(KIND_PARALLELISM, "2x2x4")
+        serving = ServingTarget.parse("batch=16")
+        assert parse_target(serving) == Target(KIND_SERVING, serving.label())
+        model = tiny_model()
+        target = parse_target(model)
+        assert (target.kind, target.label, target.model) == \
+            (KIND_ARCHITECTURE, model.name, model)
+
+    def test_target_passes_through(self):
+        target = Target(KIND_PARALLELISM, "2x2x4")
+        assert parse_target(target) is target
+
+    @pytest.mark.parametrize("value", [
+        "", "   ", "parallelism:", "serving:", "parallelism:2x2",
+        "serving:decode=4", 42, None,
+    ])
+    def test_malformed_targets_raise_predict_error(self, value):
+        with pytest.raises(PredictError):
+            parse_target(value)
+
+    def test_str_is_prefixed_label(self):
+        assert str(Target(KIND_SERVING, "batch=16")) == "serving:batch=16"
+
+    def test_target_validates_kind_and_payload(self):
+        with pytest.raises(PredictError):
+            Target("cluster", "x")
+        with pytest.raises(PredictError):
+            Target(KIND_SERVING, "batch=16", model=tiny_model())
+
+
+class TestLegacyKeywordParity:
+    """The deprecated ``model=`` / ``serving=`` kwargs must behave exactly
+    like the equivalent ``target=`` spelling (same memoized objects)."""
+
+    @pytest.fixture(scope="class")
+    def training_study(self):
+        return Study.from_emulation(tiny_model(), "2x1x1", iterations=1, seed=11)
+
+    @pytest.fixture(scope="class")
+    def serving_study(self):
+        inference = InferenceConfig(batch_size=4, prompt_length=64,
+                                    decode_length=2)
+        return Study.from_emulation(tiny_model(), "2x1x1", inference=inference,
+                                    iterations=1, seed=11)
+
+    def test_model_kwarg_warns_and_matches_target(self, training_study):
+        unified = training_study.predict("model:gpt3-44b")
+        with pytest.warns(DeprecationWarning, match="model= is deprecated"):
+            legacy = training_study.predict(model="gpt3-44b")
+        assert legacy is unified  # same memoization key
+
+    def test_serving_kwarg_warns_and_matches_target(self, serving_study):
+        unified = serving_study.predict("serving:batch=2")
+        with pytest.warns(DeprecationWarning, match="serving= is deprecated"):
+            legacy = serving_study.predict(serving="batch=2")
+        assert legacy is unified
+
+    def test_positional_parallelism_stays_undeprecated(self, training_study, recwarn):
+        prediction = training_study.predict("2x1x2")
+        assert prediction.label == "2x1x2"
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_two_kwargs_still_rejected(self, training_study):
+        with pytest.raises(Exception, match="exactly one"):
+            training_study.predict(model="gpt3-44b", serving="batch=2")
+
+    def test_target_accepts_all_three_kinds(self, serving_study, training_study):
+        assert training_study.predict("2x1x2").label == "2x1x2"
+        assert training_study.predict("model:gpt3-44b").label == "gpt3-44b"
+        assert serving_study.predict("serving:batch=2").label == "batch=2"
