@@ -1,0 +1,118 @@
+"""Sweep-service benchmarks: HTTP round-trip throughput and warm-cache latency.
+
+One in-process :class:`~repro.service.ServiceApp` (real stdlib HTTP
+server, real worker threads) serves a canned gpt3-15b serving trace.  The
+metrics prove the service layer adds operability without destroying the
+engine's economics:
+
+* several concurrent clients submitting distinct sweeps all complete
+  end-to-end (submit → poll → ranked result) at usable throughput; and
+* an identical resubmission after completion is answered entirely from
+  the shared on-disk sweep cache (``cache_hit_rate == 1.0``) fast — the
+  whole point of content-addressed jobs over a shared cache.
+
+Metrics append to the same machine-readable JSON as the engine benchmarks
+(``REPRO_PERF_JSON``) and are gated in CI against
+``benchmarks/baselines/service.json`` — see ``benchmarks/README.md`` for
+the baseline-refresh procedure.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from benchmarks.test_perf_engine import record_metric
+from repro.emulator.api import emulate
+from repro.experiments.settings import _fast_mode
+from repro.service import ServiceApp, ServiceClient, validate_result_payload
+from repro.workload.inference import InferenceConfig
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+
+CLIENTS = 3
+
+
+@pytest.fixture(scope="module")
+def service_trace_dir(tmp_path_factory):
+    decode = 4 if _fast_mode() else 8
+    bundle = emulate(
+        gpt3_model("gpt3-15b"), ParallelismConfig.parse("2x1x1"),
+        inference=InferenceConfig(batch_size=2, prompt_length=128,
+                                  decode_length=decode),
+        iterations=1, seed=13).profiled
+    directory = tmp_path_factory.mktemp("service-perf") / "serving"
+    bundle.save(directory)
+    return directory
+
+
+def _submit_and_wait(url: str, body: dict) -> dict:
+    client = ServiceClient(url)
+    job = client.submit(body)["job"]
+    done = client.wait(job["job_id"], timeout=300.0, poll_interval=0.05)
+    assert done["state"] == "done", done.get("error")
+    return validate_result_payload(client.result(job["job_id"])["result"])
+
+
+def test_benchmark_service_concurrent_round_trips(benchmark, service_trace_dir,
+                                                  tmp_path):
+    """N concurrent clients, N distinct sweep jobs, full HTTP round-trips."""
+    bodies = [{"kind": "sweep", "trace": "canned",
+               "targets": [f"batch={batch}"]} for batch in (4, 8, 16)][:CLIENTS]
+    results: list[dict] = []
+    lock = threading.Lock()
+
+    with ServiceApp(tmp_path / "svc", workers=2,
+                    traces={"canned": service_trace_dir}) as app:
+
+        def round_trips() -> None:
+            def one(body: dict) -> None:
+                result = _submit_and_wait(app.url, body)
+                with lock:
+                    results.append(result)
+
+            threads = [threading.Thread(target=one, args=(body,))
+                       for body in bodies]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        started = time.perf_counter()
+        benchmark.pedantic(round_trips, rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+
+    assert len(results) == len(bodies)
+    assert all(result["kind"] == "sweep" for result in results)
+    jobs_per_sec = len(bodies) / elapsed
+    print(f"\nservice round-trips: {len(bodies)} concurrent jobs in "
+          f"{elapsed:.2f} s ({jobs_per_sec:.2f} jobs/s)")
+    record_metric("service_jobs_per_sec", jobs_per_sec,
+                  higher_is_better=True, unit="jobs/s")
+
+
+def test_benchmark_service_warm_resubmit_latency(benchmark, service_trace_dir,
+                                                 tmp_path):
+    """An identical resubmission is served entirely from the shared cache."""
+    body = {"kind": "sweep", "trace": "canned",
+            "targets": ["batch=4"], "whatif": ["gemm:2"]}
+    with ServiceApp(tmp_path / "svc", workers=1,
+                    traces={"canned": service_trace_dir}) as app:
+        cold = _submit_and_wait(app.url, body)
+        assert cold["cache"]["hit_rate"] == 0.0
+
+        started = time.perf_counter()
+        warm = benchmark.pedantic(_submit_and_wait, args=(app.url, body),
+                                  rounds=1, iterations=1)
+        warm_ms = (time.perf_counter() - started) * 1000.0
+
+    assert warm["cache"]["hit_rate"] == 1.0
+    assert all(row["from_cache"] for row in warm["scenarios"])
+    assert [row["label"] for row in warm["ranked"]] == \
+        [row["label"] for row in cold["ranked"]]
+    print(f"\nwarm resubmit: end-to-end {warm_ms:.0f} ms, "
+          f"cache hit rate {warm['cache']['hit_rate']:.0%}")
+    record_metric("service_warm_resubmit_ms", warm_ms,
+                  higher_is_better=False, unit="ms")

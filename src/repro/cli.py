@@ -19,7 +19,16 @@
   ``--target`` flags populate the axes the same way;
 * ``export-timeline`` — render a trace's profiled, replayed and predicted
   schedules as chrome-trace JSON for Perfetto / ``chrome://tracing``;
-  continuous-batching episodes add one per-request Gantt track block.
+  continuous-batching episodes add one per-request Gantt track block;
+* ``serve``    — run the sweep service (:mod:`repro.service`): an HTTP
+  API + worker queue over the shared on-disk sweep cache, with
+  server-registered trace bundles (``--trace NAME=DIR``, repeatable);
+* ``submit``   — submit a sweep (or ``--predict`` single prediction) to
+  a running service, poll to completion and print the ranked table —
+  the same unified ``--target`` flags as ``predict``/``sweep``;
+* ``cache``    — operate a long-lived shared sweep cache: ``stats``
+  prints entry/bundle counts and bytes, ``prune --max-size-mb`` evicts
+  oldest-first down to a size budget.
 
 ``emulate --workload serving --arrival poisson:rate=100,n=16,seed=3``
 emulates a continuous-batching *stream* (Poisson / bursty / trace
@@ -312,6 +321,148 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_trace_registrations(entries: list[str]) -> dict[str, str]:
+    """Parse repeated ``--trace NAME=DIR`` registrations."""
+    traces: dict[str, str] = {}
+    for entry in entries:
+        name, sep, path = entry.partition("=")
+        if not sep or not name or not path:
+            raise ValueError(f"bad --trace '{entry}' (expected NAME=DIR)")
+        traces[name] = path
+    return traces
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceApp
+
+    try:
+        traces = _parse_trace_registrations(args.trace)
+        app = ServiceApp(args.root, host=args.host, port=args.port,
+                         workers=args.workers, traces=traces,
+                         cache_root=args.cache_dir)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    host, port = app.address
+    print(f"sweep service listening on http://{host}:{port} "
+          f"(workers={args.workers}, traces={', '.join(traces) or 'none'}, "
+          f"root={args.root})", flush=True)
+    return app.serve_forever()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.protocol import bundle_to_json
+    from repro.sweep.runner import ScenarioResult
+    from repro.sweep.analysis import format_ranked_table
+
+    targets = _collect_targets(args)
+    body: dict[str, object] = {
+        "kind": "predict" if args.predict else "sweep",
+        "reuse": args.reuse,
+    }
+    base: dict[str, object] = {}
+    for key, value in (("model", args.base_model),
+                       ("parallelism", args.base_parallelism),
+                       ("micro_batch_size", args.micro_batch_size),
+                       ("num_microbatches", args.num_microbatches)):
+        if value is not None:
+            base[key] = value
+    if base:
+        body["base"] = base
+    if args.slo_ms is not None:
+        body["slo_ms"] = args.slo_ms
+    if args.predict:
+        if len(targets) != 1:
+            print("submit --predict requires exactly one --target", file=sys.stderr)
+            return 2
+        body["target"] = targets[0]
+    else:
+        if args.spec:
+            try:
+                spec = SweepSpec.load(args.spec)
+            except SweepSpecError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            body["spec"] = spec.to_json()
+        if targets:
+            body["targets"] = targets
+        if args.whatif:
+            body["whatif"] = list(args.whatif)
+        if not (args.spec or targets or args.whatif):
+            print("submit requires --spec, --target or --whatif (or --predict)",
+                  file=sys.stderr)
+            return 2
+    if args.trace_path:
+        try:
+            body["bundle"] = bundle_to_json(TraceBundle.load(args.trace_path))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load trace bundle {args.trace_path}: {error}",
+                  file=sys.stderr)
+            return 2
+    elif args.trace:
+        body["trace"] = args.trace
+    else:
+        print("submit requires --trace NAME (server-registered) or "
+              "--trace-path DIR (inline upload)", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        submitted = client.submit(body)
+        job = submitted["job"]
+        print(f"job {job['job_id']}: {job['state']}"
+              + (" (deduped)" if submitted["deduped"] else ""))
+        if args.no_wait:
+            return 0
+        job = client.wait(job["job_id"], timeout=args.timeout,
+                          poll_interval=args.poll_interval)
+        if job["state"] != "done":
+            error = job.get("error") or {}
+            print(f"error: job {job['job_id']} {job['state']} "
+                  f"[{error.get('code', 'unknown')}]: {error.get('message', '')}",
+                  file=sys.stderr)
+            return 2
+        result = client.result(job["job_id"])["result"]
+    except ServiceError as error:
+        print(f"error [{error.code}]: {error}", file=sys.stderr)
+        return 2
+    if result["kind"] == "predict":
+        print(f"base: {result['base_time_us'] / 1000.0:.1f} ms")
+        print(f"predicted {result['label']}: "
+              f"{result['iteration_time_us'] / 1000.0:.1f} ms "
+              f"(speedup {result['speedup_vs_base']:.2f}x)")
+        return 0
+    cache = result["cache"]
+    rows = [ScenarioResult.from_json(row, from_cache=bool(row["from_cache"]))
+            for row in result["scenarios"]]
+    print(f"evaluated {len(rows)} scenarios "
+          f"(cache hits={cache['hits']} misses={cache['misses']} "
+          f"hit-rate={cache['hit_rate']:.0%})")
+    print(format_ranked_table(rows, top=args.top))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sweep.cache import SweepCache
+
+    cache = SweepCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache {stats['root']}: {stats['entries']} entries across "
+              f"{stats['bundles']} bundles, "
+              f"{stats['total_bytes'] / 1e6:.2f} MB")
+        return 0
+    # prune
+    budget = int(args.max_size_mb * 1e6)
+    summary = cache.prune(budget)
+    print(f"pruned {summary['removed']} entries "
+          f"({summary['freed_bytes'] / 1e6:.2f} MB freed); "
+          f"{summary['remaining_entries']} entries "
+          f"({summary['remaining_bytes'] / 1e6:.2f} MB) remain")
+    return 0
+
+
 def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", metavar="PATH",
                         help="collect pipeline spans/metrics during this "
@@ -411,6 +562,78 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_parser.add_argument("--output", required=True,
                                  help="chrome-trace JSON output path")
     timeline_parser.set_defaults(func=_cmd_export_timeline)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the sweep service (HTTP API + worker queue)")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8321,
+                              help="listen port (0 picks a free one)")
+    serve_parser.add_argument("--root", required=True,
+                              help="service state directory (job store, "
+                                   "uploaded bundles, default cache)")
+    serve_parser.add_argument("--cache-dir", default=None,
+                              help="shared sweep-cache directory "
+                                   "(default: <root>/sweep-cache)")
+    serve_parser.add_argument("--workers", type=int, default=1,
+                              help="in-process worker threads draining the queue")
+    serve_parser.add_argument("--trace", action="append", default=[],
+                              metavar="NAME=DIR",
+                              help="register a saved trace bundle under NAME "
+                                   "(repeatable)")
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", parents=[target_parent],
+        help="submit a sweep or prediction job to a running sweep service")
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8321",
+                               help="service base URL")
+    submit_parser.add_argument("--trace", help="server-registered trace name")
+    submit_parser.add_argument("--trace-path",
+                               help="local trace bundle directory to upload inline")
+    submit_parser.add_argument("--spec", help="sweep spec JSON file")
+    submit_parser.add_argument("--whatif", action="append", default=[],
+                               help="what-if scenario: 'launch', 'comm[:group]:S' "
+                                    "or 'CLASS:S' (repeatable)")
+    submit_parser.add_argument("--predict", action="store_true",
+                               help="submit a single-prediction job for the one "
+                                    "--target instead of a sweep")
+    submit_parser.add_argument("--slo-ms", type=float, default=None,
+                               help="per-request latency deadline for serving "
+                                    "metrics / goodput ranking")
+    submit_parser.add_argument("--base-model", default=None,
+                               help="override the base model recorded in the "
+                                    "trace metadata")
+    submit_parser.add_argument("--base-parallelism", default=None,
+                               help="override the base TPxPPxDP label")
+    submit_parser.add_argument("--micro-batch-size", type=int, default=None,
+                               help="override the base micro-batch size "
+                                    "(not recorded in trace metadata)")
+    submit_parser.add_argument("--num-microbatches", type=int, default=None,
+                               help="override the base microbatch count")
+    submit_parser.add_argument("--reuse", action="store_true",
+                               help="reuse an identical completed job instead "
+                                    "of re-running it")
+    submit_parser.add_argument("--no-wait", action="store_true",
+                               help="submit and print the job id without polling")
+    submit_parser.add_argument("--timeout", type=float, default=300.0,
+                               help="overall polling deadline in seconds")
+    submit_parser.add_argument("--poll-interval", type=float, default=0.2)
+    submit_parser.add_argument("--top", type=int, default=None,
+                               help="only print the best N scenarios")
+    submit_parser.set_defaults(func=_cmd_submit, parser=submit_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune a shared on-disk sweep cache")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="print entry counts and bytes")
+    cache_stats.add_argument("--cache-dir", required=True)
+    cache_stats.set_defaults(func=_cmd_cache)
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict oldest entries down to a size budget")
+    cache_prune.add_argument("--cache-dir", required=True)
+    cache_prune.add_argument("--max-size-mb", type=float, required=True,
+                             help="keep at most this many MB of cached results")
+    cache_prune.set_defaults(func=_cmd_cache)
 
     for subparser in subparsers.choices.values():
         _add_profile_argument(subparser)

@@ -27,6 +27,7 @@ from repro.observability.tracing import (
     last_profile,
     observe,
     profile,
+    record_span,
     report,
     start_profiling,
     stop_profiling,
@@ -50,6 +51,7 @@ __all__ = [
     "observe",
     "pipeline_profile_json",
     "profile",
+    "record_span",
     "report",
     "serving_request_events",
     "start_profiling",

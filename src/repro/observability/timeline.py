@@ -200,23 +200,41 @@ def export_timeline(sections: Sequence[tuple[str, Any]], path: str | Path,
 def pipeline_profile_json(profile: PipelineProfile) -> dict[str, Any]:
     """Render a pipeline profile's spans as a chrome-trace flame graph.
 
-    Spans land on one track per recording depth-0 tree (in practice one:
-    the pipeline is sequential), with nesting reconstructed by the viewer
-    from the span intervals; attributes ride along in ``args``.
+    Spans land on one shared track (tid 0), with nesting reconstructed by
+    the viewer from the span intervals; attributes ride along in
+    ``args``.  Spans carrying a ``stage`` attribute (the service-span
+    convention — ``admit`` / ``queue_wait`` / ``run``) are routed onto
+    their own named ``stage: <name>`` track instead, so the queue-wait
+    vs. run split of service jobs reads as parallel swimlanes without the
+    exporter special-casing span names.
     """
     events: list[dict[str, Any]] = [
         _metadata_event("process_name", 0, 0,
                         f"repro pipeline ({profile.label or 'run'})"),
         _metadata_event("thread_name", 0, 0, "pipeline spans"),
     ]
+    stage_tids: dict[str, int] = {}
     for span in sorted(profile.spans, key=lambda s: (s.start_us, s.span_id)):
+        stage = span.attrs.get("stage")
+        if stage is None:
+            tid = 0
+        else:
+            stage = str(stage)
+            tid = stage_tids.get(stage, 0)
+            if tid == 0:
+                tid = len(stage_tids) + 1
+                stage_tids[stage] = tid
+                events.append(_metadata_event("thread_name", 0, tid, f"stage: {stage}"))
+                events.append(_metadata_event("thread_sort_index", 0, tid, tid))
         events.append({
             "name": span.name, "cat": "pipeline", "ph": "X",
-            "ts": span.start_us, "dur": span.duration_us, "pid": 0, "tid": 0,
+            "ts": span.start_us, "dur": span.duration_us, "pid": 0, "tid": tid,
             "args": {"depth": span.depth, **span.attrs},
         })
-    return {"traceEvents": events, "displayTimeUnit": "ms",
-            "otherData": {"tool": "repro-lumos", "label": profile.label}}
+    other: dict[str, Any] = {"tool": "repro-lumos", "label": profile.label}
+    if stage_tids:
+        other["stages"] = sorted(stage_tids)
+    return {"traceEvents": events, "displayTimeUnit": "ms", "otherData": other}
 
 
 def validate_chrome_trace(payload: Any) -> list[dict[str, Any]]:

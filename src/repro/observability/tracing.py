@@ -258,11 +258,50 @@ def report() -> dict[str, Any]:
 
 
 def trace_span(name: str, **attrs: Any) -> "_Span | _NoopSpan":
-    """A context-manager span named ``name`` (the shared no-op when disabled)."""
+    """A context-manager span named ``name`` (the shared no-op when disabled).
+
+    By convention, spans describing service-job phases carry a ``stage``
+    attribute (``"admit"`` / ``"queue_wait"`` / ``"run"``): stage-tagged
+    spans get their own named track in
+    :func:`~repro.observability.timeline.pipeline_profile_json`, so the
+    queue-wait vs. run split of a service job renders without the
+    exporter special-casing span names.
+    """
     profile = _ACTIVE
     if profile is None:
         return NOOP_SPAN
     return _Span(profile, name, attrs)
+
+
+def record_span(name: str, *, start_unix: float, end_unix: float,
+                **attrs: Any) -> None:
+    """Record an externally timed interval as a root span (no-op when disabled).
+
+    :func:`trace_span` can only time intervals that start after the span
+    opens; some intervals are measured from wall-clock timestamps that
+    predate the measuring code — e.g. a service job's queue wait starts
+    when the *server* admits it, but is recorded by the *worker* that
+    eventually claims it.  ``record_span`` maps the ``time.time()``
+    interval ``[start_unix, end_unix]`` onto the active profile's
+    timeline (via its ``started_unix`` anchor) and appends a depth-0
+    span, so stage rollups and timeline export treat it like any other
+    span.  Intervals that began before the profile did are clamped to
+    the profile's start.
+    """
+    profile = _ACTIVE
+    if profile is None:
+        return
+    start_us = max(0.0, (start_unix - profile.started_unix) * 1e6)
+    end_us = max(start_us, (end_unix - profile.started_unix) * 1e6)
+    profile._record(SpanRecord(
+        span_id=profile._next_id(),
+        name=name,
+        start_us=start_us,
+        duration_us=end_us - start_us,
+        depth=0,
+        parent=-1,
+        attrs=dict(attrs),
+    ))
 
 
 def count(name: str, n: float = 1.0) -> None:

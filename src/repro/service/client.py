@@ -1,0 +1,122 @@
+"""Stdlib HTTP client for the sweep service.
+
+:class:`ServiceClient` wraps ``urllib`` — no new dependencies — and is
+what the test suite, ``examples/service_client.py`` and the
+``repro-lumos submit`` subcommand all use.  Server refusals raise
+:class:`ServiceError` carrying the HTTP status and the stable
+machine-readable ``code`` from the typed error body, so callers branch
+on ``error.code`` instead of parsing messages (the CLI maps any
+``ServiceError`` to exit 2, mirroring how typed library errors exit).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.service.jobs import TERMINAL_STATES
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+class ServiceError(Exception):
+    """A request the service refused (or a transport failure)."""
+
+    def __init__(self, message: str, *, code: str = "unavailable",
+                 status: int | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
+class ServiceClient:
+    """A minimal blocking client for one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                wire = json.loads(raw)["error"]
+                code, message = str(wire["code"]), str(wire["message"])
+            except (ValueError, KeyError, TypeError):
+                code, message = "internal", raw or str(error)
+            raise ServiceError(message, code=code, status=error.code) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"service at {self.base_url} is unreachable: {error.reason}"
+            ) from error
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/metricz")
+
+    def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Submit one raw job body (``version`` defaults in when absent)."""
+        body = dict(payload)
+        body.setdefault("version", PROTOCOL_VERSION)
+        return self._request("POST", "/v1/jobs", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    # -- convenience ---------------------------------------------------------
+
+    def submit_sweep(self, trace: str, *, targets: list[str] | None = None,
+                     whatif: list[str] | None = None,
+                     spec: Mapping[str, Any] | None = None,
+                     slo_ms: float | None = None,
+                     base: Mapping[str, Any] | None = None,
+                     reuse: bool = False) -> dict[str, Any]:
+        """Submit a sweep against a server-registered trace name."""
+        body: dict[str, Any] = {"kind": "sweep", "trace": trace, "reuse": reuse}
+        if spec is not None:
+            body["spec"] = dict(spec)
+        if targets:
+            body["targets"] = list(targets)
+        if whatif:
+            body["whatif"] = list(whatif)
+        if slo_ms is not None:
+            body["slo_ms"] = slo_ms
+        if base:
+            body["base"] = dict(base)
+        return self.submit(body)
+
+    def wait(self, job_id: str, *, timeout: float = 120.0,
+             poll_interval: float = 0.1) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the job."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {job['state']} after {timeout:g}s",
+                    code="timeout")
+            time.sleep(poll_interval)

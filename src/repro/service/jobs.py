@@ -1,0 +1,395 @@
+"""Persistent job store and trace registry for the sweep service.
+
+Jobs are content-addressed the same way the sweep cache is: a job id is
+the (truncated) :func:`~repro.sweep.hashing.hash_json` of the bundle
+hash plus the canonical job payload, so two clients submitting the
+identical (bundle, spec) pair compute the identical id and dedupe to one
+queued/running job.  Resubmitting after completion re-enqueues by
+default — the rerun is answered from the shared on-disk sweep cache —
+while ``reuse: true`` returns the finished record without a rerun.
+
+Persistence is one JSON snapshot per job under ``<root>/jobs/`` (written
+with the same tmp-file + ``os.replace`` idiom as the sweep cache, so
+snapshots are never torn) plus an append-only ``journal.jsonl`` of state
+transitions for post-mortems.  Claims use ``O_EXCL`` marker files under
+``<root>/claims/``, which makes *claiming* exclusive across worker
+threads and worker processes alike: exactly one worker wins a queued
+job.  :meth:`JobStore.refresh` rescans the directory, so a server
+process and out-of-process workers sharing one root observe each other's
+transitions.
+
+States move ``queued → running → done/failed/cancelled``; terminal
+records are immutable (a re-enqueue writes a fresh ``queued`` snapshot
+with ``attempts`` bumped).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.service.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_JOB_STATE,
+    CODE_UNKNOWN_JOB,
+    CODE_UNKNOWN_TRACE,
+    ProtocolError,
+    bundle_from_json,
+)
+from repro.sweep.hashing import hash_json, hash_trace_bundle
+from repro.trace.kineto import TraceBundle
+
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+STATE_CANCELLED = "cancelled"
+
+TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
+
+_RECORD_SCHEMA = 1
+
+
+def job_id_for(bundle_hash: str, kind: str, payload: Mapping[str, Any]) -> str:
+    """The deterministic job id of one (bundle, job payload) pair."""
+    return hash_json({"schema": _RECORD_SCHEMA, "bundle": bundle_hash,
+                      "kind": kind, "payload": payload})[:32]
+
+
+@dataclass
+class JobRecord:
+    """One job's full persisted state."""
+
+    job_id: str
+    kind: str
+    trace: str
+    bundle_hash: str
+    payload: dict[str, Any]
+    state: str = STATE_QUEUED
+    submitted_unix: float = 0.0
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    worker: str | None = None
+    attempts: int = 1
+    error: dict[str, Any] | None = None
+    result: dict[str, Any] | None = None
+    cache: dict[str, Any] | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": _RECORD_SCHEMA,
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "trace": self.trace,
+            "bundle_hash": self.bundle_hash,
+            "payload": self.payload,
+            "state": self.state,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "worker": self.worker,
+            "attempts": self.attempts,
+            "error": self.error,
+            "result": self.result,
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "JobRecord":
+        return cls(
+            job_id=str(payload["job_id"]),
+            kind=str(payload["kind"]),
+            trace=str(payload["trace"]),
+            bundle_hash=str(payload["bundle_hash"]),
+            payload=dict(payload["payload"]),
+            state=str(payload["state"]),
+            submitted_unix=float(payload["submitted_unix"]),
+            started_unix=payload.get("started_unix"),
+            finished_unix=payload.get("finished_unix"),
+            worker=payload.get("worker"),
+            attempts=int(payload.get("attempts", 1)),
+            error=payload.get("error"),
+            result=payload.get("result"),
+            cache=payload.get("cache"),
+        )
+
+    def public_json(self) -> dict[str, Any]:
+        """The status body ``GET /v1/jobs/{id}`` serves (no result bulk)."""
+        body = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "trace": self.trace,
+            "state": self.state,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "worker": self.worker,
+            "attempts": self.attempts,
+        }
+        if self.error is not None:
+            body["error"] = self.error
+        if self.cache is not None:
+            body["cache"] = self.cache
+        return body
+
+
+class JobStore:
+    """On-disk JSON journal + in-memory index of every job."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.journal_path = self.root / "journal.jsonl"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._index: dict[str, JobRecord] = {}
+        self.refresh()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _record_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _write(self, record: JobRecord) -> None:
+        path = self._record_path(record.job_id)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{record.job_id}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(record.to_json()))
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        self._index[record.job_id] = record
+
+    def _journal(self, event: str, record: JobRecord) -> None:
+        line = json.dumps({"event": event, "job_id": record.job_id,
+                           "state": record.state, "unix": time.time()})
+        with open(self.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def _read(self, path: Path) -> JobRecord | None:
+        # Tolerant like the sweep cache: a torn or foreign file is simply
+        # not a job (snapshot writes are atomic, so this is belt and
+        # braces for external interference).
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != _RECORD_SCHEMA:
+                return None
+            return JobRecord.from_json(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def refresh(self) -> None:
+        """Rescan the jobs directory (other processes write records too)."""
+        with self._lock:
+            for path in sorted(self.jobs_dir.glob("*.json")):
+                record = self._read(path)
+                if record is not None:
+                    self._index[record.job_id] = record
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """The current record, re-read from disk while non-terminal."""
+        with self._lock:
+            record = self._index.get(job_id)
+        if record is None or not record.terminal:
+            fresh = self._read(self._record_path(job_id))
+            if fresh is not None:
+                with self._lock:
+                    self._index[job_id] = fresh
+                record = fresh
+        return record
+
+    def jobs(self) -> list[JobRecord]:
+        """Every known record, oldest submission first."""
+        with self._lock:
+            records = list(self._index.values())
+        return sorted(records, key=lambda r: (r.submitted_unix, r.job_id))
+
+    def queue_depth(self) -> int:
+        return sum(1 for record in self.jobs() if record.state == STATE_QUEUED)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def submit(self, record: JobRecord, *, reuse: bool = False) -> tuple[JobRecord, bool]:
+        """Admit one job; returns ``(record, deduped)``.
+
+        An identical job already queued or running dedupes to the
+        existing record.  A terminal identical job is returned as-is when
+        ``reuse`` is set; otherwise it is re-enqueued (the rerun is
+        served from the shared sweep cache) with ``attempts`` bumped.
+        """
+        with self._lock:
+            existing = self._index.get(record.job_id)
+            if existing is None:
+                disk = self._read(self._record_path(record.job_id))
+                if disk is not None:
+                    existing = self._index[record.job_id] = disk
+            if existing is not None and not existing.terminal:
+                return existing, True
+            if existing is not None and reuse:
+                return existing, True
+            if existing is not None:
+                record = replace(
+                    record, attempts=existing.attempts + 1,
+                    submitted_unix=record.submitted_unix or time.time())
+                self._release_claim(record.job_id)
+            if not record.submitted_unix:
+                record = replace(record, submitted_unix=time.time())
+            self._write(record)
+            self._journal("submit", record)
+            return record, False
+
+    def claim_next(self, worker: str) -> JobRecord | None:
+        """Atomically claim the oldest queued job for ``worker``.
+
+        The ``O_EXCL`` claim file is the cross-process arbiter; losing
+        the race simply moves on to the next queued job.
+        """
+        self.refresh()
+        for record in self.jobs():
+            if record.state != STATE_QUEUED:
+                continue
+            claim = self.claims_dir / f"{record.job_id}.claim"
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(worker)
+            with self._lock:
+                running = replace(record, state=STATE_RUNNING,
+                                  started_unix=time.time(), worker=worker)
+                self._write(running)
+                self._journal("claim", running)
+            return running
+        return None
+
+    def _release_claim(self, job_id: str) -> None:
+        with contextlib.suppress(OSError):
+            os.unlink(self.claims_dir / f"{job_id}.claim")
+
+    def _finish(self, record: JobRecord, state: str, **updates: Any) -> JobRecord:
+        with self._lock:
+            finished = replace(record, state=state,
+                               finished_unix=time.time(), **updates)
+            self._write(finished)
+            self._journal(state, finished)
+        self._release_claim(record.job_id)
+        return finished
+
+    def mark_done(self, record: JobRecord, result: dict[str, Any],
+                  cache: dict[str, Any] | None = None) -> JobRecord:
+        return self._finish(record, STATE_DONE, result=result, cache=cache,
+                            error=None)
+
+    def mark_failed(self, record: JobRecord, error: dict[str, Any]) -> JobRecord:
+        return self._finish(record, STATE_FAILED, error=error, result=None)
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job (running/terminal jobs refuse with a code)."""
+        record = self.get(job_id)
+        if record is None:
+            raise ProtocolError(CODE_UNKNOWN_JOB, f"no job {job_id!r}")
+        if record.state != STATE_QUEUED:
+            raise ProtocolError(
+                CODE_JOB_STATE,
+                f"job {job_id} is {record.state}; only queued jobs cancel")
+        # Claim it so no worker picks it up mid-cancel, then finish it.
+        claim = self.claims_dir / f"{job_id}.claim"
+        try:
+            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            raise ProtocolError(
+                CODE_JOB_STATE, f"job {job_id} was claimed by a worker") from None
+        os.close(fd)
+        return self._finish(record, STATE_CANCELLED)
+
+
+@dataclass
+class TraceRegistry:
+    """Named trace bundles the service accepts jobs against.
+
+    Server-registered bundles (``repro-lumos serve --trace NAME=DIR``)
+    load lazily and memoize together with their content hash — the hash
+    walk is the expensive part worth paying once per bundle, not per
+    job.  Inline uploads are spooled to disk under the service root and
+    registered under their own content hash, so workers (and restarted
+    servers) reach them like any named bundle.
+    """
+
+    spool_dir: Path | None = None
+    _paths: dict[str, Path] = field(default_factory=dict)
+    _loaded: dict[str, tuple[TraceBundle, str]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def register(self, name: str, path: str | Path) -> None:
+        """Register a saved bundle directory under ``name``."""
+        with self._lock:
+            self._paths[str(name)] = Path(path)
+            self._loaded.pop(str(name), None)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._paths)
+
+    def resolve(self, name: str) -> tuple[TraceBundle, str]:
+        """The (bundle, content hash) registered under ``name``."""
+        with self._lock:
+            cached = self._loaded.get(name)
+            if cached is not None:
+                return cached
+            path = self._paths.get(name)
+        if path is None:
+            raise ProtocolError(
+                CODE_UNKNOWN_TRACE,
+                f"no trace {name!r} is registered with this server "
+                f"(known: {', '.join(self.names()) or 'none'})")
+        try:
+            bundle = TraceBundle.load(path)
+        except (OSError, ValueError, KeyError) as error:
+            raise ProtocolError(
+                CODE_UNKNOWN_TRACE,
+                f"trace {name!r} failed to load from {path}: {error}") from error
+        bundle_hash = hash_trace_bundle(bundle)
+        with self._lock:
+            self._loaded[name] = (bundle, bundle_hash)
+        return bundle, bundle_hash
+
+    def store_inline(self, payload: Mapping[str, Any]) -> str:
+        """Spool one uploaded bundle; returns its registered name."""
+        bundle = bundle_from_json(payload)
+        bundle_hash = hash_trace_bundle(bundle)
+        name = f"upload-{bundle_hash[:16]}"
+        with self._lock:
+            known = name in self._paths
+        if not known:
+            if self.spool_dir is None:
+                raise ProtocolError(
+                    CODE_BAD_REQUEST,
+                    "this server accepts only registered trace names, "
+                    "not inline bundle uploads")
+            target = self.spool_dir / name
+            if not target.is_dir():
+                bundle.save(target)
+            with self._lock:
+                self._paths[name] = target
+                self._loaded[name] = (bundle, bundle_hash)
+        return name

@@ -1,0 +1,405 @@
+"""Zero-new-dependency HTTP front end for the sweep service.
+
+:class:`ServiceApp` wires a stdlib ``ThreadingHTTPServer`` to the job
+store, the trace registry, in-process worker threads and the service
+metrics; the handler is a thin JSON layer over the app's methods.
+
+Endpoints (all JSON):
+
+``POST /v1/jobs``
+    Submit a sweep or single-prediction job
+    (:class:`~repro.service.protocol.SubmitRequest`).  Responds 202 with
+    ``{"job": {...}, "deduped": bool}``; duplicate submissions of an
+    identical (bundle, spec) pair dedupe to one queued/running job.
+``GET /v1/jobs/{id}``
+    Job status (states ``queued → running → done/failed/cancelled``).
+``GET /v1/jobs/{id}/result``
+    The finished job's result payload — for sweeps the expansion-order
+    rows plus the ranked order and Pareto frontier from
+    ``sweep.analysis``.  409 ``job-not-done`` / ``job-failed`` before
+    then.
+``GET /v1/healthz``
+    Liveness plus queue/worker/registered-trace summary.
+``GET /v1/metricz``
+    The always-on :class:`~repro.service.worker.ServiceMetrics` registry
+    snapshot.
+
+Every refusal is a typed 4xx JSON body with a stable machine-readable
+``code`` (:mod:`repro.service.protocol`); unexpected exceptions map to
+one 500 ``internal`` body, never a traceback over the wire.
+
+Shutdown is graceful: SIGTERM/SIGINT (or :meth:`ServiceApp.stop`) stops
+accepting connections, signals the workers and joins them — a job mid-run
+finishes and persists before the process exits.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from dataclasses import replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.api import KIND_PARALLELISM, KIND_SERVING, parse_target
+from repro.api.errors import StudyError
+from repro.observability import tracing as observability
+from repro.service.jobs import (
+    STATE_DONE,
+    STATE_FAILED,
+    JobRecord,
+    JobStore,
+    TraceRegistry,
+    job_id_for,
+)
+from repro.service.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_INTERNAL,
+    CODE_JOB_FAILED,
+    CODE_JOB_NOT_DONE,
+    CODE_UNKNOWN_JOB,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    SubmitRequest,
+    error_for_exception,
+)
+from repro.service.worker import ServiceMetrics, Worker
+from repro.sweep.spec import SweepSpec, WhatIfSpec
+from repro.version import __version__
+
+#: SweepSpec's own defaults, used when neither the trace metadata nor the
+#: request names a base knob.
+_BASE_DEFAULTS = {"model": "gpt3-15b", "parallelism": "2x2x4",
+                  "micro_batch_size": 2, "num_microbatches": 4}
+
+
+def base_from_metadata(metadata: Mapping[str, Any],
+                       overrides: Mapping[str, Any]) -> dict[str, Any]:
+    """The spec ``base`` block of one trace: metadata + request overrides.
+
+    The emulator records ``model`` / ``parallelism`` (and for serving
+    episodes the ``inference`` block; for training ``num_microbatches``)
+    in the bundle metadata, so most requests need no ``base`` at all.
+    ``micro_batch_size`` is not in trace metadata — training clients
+    whose base differs from the default pass it in ``base``.
+    """
+    base = dict(_BASE_DEFAULTS)
+    for key in ("model", "parallelism", "num_microbatches"):
+        if key in metadata:
+            base[key] = metadata[key]
+    if metadata.get("workload") == "serving" and "inference" in metadata:
+        base["inference"] = metadata["inference"]
+    base.update(overrides)
+    return base
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request plumbing; all logic lives on the app."""
+
+    protocol_version = "HTTP/1.1"
+    server: "_Server"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, *args: Any) -> None:
+        pass  # requests are counted in metrics, not printed to stderr
+
+    def _send(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, error: ProtocolError) -> None:
+        self._send(error.status, error.to_json())
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(
+                CODE_BAD_REQUEST, f"request body is not valid JSON: {error}") from error
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # http.server handler API
+        app = self.server.app
+        app.metrics.count("service.requests")
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/v1/healthz":
+                self._send(200, app.health())
+            elif path == "/v1/metricz":
+                self._send(200, app.metricz())
+            elif path.startswith("/v1/jobs/") and path.endswith("/result"):
+                job_id = path[len("/v1/jobs/"):-len("/result")]
+                self._send(200, app.job_result(job_id))
+            elif path.startswith("/v1/jobs/"):
+                self._send(200, app.job_status(path[len("/v1/jobs/"):]))
+            else:
+                raise ProtocolError(CODE_BAD_REQUEST, f"no route for GET {path}")
+        except ProtocolError as error:
+            self._send_error(error)
+        except Exception as error:  # one 500 body, never a traceback
+            self._send_error(ProtocolError(CODE_INTERNAL, str(error)))
+
+    def do_POST(self) -> None:  # http.server handler API
+        app = self.server.app
+        app.metrics.count("service.requests")
+        try:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            if path == "/v1/jobs":
+                self._send(202, app.submit(self._read_json()))
+            elif path.startswith("/v1/jobs/") and path.endswith("/cancel"):
+                job_id = path[len("/v1/jobs/"):-len("/cancel")]
+                self._send(200, app.cancel(job_id))
+            else:
+                raise ProtocolError(CODE_BAD_REQUEST, f"no route for POST {path}")
+        except ProtocolError as error:
+            self._send_error(error)
+        except Exception as error:
+            self._send_error(ProtocolError(CODE_INTERNAL, str(error)))
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    app: "ServiceApp"
+
+
+class ServiceApp:
+    """The sweep service: HTTP front end + job store + worker threads."""
+
+    def __init__(self, root: str | Path, *, host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 1,
+                 traces: Mapping[str, str | Path] | None = None,
+                 cache_root: str | Path | None = None,
+                 allow_uploads: bool = True,
+                 poll_interval: float = 0.05) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = JobStore(self.root)
+        spool = (self.root / "bundles") if allow_uploads else None
+        if spool is not None:
+            spool.mkdir(parents=True, exist_ok=True)
+        self.registry = TraceRegistry(spool_dir=spool)
+        for name, path in (traces or {}).items():
+            self.registry.register(name, path)
+        self.cache_root = str(cache_root if cache_root is not None
+                              else self.root / "sweep-cache")
+        self.metrics = ServiceMetrics()
+        self.worker_count = max(0, int(workers))
+        self.poll_interval = poll_interval
+        self._server = _Server((host, port), _Handler)
+        self._server.app = self
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.workers: list[Worker] = [
+            Worker(self.store, self.registry, self.cache_root,
+                   metrics=self.metrics, worker_id=f"worker-{index}",
+                   poll_interval=poll_interval)
+            for index in range(self.worker_count)]
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — port 0 resolves at construction."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- request handling (shared by the HTTP layer and tests) ---------------
+
+    def submit(self, payload: Any) -> dict[str, Any]:
+        """Admit one ``POST /v1/jobs`` body; returns the response body."""
+        request = SubmitRequest.parse(payload)
+        with observability.trace_span("service.admit", stage="admit",
+                                      kind=request.kind):
+            if request.bundle is not None:
+                trace_name = self.registry.store_inline(request.bundle)
+            else:
+                trace_name = request.trace
+            bundle, bundle_hash = self.registry.resolve(trace_name)
+            try:
+                job_payload = self._job_payload(request, bundle.metadata)
+            except (StudyError, ValueError) as error:
+                raise error_for_exception(error) from error
+            job_id = job_id_for(bundle_hash, request.kind, job_payload)
+            record = JobRecord(job_id=job_id, kind=request.kind,
+                               trace=trace_name, bundle_hash=bundle_hash,
+                               payload=job_payload)
+            record, deduped = self.store.submit(record, reuse=request.reuse)
+        self.metrics.count("service.jobs.submitted")
+        if deduped:
+            self.metrics.count("service.jobs.deduped")
+        self.metrics.gauge("service.queue_depth", self.store.queue_depth())
+        return {"job": record.public_json(), "deduped": deduped}
+
+    def _job_payload(self, request: SubmitRequest,
+                     metadata: Mapping[str, Any]) -> dict[str, Any]:
+        """Canonicalize and validate the job payload at admission.
+
+        Validation runs here so malformed specs and unsupported targets
+        refuse with a 4xx at submit time instead of failing the job later
+        — the job id then hashes a *canonical* payload, which is what
+        makes dedupe robust to equivalent spellings.
+        """
+        base = base_from_metadata(metadata, request.base)
+        if request.kind == "predict":
+            # Parsing canonicalises the target label (and refuses
+            # malformed ones with the PredictError → 4xx mapping).
+            target = parse_target(request.target)
+            payload: dict[str, Any] = {"base": base,
+                                       "target": f"{target.kind}:{target.label}"}
+            if request.slo_ms is not None:
+                payload["slo_ms"] = request.slo_ms
+            return payload
+        if request.spec is not None:
+            spec_json = dict(request.spec)
+            spec_json["base"] = {**base, **dict(spec_json.get("base") or {})}
+            spec = SweepSpec.from_json(spec_json)
+        else:
+            spec = self._spec_from_axes(request, base)
+        spec.validate()
+        return {"base": spec.base_json(), "spec": spec.to_json()}
+
+    def _spec_from_axes(self, request: SubmitRequest,
+                        base: Mapping[str, Any]) -> SweepSpec:
+        parallelism: list[str] = []
+        models: list[str] = []
+        serving: list[str] = []
+        for text in request.targets:
+            resolved = parse_target(text)
+            if resolved.kind == KIND_PARALLELISM:
+                parallelism.append(resolved.label)
+            elif resolved.kind == KIND_SERVING:
+                serving.append(resolved.label)
+            else:
+                models.append(resolved.label)
+        payload: dict[str, Any] = {
+            "base": dict(base),
+            "parallelism": parallelism,
+            "models": models,
+            "whatif": [],
+            "serving": serving,
+        }
+        if request.slo_ms is not None:
+            payload["base"]["slo_ms"] = request.slo_ms
+        spec = SweepSpec.from_json(payload)
+        if request.whatif:
+            spec = replace(spec, whatif=tuple(
+                WhatIfSpec.parse(text) for text in request.whatif))
+        return spec
+
+    def job_status(self, job_id: str) -> dict[str, Any]:
+        record = self.store.get(job_id)
+        if record is None:
+            raise ProtocolError(CODE_UNKNOWN_JOB, f"no job {job_id!r}")
+        return {"job": record.public_json()}
+
+    def job_result(self, job_id: str) -> dict[str, Any]:
+        record = self.store.get(job_id)
+        if record is None:
+            raise ProtocolError(CODE_UNKNOWN_JOB, f"no job {job_id!r}")
+        if record.state == STATE_FAILED:
+            error = record.error or {}
+            raise ProtocolError(
+                CODE_JOB_FAILED,
+                f"job {job_id} failed "
+                f"[{error.get('code', 'unknown')}]: {error.get('message', '')}")
+        if record.state != STATE_DONE or record.result is None:
+            raise ProtocolError(
+                CODE_JOB_NOT_DONE, f"job {job_id} is {record.state}")
+        return {"job": record.public_json(), "result": record.result}
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        record = self.store.cancel(job_id)
+        self.metrics.count("service.jobs.cancelled")
+        self.metrics.gauge("service.queue_depth", self.store.queue_depth())
+        return {"job": record.public_json()}
+
+    def health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "protocol": PROTOCOL_VERSION,
+            "queue_depth": self.store.queue_depth(),
+            "workers": self.worker_count,
+            "traces": self.registry.names(),
+        }
+
+    def metricz(self) -> dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        snapshot["gauges"]["service.queue_depth"] = float(self.store.queue_depth())
+        return snapshot
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServiceApp":
+        """Run the HTTP server and worker threads in the background."""
+        server_thread = threading.Thread(
+            target=self._server.serve_forever, name="service-http", daemon=True)
+        server_thread.start()
+        self._threads = [server_thread]
+        for worker in self.workers:
+            thread = threading.Thread(target=worker.run_forever,
+                                      args=(self._stop,),
+                                      name=worker.worker_id, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain: stop accepting, finish running jobs, join."""
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        for thread in self._threads[1:]:
+            thread.join(timeout=timeout)
+        if self._threads:
+            self._threads[0].join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self) -> "ServiceApp":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    def serve_forever(self, install_signals: bool = True) -> int:
+        """The blocking CLI loop: serve until SIGTERM/SIGINT, then drain."""
+        if install_signals:
+            def _drain(signum: int, frame: Any) -> None:
+                # shutdown() blocks until serve_forever returns, so it
+                # must run off the signal-handling (main) thread.
+                threading.Thread(target=self._server.shutdown,
+                                 daemon=True).start()
+
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        for worker in self.workers:
+            thread = threading.Thread(target=worker.run_forever,
+                                      args=(self._stop,),
+                                      name=worker.worker_id, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        try:
+            self._server.serve_forever()
+        finally:
+            self._stop.set()
+            for thread in self._threads:
+                thread.join(timeout=30.0)
+            self._threads = []
+            self._server.server_close()
+        return 0

@@ -1,0 +1,196 @@
+"""Queue-polling workers that evaluate service jobs.
+
+A :class:`Worker` drains the :class:`~repro.service.jobs.JobStore`:
+claim the oldest queued job, rebuild its :class:`~repro.api.Study`, run
+the sweep (or single prediction) with the *shared* on-disk
+:class:`~repro.sweep.cache.SweepCache`, and write the result payload
+plus the job's own :class:`~repro.sweep.cache.CacheStats` back to the
+job record.  Studies are memoized per (bundle hash, base configuration):
+the first job against a bundle pays for replay and calibration, every
+later job against the same bundle reuses them — and because the sweep
+cache is content-addressed and shared across workers and users, popular
+scenario grids are answered entirely from cache (a warm identical
+resubmission reports ``cache_hit_rate == 1.0``).
+
+Library errors become typed job failures through
+:func:`~repro.service.protocol.error_for_exception` — an invalid spec or
+an unsupported target fails *that job* with a stable code; the worker
+itself never dies on a bad submission.
+
+Observability follows the ``stage`` span convention
+(:func:`~repro.observability.tracing.trace_span`): each processed job
+records a ``service.queue_wait`` span (via
+:func:`~repro.observability.tracing.record_span` — the wait elapsed
+before the worker could open a span) and a ``service.run`` span, plus
+queue-wait / job-latency / cache-hit-rate histograms on the service's
+own always-on :class:`ServiceMetrics` registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.api.study import Study
+from repro.observability import tracing as observability
+from repro.observability.metrics import MetricsRegistry
+from repro.service.jobs import JobRecord, JobStore, TraceRegistry
+from repro.service.protocol import (
+    cache_stats_json,
+    error_for_exception,
+    predict_result_payload,
+    sweep_result_payload,
+)
+from repro.sweep.cache import SweepCache
+from repro.sweep.hashing import hash_json
+from repro.sweep.runner import run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+class ServiceMetrics:
+    """Always-on, thread-safe metrics for the service.
+
+    The observability registry is deliberately lock-free (it records
+    inside one profiled run); the service updates its own registry under
+    a lock — many handler and worker threads write concurrently — and
+    mirrors every update into the profile-gated tracing module, so a
+    ``repro-lumos serve --profile`` run reports the same numbers
+    ``GET /v1/metricz`` serves.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._busy = 0
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        with self._lock:
+            self.registry.count(name, n)
+        observability.count(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.registry.gauge(name, value)
+        observability.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self.registry.observe(name, value)
+        observability.observe(name, value)
+
+    def worker_busy(self, delta: int) -> None:
+        """Track the busy-worker gauge as a count (N workers, one gauge)."""
+        with self._lock:
+            self._busy += delta
+            self.registry.gauge("service.busy_workers", self._busy)
+            busy = self._busy
+        observability.gauge("service.busy_workers", busy)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return self.registry.snapshot()
+
+
+class Worker:
+    """One queue-draining evaluation loop (thread- or process-hosted)."""
+
+    def __init__(self, store: JobStore, registry: TraceRegistry,
+                 cache_root: str, *, metrics: ServiceMetrics | None = None,
+                 worker_id: str = "worker-0",
+                 poll_interval: float = 0.05) -> None:
+        self.store = store
+        self.registry = registry
+        self.cache_root = cache_root
+        self.metrics = metrics or ServiceMetrics()
+        self.worker_id = worker_id
+        self.poll_interval = poll_interval
+        self.jobs_processed = 0
+        self._studies: dict[tuple[str, str], Study] = {}
+
+    # -- study memoization ---------------------------------------------------
+
+    def _study_for(self, record: JobRecord) -> Study:
+        """The memoized study of one (bundle hash, base configuration)."""
+        base = record.payload.get("base")
+        if base is None:
+            base = (record.payload.get("spec") or {}).get("base") or {}
+        key = (record.bundle_hash, hash_json(base)[:16])
+        study = self._studies.get(key)
+        if study is None:
+            bundle, _ = self.registry.resolve(record.trace)
+            spec = SweepSpec.from_json({"base": base})
+            study = Study.from_trace(bundle, model=spec.base_model,
+                                     parallelism=spec.base_parallelism,
+                                     training=spec.training(),
+                                     inference=spec.inference)
+            self._studies[key] = study
+        return study
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _evaluate(self, record: JobRecord) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Run one claimed job; returns (result payload, cache stats)."""
+        study = self._study_for(record)
+        # A fresh cache handle per job keeps hit/miss counters per-job
+        # while the entries themselves live in the shared on-disk root.
+        cache = SweepCache(self.cache_root)
+        if record.kind == "predict":
+            prediction = study.predict(record.payload["target"])
+            result = predict_result_payload(
+                prediction, slo_ms=record.payload.get("slo_ms"))
+        else:
+            spec = SweepSpec.from_json(record.payload["spec"])
+            swept = run_sweep(study.trace, spec, workers=1, cache=cache,
+                              study=study)
+            result = sweep_result_payload(swept)
+        return result, cache_stats_json(cache.stats)
+
+    def run_once(self) -> bool:
+        """Claim and process one job; False when the queue was empty."""
+        record = self.store.claim_next(self.worker_id)
+        if record is None:
+            return False
+        claimed = time.time()
+        wait_ms = max(0.0, (claimed - record.submitted_unix) * 1000.0)
+        observability.record_span(
+            "service.queue_wait", start_unix=record.submitted_unix,
+            end_unix=claimed, stage="queue_wait", job=record.job_id)
+        self.metrics.observe("service.queue_wait_ms", wait_ms)
+        self.metrics.gauge("service.queue_depth", self.store.queue_depth())
+        try:
+            with observability.trace_span("service.run", stage="run",
+                                          job=record.job_id, kind=record.kind,
+                                          trace=record.trace):
+                result, cache = self._evaluate(record)
+        except Exception as error:  # every failure becomes a typed record
+            refusal = error_for_exception(error)
+            self.store.mark_failed(record, refusal.to_json()["error"])
+            self.metrics.count("service.jobs.failed")
+        else:
+            self.store.mark_done(record, result, cache)
+            self.metrics.count("service.jobs.completed")
+            self.metrics.observe("service.cache_hit_rate", cache["hit_rate"])
+        finally:
+            # Release per-target sessions after every job so a long-lived
+            # worker's memory is bounded by the calibrated cores, not by
+            # every scenario grid it ever evaluated.
+            for study in self._studies.values():
+                study.release()
+            self.jobs_processed += 1
+            self.metrics.observe(
+                "service.job_latency_ms",
+                max(0.0, (time.time() - record.submitted_unix) * 1000.0))
+        return True
+
+    def run_forever(self, stop: threading.Event) -> None:
+        """Drain the queue until ``stop`` is set (the serve loop's body)."""
+        while not stop.is_set():
+            self.metrics.worker_busy(+1)
+            busy = True
+            try:
+                busy = self.run_once()
+            finally:
+                self.metrics.worker_busy(-1)
+            if not busy:
+                stop.wait(self.poll_interval)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import gc
 import json
 import threading
+import time
 
 import pytest
 
@@ -154,6 +155,35 @@ class TestSpanRecording:
         assert stages["stage.a"]["total_us"] >= stages["stage.a"]["max_us"]
         assert stages["stage.a"]["mean_us"] == pytest.approx(
             stages["stage.a"]["total_us"] / 3)
+
+
+class TestRecordSpan:
+    def test_wall_clock_interval_maps_onto_the_profile(self):
+        with profile() as prof:
+            start = time.time()
+            time.sleep(0.02)
+            tracing.record_span("service.queue_wait", start_unix=start,
+                                end_unix=time.time(), stage="queue_wait",
+                                job="j1")
+        span = prof.spans[0]
+        assert span.name == "service.queue_wait"
+        assert span.attrs == {"stage": "queue_wait", "job": "j1"}
+        assert span.start_us >= 0.0
+        assert span.duration_us >= 15_000
+        assert span.depth == 0
+        assert span.parent == -1
+
+    def test_intervals_clamp_to_the_profile_start(self):
+        # A wait that began before profiling did still renders, clamped.
+        with profile() as prof:
+            tracing.record_span("early", start_unix=1.0, end_unix=0.5)
+        span = prof.spans[0]
+        assert span.start_us == 0.0
+        assert span.duration_us == 0.0
+
+    def test_noop_without_an_active_profile(self):
+        tracing.record_span("ignored", start_unix=0.0, end_unix=1.0)
+        assert not tracing_enabled()
 
 
 class TestProfileLifecycle:

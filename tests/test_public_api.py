@@ -10,6 +10,7 @@ the same commit.
 import repro
 import repro.api
 import repro.observability
+import repro.service
 import repro.sweep
 
 REPRO_ALL = [
@@ -65,6 +66,7 @@ REPRO_OBSERVABILITY_ALL = [
     "observe",
     "pipeline_profile_json",
     "profile",
+    "record_span",
     "report",
     "serving_request_events",
     "start_profiling",
@@ -73,6 +75,27 @@ REPRO_OBSERVABILITY_ALL = [
     "trace_span",
     "tracing_enabled",
     "validate_chrome_trace",
+]
+
+REPRO_SERVICE_ALL = [
+    "JobRecord",
+    "JobStore",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "SubmitRequest",
+    "TraceRegistry",
+    "Worker",
+    "bundle_from_json",
+    "bundle_to_json",
+    "error_for_exception",
+    "job_id_for",
+    "predict_result_payload",
+    "sweep_result_payload",
+    "validate_result_payload",
 ]
 
 REPRO_SWEEP_ALL = [
@@ -109,10 +132,14 @@ class TestSurfaceSnapshots:
     def test_repro_observability_all(self):
         assert sorted(repro.observability.__all__) == REPRO_OBSERVABILITY_ALL
 
+    def test_repro_service_all(self):
+        assert sorted(repro.service.__all__) == REPRO_SERVICE_ALL
+
 
 class TestSurfaceResolves:
     def test_every_exported_name_exists(self):
-        for module in (repro, repro.api, repro.sweep, repro.observability):
+        for module in (repro, repro.api, repro.sweep, repro.observability,
+                       repro.service):
             for name in module.__all__:
                 assert getattr(module, name) is not None, f"{module.__name__}.{name}"
 

@@ -1,0 +1,775 @@
+"""Tests for the sweep service: protocol, job store, workers, HTTP API.
+
+The acceptance-critical end-to-end property lives here: two concurrent
+clients submitting the identical (bundle, spec) pair dedupe to one job
+and one evaluation, both read identical ranked results, and an identical
+resubmission after completion is served entirely from the shared on-disk
+sweep cache (``cache_hit_rate == 1.0``).  Every refusal surfaces as a
+typed error with a stable machine-readable code, never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.emulator.api import emulate
+from repro.service import (
+    PROTOCOL_VERSION,
+    JobRecord,
+    JobStore,
+    ProtocolError,
+    ServiceApp,
+    ServiceClient,
+    ServiceError,
+    SubmitRequest,
+    TraceRegistry,
+    Worker,
+    bundle_from_json,
+    bundle_to_json,
+    error_for_exception,
+    job_id_for,
+    validate_result_payload,
+)
+from repro.service.jobs import (
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+)
+from repro.service.protocol import (
+    CODE_BAD_REQUEST,
+    CODE_INTERNAL,
+    CODE_INVALID_SPEC,
+    CODE_JOB_FAILED,
+    CODE_JOB_NOT_DONE,
+    CODE_JOB_STATE,
+    CODE_STUDY_ERROR,
+    CODE_UNKNOWN_JOB,
+    CODE_UNKNOWN_TRACE,
+    CODE_UNSUPPORTED_TARGET,
+    CODE_UNSUPPORTED_VERSION,
+)
+from repro.api.errors import PredictError, StudyError
+from repro.sweep.hashing import hash_trace_bundle
+from repro.sweep.spec import SweepSpecError
+from repro.workload.inference import InferenceConfig
+from repro.workload.model_config import gpt3_model
+from repro.workload.parallelism import ParallelismConfig
+
+
+@pytest.fixture(scope="module")
+def serving_trace_dir(tmp_path_factory):
+    """One tiny saved gpt3-15b serving bundle every service test reuses."""
+    bundle = emulate(
+        gpt3_model("gpt3-15b"), ParallelismConfig.parse("2x1x1"),
+        inference=InferenceConfig(batch_size=2, prompt_length=64, decode_length=8),
+        iterations=1, seed=7).profiled
+    directory = tmp_path_factory.mktemp("service-traces") / "serving"
+    bundle.save(directory)
+    return directory
+
+
+@pytest.fixture
+def manual_app(serving_trace_dir, tmp_path):
+    """A running HTTP front end with NO workers: tests drain the queue."""
+    with ServiceApp(tmp_path / "svc", workers=0,
+                    traces={"canned": serving_trace_dir}) as app:
+        yield app
+
+
+def _drain(app: ServiceApp, jobs: int = 1) -> Worker:
+    """Process ``jobs`` queued jobs with one manually driven worker."""
+    worker = Worker(app.store, app.registry, app.cache_root, metrics=app.metrics)
+    for _ in range(jobs):
+        assert worker.run_once()
+    return worker
+
+
+SWEEP_BODY = {"kind": "sweep", "trace": "canned",
+              "targets": ["serving:batch=4"], "whatif": ["gemm:2"]}
+
+
+class TestSubmitRequest:
+    def _parse_error(self, payload) -> ProtocolError:
+        with pytest.raises(ProtocolError) as excinfo:
+            SubmitRequest.parse(payload)
+        return excinfo.value
+
+    def test_parses_a_full_sweep_body(self):
+        request = SubmitRequest.parse({
+            "version": 1, "kind": "sweep", "trace": "canned",
+            "targets": ["2x2x8"], "whatif": ["gemm:2"], "slo_ms": 250,
+            "base": {"micro_batch_size": 1}, "reuse": True})
+        assert request.kind == "sweep"
+        assert request.targets == ("2x2x8",)
+        assert request.slo_ms == 250.0
+        assert request.reuse is True
+
+    def test_rejects_non_object_body(self):
+        assert self._parse_error([1, 2]).code == CODE_BAD_REQUEST
+
+    def test_rejects_wrong_version(self):
+        error = self._parse_error({"version": 99, "kind": "sweep", "trace": "t",
+                                   "targets": ["2x2x8"]})
+        assert error.code == CODE_UNSUPPORTED_VERSION
+        assert error.status == 400
+
+    def test_rejects_unknown_kind(self):
+        error = self._parse_error({"version": 1, "kind": "train", "trace": "t"})
+        assert error.code == CODE_BAD_REQUEST
+
+    def test_requires_exactly_one_trace_source(self):
+        neither = self._parse_error({"version": 1, "kind": "sweep",
+                                     "targets": ["2x2x8"]})
+        both = self._parse_error({"version": 1, "kind": "sweep", "trace": "t",
+                                  "bundle": {}, "targets": ["2x2x8"]})
+        assert neither.code == CODE_BAD_REQUEST
+        assert both.code == CODE_BAD_REQUEST
+
+    def test_predict_requires_target(self):
+        error = self._parse_error({"version": 1, "kind": "predict", "trace": "t"})
+        assert error.code == CODE_BAD_REQUEST
+        assert "target" in error.message
+
+    def test_sweep_requires_some_axis(self):
+        error = self._parse_error({"version": 1, "kind": "sweep", "trace": "t"})
+        assert "spec" in error.message
+
+    def test_rejects_non_string_targets(self):
+        error = self._parse_error({"version": 1, "kind": "sweep", "trace": "t",
+                                   "targets": [1]})
+        assert error.code == CODE_BAD_REQUEST
+
+    def test_rejects_non_numeric_slo(self):
+        error = self._parse_error({"version": 1, "kind": "sweep", "trace": "t",
+                                   "targets": ["2x2x8"], "slo_ms": "fast"})
+        assert error.code == CODE_BAD_REQUEST
+
+
+class TestErrorMapping:
+    def test_library_errors_map_to_stable_codes(self):
+        assert error_for_exception(SweepSpecError("x")).code == CODE_INVALID_SPEC
+        assert error_for_exception(PredictError("x")).code == CODE_UNSUPPORTED_TARGET
+        assert error_for_exception(StudyError("x")).code == CODE_STUDY_ERROR
+        assert error_for_exception(RuntimeError("x")).code == CODE_INTERNAL
+
+    def test_protocol_errors_pass_through(self):
+        original = ProtocolError(CODE_UNKNOWN_TRACE, "gone")
+        assert error_for_exception(original) is original
+
+    def test_status_codes_are_4xx_for_refusals(self):
+        assert ProtocolError(CODE_INVALID_SPEC, "x").status == 400
+        assert ProtocolError(CODE_UNKNOWN_JOB, "x").status == 404
+        assert ProtocolError(CODE_JOB_NOT_DONE, "x").status == 409
+        assert ProtocolError(CODE_INTERNAL, "x").status == 500
+        assert ProtocolError("never-seen", "x").status == 500
+
+    def test_wire_body_shape(self):
+        body = ProtocolError(CODE_INVALID_SPEC, "broken").to_json()
+        assert body == {"error": {"code": "invalid-spec", "message": "broken"}}
+
+
+class TestBundleTransport:
+    def test_roundtrip_preserves_hash(self, serving_trace_dir):
+        from repro.trace.kineto import TraceBundle
+        bundle = TraceBundle.load(serving_trace_dir)
+        rebuilt = bundle_from_json(bundle_to_json(bundle))
+        assert hash_trace_bundle(rebuilt) == hash_trace_bundle(bundle)
+        assert rebuilt.metadata == bundle.metadata
+
+    def test_malformed_upload_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            bundle_from_json({"metadata": {}, "traces": {}})
+        assert excinfo.value.code == CODE_BAD_REQUEST
+        with pytest.raises(ProtocolError):
+            bundle_from_json({"traces": {"0": "not-a-trace"}})
+
+
+class TestResultValidation:
+    def _sweep_row(self) -> dict:
+        return {"label": "base", "kind": "baseline", "target": "base",
+                "whatif": None, "world_size": 2, "iteration_time_us": 1.0,
+                "base_time_us": 1.0, "affected_tasks": 0, "from_cache": False}
+
+    def _sweep_payload(self) -> dict:
+        row = self._sweep_row()
+        return {"schema": 1, "kind": "sweep", "workload": "serving",
+                "base_time_us": 1.0, "elapsed_seconds": 0.1, "workers": 1,
+                "cache": {"hits": 0, "misses": 1, "lookups": 1, "hit_rate": 0.0},
+                "scenarios": [row], "ranked": [row], "pareto": [row]}
+
+    def test_accepts_a_wellformed_sweep_result(self):
+        assert validate_result_payload(self._sweep_payload())["kind"] == "sweep"
+
+    def test_rejects_wrong_schema_and_kind(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_result_payload({"schema": 99, "kind": "sweep"})
+        with pytest.raises(ValueError, match="kind"):
+            validate_result_payload({"schema": 1, "kind": "mystery"})
+
+    def test_rejects_missing_cache_block(self):
+        payload = self._sweep_payload()
+        del payload["cache"]
+        with pytest.raises(ValueError, match="cache"):
+            validate_result_payload(payload)
+
+    def test_rejects_missing_columns(self):
+        payload = self._sweep_payload()
+        del payload["ranked"][0]["from_cache"]
+        with pytest.raises(ValueError, match="from_cache"):
+            validate_result_payload(payload)
+
+    def test_rejects_ranked_not_permuting_scenarios(self):
+        payload = self._sweep_payload()
+        payload["ranked"] = []
+        with pytest.raises(ValueError, match="permute"):
+            validate_result_payload(payload)
+
+    def test_predict_result_columns(self):
+        payload = {"schema": 1, "kind": "predict", "label": "batch=4",
+                   "target": {"kind": "serving", "label": "batch=4"},
+                   "world_size": 2, "iteration_time_us": 1.0,
+                   "base_time_us": 2.0, "speedup_vs_base": 2.0, "serving": None}
+        assert validate_result_payload(payload)["kind"] == "predict"
+        del payload["speedup_vs_base"]
+        with pytest.raises(ValueError, match="speedup_vs_base"):
+            validate_result_payload(payload)
+
+
+def _record(job_id: str = "j" * 32, payload: dict | None = None,
+            submitted_unix: float = 0.0) -> JobRecord:
+    return JobRecord(job_id=job_id, kind="sweep", trace="canned",
+                     bundle_hash="b" * 64, payload=payload or {"x": 1},
+                     submitted_unix=submitted_unix)
+
+
+class TestJobStore:
+    def test_job_ids_are_deterministic_content_hashes(self):
+        one = job_id_for("b" * 64, "sweep", {"spec": {"a": 1, "b": 2}})
+        two = job_id_for("b" * 64, "sweep", {"spec": {"b": 2, "a": 1}})
+        assert one == two
+        assert len(one) == 32
+        assert job_id_for("c" * 64, "sweep", {"spec": {"a": 1, "b": 2}}) != one
+
+    def test_submit_then_get_roundtrips(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, deduped = store.submit(_record())
+        assert not deduped
+        assert record.state == STATE_QUEUED
+        assert record.submitted_unix > 0
+        assert store.get(record.job_id).to_json() == record.to_json()
+
+    def test_identical_queued_submission_dedupes(self, tmp_path):
+        store = JobStore(tmp_path)
+        first, _ = store.submit(_record())
+        second, deduped = store.submit(_record())
+        assert deduped
+        assert second.job_id == first.job_id
+        assert store.queue_depth() == 1
+
+    def test_terminal_resubmission_reenqueues_with_attempts(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+        running = store.claim_next("w")
+        store.mark_done(running, {"ok": True}, {"hit_rate": 1.0})
+        again, deduped = store.submit(_record())
+        assert not deduped
+        assert again.state == STATE_QUEUED
+        assert again.attempts == 2
+
+    def test_terminal_resubmission_with_reuse_returns_done_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+        store.mark_done(store.claim_next("w"), {"ok": True})
+        reused, deduped = store.submit(_record(), reuse=True)
+        assert deduped
+        assert reused.state == STATE_DONE
+        assert reused.result == {"ok": True}
+
+    def test_claim_is_fifo_by_submission_time(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(_record("a" * 32, submitted_unix=200.0))
+        store.submit(_record("b" * 32, submitted_unix=100.0))
+        claimed = store.claim_next("w")
+        assert claimed.job_id == "b" * 32
+        assert claimed.state == STATE_RUNNING
+        assert claimed.worker == "w"
+
+    def test_excl_claim_file_blocks_double_claims(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+        (store.claims_dir / f"{record.job_id}.claim").write_text("other")
+        assert store.claim_next("w") is None
+
+    def test_two_stores_on_one_root_claim_each_job_once(self, tmp_path):
+        alpha, beta = JobStore(tmp_path), JobStore(tmp_path)
+        alpha.submit(_record("a" * 32, submitted_unix=1.0))
+        alpha.submit(_record("b" * 32, submitted_unix=2.0))
+        claims = [alpha.claim_next("alpha"), beta.claim_next("beta"),
+                  beta.claim_next("beta")]
+        ids = [record.job_id for record in claims if record is not None]
+        assert sorted(ids) == ["a" * 32, "b" * 32]
+
+    def test_mark_failed_persists_typed_error(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(_record())
+        failed = store.mark_failed(store.claim_next("w"),
+                                   {"code": "invalid-spec", "message": "no"})
+        assert failed.state == STATE_FAILED
+        reloaded = JobStore(tmp_path).get(failed.job_id)
+        assert reloaded.error["code"] == "invalid-spec"
+
+    def test_done_job_visible_to_a_fresh_store(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(_record())
+        store.mark_done(store.claim_next("w"), {"ok": 1})
+        fresh = JobStore(tmp_path)
+        assert fresh.get("j" * 32).state == STATE_DONE
+        assert fresh.queue_depth() == 0
+
+    def test_cancel_only_queued_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+        assert store.cancel(record.job_id).state == STATE_CANCELLED
+        with pytest.raises(ProtocolError) as excinfo:
+            store.cancel(record.job_id)
+        assert excinfo.value.code == CODE_JOB_STATE
+        with pytest.raises(ProtocolError) as excinfo:
+            store.cancel("f" * 32)
+        assert excinfo.value.code == CODE_UNKNOWN_JOB
+
+    def test_foreign_files_in_jobs_dir_are_ignored(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit(_record())
+        (store.jobs_dir / "junk.json").write_text("{torn", encoding="utf-8")
+        (store.jobs_dir / "old.json").write_text('{"schema": 99}', encoding="utf-8")
+        store.refresh()
+        assert [r.job_id for r in store.jobs()] == ["j" * 32]
+
+
+class TestTraceRegistry:
+    def test_resolve_memoizes_bundle_and_hash(self, serving_trace_dir):
+        registry = TraceRegistry()
+        registry.register("canned", serving_trace_dir)
+        bundle, bundle_hash = registry.resolve("canned")
+        assert registry.resolve("canned")[0] is bundle
+        assert bundle_hash == hash_trace_bundle(bundle)
+        assert registry.names() == ["canned"]
+
+    def test_unknown_name_is_typed(self):
+        registry = TraceRegistry()
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.resolve("nope")
+        assert excinfo.value.code == CODE_UNKNOWN_TRACE
+        assert excinfo.value.status == 404
+
+    def test_unloadable_path_is_typed(self, tmp_path):
+        registry = TraceRegistry()
+        registry.register("empty", tmp_path / "missing")
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.resolve("empty")
+        assert excinfo.value.code == CODE_UNKNOWN_TRACE
+
+    def test_inline_upload_spools_under_content_hash(self, serving_trace_dir,
+                                                     tmp_path):
+        from repro.trace.kineto import TraceBundle
+        bundle = TraceBundle.load(serving_trace_dir)
+        registry = TraceRegistry(spool_dir=tmp_path / "spool")
+        (tmp_path / "spool").mkdir()
+        name = registry.store_inline(bundle_to_json(bundle))
+        assert name.startswith("upload-")
+        resolved, resolved_hash = registry.resolve(name)
+        assert resolved_hash == hash_trace_bundle(bundle)
+        # Re-uploading the identical bundle reuses the spooled copy.
+        assert registry.store_inline(bundle_to_json(bundle)) == name
+
+    def test_uploads_refused_without_spool(self, serving_trace_dir):
+        from repro.trace.kineto import TraceBundle
+        bundle = TraceBundle.load(serving_trace_dir)
+        registry = TraceRegistry(spool_dir=None)
+        with pytest.raises(ProtocolError) as excinfo:
+            registry.store_inline(bundle_to_json(bundle))
+        assert excinfo.value.code == CODE_BAD_REQUEST
+
+
+class TestServiceEndToEnd:
+    def test_concurrent_identical_submissions_evaluate_once(self, manual_app):
+        """The acceptance path: dedupe, one evaluation, shared warm cache."""
+        app = manual_app
+        responses = []
+        lock = threading.Lock()
+
+        def submit() -> None:
+            response = ServiceClient(app.url).submit(SWEEP_BODY)
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Both clients were admitted to the same job; exactly one queued it.
+        job_ids = {response["job"]["job_id"] for response in responses}
+        assert len(job_ids) == 1
+        assert sorted(r["deduped"] for r in responses) == [False, True]
+        assert app.store.queue_depth() == 1
+
+        worker = _drain(app)
+        assert worker.jobs_processed == 1
+
+        job_id = job_ids.pop()
+        client = ServiceClient(app.url)
+        first = client.result(job_id)
+        second = client.result(job_id)
+        assert first == second
+        result = validate_result_payload(first["result"])
+        assert result["cache"]["hit_rate"] == 0.0
+        assert [row["label"] for row in result["ranked"]]
+
+        # An identical resubmission after completion re-enqueues and is
+        # answered entirely from the shared on-disk cache.
+        rerun = client.submit(SWEEP_BODY)
+        assert rerun["job"]["job_id"] == job_id
+        assert not rerun["deduped"]
+        _drain(app)
+        warm = validate_result_payload(client.result(job_id)["result"])
+        assert warm["cache"]["hit_rate"] == 1.0
+        assert all(row["from_cache"] for row in warm["scenarios"])
+        assert [row["label"] for row in warm["ranked"]] == \
+            [row["label"] for row in result["ranked"]]
+
+        # reuse=True short-circuits to the finished record without a rerun.
+        reused = client.submit(dict(SWEEP_BODY, reuse=True))
+        assert reused["deduped"]
+        assert reused["job"]["state"] == STATE_DONE
+
+    def test_equivalent_spellings_dedupe_to_one_job(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        explicit = client.submit({"kind": "sweep", "trace": "canned",
+                                  "targets": ["serving:batch=4"]})
+        detected = client.submit({"kind": "sweep", "trace": "canned",
+                                  "targets": ["batch=4"]})
+        assert detected["job"]["job_id"] == explicit["job"]["job_id"]
+        assert detected["deduped"]
+
+    def test_live_workers_complete_a_predict_job(self, serving_trace_dir, tmp_path):
+        with ServiceApp(tmp_path / "svc", workers=1,
+                        traces={"canned": serving_trace_dir}) as app:
+            client = ServiceClient(app.url)
+            submitted = client.submit({"kind": "predict", "trace": "canned",
+                                       "target": "batch=4", "slo_ms": 500})
+            job = client.wait(submitted["job"]["job_id"], timeout=120.0)
+            assert job["state"] == STATE_DONE
+            result = validate_result_payload(
+                client.result(job["job_id"])["result"])
+            assert result["target"] == {"kind": "serving", "label": "batch=4"}
+            # A fixed-batch serving episode has no continuous-batching
+            # stream, so the per-request block is explicitly null.
+            assert "serving" in result
+            assert result["iteration_time_us"] > 0
+
+    def test_inline_bundle_upload_runs_like_a_named_trace(self, serving_trace_dir,
+                                                          manual_app):
+        from repro.trace.kineto import TraceBundle
+        bundle = TraceBundle.load(serving_trace_dir)
+        client = ServiceClient(manual_app.url)
+        submitted = client.submit({"kind": "sweep",
+                                   "bundle": bundle_to_json(bundle),
+                                   "targets": ["batch=4"]})
+        assert submitted["job"]["trace"].startswith("upload-")
+        _drain(manual_app)
+        result = client.result(submitted["job"]["job_id"])["result"]
+        assert validate_result_payload(result)["kind"] == "sweep"
+
+    def test_cancel_and_status_lifecycle(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        submitted = client.submit(SWEEP_BODY)
+        job_id = submitted["job"]["job_id"]
+        assert client.job(job_id)["state"] == STATE_QUEUED
+        cancelled = client.cancel(job_id)
+        assert cancelled["state"] == STATE_CANCELLED
+        assert manual_app.store.queue_depth() == 0
+
+    def test_health_and_metrics_endpoints(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["protocol"] == PROTOCOL_VERSION
+        assert health["traces"] == ["canned"]
+        client.submit(SWEEP_BODY)
+        metrics = client.metrics()
+        assert metrics["counters"]["service.jobs.submitted"] == 1.0
+        assert metrics["gauges"]["service.queue_depth"] == 1.0
+        _drain(manual_app)
+        metrics = ServiceClient(manual_app.url).metrics()
+        assert metrics["counters"]["service.jobs.completed"] == 1.0
+        assert metrics["histograms"]["service.job_latency_ms"]["count"] == 1
+
+
+class TestServiceErrors:
+    def _submit_error(self, app: ServiceApp, body: dict) -> ServiceError:
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(app.url).submit(body)
+        return excinfo.value
+
+    def test_unknown_trace_is_404(self, manual_app):
+        error = self._submit_error(manual_app, dict(SWEEP_BODY, trace="nope"))
+        assert error.code == CODE_UNKNOWN_TRACE
+        assert error.status == 404
+        assert "canned" in str(error)
+
+    def test_wrong_version_is_400(self, manual_app):
+        error = self._submit_error(manual_app, dict(SWEEP_BODY, version=99))
+        assert error.code == CODE_UNSUPPORTED_VERSION
+        assert error.status == 400
+
+    def test_invalid_spec_refused_at_admission(self, manual_app):
+        # 4x1x1 needs more tensor parallelism than the traced base has.
+        error = self._submit_error(
+            manual_app, {"kind": "sweep", "trace": "canned",
+                         "targets": ["4x1x1"]})
+        assert error.code == CODE_INVALID_SPEC
+        assert error.status == 400
+
+    def test_malformed_target_refused_at_admission(self, manual_app):
+        error = self._submit_error(
+            manual_app, {"kind": "predict", "trace": "canned",
+                         "target": "serving:frobnicate"})
+        assert error.code == CODE_UNSUPPORTED_TARGET
+
+    def test_unknown_job_and_premature_result(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("f" * 32)
+        assert excinfo.value.code == CODE_UNKNOWN_JOB
+        submitted = client.submit(SWEEP_BODY)
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(submitted["job"]["job_id"])
+        assert excinfo.value.code == CODE_JOB_NOT_DONE
+        assert excinfo.value.status == 409
+
+    def test_unroutable_paths_are_bad_request(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        for method, path in (("GET", "/v2/anything"), ("POST", "/v1/nope")):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request(method, path, {} if method == "POST" else None)
+            assert excinfo.value.code == CODE_BAD_REQUEST
+
+    def test_invalid_json_body_is_bad_request(self, manual_app):
+        import urllib.error
+        import urllib.request
+        request = urllib.request.Request(
+            manual_app.url + "/v1/jobs", data=b"{torn", method="POST",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert body["error"]["code"] == CODE_BAD_REQUEST
+
+    def test_unreachable_server_raises_service_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=2.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.health()
+        assert excinfo.value.code == "unavailable"
+
+
+class TestWorkerFailures:
+    def _inject(self, app: ServiceApp, payload: dict, kind: str = "sweep"):
+        """Enqueue a payload bypassing admission validation."""
+        _, bundle_hash = app.registry.resolve("canned")
+        record = JobRecord(
+            job_id=job_id_for(bundle_hash, kind, payload), kind=kind,
+            trace="canned", bundle_hash=bundle_hash, payload=payload)
+        record, _ = app.store.submit(record)
+        return record
+
+    def _base(self, app: ServiceApp) -> dict:
+        from repro.service.server import base_from_metadata
+        bundle, _ = app.registry.resolve("canned")
+        return base_from_metadata(bundle.metadata, {})
+
+    def test_invalid_spec_fails_job_with_typed_code(self, manual_app):
+        base = self._base(manual_app)
+        record = self._inject(manual_app, {
+            "base": base, "spec": {"base": base, "parallelism": ["4x1x1"]}})
+        _drain(manual_app)
+        failed = manual_app.store.get(record.job_id)
+        assert failed.state == STATE_FAILED
+        assert failed.error["code"] == CODE_INVALID_SPEC
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(manual_app.url).result(record.job_id)
+        assert excinfo.value.code == CODE_JOB_FAILED
+        assert excinfo.value.status == 409
+        assert CODE_INVALID_SPEC in str(excinfo.value)
+
+    def test_unknown_model_fails_predict_with_typed_code(self, manual_app):
+        record = self._inject(
+            manual_app, {"base": self._base(manual_app), "target": "model:gpt9"},
+            kind="predict")
+        _drain(manual_app)
+        failed = manual_app.store.get(record.job_id)
+        assert failed.state == STATE_FAILED
+        assert failed.error["code"] == CODE_UNSUPPORTED_TARGET
+        metrics = manual_app.metrics.snapshot()
+        assert metrics["counters"]["service.jobs.failed"] == 1.0
+
+    def test_worker_survives_a_failed_job(self, manual_app):
+        self._inject(manual_app, {"base": self._base(manual_app),
+                                  "target": "model:gpt9"}, kind="predict")
+        ServiceClient(manual_app.url).submit(SWEEP_BODY)
+        worker = _drain(manual_app, jobs=2)
+        assert worker.jobs_processed == 2
+        states = {record.state for record in manual_app.store.jobs()}
+        assert states == {STATE_FAILED, STATE_DONE}
+
+
+class TestWorkerCacheSharing:
+    def test_studies_are_memoized_per_bundle_and_base(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        client.submit(SWEEP_BODY)
+        worker = _drain(manual_app)
+        client.submit(dict(SWEEP_BODY, targets=["batch=8"]))
+        for _ in range(1):
+            assert worker.run_once()
+        assert len(worker._studies) == 1
+        assert worker.jobs_processed == 2
+
+    def test_corrupted_cache_entries_never_fail_a_job(self, manual_app):
+        from pathlib import Path
+        client = ServiceClient(manual_app.url)
+        submitted = client.submit(SWEEP_BODY)
+        _drain(manual_app)
+        job_id = submitted["job"]["job_id"]
+        entries = list(Path(manual_app.cache_root).glob("*/*.json"))
+        assert entries
+        for entry in entries:
+            entry.write_text("{torn", encoding="utf-8")
+        client.submit(SWEEP_BODY)
+        _drain(manual_app)
+        result = validate_result_payload(client.result(job_id)["result"])
+        assert result["cache"]["hit_rate"] == 0.0
+        assert not any(row["from_cache"] for row in result["scenarios"])
+
+    def test_cache_block_lands_on_the_job_status(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        submitted = client.submit(SWEEP_BODY)
+        _drain(manual_app)
+        job = client.job(submitted["job"]["job_id"])
+        assert job["cache"]["lookups"] == job["cache"]["hits"] + job["cache"]["misses"]
+
+
+class TestServiceCli:
+    def test_submit_round_trip_through_main(self, manual_app, capsys):
+        from repro.cli import main
+        worker_done = threading.Event()
+
+        def drain_soon() -> None:
+            worker = Worker(manual_app.store, manual_app.registry,
+                            manual_app.cache_root, metrics=manual_app.metrics)
+            while not worker_done.is_set():
+                if worker.run_once():
+                    worker_done.set()
+                    return
+                worker_done.wait(0.05)
+
+        thread = threading.Thread(target=drain_soon)
+        thread.start()
+        try:
+            code = main(["submit", "--url", manual_app.url, "--trace", "canned",
+                         "--target", "serving:batch=4", "--whatif", "gemm:2"])
+        finally:
+            worker_done.set()
+            thread.join()
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "evaluated" in output
+        assert "rank" in output
+
+    def test_submit_unknown_trace_exits_2(self, manual_app, capsys):
+        from repro.cli import main
+        code = main(["submit", "--url", manual_app.url, "--trace", "nope",
+                     "--target", "batch=4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown-trace" in err
+
+    def test_submit_unreachable_server_exits_2(self, capsys):
+        from repro.cli import main
+        code = main(["submit", "--url", "http://127.0.0.1:9", "--trace", "x",
+                     "--target", "batch=4", "--timeout", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_submit_no_wait_returns_queued(self, manual_app, capsys):
+        from repro.cli import main
+        code = main(["submit", "--url", manual_app.url, "--trace", "canned",
+                     "--target", "batch=4", "--no-wait"])
+        assert code == 0
+        assert "queued" in capsys.readouterr().out
+
+
+class TestServeLifecycle:
+    def test_serve_forever_drains_on_sigterm(self, tmp_path, serving_trace_dir):
+        app = ServiceApp(tmp_path / "svc", workers=1,
+                         traces={"canned": serving_trace_dir})
+        old_term = signal.getsignal(signal.SIGTERM)
+        old_int = signal.getsignal(signal.SIGINT)
+        client = ServiceClient(app.url)
+
+        def fire_once_serving() -> None:
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                try:
+                    if client.health()["status"] == "ok":
+                        break
+                except ServiceError:
+                    time.sleep(0.02)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        killer = threading.Thread(target=fire_once_serving)
+        killer.start()
+        try:
+            # Blocks in the real CLI loop (signal handlers installed)
+            # until the SIGTERM from the helper thread drains it.
+            assert app.serve_forever() == 0
+        finally:
+            killer.join(timeout=30.0)
+            signal.signal(signal.SIGTERM, old_term)
+            signal.signal(signal.SIGINT, old_int)
+
+    def test_cli_serve_wires_the_app(self, tmp_path, serving_trace_dir,
+                                     monkeypatch, capsys):
+        from repro.cli import main
+        seen: dict[str, object] = {}
+
+        def fake_serve_forever(self, install_signals=True):
+            seen["workers"] = len(self.workers)
+            seen["traces"] = self.registry.names()
+            self._server.server_close()
+            return 0
+
+        monkeypatch.setattr(ServiceApp, "serve_forever", fake_serve_forever)
+        code = main(["serve", "--root", str(tmp_path / "svc"), "--port", "0",
+                     "--trace", f"canned={serving_trace_dir}", "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "listening on" in out
+        assert "traces=canned" in out
+        assert seen == {"workers": 2, "traces": ["canned"]}
+
+    def test_cli_serve_rejects_bad_trace_registration(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["serve", "--root", str(tmp_path / "svc"), "--port", "0",
+                     "--trace", "no-equals-sign"])
+        assert code == 2
+        assert "expected NAME=DIR" in capsys.readouterr().err

@@ -1,5 +1,9 @@
 """Tests for the content-addressed sweep result cache and hashing."""
 
+import os
+import shutil
+import threading
+
 from repro.sweep.cache import CacheStats, SweepCache
 from repro.sweep.hashing import hash_json, hash_trace_bundle
 from repro.trace.events import TraceEvent
@@ -65,6 +69,136 @@ class TestSweepCache:
         assert stats.lookups == 4
         assert stats.hit_rate == 0.75
         assert CacheStats().hit_rate == 0.0
+
+    def test_partially_deleted_bundle_dir_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        shutil.rmtree(next((tmp_path / "cache").iterdir()))
+        assert cache.lookup(BUNDLE_HASH, SCENARIO_HASH) is None
+        assert cache.stats.misses == 1
+
+    def test_store_leaves_no_temp_files_behind(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        cache.store(BUNDLE_HASH, SCENARIO_HASH, _result_payload())
+        bucket = (tmp_path / "cache") / BUNDLE_HASH[:32]
+        assert [p.name for p in bucket.iterdir()] == [f"{SCENARIO_HASH[:32]}.json"]
+
+
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_a_torn_entry(self, tmp_path):
+        """Concurrent store() + lookup() of one entry: hit or miss, never junk.
+
+        Before atomic writes this raced: a reader could observe a
+        partially written JSON file.  With tmp-file + ``os.replace``
+        every lookup sees either nothing or one complete payload.
+        """
+        root = tmp_path / "cache"
+        payloads = [_result_payload(float(value)) for value in range(8)]
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer(payload: dict) -> None:
+            cache = SweepCache(root)
+            while not stop.is_set():
+                cache.store(BUNDLE_HASH, SCENARIO_HASH, payload)
+
+        def reader() -> None:
+            cache = SweepCache(root)
+            while not stop.is_set():
+                found = cache.lookup(BUNDLE_HASH, SCENARIO_HASH)
+                if found is not None and found not in payloads:
+                    failures.append(repr(found))
+
+        threads = [threading.Thread(target=writer, args=(payload,))
+                   for payload in payloads]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        stop.wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        # The surviving entry is one of the writers' payloads, intact.
+        final = SweepCache(root).lookup(BUNDLE_HASH, SCENARIO_HASH)
+        assert final in payloads
+        # No temp droppings remain visible to entry accounting.
+        cache = SweepCache(root)
+        assert cache.entries() == 1
+        assert cache.disk_stats()["entries"] == 1
+
+    def test_concurrent_writers_to_distinct_entries(self, tmp_path):
+        root = tmp_path / "cache"
+
+        def fill(index: int) -> None:
+            cache = SweepCache(root)
+            for position in range(10):
+                scenario = f"{index}{position}".ljust(64, "f")
+                cache.store(BUNDLE_HASH, scenario, _result_payload(float(position)))
+
+        threads = [threading.Thread(target=fill, args=(index,))
+                   for index in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert SweepCache(root).entries() == 40
+
+
+class TestDiskStatsAndPrune:
+    def _fill(self, root, bundles: int = 2, per_bundle: int = 3) -> SweepCache:
+        cache = SweepCache(root)
+        for bundle in range(bundles):
+            for scenario in range(per_bundle):
+                cache.store(str(bundle) * 64, f"{bundle}{scenario}".ljust(64, "a"),
+                            _result_payload(float(scenario)))
+        return cache
+
+    def test_disk_stats_counts_entries_bundles_and_bytes(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 6
+        assert stats["bundles"] == 2
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(tmp_path / "cache")
+
+    def test_disk_stats_on_missing_root(self, tmp_path):
+        stats = SweepCache(tmp_path / "never-created").disk_stats()
+        assert stats == {"root": str(tmp_path / "never-created"), "entries": 0,
+                         "bundles": 0, "total_bytes": 0}
+
+    def test_prune_to_zero_removes_everything(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        summary = cache.prune(0)
+        assert summary["removed"] == 6
+        assert summary["remaining_entries"] == 0
+        assert summary["remaining_bytes"] == 0
+        assert cache.entries() == 0
+        # Empty bucket directories are removed along with their entries.
+        assert list((tmp_path / "cache").iterdir()) == []
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = SweepCache(tmp_path / "cache")
+        for index, age in enumerate((100, 50, 10)):  # older = smaller mtime
+            cache.store(BUNDLE_HASH, str(index) * 64, _result_payload(float(index)))
+            path = cache._entry_path(BUNDLE_HASH, str(index) * 64)
+            os.utime(path, (1_000_000 - age, 1_000_000 - age))
+        entry_size = cache._entry_path(BUNDLE_HASH, "0" * 64).stat().st_size
+        summary = cache.prune(2 * entry_size)
+        assert summary["removed"] == 1
+        # The oldest entry (stored first, mtime farthest back) is gone;
+        # the two younger survive.
+        assert cache.lookup(BUNDLE_HASH, "0" * 64) is None
+        assert cache.lookup(BUNDLE_HASH, "1" * 64) is not None
+        assert cache.lookup(BUNDLE_HASH, "2" * 64) is not None
+
+    def test_prune_within_budget_is_a_noop(self, tmp_path):
+        cache = self._fill(tmp_path / "cache")
+        before = cache.disk_stats()
+        summary = cache.prune(before["total_bytes"] + 1)
+        assert summary["removed"] == 0
+        assert summary["remaining_entries"] == before["entries"]
+        assert cache.disk_stats() == before
 
 
 class TestHashing:

@@ -152,6 +152,33 @@ class TestExportAndProfileRendering:
         assert complete[1]["args"] == {"depth": 1, "detail": 1}
         assert any(e["name"] == "process_name" for e in metadata)
 
+    def test_stage_spans_get_their_own_tracks(self):
+        # The service-span convention: a `stage` attribute routes the
+        # span to a named per-stage track so the queue-wait vs run split
+        # is visible without any timeline special-casing.
+        with profile(label="stages") as prof:
+            with trace_span("service.run", stage="run", job="j1"):
+                pass
+            with trace_span("service.run", stage="run", job="j2"):
+                pass
+            with trace_span("service.admit", stage="admit"):
+                pass
+            with trace_span("plain"):
+                pass
+        payload = pipeline_profile_json(prof)
+        validate_chrome_trace(payload)
+        complete, metadata = _events_by_phase(payload)
+        tids = {event["name"]: event["tid"] for event in complete}
+        run_tids = {event["tid"] for event in complete
+                    if event["name"] == "service.run"}
+        assert len(run_tids) == 1
+        assert run_tids != {tids["service.admit"]}
+        assert tids["plain"] == 0
+        track_names = {event["args"]["name"] for event in metadata
+                       if event["name"] == "thread_name"}
+        assert {"stage: run", "stage: admit", "pipeline spans"} <= track_names
+        assert payload["otherData"]["stages"] == ["admit", "run"]
+
 
 class TestChromeTraceValidation:
     def test_accepts_bare_event_lists(self):
