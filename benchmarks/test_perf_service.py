@@ -6,7 +6,8 @@ metrics prove the service layer adds operability without destroying the
 engine's economics:
 
 * several concurrent clients submitting distinct sweeps all complete
-  end-to-end (submit → poll → ranked result) at usable throughput; and
+  end-to-end (submit → ``?wait=`` long-poll → ranked result) at usable
+  throughput; and
 * an identical resubmission after completion is answered entirely from
   the shared on-disk sweep cache (``cache_hit_rate == 1.0``) fast — the
   whole point of content-addressed jobs over a shared cache.
@@ -51,7 +52,9 @@ def service_trace_dir(tmp_path_factory):
 def _submit_and_wait(url: str, body: dict) -> dict:
     client = ServiceClient(url)
     job = client.submit(body)["job"]
-    done = client.wait(job["job_id"], timeout=300.0, poll_interval=0.05)
+    # wait() long-polls the server (?wait=) — one parked request per
+    # round trip instead of a client-side polling hammer.
+    done = client.wait(job["job_id"], timeout=300.0)
     assert done["state"] == "done", done.get("error")
     return validate_result_payload(client.result(job["job_id"])["result"])
 

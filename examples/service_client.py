@@ -9,9 +9,12 @@ engine:
 
 1. jobs are content-addressed, so identical concurrent submissions
    dedupe to a single evaluation;
-2. a resubmission after completion is answered entirely from the shared
+2. completion is event-driven — ``GET /v1/jobs/{id}?wait=`` parks one
+   request on the server until the job reaches a terminal state, so no
+   client-side polling loop is needed;
+3. a resubmission after completion is answered entirely from the shared
    on-disk sweep cache (``cache_hit_rate == 1.0``); and
-3. refusals are typed — a bad spec is rejected at admission with a
+4. refusals are typed — a bad spec is rejected at admission with a
    stable machine-readable code, not minutes later in a worker.
 
 Run with ``python examples/service_client.py``.
@@ -72,8 +75,12 @@ def main() -> None:
         print(f"\ntwo concurrent submissions -> one job {job_id[:12]}... "
               f"(deduped flags: {deduped})")
 
-        # 2. Poll to completion and fetch the ranked result.
-        done = client.wait(job_id, timeout=300.0)
+        # 2. Long-poll to completion and fetch the ranked result.  One
+        #    request parks server-side on the job's condition variable
+        #    and returns the moment the worker finishes — no polling
+        #    loop, no fixed sleep interval.  (client.wait() chains these
+        #    long-poll legs for arbitrarily long timeouts.)
+        done = client.job(job_id, wait=60.0)
         assert done["state"] == "done", done.get("error")
         cold = client.result(job_id)["result"]
         print(f"cold run: {len(cold['scenarios'])} scenarios, "

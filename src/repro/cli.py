@@ -23,9 +23,16 @@
 * ``serve``    — run the sweep service (:mod:`repro.service`): an HTTP
   API + worker queue over the shared on-disk sweep cache, with
   server-registered trace bundles (``--trace NAME=DIR``, repeatable);
+* ``work``     — run a dedicated worker fleet (one process, ``--workers
+  N`` threads) draining a *shared* service ``--root`` alongside any
+  servers and other fleets on it; claims are heartbeated leases, so a
+  SIGKILLed fleet's jobs are requeued and re-run by the survivors, and
+  SIGTERM drains gracefully (finish the in-flight job, release its
+  lease, exit 0);
 * ``submit``   — submit a sweep (or ``--predict`` single prediction) to
-  a running service, poll to completion and print the ranked table —
-  the same unified ``--target`` flags as ``predict``/``sweep``;
+  a running service, long-poll to completion and print the ranked
+  table — the same unified ``--target`` flags as ``predict``/``sweep``;
+  ``--webhook URL`` asks the server to POST the terminal job record;
 * ``cache``    — operate a long-lived shared sweep cache: ``stats``
   prints entry/bundle counts and bytes, ``prune --max-size-mb`` evicts
   oldest-first down to a size budget.
@@ -339,7 +346,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         traces = _parse_trace_registrations(args.trace)
         app = ServiceApp(args.root, host=args.host, port=args.port,
                          workers=args.workers, traces=traces,
-                         cache_root=args.cache_dir)
+                         cache_root=args.cache_dir,
+                         poll_interval=args.poll_interval,
+                         lease_seconds=args.lease_seconds,
+                         max_attempts=args.max_attempts)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -348,6 +358,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(workers={args.workers}, traces={', '.join(traces) or 'none'}, "
           f"root={args.root})", flush=True)
     return app.serve_forever()
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import WorkerFleet
+
+    try:
+        traces = _parse_trace_registrations(args.trace)
+        fleet = WorkerFleet(args.root, traces=traces,
+                            cache_root=args.cache_dir, workers=args.workers,
+                            lease_seconds=args.lease_seconds,
+                            max_attempts=args.max_attempts,
+                            poll_interval=args.poll_interval)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    worker_ids = ", ".join(worker.worker_id for worker in fleet.workers)
+    print(f"worker fleet draining {args.root} "
+          f"(workers={len(fleet.workers)} [{worker_ids}], "
+          f"lease={args.lease_seconds:g}s)", flush=True)
+    status = fleet.run(install_signals=True)
+    print(f"fleet drained: {fleet.jobs_processed} jobs processed", flush=True)
+    return status
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -372,6 +404,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         body["base"] = base
     if args.slo_ms is not None:
         body["slo_ms"] = args.slo_ms
+    if args.webhook:
+        body["webhook"] = args.webhook
     if args.predict:
         if len(targets) != 1:
             print("submit --predict requires exactly one --target", file=sys.stderr)
@@ -580,7 +614,39 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="NAME=DIR",
                               help="register a saved trace bundle under NAME "
                                    "(repeatable)")
+    serve_parser.add_argument("--poll-interval", type=float, default=0.05,
+                              help="worker idle-poll interval in seconds")
+    serve_parser.add_argument("--lease-seconds", type=float, default=30.0,
+                              help="claim-lease lifetime without a heartbeat; "
+                                   "an expired lease requeues the job")
+    serve_parser.add_argument("--max-attempts", type=int, default=3,
+                              help="attempts (initial + lease-expiry requeues) "
+                                   "before a job fails as worker-lost")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    work_parser = subparsers.add_parser(
+        "work", help="run a dedicated worker fleet draining a shared "
+                     "service root")
+    work_parser.add_argument("--root", required=True,
+                             help="shared service state directory (the same "
+                                  "--root a server was given)")
+    work_parser.add_argument("--cache-dir", default=None,
+                             help="shared sweep-cache directory "
+                                  "(default: <root>/cache)")
+    work_parser.add_argument("--workers", type=int, default=1,
+                             help="worker threads in this fleet process")
+    work_parser.add_argument("--trace", action="append", default=[],
+                             metavar="NAME=DIR",
+                             help="register a saved trace bundle under NAME "
+                                  "(repeatable); uploads spooled by a server "
+                                  "on the shared root resolve automatically")
+    work_parser.add_argument("--poll-interval", type=float, default=0.05,
+                             help="idle-poll interval in seconds")
+    work_parser.add_argument("--lease-seconds", type=float, default=30.0,
+                             help="claim-lease lifetime without a heartbeat")
+    work_parser.add_argument("--max-attempts", type=int, default=3,
+                             help="attempts before a job fails as worker-lost")
+    work_parser.set_defaults(func=_cmd_work)
 
     submit_parser = subparsers.add_parser(
         "submit", parents=[target_parent],
@@ -613,6 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit_parser.add_argument("--reuse", action="store_true",
                                help="reuse an identical completed job instead "
                                     "of re-running it")
+    submit_parser.add_argument("--webhook", default=None, metavar="URL",
+                               help="http(s) URL the server POSTs the "
+                                    "terminal job record to")
     submit_parser.add_argument("--no-wait", action="store_true",
                                help="submit and print the job id without polling")
     submit_parser.add_argument("--timeout", type=float, default=300.0,

@@ -16,11 +16,15 @@ Layers (each its own module):
     codes (4xx for spec/target/study refusals, never a traceback).
 :mod:`repro.service.jobs`
     The persistent job store (JSON snapshots + journal + ``O_EXCL``
-    claims) with content-hash job ids — identical submissions dedupe to
-    one job — and the named trace registry.
+    claim *leases* with heartbeats and crash recovery — an expired
+    lease requeues its job, capped by ``max_attempts``) with
+    content-hash job ids — identical submissions dedupe to one job —
+    and the named trace registry.
 :mod:`repro.service.worker`
     Queue-polling workers, per-bundle study memoization, per-job cache
-    stats, and the always-on thread-safe service metrics.
+    stats, the always-on thread-safe service metrics, webhook delivery,
+    and :class:`WorkerFleet` — the dedicated ``repro-lumos work``
+    process draining a shared root.
 :mod:`repro.service.server`
     The zero-new-dependency ``ThreadingHTTPServer`` front end
     (``/v1/jobs``, ``/v1/healthz``, ``/v1/metricz``) with graceful
@@ -44,7 +48,7 @@ from repro.service.protocol import (
     validate_result_payload,
 )
 from repro.service.server import ServiceApp
-from repro.service.worker import ServiceMetrics, Worker
+from repro.service.worker import ServiceMetrics, Worker, WorkerFleet, deliver_webhook
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -58,8 +62,10 @@ __all__ = [
     "SubmitRequest",
     "TraceRegistry",
     "Worker",
+    "WorkerFleet",
     "bundle_from_json",
     "bundle_to_json",
+    "deliver_webhook",
     "error_for_exception",
     "job_id_for",
     "predict_result_payload",

@@ -11,16 +11,33 @@ while ``reuse: true`` returns the finished record without a rerun.
 Persistence is one JSON snapshot per job under ``<root>/jobs/`` (written
 with the same tmp-file + ``os.replace`` idiom as the sweep cache, so
 snapshots are never torn) plus an append-only ``journal.jsonl`` of state
-transitions for post-mortems.  Claims use ``O_EXCL`` marker files under
-``<root>/claims/``, which makes *claiming* exclusive across worker
-threads and worker processes alike: exactly one worker wins a queued
-job.  :meth:`JobStore.refresh` rescans the directory, so a server
-process and out-of-process workers sharing one root observe each other's
-transitions.
+transitions for post-mortems.  :meth:`JobStore.refresh` rescans the
+directory — skipping terminal records already indexed, which are
+immutable — so a server process and out-of-process worker fleets sharing
+one root observe each other's transitions at a cost proportional to the
+*non-terminal* jobs, not the store's full history.
+
+Claims are **leases**, not bare markers: the ``O_EXCL`` claim file under
+``<root>/claims/`` carries ``{worker, pid, hostname, deadline_unix}``
+JSON, and the claiming worker extends the deadline mid-job via
+:meth:`JobStore.heartbeat` (an atomic tmp + ``os.replace`` rewrite).
+``O_EXCL`` creation still makes *claiming* exclusive across worker
+threads and worker processes alike; the deadline is what makes the claim
+*recoverable*: a worker that dies without releasing its claim stops
+heartbeating, the lease expires, and the next ``claim_next``/``refresh``
+on any store sharing the root reclaims the job — requeued with
+``attempts`` bumped (journal event ``lease_expired``), or failed with
+the typed ``worker-lost`` code once ``max_attempts`` is exhausted.
+Reclaim itself is arbitrated by an atomic rename of the expired claim
+file, so concurrent reapers requeue a lost job exactly once.
 
 States move ``queued → running → done/failed/cancelled``; terminal
 records are immutable (a re-enqueue writes a fresh ``queued`` snapshot
-with ``attempts`` bumped).
+with ``attempts`` bumped).  Every terminal transition notifies a per-job
+:class:`threading.Condition`, which is what ``GET /v1/jobs/{id}?wait=``
+long-polls on; :meth:`JobStore.wait_for_terminal` falls back to a
+bounded poll loop (via ``refresh``) for transitions written by other
+processes.
 """
 
 from __future__ import annotations
@@ -28,6 +45,7 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import socket
 import tempfile
 import threading
 import time
@@ -40,6 +58,7 @@ from repro.service.protocol import (
     CODE_JOB_STATE,
     CODE_UNKNOWN_JOB,
     CODE_UNKNOWN_TRACE,
+    CODE_WORKER_LOST,
     ProtocolError,
     bundle_from_json,
 )
@@ -54,7 +73,15 @@ STATE_CANCELLED = "cancelled"
 
 TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
 
+#: Journal event written when an expired lease requeues (or fails) a job.
+EVENT_LEASE_EXPIRED = "lease_expired"
+
 _RECORD_SCHEMA = 1
+
+#: Default seconds a claim lease lives without a heartbeat.
+DEFAULT_LEASE_SECONDS = 30.0
+#: Default attempts (initial + lease-expiry requeues) before ``worker-lost``.
+DEFAULT_MAX_ATTEMPTS = 3
 
 
 def job_id_for(bundle_hash: str, kind: str, payload: Mapping[str, Any]) -> str:
@@ -81,6 +108,7 @@ class JobRecord:
     error: dict[str, Any] | None = None
     result: dict[str, Any] | None = None
     cache: dict[str, Any] | None = None
+    webhook: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -103,6 +131,7 @@ class JobRecord:
             "error": self.error,
             "result": self.result,
             "cache": self.cache,
+            "webhook": self.webhook,
         }
 
     @classmethod
@@ -122,6 +151,7 @@ class JobRecord:
             error=payload.get("error"),
             result=payload.get("result"),
             cache=payload.get("cache"),
+            webhook=payload.get("webhook"),
         )
 
     def public_json(self) -> dict[str, Any]:
@@ -141,27 +171,40 @@ class JobRecord:
             body["error"] = self.error
         if self.cache is not None:
             body["cache"] = self.cache
+        if self.webhook is not None:
+            body["webhook"] = self.webhook
         return body
 
 
 class JobStore:
     """On-disk JSON journal + in-memory index of every job."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
         self.root = Path(root)
         self.jobs_dir = self.root / "jobs"
         self.claims_dir = self.root / "claims"
         self.journal_path = self.root / "journal.jsonl"
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = max(1, int(max_attempts))
+        #: Expired leases this store observed and reclaimed (requeue or
+        #: worker-lost failure) — the ``service.leases.expired`` counter.
+        self.lease_expirations = 0
         self._lock = threading.Lock()
         self._index: dict[str, JobRecord] = {}
+        self._conditions: dict[str, threading.Condition] = {}
         self.refresh()
 
     # -- persistence ---------------------------------------------------------
 
     def _record_path(self, job_id: str) -> Path:
         return self.jobs_dir / f"{job_id}.json"
+
+    def _claim_path(self, job_id: str) -> Path:
+        return self.claims_dir / f"{job_id}.claim"
 
     def _write(self, record: JobRecord) -> None:
         path = self._record_path(record.job_id)
@@ -177,11 +220,27 @@ class JobStore:
             raise
         self._index[record.job_id] = record
 
-    def _journal(self, event: str, record: JobRecord) -> None:
+    def _journal(self, event: str, record: JobRecord, **extra: Any) -> None:
         line = json.dumps({"event": event, "job_id": record.job_id,
-                           "state": record.state, "unix": time.time()})
+                           "state": record.state, "unix": time.time(), **extra})
         with open(self.journal_path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
+
+    def journal_event(self, event: str, record: JobRecord, **extra: Any) -> None:
+        """Append one out-of-band journal line (e.g. webhook delivery)."""
+        self._journal(event, record, **extra)
+
+    def journal_events(self) -> list[dict[str, Any]]:
+        """Every parseable journal line, oldest first (post-mortem helper)."""
+        events = []
+        try:
+            with open(self.journal_path, encoding="utf-8") as handle:
+                for line in handle:
+                    with contextlib.suppress(ValueError):
+                        events.append(json.loads(line))
+        except OSError:
+            pass
+        return events
 
     def _read(self, path: Path) -> JobRecord | None:
         # Tolerant like the sweep cache: a torn or foreign file is simply
@@ -195,13 +254,34 @@ class JobStore:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def refresh(self) -> None:
-        """Rescan the jobs directory (other processes write records too)."""
+    def refresh(self) -> list[JobRecord]:
+        """Rescan the jobs directory and reclaim expired leases.
+
+        Terminal records already in the index are immutable and are *not*
+        re-read — fleet polling stays O(non-terminal jobs), not O(every
+        job ever submitted).  Running jobs whose lease deadline has
+        passed are reclaimed (requeued, or failed with ``worker-lost``);
+        the reclaimed records are returned.
+        """
         with self._lock:
             for path in sorted(self.jobs_dir.glob("*.json")):
+                cached = self._index.get(path.stem)
+                if cached is not None and cached.terminal:
+                    continue
                 record = self._read(path)
                 if record is not None:
                     self._index[record.job_id] = record
+            running = [record for record in self._index.values()
+                       if record.state == STATE_RUNNING]
+        now = time.time()
+        reclaimed = []
+        for record in running:
+            if self._lease_expired(record.job_id, now,
+                                   fallback_unix=record.started_unix):
+                out = self._reclaim(record)
+                if out is not None:
+                    reclaimed.append(out)
+        return reclaimed
 
     # -- queries -------------------------------------------------------------
 
@@ -226,6 +306,159 @@ class JobStore:
     def queue_depth(self) -> int:
         return sum(1 for record in self.jobs() if record.state == STATE_QUEUED)
 
+    # -- leases --------------------------------------------------------------
+
+    def _lease_payload(self, worker: str, now: float) -> dict[str, Any]:
+        return {"worker": worker, "pid": os.getpid(),
+                "hostname": socket.gethostname(),
+                "deadline_unix": now + self.lease_seconds}
+
+    def read_lease(self, job_id: str) -> dict[str, Any] | None:
+        """The claim file's lease JSON, or ``None`` when absent/unreadable."""
+        try:
+            payload = json.loads(
+                self._claim_path(job_id).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def active_leases(self) -> list[dict[str, Any]]:
+        """Every readable lease on the root (liveness introspection)."""
+        leases = []
+        for path in sorted(self.claims_dir.glob("*.claim")):
+            lease = self.read_lease(path.stem)
+            if lease is not None:
+                leases.append(dict(lease, job_id=path.stem))
+        return leases
+
+    def _lease_expired(self, job_id: str, now: float, *,
+                       fallback_unix: float | None = None) -> bool:
+        """Whether the claim on ``job_id`` is past its deadline.
+
+        An unreadable or legacy (non-JSON) claim falls back to a grace
+        period from the claim file's mtime (or ``fallback_unix``), so a
+        claim being written right now is never reclaimed mid-birth.
+        """
+        lease = self.read_lease(job_id)
+        if lease is not None:
+            with contextlib.suppress(KeyError, TypeError, ValueError):
+                return now > float(lease["deadline_unix"])
+        try:
+            anchor = self._claim_path(job_id).stat().st_mtime
+        except OSError:
+            # No claim file at all: a crash landed between snapshot and
+            # claim bookkeeping. Grace from the record's own timestamps.
+            anchor = fallback_unix or 0.0
+        if fallback_unix:
+            anchor = max(anchor, fallback_unix)
+        return now > anchor + self.lease_seconds
+
+    def heartbeat(self, record: JobRecord, worker: str | None = None) -> bool:
+        """Atomically extend this process's lease on a running job.
+
+        Returns ``False`` — without touching anything — when the lease is
+        no longer held by (``worker``, this pid): the job was reclaimed
+        out from under a stalled worker, which should abandon the run.
+        """
+        worker = worker if worker is not None else record.worker
+        lease = self.read_lease(record.job_id)
+        if lease is None or lease.get("worker") != worker \
+                or lease.get("pid") != os.getpid():
+            return False
+        payload = dict(lease, deadline_unix=time.time() + self.lease_seconds)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.claims_dir, prefix=f".{record.job_id}-", suffix=".hb")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload))
+            os.replace(tmp_name, self._claim_path(record.job_id))
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            return False
+        return True
+
+    def _take_claim(self, job_id: str, worker: str) -> bool:
+        """Win the ``O_EXCL`` race and write the lease; False on loss."""
+        try:
+            fd = os.open(self._claim_path(job_id),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._lease_payload(worker, time.time())))
+        return True
+
+    def _remove_claim_atomically(self, job_id: str) -> bool:
+        """Remove a (stale) claim via rename — exactly one caller wins."""
+        token = self.claims_dir / \
+            f".{job_id}.reap-{os.getpid()}-{threading.get_ident()}"
+        try:
+            os.rename(self._claim_path(job_id), token)
+        except OSError:
+            return False
+        with contextlib.suppress(OSError):
+            os.unlink(token)
+        return True
+
+    def _reclaim(self, record: JobRecord) -> JobRecord | None:
+        """Recover one running job whose lease expired.
+
+        The atomic claim-file rename is the cross-process arbiter: of N
+        stores observing the same expired lease, exactly one requeues the
+        job (journal ``lease_expired``) or — once ``attempts`` reaches
+        ``max_attempts`` — fails it with the typed ``worker-lost`` error.
+        """
+        claim = self._claim_path(record.job_id)
+        token = self.claims_dir / \
+            f".{record.job_id}.reap-{os.getpid()}-{threading.get_ident()}"
+        try:
+            os.rename(claim, token)
+        except OSError:
+            # No claim file: the worker crashed before the lease landed
+            # (or an operator removed it). O_EXCL-creating the claim
+            # ourselves is an equivalent one-winner arbiter.
+            try:
+                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+            except OSError:
+                return None
+            token = claim
+        try:
+            with self._lock:
+                current = self._read(self._record_path(record.job_id))
+                if current is None or current.state != STATE_RUNNING \
+                        or current.attempts != record.attempts:
+                    return None  # finished or already reclaimed meanwhile
+                self.lease_expirations += 1
+                lost_worker = current.worker
+                if current.attempts >= self.max_attempts:
+                    reclaimed = replace(
+                        current, state=STATE_FAILED,
+                        finished_unix=time.time(), result=None,
+                        error={"code": CODE_WORKER_LOST,
+                               "message": f"worker {lost_worker!r} lost its "
+                                          f"lease and the job exhausted "
+                                          f"{current.attempts} of "
+                                          f"{self.max_attempts} attempts"})
+                    self._write(reclaimed)
+                    self._journal(EVENT_LEASE_EXPIRED, reclaimed,
+                                  worker=lost_worker)
+                    self._journal(STATE_FAILED, reclaimed)
+                else:
+                    reclaimed = replace(
+                        current, state=STATE_QUEUED, worker=None,
+                        started_unix=None, finished_unix=None,
+                        attempts=current.attempts + 1)
+                    self._write(reclaimed)
+                    self._journal(EVENT_LEASE_EXPIRED, reclaimed,
+                                  worker=lost_worker)
+            self._notify(record.job_id)
+            return reclaimed
+        finally:
+            with contextlib.suppress(OSError):
+                os.unlink(token)
+
     # -- lifecycle -----------------------------------------------------------
 
     def submit(self, record: JobRecord, *, reuse: bool = False) -> tuple[JobRecord, bool]:
@@ -235,6 +468,8 @@ class JobStore:
         existing record.  A terminal identical job is returned as-is when
         ``reuse`` is set; otherwise it is re-enqueued (the rerun is
         served from the shared sweep cache) with ``attempts`` bumped.
+        A deduped submission keeps the existing record's webhook (first
+        webhook wins); a re-enqueue adopts the resubmission's.
         """
         with self._lock:
             existing = self._index.get(record.job_id)
@@ -260,39 +495,97 @@ class JobStore:
     def claim_next(self, worker: str) -> JobRecord | None:
         """Atomically claim the oldest queued job for ``worker``.
 
-        The ``O_EXCL`` claim file is the cross-process arbiter; losing
-        the race simply moves on to the next queued job.
+        The ``O_EXCL`` lease file is the cross-process arbiter; losing
+        the race simply moves on to the next queued job.  A *stale* claim
+        on a queued job (left by a reclaim/heartbeat race) is removed
+        once its own lease expires, so no job is stuck forever behind an
+        orphaned file.
         """
         self.refresh()
+        now = time.time()
         for record in self.jobs():
             if record.state != STATE_QUEUED:
                 continue
-            claim = self.claims_dir / f"{record.job_id}.claim"
-            try:
-                fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-            except FileExistsError:
+            claimed = self._take_claim(record.job_id, worker)
+            if not claimed and self._lease_expired(record.job_id, now):
+                if self._remove_claim_atomically(record.job_id):
+                    claimed = self._take_claim(record.job_id, worker)
+            if not claimed:
                 continue
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(worker)
             with self._lock:
-                running = replace(record, state=STATE_RUNNING,
+                current = self._index.get(record.job_id, record)
+                if current.state != STATE_QUEUED:
+                    # Cancelled (or otherwise moved on) between the scan
+                    # and our claim: give the claim back and keep looking.
+                    self._release_claim(record.job_id)
+                    continue
+                running = replace(current, state=STATE_RUNNING,
                                   started_unix=time.time(), worker=worker)
                 self._write(running)
                 self._journal("claim", running)
             return running
         return None
 
-    def _release_claim(self, job_id: str) -> None:
+    def _release_claim(self, job_id: str, owner: str | None = None) -> None:
+        """Drop the claim file; with ``owner``, only if we still hold it."""
+        if owner is not None:
+            lease = self.read_lease(job_id)
+            if lease is not None and (lease.get("worker") != owner
+                                      or lease.get("pid") != os.getpid()):
+                return  # reclaimed and re-leased to someone else
         with contextlib.suppress(OSError):
-            os.unlink(self.claims_dir / f"{job_id}.claim")
+            os.unlink(self._claim_path(job_id))
+
+    def _condition_for(self, job_id: str) -> threading.Condition:
+        with self._lock:
+            condition = self._conditions.get(job_id)
+            if condition is None:
+                condition = self._conditions[job_id] = threading.Condition()
+            return condition
+
+    def _notify(self, job_id: str) -> None:
+        condition = self._condition_for(job_id)
+        with condition:
+            condition.notify_all()
+
+    def wait_for_terminal(self, job_id: str, timeout: float,
+                          poll_interval: float = 0.25) -> JobRecord | None:
+        """Block until the job reaches a terminal state (or ``timeout``).
+
+        In-process transitions fire the per-job condition immediately;
+        transitions written by *other* processes (a worker fleet on the
+        shared root) are observed by the bounded ``refresh`` poll, which
+        also reclaims expired leases while waiting — a crashed worker
+        cannot park a waiter for longer than lease expiry + one tick.
+        """
+        deadline = time.monotonic() + max(0.0, timeout)
+        condition = self._condition_for(job_id)
+        while True:
+            self.refresh()
+            record = self.get(job_id)
+            if record is None or record.terminal:
+                return record
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return record
+            with condition:
+                condition.wait(min(poll_interval, remaining))
 
     def _finish(self, record: JobRecord, state: str, **updates: Any) -> JobRecord:
         with self._lock:
+            current = self._read(self._record_path(record.job_id))
+            if current is not None and current.attempts != record.attempts:
+                # The lease expired mid-run and the job was requeued (and
+                # possibly re-claimed): this finisher is stale. Leave the
+                # fresh record — and its claim — alone.
+                self._journal("stale_finish", current, worker=record.worker)
+                return current
             finished = replace(record, state=state,
                                finished_unix=time.time(), **updates)
             self._write(finished)
             self._journal(state, finished)
-        self._release_claim(record.job_id)
+        self._release_claim(record.job_id, owner=record.worker)
+        self._notify(record.job_id)
         return finished
 
     def mark_done(self, record: JobRecord, result: dict[str, Any],
@@ -313,13 +606,9 @@ class JobStore:
                 CODE_JOB_STATE,
                 f"job {job_id} is {record.state}; only queued jobs cancel")
         # Claim it so no worker picks it up mid-cancel, then finish it.
-        claim = self.claims_dir / f"{job_id}.claim"
-        try:
-            fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
+        if not self._take_claim(job_id, worker="__cancel__"):
             raise ProtocolError(
-                CODE_JOB_STATE, f"job {job_id} was claimed by a worker") from None
-        os.close(fd)
+                CODE_JOB_STATE, f"job {job_id} was claimed by a worker")
         return self._finish(record, STATE_CANCELLED)
 
 
@@ -332,7 +621,10 @@ class TraceRegistry:
     walk is the expensive part worth paying once per bundle, not per
     job.  Inline uploads are spooled to disk under the service root and
     registered under their own content hash, so workers (and restarted
-    servers) reach them like any named bundle.
+    servers) reach them like any named bundle: an unknown ``upload-*``
+    name falls back to the spool directory, which is how a separate
+    ``repro-lumos work`` fleet on the shared root resolves bundles a
+    server spooled after the fleet started.
     """
 
     spool_dir: Path | None = None
@@ -357,6 +649,11 @@ class TraceRegistry:
             if cached is not None:
                 return cached
             path = self._paths.get(name)
+        if path is None and self.spool_dir is not None:
+            spooled = self.spool_dir / name
+            if spooled.is_dir():
+                self.register(name, spooled)
+                path = spooled
         if path is None:
             raise ProtocolError(
                 CODE_UNKNOWN_TRACE,

@@ -13,7 +13,8 @@ One request shape covers both job kinds the service runs::
       "slo_ms": 250.0,
       "target": "batch=16",            # predict: one prediction target
       "base": {"micro_batch_size": 1}, # optional base-config overrides
-      "reuse": false                   # return a completed identical job
+      "reuse": false,                  # return a completed identical job
+      "webhook": "http://host/done"    # POSTed the terminal job record
     }
 
 Responses always carry either a ``job`` object (see
@@ -65,6 +66,7 @@ CODE_UNKNOWN_JOB = "unknown-job"
 CODE_JOB_NOT_DONE = "job-not-done"
 CODE_JOB_FAILED = "job-failed"
 CODE_JOB_STATE = "job-state"
+CODE_WORKER_LOST = "worker-lost"
 CODE_INTERNAL = "internal"
 
 #: HTTP status for each error code (unknown codes fall back to 500).
@@ -79,6 +81,7 @@ HTTP_STATUS: dict[str, int] = {
     CODE_JOB_NOT_DONE: 409,
     CODE_JOB_FAILED: 409,
     CODE_JOB_STATE: 409,
+    CODE_WORKER_LOST: 500,
     CODE_INTERNAL: 500,
 }
 
@@ -140,6 +143,7 @@ class SubmitRequest:
     target: str | None = None
     base: Mapping[str, Any] = field(default_factory=dict)
     reuse: bool = False
+    webhook: str | None = None
 
     @classmethod
     def parse(cls, payload: Any) -> "SubmitRequest":
@@ -195,10 +199,18 @@ class SubmitRequest:
                 CODE_BAD_REQUEST,
                 "a sweep job requires a 'spec' object or inline "
                 "'targets'/'whatif' axes")
+        webhook = payload.get("webhook")
+        if webhook is not None:
+            if not isinstance(webhook, str) or not (
+                    webhook.startswith("http://")
+                    or webhook.startswith("https://")):
+                raise ProtocolError(
+                    CODE_BAD_REQUEST,
+                    "'webhook' must be an http:// or https:// URL")
         return cls(kind=str(kind), trace=trace, bundle=bundle, spec=spec,
                    targets=tuple(targets), whatif=tuple(whatif), slo_ms=slo_ms,
                    target=target, base=dict(base),
-                   reuse=bool(payload.get("reuse", False)))
+                   reuse=bool(payload.get("reuse", False)), webhook=webhook)
 
 
 # -- trace bundle transport ---------------------------------------------------

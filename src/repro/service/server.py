@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import urllib.parse
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -47,6 +48,8 @@ from repro.api import KIND_PARALLELISM, KIND_SERVING, parse_target
 from repro.api.errors import StudyError
 from repro.observability import tracing as observability
 from repro.service.jobs import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
     STATE_DONE,
     STATE_FAILED,
     JobRecord,
@@ -65,7 +68,7 @@ from repro.service.protocol import (
     SubmitRequest,
     error_for_exception,
 )
-from repro.service.worker import ServiceMetrics, Worker
+from repro.service.worker import ServiceMetrics, Worker, deliver_webhook_async
 from repro.sweep.spec import SweepSpec, WhatIfSpec
 from repro.version import __version__
 
@@ -73,6 +76,10 @@ from repro.version import __version__
 #: request names a base knob.
 _BASE_DEFAULTS = {"model": "gpt3-15b", "parallelism": "2x2x4",
                   "micro_batch_size": 2, "num_microbatches": 4}
+
+#: Ceiling on one ``GET /v1/jobs/{id}?wait=`` long-poll, so a client
+#: typo cannot park a handler thread for hours.
+MAX_WAIT_SECONDS = 60.0
 
 
 def base_from_metadata(metadata: Mapping[str, Any],
@@ -132,7 +139,8 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.server.app
         app.metrics.count("service.requests")
         try:
-            path = self.path.split("?", 1)[0].rstrip("/")
+            raw_path, _, query = self.path.partition("?")
+            path = raw_path.rstrip("/")
             if path == "/v1/healthz":
                 self._send(200, app.health())
             elif path == "/v1/metricz":
@@ -141,7 +149,10 @@ class _Handler(BaseHTTPRequestHandler):
                 job_id = path[len("/v1/jobs/"):-len("/result")]
                 self._send(200, app.job_result(job_id))
             elif path.startswith("/v1/jobs/"):
-                self._send(200, app.job_status(path[len("/v1/jobs/"):]))
+                params = urllib.parse.parse_qs(query)
+                wait = params.get("wait", [None])[-1]
+                self._send(200, app.job_status(path[len("/v1/jobs/"):],
+                                               wait=wait))
             else:
                 raise ProtocolError(CODE_BAD_REQUEST, f"no route for GET {path}")
         except ProtocolError as error:
@@ -180,10 +191,13 @@ class ServiceApp:
                  traces: Mapping[str, str | Path] | None = None,
                  cache_root: str | Path | None = None,
                  allow_uploads: bool = True,
-                 poll_interval: float = 0.05) -> None:
+                 poll_interval: float = 0.05,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.store = JobStore(self.root)
+        self.store = JobStore(self.root, lease_seconds=lease_seconds,
+                              max_attempts=max_attempts)
         spool = (self.root / "bundles") if allow_uploads else None
         if spool is not None:
             spool.mkdir(parents=True, exist_ok=True)
@@ -235,9 +249,12 @@ class ServiceApp:
             except (StudyError, ValueError) as error:
                 raise error_for_exception(error) from error
             job_id = job_id_for(bundle_hash, request.kind, job_payload)
+            # The webhook rides on the record, *not* in the hashed
+            # payload — identical (bundle, spec) submissions still dedupe
+            # to one job id; a deduped submission keeps the first webhook.
             record = JobRecord(job_id=job_id, kind=request.kind,
                                trace=trace_name, bundle_hash=bundle_hash,
-                               payload=job_payload)
+                               payload=job_payload, webhook=request.webhook)
             record, deduped = self.store.submit(record, reuse=request.reuse)
         self.metrics.count("service.jobs.submitted")
         if deduped:
@@ -301,8 +318,27 @@ class ServiceApp:
                 WhatIfSpec.parse(text) for text in request.whatif))
         return spec
 
-    def job_status(self, job_id: str) -> dict[str, Any]:
-        record = self.store.get(job_id)
+    def job_status(self, job_id: str,
+                   wait: str | float | None = None) -> dict[str, Any]:
+        """Job status; with ``wait=`` seconds, long-poll for a terminal.
+
+        The long-poll parks on the store's per-job condition — an
+        in-process worker's terminal transition answers immediately; a
+        fleet worker's transition is observed by the store's bounded
+        refresh loop.  The response is the same body either way: clients
+        inspect ``job.state`` to see whether the wait was satisfied.
+        """
+        if wait is not None:
+            try:
+                seconds = float(wait)
+            except (TypeError, ValueError):
+                raise ProtocolError(
+                    CODE_BAD_REQUEST,
+                    f"'wait' must be a number of seconds, got {wait!r}") from None
+            seconds = min(max(0.0, seconds), MAX_WAIT_SECONDS)
+            record = self.store.wait_for_terminal(job_id, seconds)
+        else:
+            record = self.store.get(job_id)
         if record is None:
             raise ProtocolError(CODE_UNKNOWN_JOB, f"no job {job_id!r}")
         return {"job": record.public_json()}
@@ -326,6 +362,9 @@ class ServiceApp:
         record = self.store.cancel(job_id)
         self.metrics.count("service.jobs.cancelled")
         self.metrics.gauge("service.queue_depth", self.store.queue_depth())
+        # Cancellation is a terminal transition like any other: the
+        # subscriber hears about it instead of waiting forever.
+        deliver_webhook_async(self.store, record, metrics=self.metrics)
         return {"job": record.public_json()}
 
     def health(self) -> dict[str, Any]:
@@ -340,7 +379,17 @@ class ServiceApp:
 
     def metricz(self) -> dict[str, Any]:
         snapshot = self.metrics.snapshot()
+        # Fleet-truthful gauges come straight from the store: the queue
+        # depth and lease counters reflect every process on the shared
+        # root, not just this server's own workers.
+        self.store.refresh()
         snapshot["gauges"]["service.queue_depth"] = float(self.store.queue_depth())
+        snapshot["gauges"]["service.leases.active"] = float(
+            len(self.store.active_leases()))
+        counters = snapshot.setdefault("counters", {})
+        counters["service.leases.expired"] = float(
+            counters.get("service.leases.expired", 0.0)
+            + self.store.lease_expirations)
         return snapshot
 
     # -- lifecycle -----------------------------------------------------------

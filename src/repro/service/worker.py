@@ -12,6 +12,21 @@ cache is content-addressed and shared across workers and users, popular
 scenario grids are answered entirely from cache (a warm identical
 resubmission reports ``cache_hit_rate == 1.0``).
 
+While a job runs, the worker heartbeats its claim lease on a side
+thread (interval = a quarter of the lease), so a *healthy* slow job is
+never reclaimed, while a SIGKILLed worker stops heartbeating and its
+job is requeued by any surviving store once the lease expires.  A
+worker whose lease *was* reclaimed (e.g. it stalled past the deadline)
+finishes its run normally — the store's stale-attempt guard discards
+the late result instead of clobbering the retry.
+
+:class:`WorkerFleet` hosts N workers as a dedicated process over a
+shared ``--root`` (the ``repro-lumos work`` subcommand): every state
+transition goes through atomic snapshot writes and ``O_EXCL`` lease
+files, so fleets on NFS-style shared roots coexist with the serving
+process without coordination.  SIGTERM drains gracefully — the in-flight
+job finishes, its lease is released, the process exits 0.
+
 Library errors become typed job failures through
 :func:`~repro.service.protocol.error_for_exception` — an invalid spec or
 an unsupported target fails *that job* with a stable code; the worker
@@ -23,19 +38,35 @@ records a ``service.queue_wait`` span (via
 :func:`~repro.observability.tracing.record_span` — the wait elapsed
 before the worker could open a span) and a ``service.run`` span, plus
 queue-wait / job-latency / cache-hit-rate histograms on the service's
-own always-on :class:`ServiceMetrics` registry.
+own always-on :class:`ServiceMetrics` registry.  The busy-worker gauge
+moves only when a job is actually claimed — an idle polling fleet
+truthfully reports ``service.busy_workers == 0``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
+import os
+import signal
+import socket
 import threading
 import time
-from typing import Any
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Mapping
 
 from repro.api.study import Study
 from repro.observability import tracing as observability
 from repro.observability.metrics import MetricsRegistry
-from repro.service.jobs import JobRecord, JobStore, TraceRegistry
+from repro.service.jobs import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_ATTEMPTS,
+    JobRecord,
+    JobStore,
+    TraceRegistry,
+)
 from repro.service.protocol import (
     cache_stats_json,
     error_for_exception,
@@ -63,6 +94,10 @@ class ServiceMetrics:
         self.registry = MetricsRegistry()
         self._lock = threading.Lock()
         self._busy = 0
+        # Seed the fleet gauges so an idle service *reports* idle instead
+        # of omitting the gauge entirely.
+        self.registry.gauge("service.busy_workers", 0.0)
+        self.registry.gauge("service.queue_depth", 0.0)
 
     def count(self, name: str, n: float = 1.0) -> None:
         with self._lock:
@@ -90,6 +125,62 @@ class ServiceMetrics:
     def snapshot(self) -> dict[str, Any]:
         with self._lock:
             return self.registry.snapshot()
+
+
+# -- webhooks -----------------------------------------------------------------
+
+def deliver_webhook(store: JobStore, record: JobRecord, *,
+                    metrics: ServiceMetrics | None = None, tries: int = 3,
+                    backoff: float = 0.2, timeout: float = 10.0) -> bool:
+    """POST one terminal job record to its webhook URL.
+
+    Bounded retries with exponential backoff; the outcome — delivered or
+    exhausted — is journaled either way, so a dead receiver is a
+    post-mortem line, never a worker stall.
+    """
+    if not record.webhook or not record.terminal:
+        return False
+    body = json.dumps({"job": record.public_json()}).encode("utf-8")
+    last_error: Exception | None = None
+    for attempt in range(1, max(1, tries) + 1):
+        if attempt > 1:
+            time.sleep(backoff * (2 ** (attempt - 2)))
+        request = urllib.request.Request(
+            record.webhook, data=body, method="POST",
+            headers={"Content-Type": "application/json"})
+        try:
+            with contextlib.closing(
+                    urllib.request.urlopen(request, timeout=timeout)):
+                pass
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            last_error = error
+            continue
+        store.journal_event("webhook_delivered", record,
+                            url=record.webhook, attempt=attempt)
+        if metrics is not None:
+            metrics.count("service.webhooks.delivered")
+        return True
+    store.journal_event("webhook_failed", record, url=record.webhook,
+                        error=str(last_error))
+    if metrics is not None:
+        metrics.count("service.webhooks.failed")
+    return False
+
+
+def deliver_webhook_async(store: JobStore, record: JobRecord, *,
+                          metrics: ServiceMetrics | None = None,
+                          tries: int = 3, backoff: float = 0.2,
+                          timeout: float = 10.0) -> threading.Thread | None:
+    """Fire-and-forget :func:`deliver_webhook` on a daemon thread."""
+    if not record.webhook or not record.terminal:
+        return None
+    thread = threading.Thread(
+        target=deliver_webhook, args=(store, record),
+        kwargs={"metrics": metrics, "tries": tries, "backoff": backoff,
+                "timeout": timeout},
+        name=f"webhook-{record.job_id[:8]}", daemon=True)
+    thread.start()
+    return thread
 
 
 class Worker:
@@ -146,11 +237,28 @@ class Worker:
             result = sweep_result_payload(swept)
         return result, cache_stats_json(cache.stats)
 
+    def _heartbeat_loop(self, record: JobRecord, stop: threading.Event) -> None:
+        interval = max(0.05, self.store.lease_seconds / 4.0)
+        while not stop.wait(interval):
+            if not self.store.heartbeat(record, self.worker_id):
+                # The lease was reclaimed out from under us; stop
+                # extending it — the stale-attempt guard in the store
+                # will discard our (now superseded) result.
+                return
+
     def run_once(self) -> bool:
         """Claim and process one job; False when the queue was empty."""
         record = self.store.claim_next(self.worker_id)
         if record is None:
             return False
+        # Busy only now that a job is actually in hand — polling an
+        # empty queue is idleness, not work.
+        self.metrics.worker_busy(+1)
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, args=(record, heartbeat_stop),
+            name=f"heartbeat-{record.job_id[:8]}", daemon=True)
+        heartbeat.start()
         claimed = time.time()
         wait_ms = max(0.0, (claimed - record.submitted_unix) * 1000.0)
         observability.record_span(
@@ -165,32 +273,105 @@ class Worker:
                 result, cache = self._evaluate(record)
         except Exception as error:  # every failure becomes a typed record
             refusal = error_for_exception(error)
-            self.store.mark_failed(record, refusal.to_json()["error"])
+            finished = self.store.mark_failed(record, refusal.to_json()["error"])
             self.metrics.count("service.jobs.failed")
         else:
-            self.store.mark_done(record, result, cache)
+            finished = self.store.mark_done(record, result, cache)
             self.metrics.count("service.jobs.completed")
             self.metrics.observe("service.cache_hit_rate", cache["hit_rate"])
         finally:
+            heartbeat_stop.set()
+            heartbeat.join(timeout=1.0)
             # Release per-target sessions after every job so a long-lived
             # worker's memory is bounded by the calibrated cores, not by
             # every scenario grid it ever evaluated.
             for study in self._studies.values():
                 study.release()
             self.jobs_processed += 1
+            self.metrics.worker_busy(-1)
+            self.metrics.gauge("service.queue_depth", self.store.queue_depth())
             self.metrics.observe(
                 "service.job_latency_ms",
                 max(0.0, (time.time() - record.submitted_unix) * 1000.0))
+        # Our finish applied (not a stale retry) — deliver the webhook
+        # off-thread so a slow receiver never blocks the queue.
+        if finished.terminal and finished.attempts == record.attempts:
+            deliver_webhook_async(self.store, finished, metrics=self.metrics)
         return True
 
     def run_forever(self, stop: threading.Event) -> None:
         """Drain the queue until ``stop`` is set (the serve loop's body)."""
         while not stop.is_set():
-            self.metrics.worker_busy(+1)
-            busy = True
-            try:
-                busy = self.run_once()
-            finally:
-                self.metrics.worker_busy(-1)
-            if not busy:
+            self.metrics.gauge(
+                f"service.worker.{self.worker_id}.alive_unix", time.time())
+            if not self.run_once():
                 stop.wait(self.poll_interval)
+
+
+class WorkerFleet:
+    """A dedicated worker process draining a shared service root.
+
+    This is what ``repro-lumos work --root DIR`` runs: N worker threads
+    over one :class:`JobStore`, sharing the root's sweep cache and
+    bundle spool with every server and fleet on the same root.  Bundles
+    resolve from ``--trace NAME=DIR`` registrations plus the root's
+    ``bundles/`` spool (where servers park inline uploads), so a fleet
+    started before an upload still picks the job up.
+    """
+
+    def __init__(self, root: str | Path, *,
+                 traces: Mapping[str, str | Path] | None = None,
+                 cache_root: str | Path | None = None, workers: int = 1,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 poll_interval: float = 0.05,
+                 metrics: ServiceMetrics | None = None) -> None:
+        self.root = Path(root)
+        self.store = JobStore(self.root, lease_seconds=lease_seconds,
+                              max_attempts=max_attempts)
+        self.registry = TraceRegistry(spool_dir=self.root / "bundles")
+        for name, path in (traces or {}).items():
+            self.registry.register(name, path)
+        self.cache_root = str(cache_root or self.root / "cache")
+        self.metrics = metrics or ServiceMetrics()
+        prefix = f"{socket.gethostname()}:{os.getpid()}"
+        self.workers = [
+            Worker(self.store, self.registry, self.cache_root,
+                   metrics=self.metrics, worker_id=f"{prefix}:{index}",
+                   poll_interval=poll_interval)
+            for index in range(max(1, int(workers)))
+        ]
+
+    @property
+    def jobs_processed(self) -> int:
+        return sum(worker.jobs_processed for worker in self.workers)
+
+    def run(self, stop: threading.Event | None = None, *,
+            install_signals: bool = False) -> int:
+        """Drain until ``stop`` — or SIGTERM/SIGINT with signals installed.
+
+        The drain is graceful: workers finish (and release the lease of)
+        their in-flight job before exiting; only *then* does this return
+        0, so ``kill -TERM`` never strands a ``running`` record.
+        """
+        stop = stop or threading.Event()
+        if install_signals:
+            def _drain(signum: int, frame: Any) -> None:
+                stop.set()
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        threads = [
+            threading.Thread(target=worker.run_forever, args=(stop,),
+                             name=worker.worker_id)
+            for worker in self.workers
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            while not stop.is_set():
+                stop.wait(0.2)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        return 0

@@ -89,8 +89,10 @@ REPRO_SERVICE_ALL = [
     "SubmitRequest",
     "TraceRegistry",
     "Worker",
+    "WorkerFleet",
     "bundle_from_json",
     "bundle_to_json",
+    "deliver_webhook",
     "error_for_exception",
     "job_id_for",
     "predict_result_payload",

@@ -30,13 +30,16 @@ from repro.service import (
     SubmitRequest,
     TraceRegistry,
     Worker,
+    WorkerFleet,
     bundle_from_json,
     bundle_to_json,
+    deliver_webhook,
     error_for_exception,
     job_id_for,
     validate_result_payload,
 )
 from repro.service.jobs import (
+    EVENT_LEASE_EXPIRED,
     STATE_CANCELLED,
     STATE_DONE,
     STATE_FAILED,
@@ -55,6 +58,7 @@ from repro.service.protocol import (
     CODE_UNKNOWN_TRACE,
     CODE_UNSUPPORTED_TARGET,
     CODE_UNSUPPORTED_VERSION,
+    CODE_WORKER_LOST,
 )
 from repro.api.errors import PredictError, StudyError
 from repro.sweep.hashing import hash_trace_bundle
@@ -151,6 +155,17 @@ class TestSubmitRequest:
         error = self._parse_error({"version": 1, "kind": "sweep", "trace": "t",
                                    "targets": ["2x2x8"], "slo_ms": "fast"})
         assert error.code == CODE_BAD_REQUEST
+
+    def test_webhook_must_be_an_http_url(self):
+        request = SubmitRequest.parse({
+            "version": 1, "kind": "sweep", "trace": "t", "targets": ["2x2x8"],
+            "webhook": "https://hooks.example/done"})
+        assert request.webhook == "https://hooks.example/done"
+        for bad in ("ftp://x", "hooks.example/done", 7):
+            error = self._parse_error({"version": 1, "kind": "sweep",
+                                       "trace": "t", "targets": ["2x2x8"],
+                                       "webhook": bad})
+            assert error.code == CODE_BAD_REQUEST
 
 
 class TestErrorMapping:
@@ -389,6 +404,19 @@ class TestTraceRegistry:
         assert resolved_hash == hash_trace_bundle(bundle)
         # Re-uploading the identical bundle reuses the spooled copy.
         assert registry.store_inline(bundle_to_json(bundle)) == name
+
+    def test_spooled_upload_resolves_in_a_fresh_registry(self, serving_trace_dir,
+                                                         tmp_path):
+        # A worker fleet started *before* a server spooled an upload must
+        # still resolve it: unknown upload-* names fall back to the spool.
+        from repro.trace.kineto import TraceBundle
+        bundle = TraceBundle.load(serving_trace_dir)
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        name = TraceRegistry(spool_dir=spool).store_inline(bundle_to_json(bundle))
+        fresh = TraceRegistry(spool_dir=spool)
+        resolved, resolved_hash = fresh.resolve(name)
+        assert resolved_hash == hash_trace_bundle(bundle)
 
     def test_uploads_refused_without_spool(self, serving_trace_dir):
         from repro.trace.kineto import TraceBundle
@@ -773,3 +801,454 @@ class TestServeLifecycle:
                      "--trace", "no-equals-sign"])
         assert code == 2
         assert "expected NAME=DIR" in capsys.readouterr().err
+
+
+def _journal_events(store: JobStore, event: str, job_id: str) -> list[dict]:
+    return [line for line in store.journal_events()
+            if line["event"] == event and line["job_id"] == job_id]
+
+
+class TestLeases:
+    def test_claim_writes_a_lease_with_a_deadline(self, tmp_path):
+        store = JobStore(tmp_path, lease_seconds=30.0)
+        record, _ = store.submit(_record())
+        store.claim_next("w")
+        lease = store.read_lease(record.job_id)
+        assert lease["worker"] == "w"
+        assert lease["pid"] == os.getpid()
+        assert lease["hostname"]
+        assert lease["deadline_unix"] > time.time() + 20.0
+        assert store.active_leases()[0]["job_id"] == record.job_id
+
+    def test_heartbeat_extends_the_deadline(self, tmp_path):
+        store = JobStore(tmp_path, lease_seconds=0.5)
+        record, _ = store.submit(_record())
+        running = store.claim_next("w")
+        before = store.read_lease(record.job_id)["deadline_unix"]
+        time.sleep(0.05)
+        assert store.heartbeat(running)
+        assert store.read_lease(record.job_id)["deadline_unix"] > before
+
+    def test_heartbeat_refuses_a_lease_it_no_longer_owns(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+        running = store.claim_next("w")
+        # Another process re-leased the job out from under this worker.
+        foreign = dict(store.read_lease(record.job_id),
+                       worker="other", pid=os.getpid() + 1)
+        (store.claims_dir / f"{record.job_id}.claim").write_text(
+            json.dumps(foreign), encoding="utf-8")
+        assert not store.heartbeat(running)
+        assert store.read_lease(record.job_id)["worker"] == "other"
+
+    def test_expired_lease_requeues_with_attempts_bumped(self, tmp_path):
+        """The kill-the-worker core: a dead claimant's job is recovered."""
+        zombie = JobStore(tmp_path, lease_seconds=0.2)
+        record, _ = zombie.submit(_record())
+        claimed = zombie.claim_next("zombie")
+        assert claimed.state == STATE_RUNNING
+        time.sleep(0.3)  # the zombie never heartbeats: the lease expires
+
+        survivor = JobStore(tmp_path, lease_seconds=0.2)
+        reclaimed = survivor.claim_next("survivor")
+        assert reclaimed is not None
+        assert reclaimed.job_id == record.job_id
+        assert reclaimed.worker == "survivor"
+        assert reclaimed.attempts == 2
+        assert survivor.lease_expirations == 1
+        expired = _journal_events(survivor, EVENT_LEASE_EXPIRED, record.job_id)
+        assert expired and expired[0]["worker"] == "zombie"
+
+        done = survivor.mark_done(reclaimed, {"ok": True})
+        assert done.state == STATE_DONE
+        assert done.attempts == 2
+
+    def test_max_attempts_exhaustion_fails_as_worker_lost(self, tmp_path):
+        store = JobStore(tmp_path, lease_seconds=0.1, max_attempts=2)
+        record, _ = store.submit(_record())
+        store.claim_next("w1")
+        time.sleep(0.15)
+        second = store.claim_next("w2")  # reclaim + re-claim: attempt 2 of 2
+        assert second.attempts == 2
+        time.sleep(0.15)
+        store.refresh()  # second expiry exhausts max_attempts
+        failed = store.get(record.job_id)
+        assert failed.state == STATE_FAILED
+        assert failed.error["code"] == CODE_WORKER_LOST
+        assert "w2" in failed.error["message"]
+        assert store.lease_expirations == 2
+        assert len(_journal_events(store, EVENT_LEASE_EXPIRED,
+                                   record.job_id)) == 2
+
+    def test_stale_finisher_cannot_clobber_the_retry(self, tmp_path):
+        stalled = JobStore(tmp_path, lease_seconds=0.1)
+        record, _ = stalled.submit(_record())
+        old_claim = stalled.claim_next("stalled")
+        time.sleep(0.15)
+        survivor = JobStore(tmp_path, lease_seconds=30.0)
+        retry = survivor.claim_next("survivor")
+        assert retry.attempts == 2
+        # The stalled worker wakes up and tries to finish attempt 1.
+        outcome = stalled.mark_done(old_claim, {"stale": True})
+        assert outcome.state == STATE_RUNNING  # the retry, untouched
+        assert outcome.attempts == 2
+        # ... and it did not strip the survivor's lease.
+        assert survivor.read_lease(record.job_id)["worker"] == "survivor"
+        done = survivor.mark_done(retry, {"ok": True})
+        assert done.result == {"ok": True}
+
+    def test_refresh_skips_rereading_terminal_records(self, tmp_path,
+                                                      monkeypatch):
+        store = JobStore(tmp_path)
+        for tag in ("a", "b", "c"):
+            store.submit(_record(tag * 32, submitted_unix=1.0))
+            store.mark_done(store.claim_next("w"), {"ok": tag})
+        store.submit(_record("d" * 32, submitted_unix=2.0))
+        reads = []
+        original = JobStore._read
+
+        def counting_read(self, path):
+            reads.append(path.name)
+            return original(self, path)
+
+        monkeypatch.setattr(JobStore, "_read", counting_read)
+        # Fleet polling is O(non-terminal jobs): the three immutable done
+        # records are served from the index, only the queued one re-reads.
+        store.refresh()
+        assert reads == ["d" * 32 + ".json"]
+
+    def test_wait_for_terminal_returns_on_in_process_finish(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(_record())
+
+        def finish_soon() -> None:
+            time.sleep(0.2)
+            store.mark_done(store.claim_next("w"), {"ok": True})
+
+        finisher = threading.Thread(target=finish_soon)
+        started = time.monotonic()
+        finisher.start()
+        try:
+            done = store.wait_for_terminal(record.job_id, timeout=30.0)
+        finally:
+            finisher.join()
+        elapsed = time.monotonic() - started
+        assert done.state == STATE_DONE
+        assert 0.15 <= elapsed < 5.0
+
+
+class TestWorkerFleetRecovery:
+    @pytest.fixture
+    def recovery_app(self, serving_trace_dir, tmp_path):
+        """A no-worker app whose store reclaims after a 0.3s lease."""
+        with ServiceApp(tmp_path / "svc", workers=0, lease_seconds=0.3,
+                        traces={"canned": serving_trace_dir}) as app:
+            yield app
+
+    def test_killed_worker_job_is_rerun_to_completion(self, recovery_app):
+        """Acceptance path: SIGKILLed claimant → survivor re-runs the job."""
+        app = recovery_app
+        client = ServiceClient(app.url)
+        submitted = client.submit(SWEEP_BODY)
+        job_id = submitted["job"]["job_id"]
+
+        # A separate store on the same root claims the job and then "dies"
+        # without heartbeating — exactly what a SIGKILLed `repro-lumos
+        # work` process leaves behind: a running record and a stale lease.
+        zombie = JobStore(app.root, lease_seconds=0.3)
+        assert zombie.claim_next("zombie").job_id == job_id
+        assert client.job(job_id)["state"] == STATE_RUNNING
+        time.sleep(0.4)
+
+        # The surviving in-process worker reclaims and completes it.
+        _drain(app)
+        job = client.job(job_id)
+        assert job["state"] == STATE_DONE
+        assert job["attempts"] == 2
+        assert _journal_events(app.store, EVENT_LEASE_EXPIRED, job_id)
+        metrics = client.metrics()
+        assert metrics["counters"]["service.leases.expired"] >= 1.0
+        result = validate_result_payload(client.result(job_id)["result"])
+        assert result["kind"] == "sweep"
+
+    def test_metricz_alone_recovers_an_expired_lease(self, recovery_app):
+        # Even with every worker parked, scraping /v1/metricz refreshes
+        # the store and requeues the abandoned job.
+        app = recovery_app
+        client = ServiceClient(app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+        JobStore(app.root, lease_seconds=0.3).claim_next("zombie")
+        time.sleep(0.4)
+        metrics = client.metrics()
+        assert metrics["counters"]["service.leases.expired"] >= 1.0
+        job = client.job(job_id)
+        assert job["state"] == STATE_QUEUED
+        assert job["attempts"] == 2
+
+    def test_fleet_process_drains_a_shared_root(self, recovery_app,
+                                                serving_trace_dir):
+        app = recovery_app
+        client = ServiceClient(app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+        fleet = WorkerFleet(app.root, traces={"canned": serving_trace_dir},
+                            cache_root=app.cache_root, workers=1,
+                            lease_seconds=30.0)
+        stop = threading.Event()
+        runner = threading.Thread(target=fleet.run, args=(stop,))
+        runner.start()
+        try:
+            job = client.wait(job_id, timeout=120.0)
+        finally:
+            stop.set()
+            runner.join(timeout=30.0)
+        assert job["state"] == STATE_DONE
+        assert fleet.jobs_processed == 1
+        assert not runner.is_alive()
+
+    def test_cli_work_wires_the_fleet(self, tmp_path, serving_trace_dir,
+                                      monkeypatch, capsys):
+        from repro.cli import main
+        seen: dict[str, object] = {}
+
+        def fake_run(self, stop=None, install_signals=False):
+            seen["workers"] = len(self.workers)
+            seen["lease"] = self.store.lease_seconds
+            seen["signals"] = install_signals
+            return 0
+
+        monkeypatch.setattr(WorkerFleet, "run", fake_run)
+        code = main(["work", "--root", str(tmp_path / "svc"),
+                     "--trace", f"canned={serving_trace_dir}",
+                     "--workers", "2", "--lease-seconds", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker fleet draining" in out
+        assert seen == {"workers": 2, "lease": 5.0, "signals": True}
+
+
+class TestEventDrivenCompletion:
+    def test_wait_param_long_polls_until_terminal(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+
+        def drain_soon() -> None:
+            time.sleep(0.3)
+            _drain(manual_app)
+
+        drainer = threading.Thread(target=drain_soon)
+        started = time.monotonic()
+        drainer.start()
+        try:
+            job = client.job(job_id, wait=30.0)
+        finally:
+            drainer.join()
+        assert job["state"] == STATE_DONE
+        assert time.monotonic() - started >= 0.25
+
+    def test_wait_param_expires_with_the_job_still_queued(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+        job = client.job(job_id, wait=0.2)
+        assert job["state"] == STATE_QUEUED
+
+    def test_bad_wait_param_is_bad_request(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", f"/v1/jobs/{job_id}?wait=soon")
+        assert excinfo.value.code == CODE_BAD_REQUEST
+
+    @pytest.fixture
+    def webhook_receiver(self):
+        """A local HTTP sink recording every JSON body POSTed to it."""
+        from http.server import BaseHTTPRequestHandler, HTTPServer
+
+        received: list[dict] = []
+        got_one = threading.Event()
+
+        class Sink(BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                received.append(json.loads(self.rfile.read(length)))
+                got_one.set()
+                self.send_response(200)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        server = HTTPServer(("127.0.0.1", 0), Sink)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}/hook"
+        try:
+            yield url, received, got_one
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10.0)
+
+    def test_webhook_fires_on_completion(self, manual_app, webhook_receiver):
+        url, received, got_one = webhook_receiver
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(dict(SWEEP_BODY, webhook=url))["job"]["job_id"]
+        _drain(manual_app)
+        assert got_one.wait(timeout=30.0)
+        delivered = received[0]["job"]
+        assert delivered["job_id"] == job_id
+        assert delivered["state"] == STATE_DONE
+        events = _journal_events(manual_app.store, "webhook_delivered", job_id)
+        assert events and events[0]["url"] == url
+
+    def test_webhook_fires_on_cancel(self, manual_app, webhook_receiver):
+        url, received, got_one = webhook_receiver
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(dict(SWEEP_BODY, webhook=url))["job"]["job_id"]
+        client.cancel(job_id)
+        assert got_one.wait(timeout=30.0)
+        assert received[0]["job"]["state"] == STATE_CANCELLED
+
+    def test_webhook_failure_is_journaled_not_raised(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(
+            dict(SWEEP_BODY, webhook="http://127.0.0.1:9/hook"))["job"]["job_id"]
+        _drain(manual_app)
+        record = manual_app.store.get(job_id)
+        assert record.state == STATE_DONE
+        assert not deliver_webhook(manual_app.store, record,
+                                   metrics=manual_app.metrics,
+                                   tries=2, backoff=0.01, timeout=1.0)
+        events = _journal_events(manual_app.store, "webhook_failed", job_id)
+        assert events and "error" in events[0]
+        snapshot = manual_app.metrics.snapshot()
+        assert snapshot["counters"]["service.webhooks.failed"] >= 1.0
+
+    def test_webhook_survives_dedupe_with_first_one_winning(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        first = client.submit(dict(SWEEP_BODY, webhook="http://a.example/h"))
+        second = client.submit(dict(SWEEP_BODY, webhook="http://b.example/h"))
+        assert second["deduped"]
+        assert first["job"]["job_id"] == second["job"]["job_id"]
+        record = manual_app.store.get(first["job"]["job_id"])
+        assert record.webhook == "http://a.example/h"
+
+
+class TestClientRetries:
+    def test_get_retries_a_transient_network_error(self, manual_app,
+                                                   monkeypatch):
+        import urllib.request as urllib_request
+        from urllib.error import URLError
+        real = urllib_request.urlopen
+        failures = {"left": 2}
+
+        def flaky(request, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise URLError("connection dropped")
+            return real(request, **kwargs)
+
+        monkeypatch.setattr(urllib_request, "urlopen", flaky)
+        assert ServiceClient(manual_app.url).health()["status"] == "ok"
+        assert failures["left"] == 0
+
+    def test_get_gives_up_after_capped_retries(self, manual_app, monkeypatch):
+        import urllib.request as urllib_request
+        from urllib.error import URLError
+        calls = {"n": 0}
+
+        def dead(request, **kwargs):
+            calls["n"] += 1
+            raise URLError("still down")
+
+        monkeypatch.setattr(urllib_request, "urlopen", dead)
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(manual_app.url).health()
+        assert excinfo.value.code == "unavailable"
+        assert calls["n"] == 3
+
+    def test_post_is_never_retried(self, manual_app, monkeypatch):
+        import urllib.request as urllib_request
+        from urllib.error import URLError
+        calls = {"n": 0}
+
+        def dead(request, **kwargs):
+            calls["n"] += 1
+            raise URLError("still down")
+
+        monkeypatch.setattr(urllib_request, "urlopen", dead)
+        with pytest.raises(ServiceError):
+            ServiceClient(manual_app.url).submit(SWEEP_BODY)
+        assert calls["n"] == 1
+
+    def test_wait_backs_off_against_a_non_longpoll_server(self, manual_app,
+                                                          monkeypatch):
+        client = ServiceClient(manual_app.url)
+        job_id = client.submit(SWEEP_BODY)["job"]["job_id"]
+        # Simulate a server that ignores ?wait= by answering instantly.
+        monkeypatch.setattr(
+            ServiceClient, "job",
+            lambda self, job_id, wait=None: {"state": STATE_QUEUED})
+        sleeps: list[float] = []
+        monkeypatch.setattr(time, "sleep", sleeps.append)
+        with pytest.raises(ServiceError) as excinfo:
+            client.wait(job_id, timeout=0.2, poll_interval=0.05)
+        assert excinfo.value.code == "timeout"
+        # Poll intervals doubled instead of hammering a fixed 0.1s
+        # (later sleeps are clamped to the remaining deadline).
+        assert sleeps[0] == pytest.approx(0.05)
+        assert sleeps[1] == pytest.approx(0.1)
+
+
+class TestIdleFleetMetrics:
+    def test_idle_workers_report_zero_busy(self, serving_trace_dir, tmp_path):
+        """Regression: polling an empty queue is idleness, not work."""
+        with ServiceApp(tmp_path / "svc", workers=2,
+                        traces={"canned": serving_trace_dir}) as app:
+            time.sleep(0.3)  # plenty of empty poll cycles
+            metrics = ServiceClient(app.url).metrics()
+            assert metrics["gauges"]["service.busy_workers"] == 0.0
+            assert metrics["gauges"]["service.queue_depth"] == 0.0
+
+    def test_queue_depth_returns_to_zero_after_drain(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        client.submit(SWEEP_BODY)
+        assert client.metrics()["gauges"]["service.queue_depth"] == 1.0
+        _drain(manual_app)
+        metrics = client.metrics()
+        assert metrics["gauges"]["service.queue_depth"] == 0.0
+        # The worker's own gauge update agrees with the store-backed one.
+        assert manual_app.metrics.snapshot()[
+            "gauges"]["service.queue_depth"] == 0.0
+
+    def test_busy_gauge_rises_only_while_a_job_runs(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        client.submit(SWEEP_BODY)
+        observed: list[float] = []
+        worker = Worker(manual_app.store, manual_app.registry,
+                        manual_app.cache_root, metrics=manual_app.metrics)
+        original = worker._evaluate
+
+        def spying_evaluate(record):
+            observed.append(manual_app.metrics.snapshot()[
+                "gauges"]["service.busy_workers"])
+            return original(record)
+
+        worker._evaluate = spying_evaluate
+        assert worker.run_once()
+        assert observed == [1.0]
+        assert manual_app.metrics.snapshot()[
+            "gauges"]["service.busy_workers"] == 0.0
+
+    def test_worker_liveness_gauge_is_exported(self, serving_trace_dir,
+                                               tmp_path):
+        with ServiceApp(tmp_path / "svc", workers=1,
+                        traces={"canned": serving_trace_dir}) as app:
+            deadline = time.time() + 10.0
+            name = "service.worker.worker-0.alive_unix"
+            while time.time() < deadline:
+                gauges = app.metrics.snapshot()["gauges"]
+                if gauges.get(name, 0.0) > 0.0:
+                    break
+                time.sleep(0.02)
+            assert app.metrics.snapshot()["gauges"][name] > 0.0
