@@ -32,7 +32,8 @@
 * ``submit``   — submit a sweep (or ``--predict`` single prediction) to
   a running service, long-poll to completion and print the ranked
   table — the same unified ``--target`` flags as ``predict``/``sweep``;
-  ``--webhook URL`` asks the server to POST the terminal job record;
+  ``--webhook URL`` asks the server to POST the terminal job record
+  (the server must opt in: ``serve --allow-webhooks`` / ``--webhook-host``);
 * ``cache``    — operate a long-lived shared sweep cache: ``stats``
   prints entry/bundle counts and bytes, ``prune --max-size-mb`` evicts
   oldest-first down to a size budget.
@@ -342,6 +343,12 @@ def _parse_trace_registrations(entries: list[str]) -> dict[str, str]:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServiceApp
 
+    if args.allow_webhooks:
+        webhook_hosts: tuple[str, ...] | None = ("*",)
+    elif args.webhook_host:
+        webhook_hosts = tuple(args.webhook_host)
+    else:
+        webhook_hosts = None
     try:
         traces = _parse_trace_registrations(args.trace)
         app = ServiceApp(args.root, host=args.host, port=args.port,
@@ -349,7 +356,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          cache_root=args.cache_dir,
                          poll_interval=args.poll_interval,
                          lease_seconds=args.lease_seconds,
-                         max_attempts=args.max_attempts)
+                         max_attempts=args.max_attempts,
+                         webhook_hosts=webhook_hosts)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -622,6 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--max-attempts", type=int, default=3,
                               help="attempts (initial + lease-expiry requeues) "
                                    "before a job fails as worker-lost")
+    serve_parser.add_argument("--allow-webhooks", action="store_true",
+                              help="accept submission 'webhook' URLs for any "
+                                   "host (off by default: webhook POSTs "
+                                   "originate from the service's network)")
+    serve_parser.add_argument("--webhook-host", action="append", default=[],
+                              metavar="HOST",
+                              help="accept webhooks only for HOST "
+                                   "(repeatable; implies webhooks are on)")
     serve_parser.set_defaults(func=_cmd_serve)
 
     work_parser = subparsers.add_parser(

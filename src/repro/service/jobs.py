@@ -12,10 +12,13 @@ Persistence is one JSON snapshot per job under ``<root>/jobs/`` (written
 with the same tmp-file + ``os.replace`` idiom as the sweep cache, so
 snapshots are never torn) plus an append-only ``journal.jsonl`` of state
 transitions for post-mortems.  :meth:`JobStore.refresh` rescans the
-directory — skipping terminal records already indexed, which are
-immutable — so a server process and out-of-process worker fleets sharing
-one root observe each other's transitions at a cost proportional to the
-*non-terminal* jobs, not the store's full history.
+directory; a terminal record already indexed is only *re-read* when the
+snapshot file's stat identity (mtime/size/inode) changed since it was
+indexed — which is how a re-enqueue written by another process (a
+resubmission rewrites the same ``jobs/{id}.json`` path back to
+``queued``) is observed by every store sharing the root.  Unchanged
+terminal snapshots cost one ``stat()``, so fleet polling parses JSON
+only for the *non-terminal* jobs, not the store's full history.
 
 Claims are **leases**, not bare markers: the ``O_EXCL`` claim file under
 ``<root>/claims/`` carries ``{worker, pid, hostname, deadline_unix}``
@@ -31,13 +34,20 @@ the typed ``worker-lost`` code once ``max_attempts`` is exhausted.
 Reclaim itself is arbitrated by an atomic rename of the expired claim
 file, so concurrent reapers requeue a lost job exactly once.
 
-States move ``queued → running → done/failed/cancelled``; terminal
-records are immutable (a re-enqueue writes a fresh ``queued`` snapshot
-with ``attempts`` bumped).  Every terminal transition notifies a per-job
+States move ``queued → running → done/failed/cancelled``; a terminal
+record never mutates *in place* — a re-enqueue replaces the snapshot
+wholesale with a fresh ``queued`` record (``attempts`` bumped), which
+the stat check above makes visible to every store, and a late finisher
+whose job was meanwhile requeued or terminally failed is discarded
+(journal ``stale_finish``) instead of overwriting the newer record.
+Every terminal transition notifies a per-job
 :class:`threading.Condition`, which is what ``GET /v1/jobs/{id}?wait=``
 long-polls on; :meth:`JobStore.wait_for_terminal` falls back to a
 bounded poll loop (via ``refresh``) for transitions written by other
-processes.
+processes.  A store's optional ``on_terminal`` callback fires for every
+terminal record *this* store wrote — worker finishes, cancels, and
+lease-expiry ``worker-lost`` failures alike — which is how webhook
+subscribers hear about terminal transitions no worker produced.
 """
 
 from __future__ import annotations
@@ -51,7 +61,7 @@ import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.service.protocol import (
     CODE_BAD_REQUEST,
@@ -193,8 +203,17 @@ class JobStore:
         #: Expired leases this store observed and reclaimed (requeue or
         #: worker-lost failure) — the ``service.leases.expired`` counter.
         self.lease_expirations = 0
+        #: Called with every terminal record *this store* writes (worker
+        #: finishes, cancels, and lease-expiry ``worker-lost`` failures).
+        #: The server and fleet hook webhook delivery here; exceptions
+        #: are swallowed so a bad subscriber never breaks a transition.
+        self.on_terminal: Callable[[JobRecord], None] | None = None
         self._lock = threading.Lock()
         self._index: dict[str, JobRecord] = {}
+        #: Stat identity of each indexed snapshot file, used to detect
+        #: that a terminal record was replaced on disk (a re-enqueue by
+        #: another process) without re-parsing unchanged snapshots.
+        self._snapshot_stat: dict[str, tuple[int, int, int] | None] = {}
         self._conditions: dict[str, threading.Condition] = {}
         self.refresh()
 
@@ -206,6 +225,15 @@ class JobStore:
     def _claim_path(self, job_id: str) -> Path:
         return self.claims_dir / f"{job_id}.claim"
 
+    @staticmethod
+    def _signature(path: Path) -> tuple[int, int, int] | None:
+        """The (mtime_ns, size, inode) identity of one snapshot file."""
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
     def _write(self, record: JobRecord) -> None:
         path = self._record_path(record.job_id)
         fd, tmp_name = tempfile.mkstemp(
@@ -213,12 +241,17 @@ class JobStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(json.dumps(record.to_json()))
+            # The tmp file's inode — and so its stat identity — survives
+            # the rename, so this is *our* snapshot's signature even if
+            # another process replaces the path right after us.
+            signature = self._signature(Path(tmp_name))
             os.replace(tmp_name, path)
         except BaseException:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
             raise
         self._index[record.job_id] = record
+        self._snapshot_stat[record.job_id] = signature
 
     def _journal(self, event: str, record: JobRecord, **extra: Any) -> None:
         line = json.dumps({"event": event, "job_id": record.job_id,
@@ -254,23 +287,49 @@ class JobStore:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    def _load_locked(self, job_id: str) -> JobRecord | None:
+        """Stat + read + index one snapshot (caller holds the lock)."""
+        path = self._record_path(job_id)
+        # Signature before content: if the file is replaced between the
+        # two calls we store a stale signature and simply re-read next
+        # time — conservative, never the other way around.
+        signature = self._signature(path)
+        record = self._read(path)
+        if record is not None:
+            self._index[record.job_id] = record
+            self._snapshot_stat[record.job_id] = signature
+        return record
+
+    def _current_locked(self, job_id: str) -> JobRecord | None:
+        """The up-to-date record (caller holds the lock).
+
+        A terminal index entry whose snapshot file is stat-identical to
+        when it was indexed is served from memory; anything else —
+        non-terminal, never seen, or a replaced snapshot (a re-enqueue
+        written by another process) — is re-read from disk.
+        """
+        cached = self._index.get(job_id)
+        if cached is not None and cached.terminal \
+                and self._snapshot_stat.get(job_id) == \
+                self._signature(self._record_path(job_id)):
+            return cached
+        fresh = self._load_locked(job_id)
+        return fresh if fresh is not None else cached
+
     def refresh(self) -> list[JobRecord]:
         """Rescan the jobs directory and reclaim expired leases.
 
-        Terminal records already in the index are immutable and are *not*
-        re-read — fleet polling stays O(non-terminal jobs), not O(every
-        job ever submitted).  Running jobs whose lease deadline has
-        passed are reclaimed (requeued, or failed with ``worker-lost``);
-        the reclaimed records are returned.
+        Terminal records already in the index are only re-read when
+        their snapshot file changed on disk (stat mtime/size/inode) —
+        fleet polling pays one ``stat()`` per terminal job but parses
+        JSON only for non-terminal (or replaced) snapshots.  Running
+        jobs whose lease deadline has passed are reclaimed (requeued, or
+        failed with ``worker-lost``); the reclaimed records are
+        returned.
         """
         with self._lock:
             for path in sorted(self.jobs_dir.glob("*.json")):
-                cached = self._index.get(path.stem)
-                if cached is not None and cached.terminal:
-                    continue
-                record = self._read(path)
-                if record is not None:
-                    self._index[record.job_id] = record
+                self._current_locked(path.stem)
             running = [record for record in self._index.values()
                        if record.state == STATE_RUNNING]
         now = time.time()
@@ -286,16 +345,10 @@ class JobStore:
     # -- queries -------------------------------------------------------------
 
     def get(self, job_id: str) -> JobRecord | None:
-        """The current record, re-read from disk while non-terminal."""
+        """The current record, re-read from disk unless the indexed
+        record is terminal *and* its snapshot file is unchanged."""
         with self._lock:
-            record = self._index.get(job_id)
-        if record is None or not record.terminal:
-            fresh = self._read(self._record_path(job_id))
-            if fresh is not None:
-                with self._lock:
-                    self._index[job_id] = fresh
-                record = fresh
-        return record
+            return self._current_locked(job_id)
 
     def jobs(self) -> list[JobRecord]:
         """Every known record, oldest submission first."""
@@ -359,6 +412,21 @@ class JobStore:
         Returns ``False`` — without touching anything — when the lease is
         no longer held by (``worker``, this pid): the job was reclaimed
         out from under a stalled worker, which should abandon the run.
+
+        Known (tolerated) race: the ownership check and the
+        ``os.replace`` are not one atomic step, so a stalled-but-alive
+        worker can pass the check just before a reaper renames its
+        expired claim away and then clobber the *new* owner's freshly
+        written lease.  The fallout is bounded, not fatal: the new owner
+        sees its heartbeats refused and abandons its (duplicate) run;
+        the stalled worker keeps heartbeating and finishes, but its
+        result is discarded by the stale-attempt guard in ``_finish``;
+        the claim it leaves behind expires unheartbeated and is swept by
+        the next ``claim_next``/``refresh``, so the job is requeued and
+        completes.  Closing the window entirely would need an ``fcntl``
+        lock or owner-named claim files with ``link()``-based
+        compare-and-swap — not worth it for a file-based lease whose
+        deadlines already bound every failure mode.
         """
         worker = worker if worker is not None else record.worker
         lease = self.read_lease(record.job_id)
@@ -454,6 +522,9 @@ class JobStore:
                     self._journal(EVENT_LEASE_EXPIRED, reclaimed,
                                   worker=lost_worker)
             self._notify(record.job_id)
+            # A worker-lost failure is a terminal transition no worker
+            # produced: this (winning) store tells the subscribers.
+            self._fire_on_terminal(reclaimed)
             return reclaimed
         finally:
             with contextlib.suppress(OSError):
@@ -472,11 +543,7 @@ class JobStore:
         webhook wins); a re-enqueue adopts the resubmission's.
         """
         with self._lock:
-            existing = self._index.get(record.job_id)
-            if existing is None:
-                disk = self._read(self._record_path(record.job_id))
-                if disk is not None:
-                    existing = self._index[record.job_id] = disk
+            existing = self._current_locked(record.job_id)
             if existing is not None and not existing.terminal:
                 return existing, True
             if existing is not None and reuse:
@@ -548,6 +615,13 @@ class JobStore:
         with condition:
             condition.notify_all()
 
+    def _fire_on_terminal(self, record: JobRecord) -> None:
+        """Invoke the ``on_terminal`` hook for a record this store wrote."""
+        callback = self.on_terminal
+        if callback is not None and record.terminal:
+            with contextlib.suppress(Exception):
+                callback(record)
+
     def wait_for_terminal(self, job_id: str, timeout: float,
                           poll_interval: float = 0.25) -> JobRecord | None:
         """Block until the job reaches a terminal state (or ``timeout``).
@@ -574,10 +648,14 @@ class JobStore:
     def _finish(self, record: JobRecord, state: str, **updates: Any) -> JobRecord:
         with self._lock:
             current = self._read(self._record_path(record.job_id))
-            if current is not None and current.attempts != record.attempts:
-                # The lease expired mid-run and the job was requeued (and
-                # possibly re-claimed): this finisher is stale. Leave the
-                # fresh record — and its claim — alone.
+            if current is not None and (current.terminal
+                                        or current.attempts != record.attempts):
+                # The lease expired mid-run and the job was requeued
+                # (attempts moved on) or already terminally failed as
+                # worker-lost (attempts unchanged but the record is
+                # final): this finisher is stale.  Leave the newer
+                # record — and its claim — alone; terminal records never
+                # mutate in place.
                 self._journal("stale_finish", current, worker=record.worker)
                 return current
             finished = replace(record, state=state,
@@ -586,6 +664,7 @@ class JobStore:
             self._journal(state, finished)
         self._release_claim(record.job_id, owner=record.worker)
         self._notify(record.job_id)
+        self._fire_on_terminal(finished)
         return finished
 
     def mark_done(self, record: JobRecord, result: dict[str, Any],

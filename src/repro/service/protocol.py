@@ -201,6 +201,10 @@ class SubmitRequest:
                 "'targets'/'whatif' axes")
         webhook = payload.get("webhook")
         if webhook is not None:
+            # Syntax only: whether this server POSTs anywhere at all is
+            # an operator decision — ServiceApp refuses webhooks unless
+            # started with an allowlist (``--allow-webhooks`` /
+            # ``--webhook-host``), which is the SSRF gate.
             if not isinstance(webhook, str) or not (
                     webhook.startswith("http://")
                     or webhook.startswith("https://")):

@@ -42,7 +42,7 @@ import urllib.parse
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.api import KIND_PARALLELISM, KIND_SERVING, parse_target
 from repro.api.errors import StudyError
@@ -193,7 +193,8 @@ class ServiceApp:
                  allow_uploads: bool = True,
                  poll_interval: float = 0.05,
                  lease_seconds: float = DEFAULT_LEASE_SECONDS,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 webhook_hosts: Sequence[str] | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.store = JobStore(self.root, lease_seconds=lease_seconds,
@@ -207,6 +208,16 @@ class ServiceApp:
         self.cache_root = str(cache_root if cache_root is not None
                               else self.root / "sweep-cache")
         self.metrics = ServiceMetrics()
+        # Webhooks are POSTs *from the service's network* to a
+        # submitter-chosen URL — an SSRF vector unless the operator opts
+        # in.  ``None`` (the default) refuses webhook submissions
+        # outright; ``("*",)`` allows any host; anything else is an
+        # exact-hostname allowlist.  The same policy gates delivery, so
+        # a strict server never POSTs records admitted elsewhere on a
+        # shared root.
+        self.webhook_hosts = (tuple(webhook_hosts)
+                              if webhook_hosts is not None else None)
+        self.store.on_terminal = self._notify_terminal
         self.worker_count = max(0, int(workers))
         self.poll_interval = poll_interval
         self._server = _Server((host, port), _Handler)
@@ -232,11 +243,45 @@ class ServiceApp:
         host, port = self.address
         return f"http://{host}:{port}"
 
+    # -- webhooks ------------------------------------------------------------
+
+    def _webhook_allowed(self, url: str) -> bool:
+        if self.webhook_hosts is None:
+            return False
+        if "*" in self.webhook_hosts:
+            return True
+        host = (urllib.parse.urlsplit(url).hostname or "").lower()
+        return host in {allowed.lower() for allowed in self.webhook_hosts}
+
+    def _check_webhook(self, url: str) -> None:
+        """Refuse a webhook URL the operator's policy does not allow."""
+        if self._webhook_allowed(url):
+            return
+        if self.webhook_hosts is None:
+            raise ProtocolError(
+                CODE_BAD_REQUEST,
+                "this server does not accept webhooks; start it with "
+                "--allow-webhooks (any host) or --webhook-host HOST")
+        host = urllib.parse.urlsplit(url).hostname or ""
+        raise ProtocolError(
+            CODE_BAD_REQUEST,
+            f"webhook host {host!r} is not in this server's allowlist "
+            f"({', '.join(self.webhook_hosts)})")
+
+    def _notify_terminal(self, record: JobRecord) -> None:
+        """The store's ``on_terminal`` hook: deliver the webhook, gated
+        by the same policy that admitted it (defense in depth against
+        records a *different*, laxer server wrote to a shared root)."""
+        if record.webhook and self._webhook_allowed(record.webhook):
+            deliver_webhook_async(self.store, record, metrics=self.metrics)
+
     # -- request handling (shared by the HTTP layer and tests) ---------------
 
     def submit(self, payload: Any) -> dict[str, Any]:
         """Admit one ``POST /v1/jobs`` body; returns the response body."""
         request = SubmitRequest.parse(payload)
+        if request.webhook is not None:
+            self._check_webhook(request.webhook)
         with observability.trace_span("service.admit", stage="admit",
                                       kind=request.kind):
             if request.bundle is not None:
@@ -363,8 +408,7 @@ class ServiceApp:
         self.metrics.count("service.jobs.cancelled")
         self.metrics.gauge("service.queue_depth", self.store.queue_depth())
         # Cancellation is a terminal transition like any other: the
-        # subscriber hears about it instead of waiting forever.
-        deliver_webhook_async(self.store, record, metrics=self.metrics)
+        # store's on_terminal hook notifies the webhook subscriber.
         return {"job": record.public_json()}
 
     def health(self) -> dict[str, Any]:

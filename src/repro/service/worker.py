@@ -273,10 +273,10 @@ class Worker:
                 result, cache = self._evaluate(record)
         except Exception as error:  # every failure becomes a typed record
             refusal = error_for_exception(error)
-            finished = self.store.mark_failed(record, refusal.to_json()["error"])
+            self.store.mark_failed(record, refusal.to_json()["error"])
             self.metrics.count("service.jobs.failed")
         else:
-            finished = self.store.mark_done(record, result, cache)
+            self.store.mark_done(record, result, cache)
             self.metrics.count("service.jobs.completed")
             self.metrics.observe("service.cache_hit_rate", cache["hit_rate"])
         finally:
@@ -293,10 +293,10 @@ class Worker:
             self.metrics.observe(
                 "service.job_latency_ms",
                 max(0.0, (time.time() - record.submitted_unix) * 1000.0))
-        # Our finish applied (not a stale retry) — deliver the webhook
-        # off-thread so a slow receiver never blocks the queue.
-        if finished.terminal and finished.attempts == record.attempts:
-            deliver_webhook_async(self.store, finished, metrics=self.metrics)
+        # Webhook delivery rides on the store's ``on_terminal`` hook
+        # (set by the app/fleet): it fires only when a finish actually
+        # *applied* — a stale retry's discarded result notifies nobody —
+        # and also covers worker-lost failures no worker produced.
         return True
 
     def run_forever(self, stop: threading.Event) -> None:
@@ -334,6 +334,12 @@ class WorkerFleet:
             self.registry.register(name, path)
         self.cache_root = str(cache_root or self.root / "cache")
         self.metrics = metrics or ServiceMetrics()
+        # Terminal records this fleet's store writes — its own finishes
+        # and worker-lost reclaims — notify webhook subscribers.  The
+        # URLs were vetted at admission by the server that accepted the
+        # submission, so the fleet trusts what is on the shared root.
+        self.store.on_terminal = lambda record: deliver_webhook_async(
+            self.store, record, metrics=self.metrics)
         prefix = f"{socket.gethostname()}:{os.getpid()}"
         self.workers = [
             Worker(self.store, self.registry, self.cache_root,

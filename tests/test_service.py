@@ -82,8 +82,12 @@ def serving_trace_dir(tmp_path_factory):
 
 @pytest.fixture
 def manual_app(serving_trace_dir, tmp_path):
-    """A running HTTP front end with NO workers: tests drain the queue."""
-    with ServiceApp(tmp_path / "svc", workers=0,
+    """A running HTTP front end with NO workers: tests drain the queue.
+
+    Webhooks are opted in (any host) so the webhook tests can point the
+    server at local receivers; the default-off policy has its own tests.
+    """
+    with ServiceApp(tmp_path / "svc", workers=0, webhook_hosts=("*",),
                     traces={"canned": serving_trace_dir}) as app:
         yield app
 
@@ -359,6 +363,25 @@ class TestJobStore:
         with pytest.raises(ProtocolError) as excinfo:
             store.cancel("f" * 32)
         assert excinfo.value.code == CODE_UNKNOWN_JOB
+
+    def test_reenqueue_is_visible_to_a_peer_store(self, tmp_path):
+        """Regression: a peer that already indexed the terminal record
+        must observe a resubmission's queued snapshot (same path, new
+        stat identity) — otherwise a fleet never claims the rerun."""
+        alpha = JobStore(tmp_path)
+        alpha.submit(_record())
+        alpha.mark_done(alpha.claim_next("alpha"), {"ok": True})
+        beta = JobStore(tmp_path)  # indexes the terminal record
+        assert beta.get("j" * 32).state == STATE_DONE
+        again, deduped = alpha.submit(_record())
+        assert not deduped
+        assert again.attempts == 2
+        beta.refresh()
+        assert beta.get("j" * 32).state == STATE_QUEUED
+        claimed = beta.claim_next("beta")
+        assert claimed is not None
+        assert claimed.job_id == "j" * 32
+        assert claimed.attempts == 2
 
     def test_foreign_files_in_jobs_dir_are_ignored(self, tmp_path):
         store = JobStore(tmp_path)
@@ -808,6 +831,38 @@ def _journal_events(store: JobStore, event: str, job_id: str) -> list[dict]:
             if line["event"] == event and line["job_id"] == job_id]
 
 
+@pytest.fixture
+def webhook_receiver():
+    """A local HTTP sink recording every JSON body POSTed to it."""
+    from http.server import BaseHTTPRequestHandler, HTTPServer
+
+    received: list[dict] = []
+    got_one = threading.Event()
+
+    class Sink(BaseHTTPRequestHandler):
+        def do_POST(self):
+            length = int(self.headers.get("Content-Length") or 0)
+            received.append(json.loads(self.rfile.read(length)))
+            got_one.set()
+            self.send_response(200)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+
+        def log_message(self, *args):
+            pass
+
+    server = HTTPServer(("127.0.0.1", 0), Sink)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}/hook"
+    try:
+        yield url, received, got_one
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
 class TestLeases:
     def test_claim_writes_a_lease_with_a_deadline(self, tmp_path):
         store = JobStore(tmp_path, lease_seconds=30.0)
@@ -896,6 +951,27 @@ class TestLeases:
         assert survivor.read_lease(record.job_id)["worker"] == "survivor"
         done = survivor.mark_done(retry, {"ok": True})
         assert done.result == {"ok": True}
+
+    def test_stale_finisher_cannot_resurrect_a_worker_lost_job(self, tmp_path):
+        """Regression: a worker-lost FAILED record keeps ``attempts``
+        unchanged, so the attempts guard alone let a stalled-but-alive
+        worker flip failed → done; terminal records must stay final."""
+        store = JobStore(tmp_path, lease_seconds=0.1, max_attempts=1)
+        record, _ = store.submit(_record())
+        claimed = store.claim_next("stalled")
+        time.sleep(0.15)
+        store.refresh()  # the expiry exhausts max_attempts=1
+        failed = store.get(record.job_id)
+        assert failed.state == STATE_FAILED
+        assert failed.error["code"] == CODE_WORKER_LOST
+        # The stalled worker wakes up and completes its run anyway.
+        outcome = store.mark_done(claimed, {"late": True})
+        assert outcome.state == STATE_FAILED  # discarded, not applied
+        current = store.get(record.job_id)
+        assert current.state == STATE_FAILED
+        assert current.result is None
+        assert current.error["code"] == CODE_WORKER_LOST
+        assert _journal_events(store, "stale_finish", record.job_id)
 
     def test_refresh_skips_rereading_terminal_records(self, tmp_path,
                                                       monkeypatch):
@@ -1005,6 +1081,34 @@ class TestWorkerFleetRecovery:
         assert fleet.jobs_processed == 1
         assert not runner.is_alive()
 
+    def test_worker_lost_failure_delivers_the_webhook(
+            self, serving_trace_dir, tmp_path, webhook_receiver):
+        """Regression: the worker-lost terminal transition is produced by
+        a reclaim, not a worker — subscribers must still hear about it."""
+        url, received, got_one = webhook_receiver
+        with ServiceApp(tmp_path / "svc", workers=0, lease_seconds=0.2,
+                        max_attempts=1, webhook_hosts=("*",),
+                        traces={"canned": serving_trace_dir}) as app:
+            client = ServiceClient(app.url)
+            job_id = client.submit(
+                dict(SWEEP_BODY, webhook=url))["job"]["job_id"]
+            zombie = JobStore(app.root, lease_seconds=0.2)
+            assert zombie.claim_next("zombie").job_id == job_id
+            time.sleep(0.3)
+            client.metrics()  # the metricz refresh reclaims → worker-lost
+            assert got_one.wait(timeout=30.0)
+            delivered = received[0]["job"]
+            assert delivered["job_id"] == job_id
+            assert delivered["state"] == STATE_FAILED
+            assert delivered["error"]["code"] == CODE_WORKER_LOST
+            # The delivery thread journals *after* the POST returns.
+            deadline = time.time() + 10.0
+            events = []
+            while time.time() < deadline and not events:
+                events = _journal_events(app.store, "webhook_delivered", job_id)
+                time.sleep(0.02)
+            assert events and events[0]["url"] == url
+
     def test_cli_work_wires_the_fleet(self, tmp_path, serving_trace_dir,
                                       monkeypatch, capsys):
         from repro.cli import main
@@ -1058,37 +1162,6 @@ class TestEventDrivenCompletion:
             client._request("GET", f"/v1/jobs/{job_id}?wait=soon")
         assert excinfo.value.code == CODE_BAD_REQUEST
 
-    @pytest.fixture
-    def webhook_receiver(self):
-        """A local HTTP sink recording every JSON body POSTed to it."""
-        from http.server import BaseHTTPRequestHandler, HTTPServer
-
-        received: list[dict] = []
-        got_one = threading.Event()
-
-        class Sink(BaseHTTPRequestHandler):
-            def do_POST(self):
-                length = int(self.headers.get("Content-Length") or 0)
-                received.append(json.loads(self.rfile.read(length)))
-                got_one.set()
-                self.send_response(200)
-                self.send_header("Content-Length", "0")
-                self.end_headers()
-
-            def log_message(self, *args):
-                pass
-
-        server = HTTPServer(("127.0.0.1", 0), Sink)
-        thread = threading.Thread(target=server.serve_forever, daemon=True)
-        thread.start()
-        url = f"http://127.0.0.1:{server.server_address[1]}/hook"
-        try:
-            yield url, received, got_one
-        finally:
-            server.shutdown()
-            server.server_close()
-            thread.join(timeout=10.0)
-
     def test_webhook_fires_on_completion(self, manual_app, webhook_receiver):
         url, received, got_one = webhook_receiver
         client = ServiceClient(manual_app.url)
@@ -1132,6 +1205,77 @@ class TestEventDrivenCompletion:
         assert first["job"]["job_id"] == second["job"]["job_id"]
         record = manual_app.store.get(first["job"]["job_id"])
         assert record.webhook == "http://a.example/h"
+
+
+class TestWebhookPolicy:
+    """Webhooks are POSTs from the service's network: off by default."""
+
+    @pytest.fixture
+    def strict_app(self, serving_trace_dir, tmp_path):
+        """A server with the default (no-webhooks) policy."""
+        with ServiceApp(tmp_path / "svc", workers=0,
+                        traces={"canned": serving_trace_dir}) as app:
+            yield app
+
+    def test_webhooks_are_refused_by_default(self, strict_app):
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(strict_app.url).submit(
+                dict(SWEEP_BODY, webhook="http://169.254.169.254/latest"))
+        assert excinfo.value.code == CODE_BAD_REQUEST
+        assert excinfo.value.status == 400
+        assert "--allow-webhooks" in str(excinfo.value)
+        # The submission was refused outright, never admitted.
+        assert strict_app.store.queue_depth() == 0
+
+    def test_webhook_host_allowlist(self, serving_trace_dir, tmp_path):
+        with ServiceApp(tmp_path / "svc", workers=0,
+                        webhook_hosts=("hooks.example",),
+                        traces={"canned": serving_trace_dir}) as app:
+            client = ServiceClient(app.url)
+            admitted = client.submit(
+                dict(SWEEP_BODY, webhook="https://HOOKS.example/done"))
+            assert admitted["job"]["webhook"] == "https://HOOKS.example/done"
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(
+                    dict(SWEEP_BODY, webhook="http://127.0.0.1:9/hook"))
+            assert excinfo.value.code == CODE_BAD_REQUEST
+            assert "allowlist" in str(excinfo.value)
+
+    def test_strict_server_skips_delivery_of_foreign_records(
+            self, strict_app, webhook_receiver):
+        # A laxer server sharing the root admitted a webhook-carrying
+        # record; the strict server's own policy still gates delivery.
+        url, received, got_one = webhook_receiver
+        _, bundle_hash = strict_app.registry.resolve("canned")
+        record = JobRecord(job_id="f" * 32, kind="sweep", trace="canned",
+                           bundle_hash=bundle_hash, payload={"x": 1},
+                           webhook=url)
+        strict_app.store.submit(record)
+        strict_app.store.cancel(record.job_id)
+        assert not got_one.wait(timeout=0.5)
+        assert not received
+        assert not _journal_events(strict_app.store, "webhook_delivered",
+                                   record.job_id)
+
+    def test_cli_serve_webhook_flags(self, tmp_path, monkeypatch):
+        from repro.cli import main
+        seen: dict[str, object] = {}
+
+        def fake_serve_forever(self, install_signals=True):
+            seen["hosts"] = self.webhook_hosts
+            self._server.server_close()
+            return 0
+
+        monkeypatch.setattr(ServiceApp, "serve_forever", fake_serve_forever)
+        assert main(["serve", "--root", str(tmp_path / "a"), "--port", "0"]) == 0
+        assert seen["hosts"] is None
+        assert main(["serve", "--root", str(tmp_path / "b"), "--port", "0",
+                     "--allow-webhooks"]) == 0
+        assert seen["hosts"] == ("*",)
+        assert main(["serve", "--root", str(tmp_path / "c"), "--port", "0",
+                     "--webhook-host", "hooks.example",
+                     "--webhook-host", "other.example"]) == 0
+        assert seen["hosts"] == ("hooks.example", "other.example")
 
 
 class TestClientRetries:
