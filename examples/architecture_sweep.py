@@ -5,7 +5,7 @@ Table 2 variants (more layers, larger hidden size, larger feed-forward
 size) without training any of them, then rank the variants by predicted
 throughput per parameter.  One ``Study`` carries the shared state: the
 base trace is replayed and the perf model calibrated exactly once, and
-each variant is one ``study.predict(model=...)`` call.
+each variant is one ``study.predict("model:...")`` call.
 
 Run with ``python examples/architecture_sweep.py``.
 """
@@ -33,7 +33,7 @@ def main() -> None:
     for name, variant in GPT3_VARIANTS.items():
         if name == "gpt3-15b":
             continue
-        predicted = study.predict(model=name)
+        predicted = study.predict(f"model:{name}")
         rows.append([
             variant.name, f"{variant.num_parameters / 1e9:.0f}B", variant.n_layers,
             variant.d_model, f"{predicted.iteration_time_ms:.1f}",

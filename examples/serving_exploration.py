@@ -42,7 +42,7 @@ def main() -> None:
     #    manipulation cannot do.
     print("\npredictions from the one profiled episode:")
     for target in ("batch=16", "batch=32", "prompt=1024", "tp=2", "tp=8"):
-        prediction = study.predict(serving=target)
+        prediction = study.predict(target)
         print(f"  {prediction.label:12s} ({prediction.world_size:2d} GPUs) "
               f"{prediction.iteration_time_ms:8.1f} ms "
               f"({prediction.speedup_vs_base:.2f}x vs base)")
@@ -50,7 +50,7 @@ def main() -> None:
     # Changing the decode length changes the task-graph topology; that is
     # a typed refusal, not a wrong answer.
     try:
-        study.predict(serving="decode=128")
+        study.predict("decode=128")
     except PredictError as error:
         print(f"  rejected decode=128: {error}")
 

@@ -38,7 +38,7 @@ def main() -> None:
         print(f"  {prediction.label:8s} ({prediction.world_size:3d} GPUs) "
               f"{prediction.iteration_time_ms:8.1f} ms "
               f"({prediction.speedup_vs_base:.2f}x vs base)")
-    variant = study.predict(model="gpt3-v1")
+    variant = study.predict("model:gpt3-v1")
     print(f"  {variant.label:8s} (same GPUs) {variant.iteration_time_ms:8.1f} ms")
     print(f"  calibrations performed: {study.calibrations}")
 

@@ -9,8 +9,9 @@ predict loop behind one stateful object:
     dispatcher and the one-call :func:`predict` convenience wrapper.
 ``repro.api.target``
     :class:`Target` and :func:`parse_target` — the unified prediction-
-    target type every study method accepts (parallelism, model and
-    serving targets behind one ``target=`` parameter).
+    target type every study method accepts (parallelism, model, serving
+    and hardware targets — composable as ``"tp=8,gpu=H200-SXM"`` —
+    behind one ``target=`` parameter).
 ``repro.api.errors``
     :class:`StudyError` and :class:`PredictError` — the typed errors the
     facade raises instead of printing to stderr.
@@ -23,6 +24,7 @@ from repro.api.errors import PredictError, StudyError
 from repro.api.study import (
     KIND_ARCHITECTURE,
     KIND_BASELINE,
+    KIND_HARDWARE,
     KIND_PARALLELISM,
     KIND_SERVING,
     Prediction,
@@ -36,6 +38,7 @@ from repro.api.target import Target, parse_target
 __all__ = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
+    "KIND_HARDWARE",
     "KIND_PARALLELISM",
     "KIND_SERVING",
     "Prediction",

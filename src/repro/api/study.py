@@ -32,15 +32,15 @@ from repro.core.breakdown import ExecutionBreakdown
 from repro.core.engine import SessionRun, SimulationSession, compile_graph
 from repro.core.graph import ExecutionGraph
 from repro.core.manipulation import (
+    COMPOSITE_SEPARATOR,
     KIND_ARCHITECTURE,
     KIND_BASELINE,
+    KIND_HARDWARE,
     KIND_PARALLELISM,
     KIND_SERVING,
-    change_architecture,
-    rescale_serving_graph,
-    scale_data_parallelism,
-    scale_pipeline_parallelism,
+    DeriveContext,
 )
+from repro.core.manipulation import derive as _dispatch_derive
 from repro.core.perf_model import KernelPerfModel
 from repro.core.replay import ReplayResult
 from repro.core.replay import replay as _replay_trace
@@ -53,6 +53,7 @@ from repro.core.serving_metrics import (
 from repro.observability import tracing as observability
 from repro.core.tasks import Task
 from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import GPUSpec, registry_gpu
 from repro.trace.kineto import TraceBundle
 from repro.workload.inference import (
     WORKLOAD_SERVING,
@@ -104,71 +105,46 @@ def derive_graph(graph: ExecutionGraph, kind: str, target: str, *,
                  training: TrainingConfig, perf_model: KernelPerfModel,
                  cluster: ClusterSpec,
                  target_model: ModelConfig | None = None,
-                 base_inference: InferenceConfig | None = None) -> tuple[ExecutionGraph, int]:
+                 target_gpu: "GPUSpec | None" = None,
+                 base_inference: InferenceConfig | None = None,
+                 world_size: int | None = None) -> tuple[ExecutionGraph, int]:
     """Derive the execution graph for one ``(kind, target)`` configuration.
 
     This is the single manipulation-dispatch point of the library: the
-    :class:`Study` methods and the sweep runner both route through it.
+    :class:`Study` methods and the sweep runner both route through the
+    registry populated by :mod:`repro.core.manipulation` (each
+    manipulation kind registers its own handler there, so new kinds add
+    no branches here).  ``kind`` and ``target`` may be composite
+    (``+``-separated segments, e.g. ``"serving+hardware"`` /
+    ``"batch=64+gpu=B200"``) and are applied left to right.
+
     Returns the derived graph and the target's world size; raises
     :class:`PredictError` for unsupported targets (TP changes, unknown
-    models, malformed labels).  For architecture targets, ``target_model``
-    supplies a :class:`ModelConfig` that is not in the GPT-3 registry
-    (custom variants); ``target`` is resolved through the registry
-    otherwise.  ``base_inference`` marks the base trace as a serving
-    episode: serving targets (``kind == "serving"``) require it, and the
+    models or GPUs, malformed labels) and for the hardware axis's typed
+    refusals (memory-capacity overflow, unclassifiable kernels — see
+    :mod:`repro.core.manipulation.hardware`).  ``target_model`` /
+    ``target_gpu`` supply payload objects that are not in the respective
+    registries (custom model variants, custom GPU specs); labels resolve
+    through the registries otherwise.  ``base_inference`` marks the base
+    trace as a serving episode: serving targets require it, and the
     training-iteration manipulations refuse to run against it.
+    ``world_size`` seeds the chain when ``graph`` is an already-derived
+    prefix rather than the base replay (see :meth:`Study.derived_graph`'s
+    composite-prefix reuse).
     """
-    if kind == KIND_BASELINE:
-        return graph, base_parallel.world_size
-    if kind == KIND_SERVING:
-        if base_inference is None:
-            raise PredictError(
-                "the base trace is a training iteration; serving targets "
-                "(batch=/prompt=/tp=) require a study opened over an "
-                "emulated serving episode")
-        try:
-            serving = ServingTarget.parse(target)
-            derived = rescale_serving_graph(
-                graph, serving, base_model=base_model,
-                base_parallel=base_parallel, base_inference=base_inference,
-                perf_model=perf_model)
-        except ValueError as exc:
-            if isinstance(exc, PredictError):
-                raise
-            raise PredictError(str(exc),
-                               code=getattr(exc, "code", None)) from exc
-        _, target_parallel = serving.resolve(base_inference, base_parallel)
-        return derived, target_parallel.world_size
-    if base_inference is not None:
-        raise PredictError(
-            f"the base trace is a serving episode; "
-            f"'{kind}' targets apply to training iterations — use serving "
-            "targets (batch=/prompt=/tp=) instead")
-    if kind == KIND_PARALLELISM:
-        parallel = _resolve_parallelism(target, error=PredictError)
-        if parallel.tp != base_parallel.tp:
-            raise PredictError.tp_mismatch(parallel.label(), base_parallel.tp, parallel.tp)
-        # The cluster must cover the base trace's ranks as well as the
-        # target's: perf-model rescaling evaluates the *old* collective
-        # groups too, so a down-scaled target cannot shrink the cluster.
-        derived_cluster = ClusterSpec.for_world_size(
-            max(base_parallel.world_size, parallel.world_size))
-        if parallel.pp == base_parallel.pp:
-            derived = scale_data_parallelism(graph, base_parallel, parallel.dp,
-                                             perf_model, cluster=derived_cluster)
-        else:
-            derived = scale_pipeline_parallelism(graph, base_model, base_parallel,
-                                                 training, parallel.pp, perf_model,
-                                                 new_data_parallel=parallel.dp,
-                                                 cluster=derived_cluster)
-        return derived, parallel.world_size
-    if kind == KIND_ARCHITECTURE:
-        if target_model is None:
-            target_model = _resolve_model(target, error=PredictError)
-        derived = change_architecture(graph, base_model, base_parallel, training,
-                                      target_model, perf_model, cluster=cluster)
-        return derived, base_parallel.world_size
-    raise PredictError(f"unknown configuration kind '{kind}'")
+    context = DeriveContext(
+        base_model=base_model, base_parallel=base_parallel, training=training,
+        perf_model=perf_model, cluster=cluster, target_model=target_model,
+        target_gpu=target_gpu, base_inference=base_inference)
+    try:
+        return _dispatch_derive(graph, kind, target, context,
+                                world_size=world_size)
+    except PredictError:
+        raise
+    except ValueError as exc:
+        raise PredictError(str(exc), base_tp=getattr(exc, "base_tp", None),
+                           target_tp=getattr(exc, "target_tp", None),
+                           code=getattr(exc, "code", None)) from exc
 
 
 @dataclass(frozen=True)
@@ -403,6 +379,9 @@ class Study:
         #: Non-registry architecture targets by name (predict(model=<config>)).
         #: Part of the picklable snapshot so pool workers can derive them.
         self._custom_models: dict[str, ModelConfig] = {}
+        #: Non-registry GPU specs by name (predict(GPUSpec) / JSON spec
+        #: files); travels in the picklable snapshot like custom models.
+        self._custom_gpus: dict[str, GPUSpec] = {}
         self._graphs: dict[tuple[str, str], tuple[ExecutionGraph, int]] = {}
         self._sessions: dict[tuple[str, str], tuple[SimulationSession, SessionRun]] = {}
         self._predictions: dict[tuple[str, str], Prediction] = {}
@@ -587,7 +566,7 @@ class Study:
         """Which workload family the base trace came from."""
         return WORKLOAD_TRAINING if self.inference is None else WORKLOAD_SERVING
 
-    def _config_key(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None, *,
+    def _config_key(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | GPUSpec | str | None" = None, *,
                     model: ModelConfig | str | None = None,
                     serving: ServingTarget | str | None = None) -> tuple[str, str]:
         """Map a user-facing target onto the memoization key ``(kind, target)``.
@@ -619,25 +598,59 @@ class Study:
     def _key_for(self, resolved: Target) -> tuple[str, str]:
         """Collapse a parsed :class:`Target` onto the memoization key.
 
-        Targets equal to the study's base configuration fold onto the
-        baseline key so they share the base replay instead of deriving a
-        no-op graph.
+        Target segments equal to the study's base configuration fold away
+        (a workload segment matching the base folds onto the baseline
+        key, a hardware segment naming the profiled GPU is dropped), so
+        every spelling of one configuration shares one cache entry — and
+        a fully-folded target shares the base replay instead of deriving
+        a no-op graph.
         """
-        if resolved.kind == KIND_SERVING:
-            serving = ServingTarget.parse(resolved.label)
+        workload_key: tuple[str, str] | None = None
+        hardware_label: str | None = None
+        for segment_kind, segment_label in resolved.manipulations:
+            if segment_kind == KIND_HARDWARE:
+                hardware_label = self._hardware_key(segment_label, resolved.gpu)
+            else:
+                workload_key = self._workload_key(segment_kind, segment_label,
+                                                  resolved.model)
+        if workload_key is None:
+            workload_key = (KIND_BASELINE, self.base_parallel.label())
+        if hardware_label is None:
+            return workload_key
+        kind, label = workload_key
+        if kind == KIND_BASELINE:
+            return (KIND_HARDWARE, hardware_label)
+        return (f"{kind}{COMPOSITE_SEPARATOR}{KIND_HARDWARE}",
+                f"{label}{COMPOSITE_SEPARATOR}{hardware_label}")
+
+    def _workload_key(self, kind: str, label: str,
+                      model: ModelConfig | None) -> tuple[str, str]:
+        """The memoization key of one workload segment (base folds away)."""
+        if kind == KIND_SERVING:
+            serving = ServingTarget.parse(label)
             if (self.inference is not None
                     and serving.is_noop(self.inference, self.base_parallel)):
                 return (KIND_BASELINE, self.base_parallel.label())
             return (KIND_SERVING, serving.label())
-        if resolved.kind == KIND_ARCHITECTURE:
-            name = (self._register_model(resolved.model)
-                    if resolved.model is not None else resolved.label)
+        if kind == KIND_ARCHITECTURE:
+            name = (self._register_model(model)
+                    if model is not None else label)
             if name == self.base_model.name:
                 return (KIND_BASELINE, self.base_parallel.label())
             return (KIND_ARCHITECTURE, name)
-        if resolved.label == self.base_parallel.label():
-            return (KIND_BASELINE, resolved.label)
-        return (KIND_PARALLELISM, resolved.label)
+        if label == self.base_parallel.label():
+            return (KIND_BASELINE, label)
+        return (KIND_PARALLELISM, label)
+
+    def _hardware_key(self, label: str, gpu: "GPUSpec | None") -> str | None:
+        """Canonicalise a hardware segment; ``None`` when it names the
+        profiled GPU (retargeting onto the base hardware is a no-op)."""
+        name = label[len("gpu="):] if label.startswith("gpu=") else label
+        if gpu is not None:
+            name = self._register_gpu(gpu)
+        if name == self.cluster.gpu.name:
+            return None
+        return f"gpu={name}"
 
     def _register_model(self, model: ModelConfig) -> str:
         """Record a target ModelConfig under its name, refusing collisions.
@@ -667,21 +680,70 @@ class Study:
         self._custom_models[name] = model
         return name
 
+    def _register_gpu(self, gpu: "GPUSpec") -> str:
+        """Record a target GPUSpec under its name, refusing collisions.
+
+        Mirrors :meth:`_register_model`: predictions are memoized by GPU
+        name, so two different specs sharing one name would silently
+        serve each other's cached results — reject the ambiguity.
+        """
+        name = gpu.name
+        base_gpu = self.cluster.gpu
+        if name == base_gpu.name and gpu != base_gpu:
+            raise PredictError(
+                f"custom GPU spec is named like the base GPU ({name!r}) but "
+                "differs from it; give the variant a distinct name")
+        previous = self._custom_gpus.get(name)
+        if previous is not None and previous != gpu:
+            raise PredictError(
+                f"a different GPU spec named {name!r} was already predicted "
+                "by this study; give the variant a distinct name")
+        registered = registry_gpu(name)
+        if registered is not None and registered != gpu:
+            raise PredictError(
+                f"custom GPU spec {name!r} shadows the registry spec of the "
+                "same name; give the variant a distinct name")
+        self._custom_gpus[name] = gpu
+        return name
+
     def _derive(self, kind: str, target: str) -> tuple[ExecutionGraph, int]:
         if self._base_guessed:
             raise StudyError(
                 "the trace did not record its base model/parallelism, so graph "
                 "manipulation would run against a guessed base configuration; "
                 "pass model= and parallelism= explicitly when opening the study")
+        # Composite chains resume from the memoized prefix graph: in a
+        # hardware-crossed sweep every ``<workload>+hardware`` scenario
+        # shares its workload sibling's derivation, so the composite pays
+        # only the final (cheap, copy-on-write) retarget step instead of
+        # re-synthesizing the workload graph.
+        kinds = kind.split(COMPOSITE_SEPARATOR)
+        labels = target.split(COMPOSITE_SEPARATOR)
+        base_graph, base_world = self.base_graph, None
+        if len(kinds) > 1 and len(kinds) == len(labels):
+            prefix_kind = COMPOSITE_SEPARATOR.join(kinds[:-1])
+            prefix_target = COMPOSITE_SEPARATOR.join(labels[:-1])
+            base_graph, base_world = self.derived_graph(prefix_kind, prefix_target)
+            kind, target = kinds[-1], labels[-1]
+        target_model = None
+        target_gpu = None
+        for segment_kind, segment_label in zip(kind.split(COMPOSITE_SEPARATOR),
+                                               target.split(COMPOSITE_SEPARATOR)):
+            if segment_kind == KIND_HARDWARE:
+                name = (segment_label[len("gpu="):]
+                        if segment_label.startswith("gpu=") else segment_label)
+                target_gpu = self._custom_gpus.get(name)
+            elif segment_kind == KIND_ARCHITECTURE:
+                target_model = self._custom_models.get(segment_label)
         with observability.trace_span("study.derive_graph", kind=kind,
                                       target=target) as span:
             derived = derive_graph(
-                self.base_graph, kind, target,
+                base_graph, kind, target,
                 base_model=self.base_model, base_parallel=self.base_parallel,
                 training=self.training, perf_model=self.perf_model,
-                cluster=self.cluster,
-                target_model=self._custom_models.get(target),
-                base_inference=self.inference)
+                cluster=self.cluster, target_model=target_model,
+                target_gpu=target_gpu, base_inference=self.inference,
+                world_size=base_world)
             span.set(tasks=len(derived[0]))
         return derived
 
@@ -758,23 +820,29 @@ class Study:
 
     # -- the paper workflow -------------------------------------------------
 
-    def predict(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None, *,
+    def predict(self, target: "Target | ParallelismConfig | ModelConfig | ServingTarget | GPUSpec | str | None" = None, *,
                 model: ModelConfig | str | None = None,
                 serving: ServingTarget | str | None = None) -> Prediction:
-        """Predict the iteration of a new parallelism, model, or serving setup.
+        """Predict a new parallelism, model, serving or hardware setup.
 
         ``target`` takes any form :func:`~repro.api.target.parse_target`
         accepts: ``study.predict("2x4x4")`` scales the deployment (§3.4),
         ``study.predict("model:gpt3-v1")`` (or a :class:`ModelConfig`)
-        changes the architecture (§4.3.2), and on a serving study
+        changes the architecture (§4.3.2), on a serving study
         ``study.predict("serving:batch=16")`` (or a
         :class:`ServingTarget`; bare ``"batch=16"`` auto-detects) rescales
-        the episode's batch size, prompt length or TP degree.  The
+        the episode's batch size, prompt length or TP degree, and
+        ``study.predict("gpu=H200-SXM")`` (or a
+        :class:`~repro.hardware.gpu.GPUSpec`) retargets the trace onto a
+        hypothetical GPU — composable with one workload axis, e.g.
+        ``"tp=8,gpu=H200-SXM"`` or ``"parallelism=2x2x8,gpu=B200"``.  The
         ``model=`` / ``serving=`` keywords are the deprecated pre-Target
         spelling and keep working with a :class:`DeprecationWarning`.
         Repeated predictions of the same target are served from the
         study's caches.  Raises :class:`PredictError` for unsupported
-        targets — notably tensor-parallelism changes of training bases.
+        targets — notably tensor-parallelism changes of training bases —
+        and for unsound hardware extrapolations (memory capacity,
+        unclassifiable kernels).
         """
         if target is None and model is None and serving is None:
             raise PredictError("predict requires a target parallelism, a "
@@ -797,7 +865,7 @@ class Study:
         return self._predictions[key]
 
     def whatif(self, kind: str | None = None, *,
-               target: "Target | ParallelismConfig | ModelConfig | ServingTarget | str | None" = None,
+               target: "Target | ParallelismConfig | ModelConfig | ServingTarget | GPUSpec | str | None" = None,
                model: ModelConfig | str | None = None,
                serving: ServingTarget | str | None = None,
                op_class: str | None = None, group: str | None = None,
@@ -819,7 +887,7 @@ class Study:
 
     def sweep(self, spec: "SweepSpec | Mapping[str, Any] | str | Path | None" = None, *,
               parallelism: Iterable[str] = (), models: Iterable[str] = (),
-              serving: Iterable[str] = (),
+              serving: Iterable[str] = (), hardware: Iterable[str] = (),
               whatif: "Iterable[WhatIfSpec | str | Mapping[str, Any]]" = (),
               slo_ms: float | None = None,
               include_baseline: bool = True, workers: int = 1,
@@ -830,13 +898,16 @@ class Study:
 
         Pass a full :class:`~repro.sweep.spec.SweepSpec` (object, mapping
         or spec-file path) whose base must match this study, or just the
-        axes (``parallelism`` / ``models`` / ``serving`` / ``whatif`` —
-        what-if entries may be specs, mappings, or compact CLI strings
-        like ``"gemm:2"``; serving entries are ``batch=/prompt=/tp=``
-        labels and require a serving-episode study) and the spec is built
-        around the study's base configuration.  ``slo_ms`` sets the
-        latency deadline of the per-request serving metrics attached to
-        continuous-batching scenario results (goodput ranking).
+        axes (``parallelism`` / ``models`` / ``serving`` / ``hardware`` /
+        ``whatif`` — what-if entries may be specs, mappings, or compact
+        CLI strings like ``"gemm:2"``; serving entries are
+        ``batch=/prompt=/tp=`` labels and require a serving-episode
+        study; hardware entries are registry GPU names like
+        ``"H200-SXM"`` and cross with every workload configuration) and
+        the spec is built around the study's base configuration.
+        ``slo_ms`` sets the latency deadline of the per-request serving
+        metrics attached to continuous-batching scenario results (goodput
+        ranking).
         """
         from pathlib import Path as _Path
 
@@ -861,11 +932,12 @@ class Study:
                 inference=self.inference,
                 slo_ms=slo_ms,
                 parallelism=tuple(parallelism), models=tuple(models),
-                serving=tuple(serving),
+                serving=tuple(serving), hardware=tuple(hardware),
                 whatif=tuple(coerce_whatif(entry) for entry in whatif),
                 include_baseline=include_baseline)
         else:
-            if parallelism or models or serving or whatif or slo_ms is not None:
+            if (parallelism or models or serving or hardware or whatif
+                    or slo_ms is not None):
                 raise StudyError("pass either a full spec or inline axes, not both")
             spec = _SweepSpec.coerce(spec)
         self.ensure_matches(spec)

@@ -1,23 +1,44 @@
 """The unified prediction-target type and its parser.
 
 Every way a study can be pointed at a configuration — a parallelism
-label, a model architecture, a serving knob set — is one :class:`Target`:
-a ``(kind, label)`` pair using the shared manipulation vocabulary
-(``KIND_PARALLELISM`` / ``KIND_ARCHITECTURE`` / ``KIND_SERVING``), plus
-an optional :class:`~repro.workload.model_config.ModelConfig` payload for
-architecture targets that are not in the registry.
+label, a model architecture, a serving knob set, a hypothetical GPU — is
+one :class:`Target`: a ``(kind, label)`` pair using the shared
+manipulation vocabulary (``KIND_PARALLELISM`` / ``KIND_ARCHITECTURE`` /
+``KIND_SERVING`` / ``KIND_HARDWARE``), plus optional payloads for
+targets that are not in a registry (a
+:class:`~repro.workload.model_config.ModelConfig` for custom
+architectures, a :class:`~repro.hardware.gpu.GPUSpec` for custom GPUs).
 
-:func:`parse_target` is the single coercion point: it accepts a
+A target may compose a *workload* manipulation with a *hardware*
+retarget; the composite is encoded as ``+``-separated segments in both
+fields (``kind="serving+hardware"``, ``label="batch=64+gpu=B200"``) and
+:attr:`Target.manipulations` exposes the ordered ``(kind, label)``
+chain.
+
+:func:`parse_target` is the single coercion point.  It accepts a
 :class:`Target`, the typed configuration objects
 (:class:`~repro.workload.parallelism.ParallelismConfig`,
 :class:`~repro.workload.model_config.ModelConfig`,
-:class:`~repro.workload.inference.ServingTarget`), or a string.  Strings
-may carry an explicit kind prefix (``parallelism:2x2x4``,
-``serving:batch=16``, ``model:gpt3-xl`` — ``architecture:`` is accepted
-as an alias) or rely on auto-detection: ``NxNxN`` is a parallelism
-label, anything containing ``=`` is a serving knob set, and everything
-else names a model architecture.  Malformed targets raise
-:class:`~repro.api.errors.PredictError`.
+:class:`~repro.workload.inference.ServingTarget`,
+:class:`~repro.hardware.gpu.GPUSpec`), or a string in the composable
+``key=value`` grammar:
+
+* ``"2x2x4"`` / ``"gpt3-xl"`` — bare parallelism / model names,
+  auto-detected exactly as before;
+* ``"batch=64,prompt=512"`` — serving knobs;
+* ``"gpu=H200-SXM"`` — a pure hardware retarget;
+* ``"tp=8,gpu=H200-SXM"`` / ``"parallelism=2x2x4,gpu=B200"`` /
+  ``"model=gpt3-xl,gpu=B200"`` — a workload axis combined with a
+  hardware axis (``gpu=`` composes with exactly one workload selector);
+* explicit kind prefixes keep working and constrain the body:
+  ``parallelism:2x2x4``, ``serving:batch=64,gpu=B200``,
+  ``model:gpt3-xl``, ``hardware:H200-SXM`` (``architecture:`` is an
+  alias for ``model:``).
+
+Labels are canonicalised through the same parsers the manipulations
+use, so equivalent spellings of one configuration produce equal
+:class:`Target` values (and therefore one memo/cache/service key).
+Malformed targets raise :class:`~repro.api.errors.PredictError`.
 """
 
 from __future__ import annotations
@@ -27,10 +48,13 @@ from dataclasses import dataclass
 
 from repro.api.errors import PredictError
 from repro.core.manipulation import (
+    COMPOSITE_SEPARATOR,
     KIND_ARCHITECTURE,
+    KIND_HARDWARE,
     KIND_PARALLELISM,
     KIND_SERVING,
 )
+from repro.hardware.gpu import GPUSpec, registry_gpu, resolve_gpu
 from repro.workload.inference import ServingTarget
 from repro.workload.model_config import ModelConfig
 from repro.workload.parallelism import ParallelismConfig
@@ -45,32 +69,77 @@ _PREFIXES = {
     "serving": KIND_SERVING,
     "model": KIND_ARCHITECTURE,
     "architecture": KIND_ARCHITECTURE,
+    "hardware": KIND_HARDWARE,
 }
+
+#: Kinds a single (non-composite) target may carry.
+_SINGLE_KINDS = (KIND_PARALLELISM, KIND_ARCHITECTURE, KIND_SERVING,
+                 KIND_HARDWARE)
+
+#: Workload kinds that may precede ``+hardware`` in a composite.
+_WORKLOAD_KINDS = (KIND_PARALLELISM, KIND_ARCHITECTURE, KIND_SERVING)
 
 
 @dataclass(frozen=True)
 class Target:
     """One prediction target: a manipulation kind and its canonical label.
 
+    ``kind`` and ``label`` may be composite (``+``-separated segments,
+    applied left to right); :attr:`manipulations` exposes the chain.
     ``model`` carries the :class:`ModelConfig` payload of an architecture
-    target built from a config object (registry-name targets leave it
-    ``None``); the other kinds never set it.
+    target built from a config object, ``gpu`` the :class:`GPUSpec`
+    payload of a hardware target built from a non-registry spec;
+    registry-name targets leave both ``None``.
     """
 
     kind: str
     label: str
     model: ModelConfig | None = None
+    gpu: GPUSpec | None = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (KIND_PARALLELISM, KIND_ARCHITECTURE, KIND_SERVING):
-            raise PredictError(f"unknown target kind '{self.kind}'")
-        if self.model is not None and self.kind != KIND_ARCHITECTURE:
+        kinds = self.kind.split(COMPOSITE_SEPARATOR)
+        labels = self.label.split(COMPOSITE_SEPARATOR)
+        if len(kinds) != len(labels):
+            raise PredictError(
+                f"composite target label '{self.label}' has {len(labels)} "
+                f"segment(s) but its kind '{self.kind}' has {len(kinds)}")
+        if len(kinds) == 1:
+            if self.kind not in _SINGLE_KINDS:
+                raise PredictError(f"unknown target kind '{self.kind}'")
+        elif (len(kinds) != 2 or kinds[0] not in _WORKLOAD_KINDS
+              or kinds[1] != KIND_HARDWARE):
+            raise PredictError(
+                f"unknown target kind '{self.kind}'; composite targets "
+                f"chain one workload kind with hardware "
+                f"('<workload>{COMPOSITE_SEPARATOR}{KIND_HARDWARE}')")
+        if self.model is not None and KIND_ARCHITECTURE not in kinds:
             raise PredictError(
                 f"a ModelConfig payload only belongs on an architecture "
                 f"target, not kind '{self.kind}'")
+        if self.gpu is not None and KIND_HARDWARE not in kinds:
+            raise PredictError(
+                f"a GPUSpec payload only belongs on a hardware "
+                f"target, not kind '{self.kind}'")
+
+    @property
+    def manipulations(self) -> tuple[tuple[str, str], ...]:
+        """The ordered ``(kind, label)`` manipulation chain."""
+        return tuple(zip(self.kind.split(COMPOSITE_SEPARATOR),
+                         self.label.split(COMPOSITE_SEPARATOR)))
 
     def __str__(self) -> str:
-        return f"{self.kind}:{self.label}"
+        manipulations = self.manipulations
+        if len(manipulations) == 1:
+            return f"{self.kind}:{self.label}"
+        (workload_kind, workload_label), (_, gpu_label) = manipulations
+        if workload_kind == KIND_PARALLELISM:
+            workload = f"parallelism={workload_label}"
+        elif workload_kind == KIND_ARCHITECTURE:
+            workload = f"model={workload_label}"
+        else:
+            workload = workload_label  # serving knobs are already key=value
+        return f"{workload},{gpu_label}"
 
 
 def _parallelism_target(text: str) -> Target:
@@ -89,13 +158,133 @@ def _serving_target(text: str) -> Target:
     return Target(KIND_SERVING, label)
 
 
-def parse_target(value: "Target | ParallelismConfig | ModelConfig | ServingTarget | str") -> Target:
+def _resolve_gpu_payload(name: str) -> tuple[str, GPUSpec | None]:
+    """Resolve a GPU name/path to its canonical name and optional payload."""
+    try:
+        spec = resolve_gpu(name)
+    except ValueError as exc:
+        raise PredictError(str(exc)) from exc
+    payload = None if registry_gpu(spec.name) == spec else spec
+    return spec.name, payload
+
+
+def _hardware_target(text: str) -> Target:
+    name = text[len("gpu="):] if text.lower().startswith("gpu=") else text
+    canonical, payload = _resolve_gpu_payload(name.strip())
+    return Target(KIND_HARDWARE, f"gpu={canonical}", gpu=payload)
+
+
+def _combine(workload: Target | None, gpu_name: str | None,
+             gpu_payload: GPUSpec | None) -> Target:
+    if gpu_name is None:
+        assert workload is not None
+        return workload
+    gpu_label = f"gpu={gpu_name}"
+    if workload is None:
+        return Target(KIND_HARDWARE, gpu_label, gpu=gpu_payload)
+    return Target(f"{workload.kind}{COMPOSITE_SEPARATOR}{KIND_HARDWARE}",
+                  f"{workload.label}{COMPOSITE_SEPARATOR}{gpu_label}",
+                  model=workload.model, gpu=gpu_payload)
+
+
+def _parse_body(text: str, constraint: str | None, original: str) -> Target:
+    """Parse a target body, optionally constrained by a ``kind:`` prefix."""
+    if "=" not in text:
+        # Bare scalar: a parallelism label, a model name or a GPU name.
+        if constraint == KIND_PARALLELISM:
+            return _parallelism_target(text)
+        if constraint == KIND_SERVING:
+            return _serving_target(text)
+        if constraint == KIND_ARCHITECTURE:
+            return Target(KIND_ARCHITECTURE, text)
+        if constraint == KIND_HARDWARE:
+            return _hardware_target(text)
+        if _PARALLELISM_RE.match(text):
+            return _parallelism_target(text)
+        return Target(KIND_ARCHITECTURE, text)
+
+    # key=value grammar: comma-separated items; 'gpu=' selects the
+    # hardware axis, 'parallelism=' / 'model=' select a workload axis,
+    # everything else is a serving knob.
+    gpu_values: list[str] = []
+    selectors: list[tuple[str, str]] = []
+    rest: list[str] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            raise PredictError(f"target '{original}' has an empty item")
+        key, eq, value = item.partition("=")
+        key_norm = key.strip().lower()
+        if eq and key_norm in ("gpu", "parallelism", "model", "architecture"):
+            value = value.strip()
+            if not value:
+                raise PredictError(
+                    f"target '{original}': '{key_norm}=' needs a value")
+            if key_norm == "gpu":
+                gpu_values.append(value)
+            else:
+                kind = (KIND_PARALLELISM if key_norm == "parallelism"
+                        else KIND_ARCHITECTURE)
+                selectors.append((kind, value))
+        else:
+            rest.append(item)
+
+    if len(gpu_values) > 1:
+        raise PredictError(
+            f"target '{original}' gives more than one 'gpu=' value")
+    if len(selectors) > 1 or (selectors and rest):
+        raise PredictError(
+            f"target '{original}' mixes more than one workload axis; "
+            "combine 'gpu=' with exactly one of a parallelism, model or "
+            "serving selection")
+
+    workload: Target | None = None
+    if selectors:
+        kind, value = selectors[0]
+        if constraint is not None and constraint != kind:
+            raise PredictError(
+                f"target '{original}': selector does not match its "
+                f"'{original.partition(':')[0]}:' kind prefix")
+        if kind == KIND_PARALLELISM:
+            workload = _parallelism_target(value)
+        else:
+            workload = Target(KIND_ARCHITECTURE, value)
+    elif rest:
+        body = ",".join(rest)
+        if constraint is None or constraint == KIND_SERVING:
+            workload = _serving_target(body)
+        elif constraint == KIND_PARALLELISM:
+            workload = _parallelism_target(body)
+        elif constraint == KIND_ARCHITECTURE:
+            workload = Target(KIND_ARCHITECTURE, body)
+        else:  # hardware prefix with leftover non-gpu items
+            raise PredictError(
+                f"target '{original}': a hardware target only takes "
+                "'gpu=<name>'")
+
+    gpu_name: str | None = None
+    gpu_payload: GPUSpec | None = None
+    if gpu_values:
+        gpu_name, gpu_payload = _resolve_gpu_payload(gpu_values[0])
+    elif constraint == KIND_HARDWARE:
+        raise PredictError(
+            f"target '{original}': a hardware target needs 'gpu=<name>'")
+
+    if workload is None and gpu_name is None:
+        raise PredictError(
+            f"cannot interpret '{original}' as a prediction target")
+    return _combine(workload, gpu_name, gpu_payload)
+
+
+def parse_target(value: "Target | ParallelismConfig | ModelConfig | ServingTarget | GPUSpec | str") -> Target:
     """Coerce any supported target form into a canonical :class:`Target`.
 
     Typed objects map directly onto their kind; strings are parsed with
     an optional explicit ``kind:`` prefix or auto-detected (``NxNxN`` →
-    parallelism, contains ``=`` → serving, else a model name).  Labels
-    are canonicalised through the same parsers the manipulations use, so
+    parallelism, contains ``=`` → the composable key=value grammar, else
+    a model name).  ``gpu=<name-or-spec.json>`` selects the hardware
+    axis and composes with at most one workload selection.  Labels are
+    canonicalised through the same parsers the manipulations use, so
     equal targets memoize under one key.
     """
     if isinstance(value, Target):
@@ -106,10 +295,14 @@ def parse_target(value: "Target | ParallelismConfig | ModelConfig | ServingTarge
         return Target(KIND_ARCHITECTURE, value.name, model=value)
     if isinstance(value, ServingTarget):
         return Target(KIND_SERVING, value.label())
+    if isinstance(value, GPUSpec):
+        payload = None if registry_gpu(value.name) == value else value
+        return Target(KIND_HARDWARE, f"gpu={value.name}", gpu=payload)
     if not isinstance(value, str):
         raise PredictError(
             f"cannot interpret {value!r} as a prediction target; give a "
-            "Target, ParallelismConfig, ModelConfig, ServingTarget or string")
+            "Target, ParallelismConfig, ModelConfig, ServingTarget, "
+            "GPUSpec or string")
     text = value.strip()
     if not text:
         raise PredictError("empty prediction target")
@@ -119,13 +312,5 @@ def parse_target(value: "Target | ParallelismConfig | ModelConfig | ServingTarge
         rest = rest.strip()
         if not rest:
             raise PredictError(f"target '{text}' has a kind prefix but no value")
-        if kind == KIND_PARALLELISM:
-            return _parallelism_target(rest)
-        if kind == KIND_SERVING:
-            return _serving_target(rest)
-        return Target(KIND_ARCHITECTURE, rest)
-    if _PARALLELISM_RE.match(text):
-        return _parallelism_target(text)
-    if "=" in text:
-        return _serving_target(text)
-    return Target(KIND_ARCHITECTURE, text)
+        return _parse_body(rest, kind, text)
+    return _parse_body(text, None, text)

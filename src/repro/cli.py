@@ -9,11 +9,13 @@
 * ``replay``   — build the execution graph from saved traces and replay it;
 * ``breakdown`` — print the execution-time breakdown of saved traces;
 * ``predict``  — manipulate the graph of a base trace to estimate a new
-  ``--target`` (a TPxPPxDP parallelism label, a model name, or serving
-  knobs ``batch=/prompt=/tp=`` — the kind is auto-detected, or forced
-  with a ``parallelism:`` / ``model:`` / ``serving:`` prefix); for
-  continuous-batching traces the report includes TTFT, latency
-  percentiles, tokens/s and SLO goodput at ``--slo-ms``;
+  ``--target`` (a TPxPPxDP parallelism label, a model name, serving
+  knobs ``batch=/prompt=/tp=``, or a hardware retarget ``gpu=H200-SXM``
+  — composable with one workload axis, ``"tp=8,gpu=H200-SXM"`` — the
+  kind is auto-detected, or forced with a ``parallelism:`` / ``model:``
+  / ``serving:`` / ``hardware:`` prefix); for continuous-batching
+  traces the report includes TTFT, latency percentiles, tokens/s and
+  SLO goodput at ``--slo-ms``;
 * ``sweep``    — evaluate a whole grid of what-if scenarios from one base
   trace, with a process pool and an on-disk result cache; repeatable
   ``--target`` flags populate the axes the same way;
@@ -44,7 +46,8 @@ arrivals) instead of one fixed batch.
 
 The pre-unification target flags (``--target-parallelism``,
 ``--target-model``, ``--target-serving``; sweep's ``--targets`` /
-``--target-models`` / ``--serving``) keep working as hidden aliases.
+``--target-models`` / ``--serving``) keep working as hidden aliases but
+emit a :class:`DeprecationWarning` and are scheduled for removal.
 
 Every subcommand accepts ``--profile out.json`` to collect the pipeline's
 own spans and metrics (:mod:`repro.observability`) and write the
@@ -61,11 +64,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import warnings
 
 from dataclasses import replace
 
 from repro.analysis.reporting import breakdown_headers, format_breakdown_row, format_table
-from repro.api import KIND_PARALLELISM, KIND_SERVING, Study, StudyError, parse_target
+from repro.api import (
+    KIND_HARDWARE,
+    KIND_PARALLELISM,
+    KIND_SERVING,
+    Study,
+    StudyError,
+    parse_target,
+)
 from repro.baselines.dpro import dpro_replay
 from repro.core.breakdown import compute_breakdown
 from repro.emulator.api import emulate
@@ -116,10 +127,14 @@ def _target_parent() -> argparse.ArgumentParser:
     parent.add_argument("--target", action="append", default=[],
                         metavar="[KIND:]TARGET",
                         help="prediction target (repeatable): a TPxPPxDP "
-                             "label, a model name, or serving knobs "
-                             "'batch=N,prompt=N,tp=N'; the kind is "
+                             "label, a model name, serving knobs "
+                             "'batch=N,prompt=N,tp=N', or a GPU retarget "
+                             "'gpu=H200-SXM' (composable with one workload "
+                             "axis, e.g. 'tp=8,gpu=H200-SXM' or "
+                             "'parallelism=2x2x8,gpu=B200'); the kind is "
                              "auto-detected, or forced with a "
-                             "'parallelism:'/'model:'/'serving:' prefix")
+                             "'parallelism:'/'model:'/'serving:'/"
+                             "'hardware:' prefix")
     # Pre-unification spellings, kept as working hidden aliases.
     parent.add_argument("--target-parallelism", help=argparse.SUPPRESS)
     parent.add_argument("--target-model", help=argparse.SUPPRESS)
@@ -127,19 +142,29 @@ def _target_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _warn_legacy_flag(flag: str, replacement: str) -> None:
+    warnings.warn(f"{flag} is deprecated and scheduled for removal; "
+                  f"use {replacement} instead", DeprecationWarning,
+                  stacklevel=3)
+
+
 def _collect_targets(args: argparse.Namespace) -> list[str]:
     """Merge ``--target`` entries with the legacy per-kind flags.
 
     Legacy flags come last, prefixed so the unified parser cannot
     misclassify them, in the serving → model → parallelism order the
-    pre-unification ``export-timeline`` appended its sections.
+    pre-unification ``export-timeline`` appended its sections.  Each
+    legacy flag warns: they are scheduled for removal.
     """
     targets = list(args.target)
     if args.target_serving:
+        _warn_legacy_flag("--target-serving", "--target 'serving:...'")
         targets.append(f"serving:{args.target_serving}")
     if args.target_model:
+        _warn_legacy_flag("--target-model", "--target 'model:...'")
         targets.append(f"model:{args.target_model}")
     if args.target_parallelism:
+        _warn_legacy_flag("--target-parallelism", "--target 'parallelism:...'")
         targets.append(f"parallelism:{args.target_parallelism}")
     return targets
 
@@ -293,19 +318,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                                  cache_dir=args.cache_dir, force=args.force)
         else:
             # The legacy axis flags map straight onto their axis; unified
-            # --target entries are classified by parse_target's kind.
+            # --target entries decompose by manipulation kind (composite
+            # 'tp=8,gpu=B200' targets populate two axes, which the spec
+            # re-crosses into the full hardware × workload grid).
+            if args.targets:
+                _warn_legacy_flag("--targets", "--target")
+            if args.target_models:
+                _warn_legacy_flag("--target-models", "--target 'model:...'")
+            if args.serving:
+                _warn_legacy_flag("--serving", "--target 'serving:...'")
             parallelism_axis = _split_csv(args.targets)
             models_axis = _split_csv(args.target_models)
             serving_axis = list(args.serving)
+            hardware_axis: list[str] = []
             for text in _collect_targets(args):
-                resolved = parse_target(text)
-                if resolved.kind == KIND_PARALLELISM:
-                    parallelism_axis.append(resolved.label)
-                elif resolved.kind == KIND_SERVING:
-                    serving_axis.append(resolved.label)
-                else:
-                    models_axis.append(resolved.label)
-            if not (parallelism_axis or models_axis or serving_axis):
+                for kind, label in parse_target(text).manipulations:
+                    if kind == KIND_PARALLELISM:
+                        parallelism_axis.append(label)
+                    elif kind == KIND_SERVING:
+                        serving_axis.append(label)
+                    elif kind == KIND_HARDWARE:
+                        name = (label[len("gpu="):]
+                                if label.startswith("gpu=") else label)
+                        if name not in hardware_axis:
+                            hardware_axis.append(name)
+                    else:
+                        models_axis.append(label)
+            if not (parallelism_axis or models_axis or serving_axis
+                    or hardware_axis):
                 print("sweep requires --spec, --target, --targets, "
                       "--target-models or --serving", file=sys.stderr)
                 args.parser.print_usage(sys.stderr)
@@ -319,6 +359,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 parallelism=tuple(parallelism_axis),
                 models=tuple(models_axis),
                 serving=tuple(serving_axis),
+                hardware=tuple(hardware_axis),
                 whatif=tuple(WhatIfSpec.parse(w) for w in args.whatif),
                 slo_ms=args.slo_ms,
                 workers=args.workers, cache_dir=args.cache_dir, force=args.force)

@@ -56,6 +56,30 @@ class ExecutionGraph:
         self._successors[src].append(dst)
         self._predecessors[dst].append(src)
 
+    def clone(self, *, metadata: dict[str, Any] | None = None,
+              tasks: dict[int, Task] | None = None) -> "ExecutionGraph":
+        """Structural copy: every task cloned (ids preserved), topology shared.
+
+        :class:`Dependency` objects are immutable so the edge list and the
+        adjacency maps are copied shallowly.  For manipulations that change
+        only task attributes (e.g. a hardware retarget rescaling durations)
+        this is much cheaper than re-adding every task and edge.  ``tasks``
+        substitutes a pre-built task map with the same ids — a caller doing
+        copy-on-write can share the unchanged task objects outright instead
+        of paying a copy per task.
+        """
+        clone = ExecutionGraph(
+            metadata=dict(self.metadata if metadata is None else metadata))
+        clone.tasks = (dict(tasks) if tasks is not None else
+                       {task_id: task.copy() for task_id, task in self.tasks.items()})
+        clone.dependencies = list(self.dependencies)
+        clone._successors = defaultdict(
+            list, {src: list(dsts) for src, dsts in self._successors.items()})
+        clone._predecessors = defaultdict(
+            list, {dst: list(srcs) for dst, srcs in self._predecessors.items()})
+        clone._next_id = self._next_id
+        return clone
+
     # -- queries ----------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -11,12 +11,34 @@ out of a profiled trace it derives new graphs for
   point-to-point communication is re-inserted at the new boundaries;
 * different model architectures (:func:`change_architecture`) — layers are
   duplicated or removed and the affected kernels (GEMMs, attention and
-  communication) are re-timed with the kernel performance model.
+  communication) are re-timed with the kernel performance model;
+* different hardware (:func:`retarget_hardware`) — every kernel is re-timed
+  by the roofline ratio of the analytical cost models evaluated on the
+  profiled and on a hypothetical :class:`~repro.hardware.gpu.GPUSpec`,
+  collectives by the alpha-beta model on the retargeted fabric.
+
+Each manipulation registers itself with the dispatch registry
+(:mod:`repro.core.manipulation.dispatch`), which is the single point the
+API facade routes ``(kind, target)`` configurations through — including
+composite ``workload+hardware`` chains.
 
 Tensor-parallelism changes are not supported, matching the paper's stated
 scope ("we currently do not support modifications to tensor parallelism").
 """
 
+from repro.core.manipulation.dispatch import (
+    COMPOSITE_SEPARATOR,
+    KIND_ARCHITECTURE,
+    KIND_BASELINE,
+    KIND_HARDWARE,
+    KIND_PARALLELISM,
+    KIND_SERVING,
+    DeriveContext,
+    ManipulationRefusal,
+    derive,
+    register_manipulation,
+    registered_kinds,
+)
 from repro.core.manipulation.templates import (
     CpuOverheads,
     IterationTemplate,
@@ -28,22 +50,20 @@ from repro.core.manipulation.data_parallel import scale_data_parallelism
 from repro.core.manipulation.pipeline_parallel import scale_pipeline_parallelism
 from repro.core.manipulation.architecture import change_architecture
 from repro.core.manipulation.serving import rescale_serving_graph
-
-#: The kinds of target configuration a manipulation can produce.  Shared
-#: vocabulary between the API facade (``repro.api``) and the sweep grid
-#: (``repro.sweep``): ``baseline`` is the unmodified base graph,
-#: ``parallelism`` a TPxPPxDP change, ``architecture`` a model change,
-#: ``serving`` a batch/prompt/TP change of an inference episode.
-KIND_BASELINE = "baseline"
-KIND_PARALLELISM = "parallelism"
-KIND_ARCHITECTURE = "architecture"
-KIND_SERVING = "serving"
+from repro.core.manipulation.hardware import retarget_hardware
 
 __all__ = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
+    "KIND_HARDWARE",
     "KIND_PARALLELISM",
     "KIND_SERVING",
+    "COMPOSITE_SEPARATOR",
+    "DeriveContext",
+    "ManipulationRefusal",
+    "derive",
+    "register_manipulation",
+    "registered_kinds",
     "KernelTemplate",
     "CpuOverheads",
     "IterationTemplate",
@@ -54,4 +74,5 @@ __all__ = [
     "scale_pipeline_parallelism",
     "change_architecture",
     "rescale_serving_graph",
+    "retarget_hardware",
 ]

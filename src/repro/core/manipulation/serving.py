@@ -23,6 +23,11 @@ to invent collective tasks that the base trace never contained.
 from __future__ import annotations
 
 from repro.core.graph import ExecutionGraph
+from repro.core.manipulation.dispatch import (
+    KIND_SERVING,
+    DeriveContext,
+    register_manipulation,
+)
 from repro.core.perf_model import KernelPerfModel
 from repro.core.tasks import Task, TaskKind
 from repro.hardware.cluster import ClusterSpec
@@ -234,6 +239,25 @@ def rescale_serving_graph(graph: ExecutionGraph, target: ServingTarget, *,
         new_graph.add_dependency(id_map[dependency.src], id_map[dependency.dst],
                                  dependency.dep_type)
     return new_graph
+
+
+@register_manipulation(KIND_SERVING)
+def _derive_serving(graph: ExecutionGraph, label: str, context: DeriveContext,
+                    world_size: int) -> tuple[ExecutionGraph, int]:
+    if context.base_inference is None:
+        raise ValueError(
+            "the base trace is a training iteration; serving targets "
+            "(batch=/prompt=/tp=) require a study opened over an "
+            "emulated serving episode")
+    serving = ServingTarget.parse(label)
+    derived = rescale_serving_graph(
+        graph, serving, base_model=context.base_model,
+        base_parallel=context.base_parallel,
+        base_inference=context.base_inference,
+        perf_model=context.perf_model)
+    _, target_parallel = serving.resolve(context.base_inference,
+                                         context.base_parallel)
+    return derived, target_parallel.world_size
 
 
 def _rescale(task: Task, old_op: OpSpec, new_op: OpSpec,

@@ -142,6 +142,14 @@ class Task:
 
     def copy(self, **overrides: Any) -> "Task":
         """Return a copy with selected fields replaced (args are deep-ish copied)."""
+        if not overrides:
+            # Hot path: graph manipulations clone every task of a trace, and
+            # ``dataclasses.replace`` re-runs ``__init__``/``__post_init__``
+            # validation the source task already passed.
+            clone = object.__new__(Task)
+            clone.__dict__.update(self.__dict__)
+            clone.args = dict(self.args)
+            return clone
         clone = replace(self, **overrides)
         if "args" not in overrides:
             clone.args = dict(self.args)

@@ -4,16 +4,37 @@ These models parameterise the kernel and collective cost models
 (:mod:`repro.kernels`) and the cluster emulator (:mod:`repro.emulator`).
 Defaults approximate the paper's testbed: NVIDIA H100 GPUs, 8 GPUs per
 server connected by NVLink, servers connected by 8×400 Gbps RoCE.
+
+The named-spec registry (:func:`resolve_gpu`, :data:`GPU_REGISTRY`) also
+backs the hardware what-if axis: prediction targets like
+``gpu=H200-SXM`` resolve through it, and custom parts load from JSON
+spec files.
 """
 
-from repro.hardware.gpu import GPUSpec, A100_SXM, H100_SXM
+from repro.hardware.gpu import (
+    A100_SXM,
+    B200,
+    GPU_REGISTRY,
+    GPUSpec,
+    H100_SXM,
+    H200_SXM,
+    gpu_names,
+    registry_gpu,
+    resolve_gpu,
+)
 from repro.hardware.network import NetworkSpec, DEFAULT_ROce_NETWORK
 from repro.hardware.cluster import ClusterSpec, CommunicatorGroups, ProcessGroup
 
 __all__ = [
     "GPUSpec",
+    "GPU_REGISTRY",
     "H100_SXM",
     "A100_SXM",
+    "H200_SXM",
+    "B200",
+    "gpu_names",
+    "registry_gpu",
+    "resolve_gpu",
     "NetworkSpec",
     "DEFAULT_ROce_NETWORK",
     "ClusterSpec",

@@ -1,8 +1,18 @@
-"""GPU specifications used by the kernel cost models."""
+"""GPU specifications used by the kernel cost models.
+
+Besides the dataclass itself this module owns the named-spec registry
+(:data:`GPU_REGISTRY`, looked up through :func:`resolve_gpu`) that the
+hardware what-if axis uses to turn a target label like ``gpu=H200-SXM``
+into a :class:`GPUSpec`.  Custom specs load from JSON files
+(:meth:`GPUSpec.from_json`), so a hypothetical part can be swept without
+editing the library.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 
 @dataclass(frozen=True)
@@ -41,20 +51,69 @@ class GPUSpec:
     kernel_launch_overhead_us: float = 6.0
     kernel_fixed_overhead_us: float = 4.0
 
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ValueError("GPUSpec requires a non-empty name")
+        for field_name in ("sm_count", "bf16_tflops", "fp32_tflops", "memory_gb",
+                           "memory_bandwidth_gbps", "nvlink_bandwidth_gbps"):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ValueError(
+                    f"GPUSpec.{field_name} must be positive, got {value!r}")
+        for field_name in ("kernel_launch_overhead_us", "kernel_fixed_overhead_us"):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ValueError(
+                    f"GPUSpec.{field_name} must be non-negative, got {value!r}")
+
     @property
     def bf16_flops_per_us(self) -> float:
-        """Peak BF16 FLOPs per microsecond."""
+        """Peak BF16 FLOPs per microsecond.
+
+        ``bf16_tflops`` is TFLOP/s, i.e. ``bf16_tflops * 1e12`` FLOP/s;
+        dividing by ``1e6`` µs/s gives FLOPs per microsecond.  This is the
+        compute-roofline denominator :func:`repro.kernels.gemm.gemm_time_us`
+        (and the attention/decode models) divide by, after applying their
+        per-class achievable-efficiency factors.
+        """
         return self.bf16_tflops * 1e12 / 1e6
 
     @property
     def memory_bytes_per_us(self) -> float:
-        """HBM bytes per microsecond."""
+        """HBM bytes per microsecond (``memory_bandwidth_gbps * 1e9 / 1e6``)."""
         return self.memory_bandwidth_gbps * 1e9 / 1e6
 
     @property
     def nvlink_bytes_per_us(self) -> float:
         """NVLink bytes per microsecond (unidirectional)."""
         return self.nvlink_bandwidth_gbps * 1e9 / 1e6
+
+    # -- JSON custom specs ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        """JSON-serialisable payload round-tripping through :meth:`from_json`."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "GPUSpec":
+        """Build a spec from a JSON payload, rejecting unknown/missing keys."""
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"a GPU spec must be a JSON object, got {type(payload).__name__}")
+        known = {field_name for field_name in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown GPU spec keys {unknown}; known keys: {sorted(known)}")
+        required = {"name", "sm_count", "bf16_tflops", "fp32_tflops", "memory_gb",
+                    "memory_bandwidth_gbps", "nvlink_bandwidth_gbps"}
+        missing = sorted(required - set(payload))
+        if missing:
+            raise ValueError(f"GPU spec is missing required keys {missing}")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise ValueError(f"malformed GPU spec: {exc}") from exc
 
 
 H100_SXM = GPUSpec(
@@ -76,3 +135,77 @@ A100_SXM = GPUSpec(
     memory_bandwidth_gbps=2039.0,
     nvlink_bandwidth_gbps=300.0,
 )
+
+# Same GH100 die as the H100 (so identical peak math throughput); the
+# upgrade is HBM3e capacity and bandwidth.
+H200_SXM = GPUSpec(
+    name="H200-SXM",
+    sm_count=132,
+    bf16_tflops=989.0,
+    fp32_tflops=67.0,
+    memory_gb=141.0,
+    memory_bandwidth_gbps=4800.0,
+    nvlink_bandwidth_gbps=450.0,
+)
+
+B200 = GPUSpec(
+    name="B200",
+    sm_count=144,
+    bf16_tflops=2250.0,
+    fp32_tflops=80.0,
+    memory_gb=192.0,
+    memory_bandwidth_gbps=8000.0,
+    nvlink_bandwidth_gbps=900.0,
+)
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower().replace("_", "-")
+
+
+#: Named specs reachable from target labels (``gpu=H200-SXM``), keyed by
+#: their normalised name (case-insensitive, ``_`` and ``-`` equivalent).
+GPU_REGISTRY: dict[str, GPUSpec] = {
+    _normalize(spec.name): spec
+    for spec in (H100_SXM, A100_SXM, H200_SXM, B200)
+}
+
+
+def gpu_names() -> list[str]:
+    """The marketing names of every registry spec, sorted."""
+    return sorted(spec.name for spec in GPU_REGISTRY.values())
+
+
+def registry_gpu(name: str) -> GPUSpec | None:
+    """The registry spec for ``name`` (case/sep-insensitive), or ``None``."""
+    return GPU_REGISTRY.get(_normalize(name))
+
+
+def resolve_gpu(target: "GPUSpec | str") -> GPUSpec:
+    """Resolve a GPU reference: a spec, a registry name, or a JSON file path.
+
+    Strings ending in ``.json`` (or containing a path separator) are read
+    as custom spec files; anything else is looked up in
+    :data:`GPU_REGISTRY`.  Raises :class:`ValueError` for unknown names,
+    unreadable files and malformed specs.
+    """
+    if isinstance(target, GPUSpec):
+        return target
+    text = str(target).strip()
+    if not text:
+        raise ValueError("empty GPU name")
+    if text.endswith(".json") or "/" in text or "\\" in text:
+        path = Path(text)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise ValueError(f"cannot read GPU spec file {text!r}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"GPU spec file {text!r} is not valid JSON: {exc}") from exc
+        return GPUSpec.from_json(payload)
+    spec = registry_gpu(text)
+    if spec is None:
+        raise ValueError(
+            f"unknown GPU {text!r}; known specs: {', '.join(gpu_names())} "
+            "(or give a path to a JSON spec file)")
+    return spec

@@ -44,7 +44,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.api import KIND_PARALLELISM, KIND_SERVING, parse_target
+from repro.api import KIND_HARDWARE, KIND_PARALLELISM, KIND_SERVING, parse_target
 from repro.api.errors import StudyError
 from repro.observability import tracing as observability
 from repro.service.jobs import (
@@ -318,11 +318,13 @@ class ServiceApp:
         """
         base = base_from_metadata(metadata, request.base)
         if request.kind == "predict":
-            # Parsing canonicalises the target label (and refuses
-            # malformed ones with the PredictError → 4xx mapping).
+            # Parsing canonicalises the target (and refuses malformed
+            # ones with the PredictError → 4xx mapping); str(Target)
+            # round-trips, including composite workload+hardware targets,
+            # so every spelling of one configuration hashes to one job.
             target = parse_target(request.target)
             payload: dict[str, Any] = {"base": base,
-                                       "target": f"{target.kind}:{target.label}"}
+                                       "target": str(target)}
             if request.slo_ms is not None:
                 payload["slo_ms"] = request.slo_ms
             return payload
@@ -340,20 +342,29 @@ class ServiceApp:
         parallelism: list[str] = []
         models: list[str] = []
         serving: list[str] = []
+        hardware: list[str] = []
         for text in request.targets:
-            resolved = parse_target(text)
-            if resolved.kind == KIND_PARALLELISM:
-                parallelism.append(resolved.label)
-            elif resolved.kind == KIND_SERVING:
-                serving.append(resolved.label)
-            else:
-                models.append(resolved.label)
+            # Composite workload+hardware targets decompose onto the
+            # spec's axes (which re-cross them, so "tp=8,gpu=B200" also
+            # evaluates the reference points "tp=8" and "gpu=B200").
+            for kind, label in parse_target(text).manipulations:
+                if kind == KIND_PARALLELISM:
+                    parallelism.append(label)
+                elif kind == KIND_SERVING:
+                    serving.append(label)
+                elif kind == KIND_HARDWARE:
+                    name = label[len("gpu="):] if label.startswith("gpu=") else label
+                    if name not in hardware:
+                        hardware.append(name)
+                else:
+                    models.append(label)
         payload: dict[str, Any] = {
             "base": dict(base),
             "parallelism": parallelism,
             "models": models,
             "whatif": [],
             "serving": serving,
+            "hardware": hardware,
         }
         if request.slo_ms is not None:
             payload["base"]["slo_ms"] = request.slo_ms

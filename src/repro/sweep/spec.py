@@ -36,6 +36,11 @@ because the serving graph is topology-invariant under it)::
       "serving": ["batch=16", "batch=32", "tp=2,batch=16"],
       "whatif": [{"kind": "kernel_class", "op_class": "decode_attention"}]
     }
+
+An optional ``"hardware": ["H200-SXM", "B200"]`` axis (registry GPU
+names) crosses either grid with roofline hardware retargets: every
+configuration is evaluated on the profiled GPU and once per listed GPU
+(composite ``<kind>+hardware`` scenarios).
 """
 
 from __future__ import annotations
@@ -50,11 +55,14 @@ from typing import Any, Mapping
 # layer (the one place that implements them); re-exported here for spec
 # authors.
 from repro.core.manipulation import (
+    COMPOSITE_SEPARATOR,
     KIND_ARCHITECTURE,
     KIND_BASELINE,
+    KIND_HARDWARE,
     KIND_PARALLELISM,
     KIND_SERVING,
 )
+from repro.hardware.gpu import resolve_gpu
 from repro.workload.inference import (
     InferenceConfig,
     ServingTarget,
@@ -81,6 +89,27 @@ def _parsed_label(label: str) -> "ParallelismConfig":
     """Parse a TPxPPxDP label, reporting malformed labels as spec errors."""
     try:
         return ParallelismConfig.parse(label)
+    except ValueError as error:
+        raise SweepSpecError(str(error)) from error
+
+
+def _canonical_gpu(name: str) -> str:
+    """Resolve a hardware-axis entry to its canonical registry GPU name.
+
+    Specs are shareable, content-addressed artefacts, so the hardware
+    axis takes registry names only — a JSON spec-file path would make the
+    cache key depend on local filesystem content it does not hash.
+    """
+    text = name.strip()
+    if text.lower().startswith("gpu="):
+        text = text[len("gpu="):].strip()
+    if "/" in text or "\\" in text or text.endswith(".json"):
+        raise SweepSpecError(
+            f"hardware axis entry {name!r} looks like a spec-file path; "
+            "sweep specs take registry GPU names (custom specs are a "
+            "Study.predict feature)")
+    try:
+        return resolve_gpu(text).name
     except ValueError as error:
         raise SweepSpecError(str(error)) from error
 
@@ -205,6 +234,10 @@ class SweepSpec:
     parallelism: tuple[str, ...] = ()
     models: tuple[str, ...] = ()
     serving: tuple[str, ...] = ()
+    #: Registry GPU names to retarget onto.  The axis *crosses* the
+    #: configuration axes: every configuration is evaluated on the
+    #: profiled GPU (the reference column) and once per listed GPU.
+    hardware: tuple[str, ...] = ()
     whatif: tuple[WhatIfSpec, ...] = ()
     include_baseline: bool = True
 
@@ -239,6 +272,7 @@ class SweepSpec:
                 parallelism=tuple(str(p) for p in payload.get("parallelism", ())),
                 models=tuple(str(m) for m in payload.get("models", ())),
                 serving=tuple(str(s) for s in payload.get("serving", ())),
+                hardware=tuple(str(h) for h in payload.get("hardware", ())),
                 whatif=tuple(WhatIfSpec.from_json(w) for w in payload.get("whatif", ())),
                 include_baseline=bool(payload.get("include_baseline", True)),
             )
@@ -295,6 +329,10 @@ class SweepSpec:
         }
         if self.serving:
             payload["serving"] = list(self.serving)
+        # Omitted when empty, like 'serving': pre-hardware specs keep
+        # their cache keys.
+        if self.hardware:
+            payload["hardware"] = list(self.hardware)
         return payload
 
     def save(self, path: str | Path) -> None:
@@ -370,11 +408,20 @@ class SweepSpec:
                     raise SweepSpecError(str(error)) from error
             for name in self.models:
                 _known_model(name)
+        for name in self.hardware:
+            _canonical_gpu(name)
         if not self.expand():
             raise SweepSpecError("sweep spec expands to zero scenarios")
 
     def configurations(self) -> list[tuple[str, str]]:
-        """The ``(kind, target)`` configuration axis, de-duplicated in order."""
+        """The ``(kind, target)`` configuration axis, de-duplicated in order.
+
+        A non-empty ``hardware`` axis crosses the grid: every workload
+        configuration appears once unretargeted (the profiled-GPU
+        reference) and once per listed GPU, as a composite
+        ``<kind>+hardware`` configuration (pure ``hardware`` for the
+        baseline row).
+        """
         configs: list[tuple[str, str]] = []
         if self.include_baseline:
             configs.append((KIND_BASELINE, self.base_parallelism))
@@ -384,6 +431,19 @@ class SweepSpec:
             configs.append((KIND_ARCHITECTURE, name))
         for label in self.serving:
             configs.append((KIND_SERVING, ServingTarget.parse(label).label()))
+        gpus = [_canonical_gpu(name) for name in self.hardware]
+        if gpus:
+            crossed: list[tuple[str, str]] = []
+            for kind, target in configs:
+                crossed.append((kind, target))
+                for gpu in gpus:
+                    if kind == KIND_BASELINE:
+                        crossed.append((KIND_HARDWARE, f"gpu={gpu}"))
+                    else:
+                        crossed.append(
+                            (f"{kind}{COMPOSITE_SEPARATOR}{KIND_HARDWARE}",
+                             f"{target}{COMPOSITE_SEPARATOR}gpu={gpu}"))
+            configs = crossed
         seen: set[tuple[str, str]] = set()
         unique = []
         for config in configs:

@@ -474,3 +474,89 @@ class TestObservabilityCommands:
                      "--output", str(tmp_path / "out.json")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestHardwareCli:
+    def test_predict_hardware_target(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--target", "gpu=H200-SXM",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "gpu=H200-SXM" in output
+        assert "base replay:" in output
+
+    def test_predict_composite_target(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2",
+            "--target", "parallelism=2x2x4,gpu=H200-SXM",
+        ])
+        assert code == 0
+        assert "2x2x4+gpu=H200-SXM" in capsys.readouterr().out
+
+    def test_predict_capacity_refusal_exits_2(self, trace_directory, tmp_path,
+                                              capsys):
+        # gpt3-15b training state needs ~67 GiB/rank at TPxPP=4: a 1 GiB
+        # part must be refused, through the CLI, with the typed message.
+        spec = tmp_path / "tiny-gpu.json"
+        spec.write_text(json.dumps({
+            "name": "TINY", "sm_count": 8, "bf16_tflops": 10.0,
+            "fp32_tflops": 5.0, "memory_gb": 1.0,
+            "memory_bandwidth_gbps": 100.0, "nvlink_bandwidth_gbps": 50.0,
+        }), encoding="utf-8")
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--target", f"gpu={spec}",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "would not fit" in err
+
+    def test_predict_unknown_gpu_exits_2(self, trace_directory, capsys):
+        code = main([
+            "predict", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--target", "gpu=RTX-9090",
+        ])
+        assert code == 2
+        assert "unknown GPU" in capsys.readouterr().err
+
+    def test_sweep_crosses_hardware_axis(self, trace_directory, tmp_path, capsys):
+        code = main([
+            "sweep", "--trace", str(trace_directory), "--model", "gpt3-15b",
+            "--parallelism", "2x2x2", "--micro-batch-size", "1",
+            "--num-microbatches", "2", "--target", "2x2x4",
+            "--target", "gpu=H200-SXM", "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        # baseline + 2x2x4, each on the profiled part and on the H200.
+        assert "evaluated 4 scenarios" in output
+        assert "2x2x4+gpu=H200-SXM" in output
+
+    def test_legacy_target_flags_warn(self, trace_directory, capsys):
+        with pytest.warns(DeprecationWarning,
+                          match="--target-parallelism is deprecated"):
+            code = main([
+                "predict", "--trace", str(trace_directory), "--model",
+                "gpt3-15b", "--parallelism", "2x2x2", "--micro-batch-size",
+                "1", "--num-microbatches", "2",
+                "--target-parallelism", "2x2x4",
+            ])
+        assert code == 0
+
+    def test_legacy_sweep_targets_flag_warns(self, trace_directory, tmp_path,
+                                             capsys):
+        with pytest.warns(DeprecationWarning, match="--targets is deprecated"):
+            code = main([
+                "sweep", "--trace", str(trace_directory), "--model",
+                "gpt3-15b", "--parallelism", "2x2x2", "--micro-batch-size",
+                "1", "--num-microbatches", "2", "--targets", "2x2x4",
+                "--cache-dir", str(tmp_path / "cache"),
+            ])
+        assert code == 0

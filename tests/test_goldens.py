@@ -35,7 +35,8 @@ _CASES = {
         training=TrainingConfig(micro_batch_size=1, num_microbatches=2,
                                 sequence_length=512, gradient_bucket_layers=2),
         seed=7,
-        predict_targets=("2x1x2", "2x2x4"),
+        predict_targets=("2x1x2", "2x2x4", "gpu=H200-SXM",
+                         "parallelism=2x2x4,gpu=H200-SXM"),
     ),
     "study_tiny_1x2x2": dict(
         model=tiny_model(n_layers=2, d_model=512, name="tiny-gpt-narrow"),
@@ -51,6 +52,7 @@ _CASES = {
         inference=InferenceConfig(batch_size=8, prompt_length=512,
                                   decode_length=4),
         seed=11,
+        predict_targets=("gpu=H200-SXM", "batch=16,gpu=H200-SXM"),
         serving_targets=("batch=16", "prompt=1024", "tp=1"),
     ),
     "study_tiny_stream_2x1x1": dict(

@@ -3,7 +3,16 @@
 import pytest
 
 from repro.hardware.cluster import ClusterSpec, CommunicatorGroups
-from repro.hardware.gpu import A100_SXM, H100_SXM, GPUSpec
+from repro.hardware.gpu import (
+    A100_SXM,
+    B200,
+    H100_SXM,
+    H200_SXM,
+    GPUSpec,
+    gpu_names,
+    registry_gpu,
+    resolve_gpu,
+)
 from repro.hardware.network import NetworkSpec
 
 
@@ -128,3 +137,113 @@ class TestCommunicatorGroups:
     def test_invalid_degrees_raise(self):
         with pytest.raises(ValueError):
             CommunicatorGroups(0, 1, 1)
+
+
+class TestGPUSpecValidation:
+    def _kwargs(self, **overrides):
+        kwargs = dict(name="x", sm_count=1, bf16_tflops=1.0, fp32_tflops=1.0,
+                      memory_gb=1.0, memory_bandwidth_gbps=1.0,
+                      nvlink_bandwidth_gbps=1.0)
+        kwargs.update(overrides)
+        return kwargs
+
+    @pytest.mark.parametrize("field", [
+        "sm_count", "bf16_tflops", "fp32_tflops", "memory_gb",
+        "memory_bandwidth_gbps", "nvlink_bandwidth_gbps",
+    ])
+    def test_non_positive_rates_raise(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be positive"):
+            GPUSpec(**self._kwargs(**{field: 0}))
+        with pytest.raises(ValueError, match=f"{field} must be positive"):
+            GPUSpec(**self._kwargs(**{field: -1.0}))
+
+    @pytest.mark.parametrize("field", [
+        "kernel_launch_overhead_us", "kernel_fixed_overhead_us",
+    ])
+    def test_negative_overheads_raise(self, field):
+        with pytest.raises(ValueError, match=f"{field} must be non-negative"):
+            GPUSpec(**self._kwargs(**{field: -0.5}))
+        GPUSpec(**self._kwargs(**{field: 0.0}))  # zero overhead is allowed
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            GPUSpec(**self._kwargs(name="  "))
+
+
+class TestGPURegistry:
+    def test_registry_names(self):
+        assert gpu_names() == ["A100-SXM", "B200", "H100-SXM", "H200-SXM"]
+
+    def test_lookup_normalises_case_and_separators(self):
+        assert registry_gpu("h200_sxm") is H200_SXM
+        assert registry_gpu(" H200-SXM ") is H200_SXM
+        assert registry_gpu("no-such-gpu") is None
+
+    def test_h200_is_h100_with_hbm3e(self):
+        # Same GH100 die: only the memory subsystem moves.
+        assert H200_SXM.bf16_tflops == H100_SXM.bf16_tflops
+        assert H200_SXM.sm_count == H100_SXM.sm_count
+        assert H200_SXM.memory_bandwidth_gbps > H100_SXM.memory_bandwidth_gbps
+        assert H200_SXM.memory_gb > H100_SXM.memory_gb
+
+    def test_b200_headline_numbers(self):
+        assert B200.bf16_tflops > H100_SXM.bf16_tflops
+        assert B200.nvlink_bandwidth_gbps == 900.0
+
+
+class TestGPUSpecJson:
+    def test_round_trip(self):
+        for spec in (H100_SXM, A100_SXM, H200_SXM, B200):
+            assert GPUSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_key_rejected(self):
+        payload = H100_SXM.to_json()
+        payload["tensor_cores"] = 4
+        with pytest.raises(ValueError, match="unknown GPU spec keys"):
+            GPUSpec.from_json(payload)
+
+    def test_missing_key_rejected(self):
+        payload = H100_SXM.to_json()
+        del payload["memory_gb"]
+        with pytest.raises(ValueError, match="missing required keys"):
+            GPUSpec.from_json(payload)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            GPUSpec.from_json(["H100-SXM"])
+
+    def test_overheads_are_optional(self):
+        payload = {key: value for key, value in H100_SXM.to_json().items()
+                   if not key.startswith("kernel_")}
+        spec = GPUSpec.from_json(payload)
+        assert spec.kernel_launch_overhead_us == 6.0
+
+
+class TestResolveGPU:
+    def test_spec_passes_through(self):
+        assert resolve_gpu(H200_SXM) is H200_SXM
+
+    def test_registry_name(self):
+        assert resolve_gpu("b200") is B200
+
+    def test_json_file(self, tmp_path):
+        import json
+        path = tmp_path / "custom.json"
+        payload = dict(H100_SXM.to_json(), name="H100-CUSTOM")
+        path.write_text(json.dumps(payload))
+        spec = resolve_gpu(str(path))
+        assert spec.name == "H100-CUSTOM"
+
+    def test_unknown_name_lists_known_specs(self):
+        with pytest.raises(ValueError, match="known specs: A100-SXM, B200"):
+            resolve_gpu("RTX-9090")
+
+    def test_unreadable_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read GPU spec file"):
+            resolve_gpu(str(tmp_path / "missing.json"))
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            resolve_gpu(str(path))

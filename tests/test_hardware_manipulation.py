@@ -1,0 +1,168 @@
+"""Behavioral tests for the hardware what-if axis.
+
+The retarget rescales every classified GPU kernel by the roofline ratio
+of the analytical models evaluated on the profiled and the hypothetical
+part (Lumos §3.4 applied to a hardware change); these tests lock the
+direction of the predictions, the typed refusals, and the memoization
+contract that every spelling of one GPU shares a single derived graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PredictError, Study
+from repro.core.graph import ExecutionGraph
+from repro.core.manipulation import registered_kinds, retarget_hardware
+from repro.core.manipulation.hardware import (
+    REFUSE_CAPACITY,
+    REFUSE_UNCLASSIFIED,
+    HardwareManipulationError,
+    estimate_rank_memory_bytes,
+)
+from repro.core.perf_model import KernelPerfModel
+from repro.core.tasks import Task, TaskKind
+from repro.hardware.cluster import ClusterSpec
+from repro.hardware.gpu import B200, H100_SXM, H200_SXM, GPUSpec
+from repro.workload.inference import InferenceConfig
+from repro.workload.parallelism import ParallelismConfig
+from tests.conftest import tiny_model
+
+TINY_GPU = GPUSpec(name="TINY", sm_count=8, bf16_tflops=10.0, fp32_tflops=5.0,
+                   memory_gb=0.25, memory_bandwidth_gbps=100.0,
+                   nvlink_bandwidth_gbps=50.0)
+
+
+class TestDispatchRegistry:
+    def test_all_kinds_registered(self):
+        assert registered_kinds() == [
+            "architecture", "baseline", "hardware", "parallelism", "serving"]
+
+
+class TestTrainingRetarget:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return Study.from_emulation(tiny_model(), "2x1x1", iterations=1, seed=7)
+
+    def test_h200_is_faster_than_the_h100_base(self, study):
+        # Same die, faster HBM: memory-bound time shrinks, nothing grows.
+        prediction = study.predict("gpu=H200-SXM")
+        assert prediction.iteration_time_us < study.replay().iteration_time_us
+        assert prediction.speedup_vs_base > 1.0
+
+    def test_a100_is_slower_than_the_h100_base(self, study):
+        prediction = study.predict("gpu=A100-SXM")
+        assert prediction.iteration_time_us > study.replay().iteration_time_us
+
+    def test_b200_beats_h200(self, study):
+        assert study.predict("gpu=B200").iteration_time_us < \
+            study.predict("gpu=H200-SXM").iteration_time_us
+
+    def test_metadata_records_gpu_and_rescale_factors(self, study):
+        graph = study.predict("gpu=H200-SXM").graph
+        assert graph.metadata["gpu"] == "H200-SXM"
+        assert graph.metadata["manipulated"] == "hardware"
+        factors = graph.metadata["hardware_rescale"]
+        # The H200 upgrade is the memory subsystem: bandwidth-bound
+        # classes speed up toward the HBM ratio (the fixed kernel
+        # overhead share does not scale), compute stays put.
+        assert 3350.0 / 4800.0 < factors["memory_bound"] < 1.0
+        assert factors["gemm"] == pytest.approx(1.0)
+
+    def test_equivalent_spellings_share_one_memoized_prediction(self, study):
+        canonical = study.predict("gpu=H200-SXM")
+        for spelling in ("hardware:H200-SXM", "gpu=h200_sxm", H200_SXM):
+            assert study.predict(spelling) is canonical
+
+    def test_profiled_gpu_folds_to_the_baseline(self, study):
+        prediction = study.predict("gpu=H100-SXM")
+        assert prediction.kind == "baseline"
+        assert prediction.iteration_time_us == study.replay().iteration_time_us
+
+    def test_composite_parallelism_plus_hardware(self, study):
+        prediction = study.predict("parallelism=2x1x2,gpu=H200-SXM")
+        assert prediction.world_size == 4
+        assert prediction.iteration_time_us < \
+            study.predict("2x1x2").iteration_time_us
+
+    def test_capacity_refusal_carries_typed_code(self, study):
+        with pytest.raises(PredictError, match="would not fit") as excinfo:
+            study.predict(TINY_GPU)
+        assert excinfo.value.code == REFUSE_CAPACITY
+
+    def test_custom_spec_shadowing_the_base_gpu_is_refused(self, study):
+        impostor = GPUSpec(**dict(H100_SXM.to_json(), memory_gb=999.0))
+        with pytest.raises(PredictError, match="named like the base GPU"):
+            study.predict(impostor)
+
+    def test_custom_spec_shadowing_the_registry_is_refused(self, study):
+        impostor = GPUSpec(**dict(B200.to_json(), memory_gb=999.0))
+        with pytest.raises(PredictError, match="distinct name"):
+            study.predict(impostor)
+
+    def test_two_different_specs_with_one_name_are_refused(self, study):
+        first = GPUSpec(**dict(H200_SXM.to_json(), name="X100"))
+        study.predict(first)
+        second = GPUSpec(**dict(B200.to_json(), name="X100"))
+        with pytest.raises(PredictError, match="already predicted"):
+            study.predict(second)
+
+
+class TestServingRetarget:
+    @pytest.fixture(scope="class")
+    def study(self):
+        inference = InferenceConfig(batch_size=4, prompt_length=64,
+                                    decode_length=2)
+        return Study.from_emulation(tiny_model(), "2x1x1", inference=inference,
+                                    iterations=1, seed=11)
+
+    def test_h200_speeds_up_decode(self, study):
+        # Decode attention is bandwidth-bound: the HBM3e part wins.
+        prediction = study.predict("gpu=H200-SXM")
+        assert prediction.iteration_time_us < study.replay().iteration_time_us
+
+    def test_composite_serving_plus_hardware(self, study):
+        prediction = study.predict("batch=8,gpu=B200")
+        assert prediction.kind == "serving+hardware"
+        assert prediction.graph.metadata["gpu"] == "B200"
+
+    def test_capacity_check_includes_the_kv_cache(self, study):
+        parallel = ParallelismConfig.parse("2x1x1")
+        inference = InferenceConfig(batch_size=4, prompt_length=64,
+                                    decode_length=2)
+        serving = estimate_rank_memory_bytes(tiny_model(), parallel,
+                                             inference=inference)
+        training = estimate_rank_memory_bytes(tiny_model(), parallel)
+        assert serving > 0 and training > 0
+        # 18 bytes/param of optimizer state dwarfs a tiny KV cache.
+        assert training > serving
+
+
+class TestUnclassifiedRefusal:
+    def _retarget(self, graph):
+        cluster = ClusterSpec(num_gpus=1)
+        return retarget_hardware(
+            graph, H200_SXM, base_model=tiny_model(),
+            base_parallel=ParallelismConfig.parse("1x1x1"),
+            perf_model=KernelPerfModel(cluster=cluster), base_cluster=cluster)
+
+    def test_opaque_kernels_past_the_budget_refuse(self):
+        graph = ExecutionGraph()
+        graph.add_task(Task(task_id=0, rank=0, kind=TaskKind.GPU,
+                            name="mystery_kernel", duration=100.0, stream=0))
+        with pytest.raises(HardwareManipulationError,
+                           match="cannot classify") as excinfo:
+            self._retarget(graph)
+        assert excinfo.value.code == REFUSE_UNCLASSIFIED
+
+    def test_small_unclassified_residue_is_kept_verbatim(self):
+        graph = ExecutionGraph()
+        graph.add_task(Task(task_id=0, rank=0, kind=TaskKind.GPU,
+                            name="mystery_kernel", duration=1.0, stream=0))
+        graph.add_task(Task(task_id=1, rank=0, kind=TaskKind.GPU,
+                            name="fused_layernorm", duration=1000.0, stream=0,
+                            args={"op_class": "layernorm"}))
+        derived = self._retarget(graph)
+        by_name = {task.name: task for task in derived.task_list()}
+        assert by_name["mystery_kernel"].duration == 1.0  # under budget: kept
+        assert by_name["fused_layernorm"].duration < 1000.0

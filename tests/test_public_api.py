@@ -37,6 +37,7 @@ REPRO_ALL = [
 REPRO_API_ALL = [
     "KIND_ARCHITECTURE",
     "KIND_BASELINE",
+    "KIND_HARDWARE",
     "KIND_PARALLELISM",
     "KIND_SERVING",
     "PredictError",

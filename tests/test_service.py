@@ -512,6 +512,31 @@ class TestServiceEndToEnd:
         assert detected["job"]["job_id"] == explicit["job"]["job_id"]
         assert detected["deduped"]
 
+    def test_hardware_spellings_dedupe_to_one_job(self, manual_app):
+        # parse_target canonicalises before the payload is hashed, so the
+        # prefixed and the bare spelling of one GPU are one job.
+        client = ServiceClient(manual_app.url)
+        explicit = client.submit({"kind": "predict", "trace": "canned",
+                                  "target": "hardware:H200-SXM"})
+        detected = client.submit({"kind": "predict", "trace": "canned",
+                                  "target": "gpu=h200_sxm"})
+        assert detected["job"]["job_id"] == explicit["job"]["job_id"]
+        assert detected["deduped"]
+
+    def test_hardware_axis_sweeps_through_the_service(self, manual_app):
+        client = ServiceClient(manual_app.url)
+        submitted = client.submit({"kind": "sweep", "trace": "canned",
+                                   "targets": ["batch=8", "gpu=H200-SXM",
+                                               "batch=8,gpu=H200-SXM"]})
+        _drain(manual_app)
+        result = validate_result_payload(
+            client.result(submitted["job"]["job_id"])["result"])
+        labels = {row["label"] for row in result["scenarios"]}
+        # The hardware axis crosses the grid: each workload config shows
+        # up on the profiled part and on the hypothetical one.
+        assert {"base", "batch=8", "gpu=H200-SXM",
+                "batch=8+gpu=H200-SXM"} <= labels
+
     def test_live_workers_complete_a_predict_job(self, serving_trace_dir, tmp_path):
         with ServiceApp(tmp_path / "svc", workers=1,
                         traces={"canned": serving_trace_dir}) as app:

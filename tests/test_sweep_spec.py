@@ -255,3 +255,46 @@ class TestServingSpecs:
         assert "inference" not in payload
         assert set(payload) == {"model", "parallelism", "micro_batch_size",
                                 "num_microbatches"}
+
+
+class TestHardwareAxis:
+    def _spec(self, **overrides):
+        defaults = dict(base_model="gpt3-15b", base_parallelism="2x2x2",
+                        parallelism=("2x2x4",), hardware=("H200-SXM",))
+        defaults.update(overrides)
+        return SweepSpec(**defaults)
+
+    def test_json_roundtrip(self):
+        spec = self._spec()
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        assert spec.to_json()["hardware"] == ["H200-SXM"]
+
+    def test_empty_axis_is_omitted_from_json(self):
+        # Pre-hardware sweep specs must keep their cache keys.
+        assert "hardware" not in SweepSpec().to_json()
+
+    def test_axis_crosses_the_configuration_grid(self):
+        configs = self._spec().configurations()
+        # Every workload config appears unretargeted (the profiled-GPU
+        # reference column) and once per listed GPU.
+        assert (KIND_BASELINE, "2x2x2") in configs
+        assert (KIND_PARALLELISM, "2x2x4") in configs
+        assert ("hardware", "gpu=H200-SXM") in configs
+        assert ("parallelism+hardware", "2x2x4+gpu=H200-SXM") in configs
+        assert len(configs) == 4
+
+    def test_gpu_names_canonicalise(self):
+        spec = self._spec(hardware=("h200_sxm", "gpu=H200-SXM"))
+        configs = spec.configurations()
+        assert configs.count(("hardware", "gpu=H200-SXM")) == 1
+
+    def test_unknown_gpu_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown GPU"):
+            self._spec(hardware=("RTX-9090",)).validate()
+
+    def test_spec_file_paths_rejected(self):
+        with pytest.raises(SweepSpecError, match="registry GPU names"):
+            self._spec(hardware=("/tmp/custom.json",)).validate()
+
+    def test_registry_names_validate(self):
+        self._spec(hardware=("H200-SXM", "B200", "A100-SXM")).validate()

@@ -10,17 +10,21 @@ keyword arguments.
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import ServingTarget, Study, Target, parse_target
 from repro.api import (
     KIND_ARCHITECTURE,
+    KIND_HARDWARE,
     KIND_PARALLELISM,
     KIND_SERVING,
     PredictError,
 )
+from repro.hardware.gpu import B200, H200_SXM, GPUSpec, gpu_names
 from repro.workload.inference import InferenceConfig
 from repro.workload.parallelism import ParallelismConfig
-from tests.conftest import tiny_model
+from tests.conftest import hyp_max_examples, tiny_model
 
 
 class TestParseTarget:
@@ -127,3 +131,135 @@ class TestLegacyKeywordParity:
         assert training_study.predict("2x1x2").label == "2x1x2"
         assert training_study.predict("model:gpt3-44b").label == "gpt3-44b"
         assert serving_study.predict("serving:batch=2").label == "batch=2"
+
+
+class TestHardwareTargets:
+    """The composable v2 grammar: ``gpu=`` as a first-class axis."""
+
+    def test_pure_hardware_auto_detected(self):
+        target = parse_target("gpu=H200-SXM")
+        assert target == Target(KIND_HARDWARE, "gpu=H200-SXM")
+
+    def test_hardware_prefix(self):
+        assert parse_target("hardware:H200-SXM") == \
+            Target(KIND_HARDWARE, "gpu=H200-SXM")
+        assert parse_target("hardware:gpu=H200-SXM") == \
+            Target(KIND_HARDWARE, "gpu=H200-SXM")
+
+    def test_gpu_name_is_canonicalised(self):
+        # Registry lookup is case- and separator-insensitive; the label
+        # always carries the marketing name, so every spelling shares one
+        # memoization/cache key.
+        for spelling in ("gpu=h200-sxm", "gpu=H200_SXM", "gpu=H200-SXM "):
+            assert parse_target(spelling).label == "gpu=H200-SXM"
+
+    def test_serving_composes_with_hardware(self):
+        target = parse_target("tp=2,batch=16,gpu=B200")
+        assert target.kind == "serving+hardware"
+        assert target.label == "batch=16,tp=2+gpu=B200"
+        assert target.manipulations == (
+            (KIND_SERVING, "batch=16,tp=2"), (KIND_HARDWARE, "gpu=B200"))
+
+    def test_parallelism_selector_composes_with_hardware(self):
+        target = parse_target("parallelism=2x2x8,gpu=H200-SXM")
+        assert target.kind == "parallelism+hardware"
+        assert target.manipulations == (
+            (KIND_PARALLELISM, "2x2x8"), (KIND_HARDWARE, "gpu=H200-SXM"))
+
+    def test_model_selector_composes_with_hardware(self):
+        target = parse_target("model=gpt3-44b,gpu=B200")
+        assert target.manipulations == (
+            (KIND_ARCHITECTURE, "gpt3-44b"), (KIND_HARDWARE, "gpu=B200"))
+
+    def test_serving_prefix_composes_with_hardware(self):
+        target = parse_target("serving:batch=64,gpu=B200")
+        assert target.kind == "serving+hardware"
+        assert target.label == "batch=64+gpu=B200"
+
+    def test_gpu_spec_object_maps_to_hardware_kind(self):
+        target = parse_target(H200_SXM)
+        # Registry specs carry no payload: the label alone resolves them.
+        assert target == Target(KIND_HARDWARE, "gpu=H200-SXM")
+        custom = GPUSpec(name="X100", sm_count=100, bf16_tflops=500.0,
+                         fp32_tflops=50.0, memory_gb=64.0,
+                         memory_bandwidth_gbps=2000.0,
+                         nvlink_bandwidth_gbps=400.0)
+        resolved = parse_target(custom)
+        assert resolved.label == "gpu=X100"
+        assert resolved.gpu == custom
+
+    def test_json_spec_file_target(self, tmp_path):
+        path = tmp_path / "x100.json"
+        path.write_text(
+            '{"name": "X100", "sm_count": 100, "bf16_tflops": 500.0,'
+            ' "fp32_tflops": 50.0, "memory_gb": 64.0,'
+            ' "memory_bandwidth_gbps": 2000.0,'
+            ' "nvlink_bandwidth_gbps": 400.0}', encoding="utf-8")
+        target = parse_target(f"gpu={path}")
+        assert target.label == "gpu=X100"
+        assert target.gpu is not None and target.gpu.name == "X100"
+
+    @pytest.mark.parametrize("text", [
+        "gpu=",                            # empty value
+        "gpu=NoSuchGPU",                   # unknown registry name
+        "gpu=B200,gpu=H200-SXM",           # two hardware selections
+        "parallelism=2x2x4,model=gpt3-44b,gpu=B200",  # two workload axes
+        "parallelism=2x2x4,batch=16,gpu=B200",        # selector + serving knobs
+        "hardware:batch=16",               # non-gpu item under hardware prefix
+        "serving:parallelism=2x2x4,gpu=B200",         # selector/prefix mismatch
+        "batch=16,,gpu=B200",              # empty item
+    ])
+    def test_malformed_composites_raise_predict_error(self, text):
+        with pytest.raises(PredictError):
+            parse_target(text)
+
+    def test_equivalent_spellings_share_one_target(self):
+        spellings = ["tp=2,gpu=B200", "gpu=b200,tp=2", "serving:tp=2,gpu=B200"]
+        targets = {parse_target(text) for text in spellings}
+        assert len(targets) == 1
+
+    def test_composite_str_round_trips(self):
+        for text in ("tp=2,batch=16,gpu=B200", "parallelism=2x2x8,gpu=H200-SXM",
+                     "model=gpt3-44b,gpu=B200", "gpu=A100-SXM"):
+            target = parse_target(text)
+            assert parse_target(str(target)) == target
+
+    def test_target_validates_composite_shape_and_gpu_payload(self):
+        with pytest.raises(PredictError):
+            Target("hardware+serving", "gpu=B200+batch=16")  # wrong order
+        with pytest.raises(PredictError):
+            Target("serving+hardware", "batch=16")  # segment count mismatch
+        with pytest.raises(PredictError):
+            Target(KIND_SERVING, "batch=16", gpu=B200)  # payload on wrong kind
+
+
+def _target_strategy():
+    parallelism = st.builds(
+        lambda tp, pp, dp: Target(KIND_PARALLELISM, f"{tp}x{pp}x{dp}"),
+        st.integers(1, 8), st.integers(1, 8), st.integers(1, 8))
+    architecture = st.sampled_from(
+        ["gpt3-15b", "gpt3-44b", "tiny-gpt", "my-variant"]).map(
+        lambda name: Target(KIND_ARCHITECTURE, name))
+    serving = st.builds(
+        lambda batch, prompt, tp: ServingTarget(
+            batch_size=batch, prompt_length=prompt, tensor_parallel=tp),
+        st.one_of(st.none(), st.integers(1, 64)),
+        st.one_of(st.none(), st.integers(16, 2048)),
+        st.one_of(st.none(), st.integers(1, 8)),
+    ).filter(lambda s: s.label()).map(
+        lambda s: Target(KIND_SERVING, s.label()))
+    workload = st.one_of(parallelism, architecture, serving)
+    gpu = st.sampled_from(sorted(gpu_names()))
+    composite = st.builds(
+        lambda w, name: Target(f"{w.kind}+{KIND_HARDWARE}",
+                               f"{w.label}+gpu={name}"),
+        workload, gpu)
+    hardware = gpu.map(lambda name: Target(KIND_HARDWARE, f"gpu={name}"))
+    return st.one_of(workload, hardware, composite)
+
+
+class TestTargetRoundTripProperty:
+    @settings(max_examples=hyp_max_examples(200), deadline=None)
+    @given(target=_target_strategy())
+    def test_parse_of_str_is_identity(self, target):
+        assert parse_target(str(target)) == target
